@@ -1,0 +1,32 @@
+"""A10 -- combiners vs key aggregation as intermediate-data levers.
+
+Asserted shape: both levers shrink the algebraic query's materialized
+bytes versus no lever; aggregation also shrinks the holistic query,
+where no combiner exists -- the structural reason §IV is not redundant
+with Hadoop's built-in combiner mechanism.
+"""
+
+from repro.experiments.levers import run
+
+
+def _kib(text: str) -> float:
+    value, unit = text.split()
+    return float(value.replace(",", "")) * {
+        "B": 1 / 1024, "KiB": 1, "MiB": 1024, "GiB": 1 << 20}[unit]
+
+
+def test_a10_both_levers_work_where_applicable(tabulate):
+    result = tabulate(run)
+    rows = {(r["query"], r["lever"]): _kib(r["materialized"])
+            for r in result.rows}
+    mean_none = rows[("mean (algebraic)", "none")]
+    assert rows[("mean (algebraic)", "combiner")] < mean_none
+    assert rows[("mean (algebraic)", "aggregation")] < mean_none
+    median_none = rows[("median (holistic)", "none")]
+    assert rows[("median (holistic)", "aggregation")] < median_none
+
+
+def test_a10_no_combiner_row_for_median(tabulate):
+    result = tabulate(run, side=20, filename="a10_small")
+    levers = {r["lever"] for r in result.rows if "median" in r["query"]}
+    assert levers == {"none", "aggregation"}

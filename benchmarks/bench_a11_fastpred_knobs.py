@@ -1,0 +1,64 @@
+"""A11 -- sensitivity of the vectorized block predictor's knobs.
+
+Our fastpred variant (A5) has two knobs the exact algorithm lacks: the
+chunk size (stride frozen per chunk) and the candidate stride ceiling.
+Asserted: compression is robust across chunk sizes well below the file
+size, degrades monotonically as the chunk approaches the file size (the
+first chunk has no predecessor to select a stride from, so it passes
+through untransformed), and a stride ceiling below the true record
+pitch destroys the benefit -- the two failure modes a user must know
+about.
+"""
+
+import zlib
+
+import pytest
+
+from repro.core.stride import fast_forward_transform, fast_inverse_transform
+from repro.scidata import walk_grid_int32_triples
+
+
+@pytest.fixture(scope="module")
+def data():
+    return walk_grid_int32_triples(30)  # 324,000 bytes, pitch 12
+
+
+def gz(blob):
+    return len(zlib.compress(blob, 6))
+
+
+CHUNKS = [4096, 16384, 65536, 262144]
+
+
+@pytest.mark.parametrize("chunk", CHUNKS)
+def test_a11_chunk_roundtrip_kernel(data, benchmark, chunk):
+    out = benchmark(fast_forward_transform, data, 100, chunk)
+    assert fast_inverse_transform(out, 100, chunk) == data
+
+
+def test_a11_chunk_size_robustness(data, benchmark):
+    sizes = benchmark.pedantic(
+        lambda: {chunk: gz(fast_forward_transform(data, 100, chunk))
+                 for chunk in CHUNKS},
+        rounds=1, iterations=1)
+    plain = gz(data)
+    # every chunk size is lossless AND no worse than plain gzip
+    assert all(s < plain for s in sizes.values())
+    # chunks well below the file size (first-chunk identity cost
+    # amortized) beat plain gzip decisively and sit within 3x of the best
+    small = [sizes[c] for c in CHUNKS if c * 4 <= len(data)]
+    assert all(s < plain / 3 for s in small)
+    assert max(small) <= 3 * min(small)
+    # degradation with chunk size is monotone: the first (identity)
+    # chunk covers a growing share of the stream
+    ordered = [sizes[c] for c in sorted(CHUNKS)]
+    assert ordered == sorted(ordered)
+
+
+def test_a11_max_stride_below_pitch_fails_soft(data, benchmark):
+    ok = benchmark.pedantic(
+        lambda: fast_forward_transform(data, max_stride=100),
+        rounds=1, iterations=1)
+    crippled = fast_forward_transform(data, max_stride=8)  # pitch is 12
+    assert fast_inverse_transform(crippled, max_stride=8) == data  # lossless
+    assert gz(ok) < gz(crippled)  # but compression benefit collapses

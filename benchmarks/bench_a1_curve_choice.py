@@ -1,0 +1,30 @@
+"""A1 -- curve-choice ablation (§IV-A, Moon et al.).
+
+Paper claim: the Hilbert curve clusters better than Z-order (fewer
+ranges per query box) but has more overhead.  Both halves asserted.
+"""
+
+import numpy as np
+
+from repro.experiments.ablations import run_curve_choice
+from repro.sfc import HilbertCurve, ZOrderCurve
+
+
+def test_a1_hilbert_clusters_better_but_costs_more(tabulate):
+    result = tabulate(run_curve_choice)
+    z = result.row_by("curve", "zorder")
+    h = result.row_by("curve", "hilbert")
+    assert h["mean_ranges"] <= z["mean_ranges"]          # better clustering
+    assert h["encode_us_per_point"] > z["encode_us_per_point"]  # more overhead
+
+
+def test_a1_zorder_encode_kernel(benchmark):
+    curve = ZOrderCurve(3, 10)
+    pts = np.random.default_rng(0).integers(0, curve.side, size=(50000, 3))
+    benchmark(curve.encode, pts)
+
+
+def test_a1_hilbert_encode_kernel(benchmark):
+    curve = HilbertCurve(3, 10)
+    pts = np.random.default_rng(0).integers(0, curve.side, size=(50000, 3))
+    benchmark(curve.encode, pts)

@@ -1,0 +1,26 @@
+"""A3 -- alignment-padding ablation (§IV-C).
+
+Paper: expanding keys to an alignment raises the chance that
+overlapping keys are equal (fewer reducer-side splits) but "adds
+complexity [and] storage overhead", and "no alignment is large enough
+to completely eliminate overlap" for sliding windows.  Asserted: splits
+are non-increasing with alignment but never reach zero; storage grows.
+"""
+
+from repro.experiments.ablations import run_alignment
+
+
+def test_a3_alignment_trades_splits_for_space(tabulate):
+    result = tabulate(run_alignment)
+    splits = result.column("reduce_key_splits")
+    # more alignment, fewer (or equal) overlap splits
+    assert splits[-1] <= splits[0]
+    # the paper's caveat: sliding windows always straddle boundaries
+    assert all(s > 0 for s in splits)
+
+
+def test_a3_unaligned_has_most_splits(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_alignment(alignments=[1, 64]), rounds=1, iterations=1)
+    splits = result.column("reduce_key_splits")
+    assert splits[1] <= splits[0]

@@ -1,0 +1,30 @@
+"""A6 -- key-splitting inflation and reducer-side re-aggregation.
+
+Answers the two questions §IV-B leaves open: how much key splitting
+inflates the aggregate-key count, and whether further aggregation
+(implemented per the paper's proposal) is worth it.  Asserted:
+splitting inflates the key count; re-aggregation reduces the reducer's
+key stream without changing any result (the harness itself verifies
+output equality).
+"""
+
+from repro.experiments.key_splitting import run
+
+
+def test_a6_splitting_inflates_and_reagg_recovers(tabulate):
+    result = tabulate(run)
+    rows = {r["stage"]: r for r in result.rows}
+    assert (rows["after_overlap_split"]["without_reagg"]
+            > rows["mapper_keys"]["without_reagg"])
+    assert (rows["reduce_stream_keys"]["with_reagg"]
+            < rows["after_overlap_split"]["with_reagg"])
+    assert (rows["reduce_groups"]["with_reagg"]
+            <= rows["reduce_groups"]["without_reagg"])
+
+
+def test_a6_routing_split_contributes(tabulate):
+    result = tabulate(run, side=32, num_map_tasks=4, num_reducers=4,
+                      filename="a6_small")
+    rows = {r["stage"]: r for r in result.rows}
+    assert (rows["after_routing"]["without_reagg"]
+            >= rows["mapper_keys"]["without_reagg"])

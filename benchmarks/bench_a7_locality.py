@@ -1,0 +1,32 @@
+"""A7 -- input locality sweep on the simulated cluster (Fig 1 step 1).
+
+Asserted shape: locality awareness and higher replication each raise the
+data-local fraction; the aware scheduler's makespan never exceeds the
+blind one's at equal replication on this workload.
+"""
+
+from repro.experiments.locality import run
+from repro.mapreduce.simcluster import ClusterSpec, MapTaskSpec, SimDFS, schedule_maps
+
+
+def test_a7_locality_shape(tabulate):
+    result = tabulate(run)
+    rows = {(r["replication"], r["scheduler"]): r for r in result.rows}
+    for repl in [1, 2, 3]:
+        aware = rows[(repl, "locality-aware")]
+        blind = rows[(repl, "blind")]
+        assert aware["data_local_pct"] > blind["data_local_pct"]
+        assert aware["map_makespan_s"] <= blind["map_makespan_s"]
+    # replication monotonicity under the aware scheduler
+    locality = [rows[(r, "locality-aware")]["data_local_pct"] for r in [1, 2, 3]]
+    assert locality == sorted(locality)
+
+
+def test_a7_schedule_kernel(benchmark):
+    spec = ClusterSpec()
+    dfs = SimDFS(nodes=spec.nodes, replication=3, block_size=64 << 20)
+    blocks = dfs.write("f", 4 << 30)
+    tasks = [MapTaskSpec(b.size / spec.disk_bandwidth, b.size, b.replicas)
+             for b in blocks]
+    result = benchmark(schedule_maps, spec, tasks)
+    assert result.total_tasks == len(tasks)

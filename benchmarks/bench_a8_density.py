@@ -1,0 +1,24 @@
+"""A8 -- aggregation benefit versus key density (§V's dense-keys caveat).
+
+Asserted shape: at full density aggregation wins by >70%; the win
+decreases monotonically-ish with density and is gone (or negative) below
+~2% density -- aggregation is a *dense-key* technique, exactly as the
+paper scopes it.
+"""
+
+from repro.experiments.density import run
+
+
+def test_a8_win_collapses_with_sparsity(tabulate):
+    result = tabulate(run)
+    wins = result.column("agg_win_pct")
+    densities = result.column("density")
+    assert densities[0] == 1.0
+    assert wins[0] > 70.0           # dense: the Fig 8 regime
+    assert wins[-1] < 10.0          # sparse: the win is gone
+    assert wins[-1] < wins[0]
+
+
+def test_a8_dense_case_is_single_range(tabulate):
+    result = tabulate(run, side=32, densities=[1.0], filename="a8_dense")
+    assert result.rows[0]["ranges"] == 1

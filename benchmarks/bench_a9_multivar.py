@@ -1,0 +1,25 @@
+"""A9 -- multi-variable streams (§III's stride-boundary complication).
+
+Asserted ordering: knowing both variables' metadata strides beats the
+adaptive detector, which beats a single (first-variable) stride, which
+beats no transform at all -- i.e. the adaptive detector recovers most of
+the benefit with zero format knowledge, the paper's §III-A rationale.
+"""
+
+from repro.experiments.multivar import run, two_variable_stream
+
+
+def test_a9_regime_ordering(tabulate):
+    result = tabulate(run)
+    get = lambda r: result.row_by("regime", r)["gzip_bytes"]
+    both = get("both variables' metadata strides")
+    adaptive = get("adaptive §III-A (no metadata)")
+    first_only = get("first variable's metadata stride only")
+    plain = get("no transform (gzip only)")
+    assert both <= adaptive < first_only < plain
+
+
+def test_a9_stream_kernel(benchmark):
+    data, pitch_a, pitch_b = benchmark(two_variable_stream, 10)
+    assert pitch_a != pitch_b
+    assert len(data) > 0

@@ -1,0 +1,26 @@
+"""E1 -- §I motivation numbers: per-cell-key intermediate file sizes.
+
+Paper: 10^6 cells -> 26,000,006 bytes (variable index) / 33,000,006
+bytes (variable name `windspeed1`); key/value byte ratio 6.75.  This
+bench runs at full paper scale (side=100) and must match exactly.
+"""
+
+import pytest
+
+from repro.experiments.e1_motivation import PAPER, run, _build_ifile
+
+
+def test_e1_table_matches_paper_exactly(tabulate):
+    result = tabulate(run, side=100)
+    index_row = result.row_by("variable_as", "index")
+    name_row = result.row_by("variable_as", "name")
+    assert index_row["file_bytes"] == PAPER["index"]["file_bytes"]
+    assert name_row["file_bytes"] == PAPER["name"]["file_bytes"]
+    assert name_row["key_value_ratio"] == PAPER["key_value_ratio"]
+
+
+@pytest.mark.parametrize("mode", ["index", "name"])
+def test_e1_serialization_throughput(benchmark, mode):
+    """Time the per-cell key serialization kernel (side=40 = 64k cells)."""
+    stats = benchmark(_build_ifile, 40, mode)
+    assert stats.records == 40 ** 3

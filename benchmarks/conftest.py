@@ -1,0 +1,45 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one paper artifact via its harness in
+:mod:`repro.experiments`, prints the paper-vs-measured table, and saves
+it under ``benchmarks/results/`` so output survives pytest capture.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture
+def report():
+    """Print an ExperimentResult table and persist it to results/."""
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+
+    def _report(result, filename: str | None = None):
+        table = result.format_table()
+        print("\n" + table)
+        name = filename or result.experiment.replace("/", "_").lower()
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "a") as fh:
+            fh.write(table + "\n\n")
+        return result
+
+    return _report
+
+
+@pytest.fixture
+def tabulate(benchmark, report):
+    """Run an experiment harness once under the benchmark fixture.
+
+    Table-regenerating tests must participate in ``--benchmark-only``
+    runs (the harness IS the benchmark), so they time a single run via
+    ``benchmark.pedantic`` and then print/persist the resulting table.
+    """
+
+    def _tabulate(fn, *args, filename: str | None = None, **kwargs):
+        result = benchmark.pedantic(
+            lambda: fn(*args, **kwargs), rounds=1, iterations=1)
+        return report(result, filename)
+
+    return _tabulate

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Write your own MapReduce job against the public API.
+
+Implements a query the library does not ship -- per-row minimum of a
+variable -- from raw Mapper/Reducer classes, demonstrating the level of
+the API a downstream user programs against: serdes, jobs, counters, and
+(optionally) intermediate compression via the §III codec.
+
+Run:  python examples/custom_query.py
+"""
+
+import numpy as np
+
+from repro.experiments.common import fmt_bytes
+from repro.mapreduce import (
+    Int32Serde,
+    Job,
+    LocalJobRunner,
+    Mapper,
+    Reducer,
+)
+
+
+class RowMinMapper(Mapper):
+    """Emit (row index, min of the split's values in that row)."""
+
+    def map(self, split, values, ctx):
+        row0 = split.slab.corner[0]
+        for i, row in enumerate(values):
+            ctx.emit(row0 + i, int(row.min()))
+
+
+class MinReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, min(values))
+
+
+def main() -> None:
+    from repro.scidata import integer_grid
+
+    grid = integer_grid((64, 64), seed=7)
+    job = Job(
+        name="row-min",
+        mapper=RowMinMapper,
+        reducer=MinReducer,
+        key_serde=Int32Serde(),
+        value_serde=Int32Serde(),
+        num_map_tasks=4,
+        num_reducers=2,
+        codec="stride+zlib",  # the paper's §III codec, one line to enable
+    )
+    result = LocalJobRunner().run(job, grid)
+
+    # verify against numpy
+    truth = grid["values"].data.min(axis=1)
+    got = dict(result.output)
+    assert all(got[r] == truth[r] for r in range(64))
+
+    print(f"row-min over a 64x64 grid: {len(result.output)} rows")
+    print(f"map output materialized: {fmt_bytes(result.materialized_bytes)} "
+          f"(codec: {job.codec})")
+    print("verified against numpy: OK")
+
+
+if __name__ == "__main__":
+    main()

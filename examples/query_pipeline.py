@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Multi-stage array query pipeline (SciHadoop-style query processing).
+
+Builds a logical plan -- subset a region of two wind-component fields,
+compute their magnitude, then smooth it with a sliding mean -- and
+executes it as a chain of MapReduce jobs, once with per-cell keys and
+once with §IV key aggregation applied at *every* stage of the pipeline.
+
+Run:  python examples/query_pipeline.py
+"""
+
+import numpy as np
+
+from repro.queries import Binary, Source, Subset, Window, execute
+from repro.scidata import Dataset, Slab, Variable, windspeed_field
+
+
+def main() -> None:
+    # Two wind components on the same grid.
+    ds = Dataset()
+    u = windspeed_field((32, 32, 4), name="u_wind", seed=1)["u_wind"]
+    v = windspeed_field((32, 32, 4), name="v_wind", seed=2)["v_wind"]
+    ds.add(u)
+    ds.add(v)
+
+    region = Slab((4, 4, 0), (20, 20, 4))
+    plan = Window(
+        Binary(
+            Subset(Source("u_wind"), region),
+            Subset(Source("v_wind"), region),
+            op="hypot",                      # wind magnitude
+        ),
+        op="mean", width=3,                  # spatial smoothing
+    )
+    print("plan: mean3(hypot(u[region], v[region]))")
+    print(f"region: {region} ({region.size:,} cells)\n")
+
+    for mode in ["plain", "aggregate"]:
+        out = execute(plan, ds, mode=mode)
+        print(f"{mode:>9} mode: result extent {out.extent}, "
+              f"mean magnitude {float(out.data.mean()):.3f} m/s")
+
+    # cross-check one interior cell against a manual 3^3 window mean
+    mag = np.hypot(u.read(region), v.read(region))
+    result = execute(plan, ds, mode="plain")
+    li, lj, lk = 6, 6, 2  # region-local coordinates
+    local = mag[li - 1:li + 2, lj - 1:lj + 2, lk - 1:lk + 2]
+    expected = float(local.mean())
+    got = float(result.data[li, lj, lk])
+    assert abs(expected - got) < 1e-4, (expected, got)
+    print(f"\nspot check at region-local {(li, lj, lk)}: pipeline "
+          f"{got:.5f} == numpy {expected:.5f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: run one MapReduce job and see what key compression buys.
+
+Builds a small synthetic integer grid, runs the paper's sliding-median
+query twice -- once with Hadoop-style per-cell keys, once with §IV key
+aggregation -- and prints the intermediate-data counters the paper
+reports ("Map output materialized bytes").
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments.common import fmt_bytes
+from repro.mapreduce import LocalJobRunner
+from repro.mapreduce.metrics import C
+from repro.queries import SlidingMedianQuery
+from repro.scidata import integer_grid
+
+
+def main() -> None:
+    # 1. A synthetic scientific dataset: a 48x48 grid of int32 samples.
+    grid = integer_grid((48, 48), seed=42)
+    print(f"input: {grid.total_cells():,} cells, "
+          f"{fmt_bytes(grid.total_value_bytes())} of values")
+
+    # 2. The paper's query: median over a sliding 3x3 window (holistic,
+    #    so every window member crosses the shuffle).
+    query = SlidingMedianQuery(grid, "values", window=3)
+
+    # 3. Run it both ways on the same engine.
+    runner = LocalJobRunner()
+    results = {}
+    for mode in ["plain", "aggregate"]:
+        job = query.build_job(mode, num_map_tasks=4, num_reducers=2)
+        results[mode] = runner.run(job, grid)
+        res = results[mode]
+        print(f"\n--- {mode} mode ---")
+        print(f"  map output records:        "
+              f"{res.counters[C.MAP_OUTPUT_RECORDS]:,}")
+        print(f"  map output materialized:   "
+              f"{fmt_bytes(res.materialized_bytes)}")
+        print(f"  key bytes / value bytes:   "
+              f"{fmt_bytes(res.map_output_stats.key_bytes)} / "
+              f"{fmt_bytes(res.map_output_stats.value_bytes)}")
+        print(f"  output cells:              {len(res.output):,}")
+
+    # 4. Same answers, smaller shuffle.
+    plain = {k.coords: v for k, v in results["plain"].output}
+    agg = {k.coords: v for k, v in results["aggregate"].output}
+    assert plain == agg, "modes must agree"
+    saved = 1 - results["aggregate"].materialized_bytes / \
+        results["plain"].materialized_bytes
+    print(f"\nidentical results; aggregation cut intermediate data by "
+          f"{saved:.1%} (paper §IV-D measures 60.7% on its cluster)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's cluster experiment end to end (§III-E / §IV-D).
+
+Runs the sliding-median query through the engine under the three
+configurations the paper compares -- uncompressed baseline, the §III
+byte-level codec, and §IV key aggregation -- on the paper's cluster
+layout (5 nodes, 10 map slots, 5 reducers), then prices the measured
+task profiles through the cluster simulator.
+
+This is the long-form version of benchmarks/bench_e6*/bench_e8*; run it
+directly to see the full table:
+
+    python examples/sliding_median_cluster.py [side]
+"""
+
+import sys
+
+from repro.experiments.cluster_runs import PAPER, run
+
+
+def main() -> None:
+    side = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    print(f"running three sliding-median configurations on a "
+          f"{side}x{side} grid (this executes six real map/reduce "
+          f"phases; the exact stride codec is pure Python, so be "
+          f"patient at larger sides)...\n")
+    result = run(side=side)
+    print(result.format_table())
+    print("\npaper reference points:")
+    print(f"  byte-level codec: {PAPER['bytelevel_reduction_pct']}% fewer "
+          f"bytes, {PAPER['bytelevel_runtime_delta_pct']:+.0f}% runtime")
+    print(f"  key aggregation:  {PAPER['aggregation_reduction_pct']}% fewer "
+          f"bytes, {PAPER['aggregation_runtime_delta_pct']:+.1f}% runtime")
+
+
+if __name__ == "__main__":
+    main()

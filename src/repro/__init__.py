@@ -1,0 +1,23 @@
+"""repro -- reproduction of "Compressing Intermediate Keys between
+Mappers and Reducers in SciHadoop" (Crume, Buck, Maltzahn, Brandt;
+SC Companion / PDSW 2012).
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.util` -- varints, buffers, timing, deterministic RNG;
+* :mod:`repro.sfc` -- space-filling curves (Z-order, Hilbert, Peano,
+  row-major) and clustering statistics;
+* :mod:`repro.scidata` -- slabs, datasets, synthetic fields, array
+  input splits;
+* :mod:`repro.mapreduce` -- the Hadoop-like engine (serdes, IFile and
+  SequenceFile formats, codecs, partitioners, spills, merge sort,
+  counters) and the cluster simulator (:mod:`repro.mapreduce.simcluster`);
+* :mod:`repro.core.stride` -- the paper's §III byte-level transform;
+* :mod:`repro.core.aggregation` -- the paper's §IV key aggregation;
+* :mod:`repro.queries` -- grid queries in per-cell and aggregate modes,
+  plus a composable logical-plan executor;
+* :mod:`repro.experiments` -- one harness per paper table/figure,
+  runnable via ``python -m repro``.
+"""
+
+__version__ = "1.0.0"

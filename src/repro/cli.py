@@ -1,0 +1,127 @@
+"""Command-line entry point: regenerate any paper artifact by id.
+
+Usage::
+
+    python -m repro list
+    python -m repro run E7
+    python -m repro run E3 --scale 1.0
+    python -m repro run all
+
+Each experiment prints the same paper-vs-measured table the benchmark
+suite produces (see EXPERIMENTS.md for the mapping to the paper).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable
+
+__all__ = ["main", "experiment_ids"]
+
+
+def _registry() -> dict[str, tuple[str, Callable]]:
+    """Experiment id -> (description, runner).  Imported lazily so
+    ``python -m repro list`` is instant."""
+    from repro.experiments import ablations, cluster_runs, density, \
+        e1_motivation, fig2_stream, fig3_table, fig4_scaling, \
+        fig8_aggregation, figures_5_6_7, key_splitting, levers, locality, \
+        multivar
+
+    return {
+        "E1": ("§I motivation: per-cell-key file sizes (paper-exact)",
+               lambda: e1_motivation.run()),
+        "E2": ("Fig 2: dominant sequences in the key stream",
+               lambda: fig2_stream.run()),
+        "E2S": ("Fig 2 exact: SequenceFile framing, stride 47",
+                lambda: fig2_stream.run_seqfile()),
+        "E3": ("Fig 3: byte-level compression table",
+               lambda: fig3_table.run()),
+        "E4": ("Fig 4: transform time vs file size",
+               lambda: fig4_scaling.run()),
+        "E5": ("§III: stride-detection regimes",
+               lambda: fig3_table.run_stride_choice()),
+        "E6": ("§III-E / §IV-D cluster comparison (also E8)",
+               lambda: cluster_runs.run()),
+        "E7": ("Fig 8: key aggregation vs per-cell keys",
+               lambda: fig8_aggregation.run()),
+        "F5": ("Fig 5: n-D grouping ambiguity",
+               lambda: figures_5_6_7.run_fig5()),
+        "F6": ("Fig 6: curve numbering and range collapse",
+               lambda: figures_5_6_7.run_fig6()),
+        "F7": ("Fig 7: overlap splitting",
+               lambda: figures_5_6_7.run_fig7()),
+        "A1": ("ablation: curve choice (Z-order/Hilbert/Peano/row-major)",
+               lambda: ablations.run_curve_choice()),
+        "A2": ("ablation: aggregation flush threshold",
+               lambda: ablations.run_flush_threshold()),
+        "A3": ("ablation: alignment padding",
+               lambda: ablations.run_alignment()),
+        "A4": ("ablation: detector knobs",
+               lambda: ablations.run_detector_knobs()),
+        "A5": ("ablation: exact vs vectorized transform",
+               lambda: ablations.run_exact_vs_fast()),
+        "A6": ("ablation: key splitting + re-aggregation (§IV-B open Q)",
+               lambda: key_splitting.run()),
+        "A7": ("ablation: input locality and replication",
+               lambda: locality.run()),
+        "A8": ("ablation: aggregation vs key density",
+               lambda: density.run()),
+        "A9": ("ablation: multi-variable stream stride regimes",
+               lambda: multivar.run()),
+        "A10": ("ablation: combiner vs key aggregation levers",
+                lambda: levers.run()),
+    }
+
+
+def experiment_ids() -> list[str]:
+    """All runnable experiment ids (for docs and tests)."""
+    return list(_registry())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures from 'Compressing "
+                    "Intermediate Keys between Mappers and Reducers in "
+                    "SciHadoop' (SC 2012).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    run_p.add_argument("--scale", type=float, default=None,
+                       help="REPRO_SCALE override (1.0 = paper scale)")
+    args = parser.parse_args(argv)
+
+    registry = _registry()
+    if args.command == "list":
+        width = max(len(k) for k in registry)
+        for key, (desc, _) in registry.items():
+            print(f"{key:<{width}}  {desc}")
+        return 0
+
+    if args.scale is not None:
+        if args.scale <= 0:
+            parser.error("--scale must be positive")
+        os.environ["REPRO_SCALE"] = str(args.scale)
+
+    ids = list(registry) if args.experiment.lower() == "all" else [
+        args.experiment.upper()
+    ]
+    unknown = [i for i in ids if i not in registry]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              f"try 'python -m repro list'", file=sys.stderr)
+        return 2
+    for exp_id in ids:
+        _, runner = registry[exp_id]
+        print(runner().format_table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""The paper's primary contributions.
+
+* :mod:`repro.core.stride` -- semantically-informed byte-level compression
+  (§III): an adaptive stride/linear-sequence predictor applied to the
+  serialized intermediate stream before a generic compressor.
+* :mod:`repro.core.aggregation` -- key aggregation (§IV): space-filling
+  curve ranges as aggregate keys, with routing- and sort-time key
+  splitting.
+"""

@@ -1,0 +1,77 @@
+"""Reducer-side helpers for aggregate key groups.
+
+After overlap splitting, one reduce group is ``(RangeKey, [ValueBlock,
+...])`` where every block covers exactly the key's range.  Queries then
+need per-cell value sets; these helpers build them efficiently:
+
+* :func:`stack_equal_blocks` -- the common dense case (every block dense,
+  one value per cell per block) becomes a ``(k, count)`` matrix, so a
+  holistic reduce like the sliding median is a single vectorized
+  ``np.median(..., axis=0)``;
+* :func:`cells_of_group` -- the general case (masked blocks, ragged
+  multiplicities) yields ``(cell_offset, values_array)`` per covered
+  cell.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.aggregation.blocks import ValueBlock
+from repro.mapreduce.keys import RangeKey
+
+__all__ = ["stack_equal_blocks", "cells_of_group"]
+
+
+def _check_group(key: RangeKey, blocks: Sequence[ValueBlock]) -> None:
+    if not blocks:
+        raise ValueError("empty block group")
+    for b in blocks:
+        if b.count != key.count:
+            raise ValueError(
+                f"block covers {b.count} cells but group key spans {key.count}"
+            )
+
+
+def stack_equal_blocks(
+    key: RangeKey, blocks: Sequence[ValueBlock]
+) -> np.ndarray | None:
+    """Stack dense blocks into a ``(k, count)`` matrix, or ``None``.
+
+    Returns ``None`` when any block is masked -- callers fall back to
+    :func:`cells_of_group`.
+    """
+    _check_group(key, blocks)
+    if any(not b.is_dense() for b in blocks):
+        return None
+    return np.stack([b.values for b in blocks], axis=0)
+
+
+def cells_of_group(
+    key: RangeKey, blocks: Sequence[ValueBlock]
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(cell_offset, values)`` for each covered cell with data.
+
+    ``cell_offset`` is relative to ``key.start``; ``values`` collects the
+    valid entries for that cell across all blocks (possibly fewer than
+    ``len(blocks)`` when masks exclude it).  Cells with no valid values
+    are skipped.
+    """
+    _check_group(key, blocks)
+    matrix = stack_equal_blocks(key, blocks)
+    if matrix is not None:
+        for off in range(key.count):
+            yield off, matrix[:, off]
+        return
+    # General masked case: gather per cell.
+    per_cell: list[list] = [[] for _ in range(key.count)]
+    for block in blocks:
+        mask = block.dense_mask()
+        positions = np.flatnonzero(mask)
+        for pos, value in zip(positions, block.values):
+            per_cell[int(pos)].append(value)
+    for off, vals in enumerate(per_cell):
+        if vals:
+            yield off, np.asarray(vals)

@@ -1,0 +1,101 @@
+"""The shuffle plugin wiring aggregation into the engine (§IV-B).
+
+This object is the reproduction of the paper's "one set of changes
+inside Hadoop ... which allows aggregate keys to be split during the
+routing and sorting phases":
+
+* :meth:`route` -- called per emitted record on the map side; splits the
+  aggregate range at the total-order partition boundaries and assigns
+  each piece to its reducer;
+* :meth:`prepare_reduce` -- called on the reducer's merged record list
+  before grouping; splits overlapping ranges on overlap boundaries
+  (Fig 7) and re-sorts, so byte-equal keys group all data for the same
+  simple keys.
+"""
+
+from __future__ import annotations
+
+from repro.core.aggregation.aggregator import AggregationConfig
+from repro.core.aggregation.reaggregate import merge_adjacent_groups
+from repro.core.aggregation.splitter import split_at_boundaries, split_overlaps
+from repro.mapreduce.partition import CurveRangePartitioner
+
+__all__ = ["AggregateShufflePlugin"]
+
+Record = tuple[bytes, bytes]
+
+
+class AggregateShufflePlugin:
+    """Route and re-sort aggregate (RangeKey, ValueBlock) records.
+
+    ``reaggregate=True`` enables the paper's §IV-B future-work proposal:
+    after overlap splitting, adjacent same-depth groups are fused to
+    offset the key-count increase (see
+    :mod:`repro.core.aggregation.reaggregate`; ablation A6).
+    """
+
+    def __init__(self, config: AggregationConfig,
+                 reaggregate: bool = False) -> None:
+        self.config = config
+        self.reaggregate = reaggregate
+        self._key_serde = config.key_serde()
+        self._block_serde = config.block_serde()
+        self._curve_size = config.make_curve().size
+        self._partitioners: dict[int, CurveRangePartitioner] = {}
+        #: how many extra records routing splits created (introspection)
+        self.routing_splits = 0
+        #: key-count trajectory through the reduce-side passes, summed
+        #: over reduce tasks: records in, after overlap split, after
+        #: re-aggregation (== after split when disabled)
+        self.reduce_records_in = 0
+        self.reduce_records_split = 0
+        self.reduce_records_out = 0
+
+    def _partitioner(self, num_reducers: int) -> CurveRangePartitioner:
+        part = self._partitioners.get(num_reducers)
+        if part is None:
+            part = CurveRangePartitioner(num_reducers, self._curve_size)
+            self._partitioners[num_reducers] = part
+        return part
+
+    def route(
+        self, key_bytes: bytes, value_bytes: bytes, num_reducers: int
+    ) -> list[tuple[int, bytes, bytes]]:
+        part = self._partitioner(num_reducers)
+        key = self._key_serde.from_bytes(key_bytes)
+        block = self._block_serde.from_bytes(value_bytes)
+        pieces = split_at_boundaries(key, block, part.split_points())
+        self.routing_splits += len(pieces) - 1
+        out: list[tuple[int, bytes, bytes]] = []
+        for pkey, pblock in pieces:
+            reducer = part.check_range(pkey)
+            if len(pieces) == 1:
+                out.append((reducer, key_bytes, value_bytes))
+                continue
+            kb = bytearray()
+            self._key_serde.write(pkey, kb)
+            vb = bytearray()
+            self._block_serde.write(pblock, vb)
+            out.append((reducer, bytes(kb), bytes(vb)))
+        return out
+
+    def prepare_reduce(self, records: list[Record]) -> list[Record]:
+        pairs = []
+        for kb, vb in records:
+            pairs.append(
+                (self._key_serde.from_bytes(kb), self._block_serde.from_bytes(vb))
+            )
+        split = split_overlaps(pairs)
+        self.reduce_records_in += len(pairs)
+        self.reduce_records_split += len(split)
+        if self.reaggregate:
+            split = merge_adjacent_groups(split)
+        self.reduce_records_out += len(split)
+        out: list[Record] = []
+        for key, block in split:
+            kb = bytearray()
+            self._key_serde.write(key, kb)
+            vb = bytearray()
+            self._block_serde.write(block, vb)
+            out.append((bytes(kb), bytes(vb)))
+        return out

@@ -1,0 +1,90 @@
+"""Reducer-side re-aggregation (the paper's §IV-B future work).
+
+"Aggregation is currently performed only inside mappers.  It could also
+be performed in other places to offset the increase in key count caused
+by key splitting.  We have not yet determined how much the key count is
+increased by key splitting, or whether further aggregation would be
+worth the overhead."
+
+This module implements that proposal and ablation A6 measures both open
+questions.  After overlap splitting, the reducer's record stream contains
+groups of byte-equal range keys.  Two *adjacent* groups can merge into
+one when:
+
+* same variable,
+* the second group's range starts exactly where the first ends, and
+* both groups hold the same number of value blocks (the same stack
+  depth), so blocks pair up one-to-one.
+
+Because the reduce functions here are per-cell (each covered cell's
+values are independent), any pairing of blocks across the two groups is
+semantically equivalent; we pair in stream order.  Merging reduces key
+count (fewer group keys, less framing, fewer reduce invocations) at the
+cost of one extra pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.aggregation.blocks import ValueBlock
+from repro.mapreduce.keys import RangeKey
+
+__all__ = ["merge_adjacent_groups", "concat_blocks"]
+
+Pair = tuple[RangeKey, ValueBlock]
+
+
+def concat_blocks(a: ValueBlock, b: ValueBlock) -> ValueBlock:
+    """Concatenate two blocks covering adjacent ranges (a then b)."""
+    count = a.count + b.count
+    values = np.concatenate([a.values, b.values])
+    if a.is_dense() and b.is_dense():
+        return ValueBlock(count, values)
+    mask = np.concatenate([a.dense_mask(), b.dense_mask()])
+    return ValueBlock(count, values, mask)
+
+
+def _group_stream(pairs: list[Pair]) -> list[tuple[RangeKey, list[ValueBlock]]]:
+    """Group consecutive equal keys (the stream is already key-sorted)."""
+    groups: list[tuple[RangeKey, list[ValueBlock]]] = []
+    for key, block in pairs:
+        if groups and groups[-1][0] == key:
+            groups[-1][1].append(block)
+        else:
+            groups.append((key, [block]))
+    return groups
+
+
+def merge_adjacent_groups(pairs: list[Pair]) -> list[Pair]:
+    """Re-aggregate a key-sorted, overlap-split record stream.
+
+    Returns a flat record list (equal keys adjacent) with adjacent
+    same-depth groups fused.  Input order within groups is preserved;
+    the result remains sorted by ``(variable, start)``.
+    """
+    if not pairs:
+        return []
+    groups = _group_stream(pairs)
+    merged: list[tuple[RangeKey, list[ValueBlock]]] = [groups[0]]
+    for key, blocks in groups[1:]:
+        prev_key, prev_blocks = merged[-1]
+        if (
+            key.variable == prev_key.variable
+            and key.start == prev_key.end
+            and len(blocks) == len(prev_blocks)
+        ):
+            fused_key = RangeKey(
+                prev_key.variable, prev_key.start, prev_key.count + key.count
+            )
+            fused_blocks = [
+                concat_blocks(pb, b) for pb, b in zip(prev_blocks, blocks)
+            ]
+            merged[-1] = (fused_key, fused_blocks)
+        else:
+            merged.append((key, blocks))
+    out: list[Pair] = []
+    for key, blocks in merged:
+        for block in blocks:
+            out.append((key, block))
+    return out

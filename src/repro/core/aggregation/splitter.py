@@ -1,0 +1,87 @@
+"""Key splitting (§IV-B, Fig 7).
+
+Two cases, quoted from the paper:
+
+* "A mapper may generate an aggregate key whose simple keys do not all
+  route to the same reducer" -- :func:`split_at_boundaries` cuts a
+  (range, block) pair at the total-order partitioner's boundary indices
+  so each piece routes whole.
+* "When sorting keys at a reducer, overlapping keys are split along the
+  overlap boundaries ... unequal overlapping keys contain data that map
+  to the same simple keys, but since the aggregate keys are unequal, the
+  data would not be reduced together" -- :func:`split_overlaps` cuts
+  every range at every other range's endpoints, after which overlapping
+  ranges are *equal* and group correctly.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Sequence
+
+from repro.core.aggregation.blocks import ValueBlock
+from repro.mapreduce.keys import RangeKey
+
+__all__ = ["split_at_boundaries", "split_overlaps"]
+
+Pair = tuple[RangeKey, ValueBlock]
+
+
+def _cut(key: RangeKey, block: ValueBlock, cuts: Sequence[int]) -> list[Pair]:
+    """Split one (range, block) at the given absolute curve indices.
+
+    ``cuts`` must be sorted; only cuts strictly inside the range apply.
+    """
+    lo_i = bisect_right(cuts, key.start)
+    hi_i = bisect_left(cuts, key.end)
+    inner = list(cuts[lo_i:hi_i])
+    if not inner:
+        return [(key, block)]
+    edges = [key.start] + inner + [key.end]
+    out: list[Pair] = []
+    for a, b in zip(edges[:-1], edges[1:]):
+        piece = block.slice(a - key.start, b - key.start)
+        out.append((RangeKey(key.variable, a, b - a), piece))
+    return out
+
+
+def split_at_boundaries(
+    key: RangeKey, block: ValueBlock, boundaries: Sequence[int]
+) -> list[Pair]:
+    """Routing-time split at partition boundaries (sorted ascending)."""
+    if block.count != key.count:
+        raise ValueError(
+            f"block covers {block.count} cells but key spans {key.count}"
+        )
+    return _cut(key, block, sorted(boundaries))
+
+
+def split_overlaps(pairs: list[Pair]) -> list[Pair]:
+    """Reducer-side overlap splitting (Fig 7).
+
+    Cuts every range at every distinct endpoint of any overlapping range
+    of the same variable, then returns the pieces sorted by
+    ``(variable, start, count)`` -- the grouping order.  After this,
+    ranges of one variable either coincide exactly or are disjoint, so
+    byte-equal keys group all data for the same simple keys.
+    """
+    by_var: dict[object, list[Pair]] = {}
+    for key, block in pairs:
+        if block.count != key.count:
+            raise ValueError(
+                f"block covers {block.count} cells but key spans {key.count}"
+            )
+        by_var.setdefault(key.variable, []).append((key, block))
+
+    out: list[Pair] = []
+    for variable in by_var:
+        var_pairs = by_var[variable]
+        endpoints: set[int] = set()
+        for key, _ in var_pairs:
+            endpoints.add(key.start)
+            endpoints.add(key.end)
+        cuts = sorted(endpoints)
+        for key, block in var_pairs:
+            out.extend(_cut(key, block, cuts))
+    out.sort(key=lambda p: (str(p[0].variable), p[0].start, p[0].count))
+    return out

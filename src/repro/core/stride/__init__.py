@@ -1,0 +1,49 @@
+"""Semantically-informed byte-level compression (paper §III).
+
+A stream of serialized grid keys is "almost identical sequences of bytes"
+(Fig 2) -- the few changing bytes advance in linear sequences
+``x[phi + k*s] = x[phi + (k-1)*s] + delta``.  The transform predicts each
+byte from the byte one stride back plus the tracked delta and emits the
+prediction error; a generic compressor (gzip/bzip2) then sees long zero
+runs instead of shifting literals.
+
+Modules:
+
+* :mod:`~repro.core.stride.model` -- configuration and sequence tables;
+* :mod:`~repro.core.stride.detector` -- the adaptive active-set detector
+  (§III-A: selection cycles, 5/6 hit-rate pruning, 2s settling);
+* :mod:`~repro.core.stride.transform` -- exact streaming forward/inverse
+  transforms (§III-B/C), byte-for-byte the paper's algorithm;
+* :mod:`~repro.core.stride.fixed` -- fixed-stride-set variants, including
+  the brute-force all-strides mode the paper compares against;
+* :mod:`~repro.core.stride.fast` -- a vectorized block-predictor variant
+  (our scalable engineering addition; ablation A5 quantifies the gap);
+* :mod:`~repro.core.stride.report` -- sequence analysis used to
+  regenerate Fig 2;
+* :mod:`~repro.core.stride.codec` -- the pluggable codecs (§III-E).
+"""
+
+from repro.core.stride.model import StrideConfig
+from repro.core.stride.transform import forward_transform, inverse_transform
+from repro.core.stride.fixed import (
+    fixed_forward_transform,
+    fixed_inverse_transform,
+)
+from repro.core.stride.fast import fast_forward_transform, fast_inverse_transform
+from repro.core.stride.report import SequenceReport, dominant_sequences
+from repro.core.stride.metadata import StrideAdvice, advise_strides, record_pitch
+
+__all__ = [
+    "StrideAdvice",
+    "advise_strides",
+    "record_pitch",
+    "StrideConfig",
+    "forward_transform",
+    "inverse_transform",
+    "fixed_forward_transform",
+    "fixed_inverse_transform",
+    "fast_forward_transform",
+    "fast_inverse_transform",
+    "SequenceReport",
+    "dominant_sequences",
+]

@@ -1,0 +1,169 @@
+"""The adaptive stride detector (§III-A) driving prediction (§III-B).
+
+One detector instance consumes the byte stream one byte at a time through
+two calls per position:
+
+* :meth:`StrideDetector.predict` -- before the byte value is known (to
+  the decoder), return the predicted value, or ``None`` when no active
+  sequence has a long-enough run;
+* :meth:`StrideDetector.observe` -- after the (reconstructed) byte value
+  is known, update every active stride's sequence table, hit accounting,
+  and -- at selection-cycle boundaries -- the active set itself.
+
+The forward and inverse transforms drive an identical detector over the
+*same* byte values (the original stream equals the reconstructed stream),
+so both sides make identical activation/prediction decisions; this is the
+structural argument for losslessness, and mirrors §III-C: "The code for
+the inverse transform is almost identical to that for the forward
+transform.  Data in the sequence tables is computed from the
+reconstructed original stream."
+
+Performance note (HPC guide: profile, then optimize the bottleneck): the
+per-byte loop is pure Python but touches only *active* strides; after the
+first few selection cycles the active set collapses to the handful of
+true periodicities, so steady-state cost is a few list operations per
+byte.  The brute-force mode (``adaptive=False``) keeps all
+``max_stride`` strides active, reproducing the paper's 4x/17x slowdown
+comparison (E5).
+"""
+
+from __future__ import annotations
+
+from repro.core.stride.model import StrideConfig, StrideState
+
+__all__ = ["StrideDetector"]
+
+
+class StrideDetector:
+    """Streaming detector over strides ``1..max_stride``."""
+
+    def __init__(self, config: StrideConfig | None = None) -> None:
+        self.config = config or StrideConfig()
+        cfg = self.config
+        # The full set: all strides start active (§III-A: "The active set
+        # is initialized to be the full set").
+        self._active: dict[int, StrideState] = {
+            s: StrideState(s, 0) for s in range(1, cfg.max_stride + 1)
+        }
+        # Inactive bookkeeping: cycle index when each stride left the
+        # active set, and when it last became active (for the
+        # once-every-s-cycles eligibility rule).
+        self._deactivated_cycle: dict[int, int] = {}
+        self._last_selected_cycle: dict[int, int] = {
+            s: 0 for s in range(1, cfg.max_stride + 1)
+        }
+        self._cycle = 0
+        # Ring buffer of the last max_stride bytes of the stream.
+        self._ring = bytearray(cfg.max_stride)
+        self._pos = 0
+        # Flat iteration cache over active strides; rebuilding it only
+        # when the set changes keeps the per-byte loops free of dict and
+        # attribute lookups (this loop is the profiled hot spot).
+        self._seq: list[tuple[int, list[int], list[int], StrideState]] = []
+        self._rebuild_cache()
+
+    def _rebuild_cache(self) -> None:
+        self._seq = [
+            (s, st.delta, st.runlen, st) for s, st in self._active.items()
+        ]
+
+    # -- prediction (§III-B) --------------------------------------------------
+
+    def predict(self, position: int) -> int | None:
+        """Predicted byte value at ``position``, or ``None``.
+
+        "The sequence with the longest run length is found.  If the run
+        length is greater than a threshold (currently 2), a prediction is
+        made."  Ties break toward the smallest stride (deterministic, and
+        shared with the inverse transform).
+        """
+        threshold = self.config.run_threshold
+        best_run = threshold  # must strictly exceed the threshold
+        best_stride = 0
+        best_pred = None
+        ring = self._ring
+        cap = len(ring)
+        for s, delta, runlen, _st in self._seq:
+            if s > position:
+                continue
+            phi = position % s
+            run = runlen[phi]
+            if run > best_run or (run == best_run > threshold and s < best_stride):
+                best_run = run
+                best_stride = s
+                best_pred = (ring[(position - s) % cap] + delta[phi]) & 0xFF
+        return best_pred
+
+    # -- observation / table update (§III-A) ----------------------------------
+
+    def observe(self, position: int, value: int) -> None:
+        """Incorporate the true byte ``value`` at ``position``."""
+        ring = self._ring
+        cap = len(ring)
+        threshold = self.config.run_threshold
+        for s, delta, runlen, st in self._seq:
+            if s > position:
+                continue
+            phi = position % s
+            d = (value - ring[(position - s) % cap]) & 0xFF
+            run = runlen[phi]
+            if d == delta[phi]:
+                runlen[phi] = run + 1
+                if run > threshold:
+                    # This sequence predicted prev + delta, correctly.
+                    st.attempts += 1
+                    st.hits += 1
+            else:
+                if run > threshold:
+                    st.attempts += 1
+                delta[phi] = d
+                runlen[phi] = 0
+        ring[position % cap] = value
+        self._pos = position + 1
+        if self.config.adaptive and self._pos % self.config.selection_cycle == 0:
+            self._end_cycle()
+
+    # -- active-set management (§III-A) ---------------------------------------
+
+    def _end_cycle(self) -> None:
+        self._cycle += 1
+        cfg = self.config
+        # Prune: hit rate below threshold after the 2s-byte settling time.
+        for s in list(self._active):
+            st = self._active[s]
+            if self._pos - st.activated_at < cfg.settle_factor * s:
+                continue
+            if st.hit_rate() < cfg.hit_rate_threshold:
+                del self._active[s]
+                self._deactivated_cycle[s] = self._cycle
+        # Select one stride to (re)join: "Priority is given to the strides
+        # that have been out of the active set the longest: a stride of s
+        # is eligible to be selected only once every s selection cycles."
+        best = None
+        best_out_since = None
+        for s, out_cycle in self._deactivated_cycle.items():
+            if s in self._active:
+                continue
+            if self._cycle - self._last_selected_cycle[s] < s:
+                continue
+            if best_out_since is None or out_cycle < best_out_since or (
+                out_cycle == best_out_since and s < best
+            ):
+                best = s
+                best_out_since = out_cycle
+        if best is not None:
+            self._active[best] = StrideState(best, self._pos)
+            self._last_selected_cycle[best] = self._cycle
+            del self._deactivated_cycle[best]
+        self._rebuild_cache()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def active_strides(self) -> list[int]:
+        """Currently active strides, sorted (for tests and reports)."""
+        return sorted(self._active)
+
+    def state_of(self, stride: int) -> StrideState | None:
+        """The live state for ``stride`` if active, else ``None``."""
+        return self._active.get(stride)

@@ -1,0 +1,86 @@
+"""Configuration and per-stride sequence state for the §III transform.
+
+A *sequence* is identified by ``(stride s, phase phi)`` with a tracked
+difference ``delta`` and a *run length* -- "the number of times in a row
+that the sequence has predicted the correct value" (§III-A).  Because a
+byte offset ``i`` belongs to exactly one sequence per stride (the one
+with ``phi = i mod s``), a stride's whole table is two dense arrays of
+length ``s`` indexed by phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StrideConfig", "StrideState"]
+
+
+@dataclass(frozen=True)
+class StrideConfig:
+    """Knobs of §III-A, defaults set to the paper's stated values."""
+
+    #: largest stride in the full set ("every stride less than the
+    #: configured maximum"); the paper evaluates 100 and 1000
+    max_stride: int = 100
+    #: predict only when run length is *greater than* this ("currently 2")
+    run_threshold: int = 2
+    #: prune an active stride whose hit rate falls below this
+    #: ("currently 5/6 in the code")
+    hit_rate_threshold: float = 5.0 / 6.0
+    #: a stride must be active for settle_factor*s bytes before it can be
+    #: pruned ("it has been active for at least 2s bytes")
+    settle_factor: int = 2
+    #: bytes per selection cycle ("Every 256 bytes ... a stride is chosen
+    #: to be added to the active set")
+    selection_cycle: int = 256
+    #: False = brute force: the full set stays active forever (§III's
+    #: "initially, we attempted to detect linear sequences of almost any
+    #: length at every location")
+    adaptive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_stride < 1:
+            raise ValueError(f"max_stride must be >= 1, got {self.max_stride}")
+        if self.run_threshold < 0:
+            raise ValueError(f"run_threshold must be >= 0, got {self.run_threshold}")
+        if not 0.0 < self.hit_rate_threshold <= 1.0:
+            raise ValueError(
+                f"hit_rate_threshold must be in (0, 1], got {self.hit_rate_threshold}"
+            )
+        if self.settle_factor < 1:
+            raise ValueError(f"settle_factor must be >= 1, got {self.settle_factor}")
+        if self.selection_cycle < 1:
+            raise ValueError(
+                f"selection_cycle must be >= 1, got {self.selection_cycle}"
+            )
+
+
+class StrideState:
+    """Sequence table and hit accounting for one active stride."""
+
+    __slots__ = ("stride", "delta", "runlen", "attempts", "hits", "activated_at")
+
+    def __init__(self, stride: int, position: int) -> None:
+        self.stride = stride
+        self.delta = [0] * stride     # tracked delta per phase
+        self.runlen = [0] * stride    # consecutive holds per phase
+        self.attempts = 0             # predictions this activation
+        self.hits = 0                 # correct predictions this activation
+        self.activated_at = position  # byte offset of (re)activation
+
+    def hit_rate(self) -> float:
+        """Fraction of correct predictions; 0 if it never predicted.
+
+        The paper leaves the zero-attempt case unspecified; we treat a
+        stride that cannot settle any run as maximally bad so it gets
+        pruned rather than lingering in the active set.
+        """
+        if self.attempts == 0:
+            return 0.0
+        return self.hits / self.attempts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StrideState(s={self.stride}, attempts={self.attempts}, "
+            f"hits={self.hits})"
+        )

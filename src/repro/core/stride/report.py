@@ -1,0 +1,78 @@
+"""Sequence analysis for Fig 2: which (stride, phase, delta) runs dominate.
+
+Fig 2 shows an encoded key stream and highlights one detected sequence
+(delta=0x0a, s=47, phi=34).  This module scans a byte stream offline
+(vectorized, per candidate stride) and reports the strongest linear
+sequences so the E2 bench can print the same kind of annotation for our
+serialized key streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SequenceReport", "dominant_sequences"]
+
+
+@dataclass(frozen=True)
+class SequenceReport:
+    """One detected linear sequence ``x[phi + k*s] = x[phi + (k-1)*s] + delta``."""
+
+    stride: int
+    phase: int
+    delta: int
+    #: longest consecutive run of correct holds
+    max_run: int
+    #: fraction of positions in this sequence where the relation held
+    hold_rate: float
+
+
+def dominant_sequences(
+    data: bytes | bytearray | memoryview,
+    max_stride: int = 100,
+    top: int = 5,
+    min_hold_rate: float = 0.5,
+) -> list[SequenceReport]:
+    """Strongest linear sequences in ``data``, best first.
+
+    For every stride ``s`` the lag-``s`` differences are computed in one
+    vectorized pass; a sequence "holds" at position ``i`` when
+    ``d[i] == d[i-s]``.  Sequences are ranked by
+    ``(hold_rate, max_run)`` and reported per ``(stride, phase)`` with
+    the most frequent delta.
+    """
+    x = np.frombuffer(bytes(data), dtype=np.uint8).astype(np.int16)
+    n = x.shape[0]
+    if top < 1:
+        raise ValueError(f"top must be >= 1, got {top}")
+    reports: list[SequenceReport] = []
+    for s in range(1, min(max_stride, (n - 1) // 2 if n >= 3 else 0) + 1):
+        d = (x[s:] - x[:-s]) & 0xFF  # d[i] corresponds to position i+s
+        hold = d[s:] == d[:-s]       # relation holds at position i+2s
+        if hold.size == 0:
+            continue
+        for phi in range(s):
+            # positions i = phi + k*s; holds for this phase:
+            seq_hold = hold[phi::s]
+            if seq_hold.size == 0:
+                continue
+            rate = float(np.count_nonzero(seq_hold)) / seq_hold.size
+            if rate < min_hold_rate:
+                continue
+            # longest run of True
+            padded = np.concatenate(([False], seq_hold, [False]))
+            edges = np.flatnonzero(np.diff(padded.astype(np.int8)))
+            max_run = int((edges[1::2] - edges[0::2]).max()) if edges.size else 0
+            seq_d = d[phi::s]
+            values, counts = np.unique(seq_d, return_counts=True)
+            delta = int(values[np.argmax(counts)])
+            reports.append(
+                SequenceReport(
+                    stride=s, phase=phi, delta=delta,
+                    max_run=max_run, hold_rate=rate,
+                )
+            )
+    reports.sort(key=lambda r: (-r.hold_rate, -r.max_run, r.stride, r.phase))
+    return reports[:top]

@@ -1,0 +1,55 @@
+"""Exact streaming stride transform, forward (§III-B) and inverse (§III-C).
+
+Forward: ``y_i = x_i - x_{i-s} - delta`` when a prediction is made, else
+``y_i = x_i`` (paper equations (2)/(3), all arithmetic mod 256).
+
+Inverse: ``x_i = y_i + x_{i-s} + delta`` when a prediction is made, else
+``x_i = y_i`` (equation (4)), with the sequence tables "computed from the
+reconstructed original stream" -- both directions drive byte-identical
+:class:`~repro.core.stride.detector.StrideDetector` instances, so the
+transform is lossless by construction for any input.
+
+The transform has constant-sized in-memory state and never looks ahead or
+behind beyond ``max_stride`` bytes, so -- as Fig 4 verifies -- its running
+time is linear in the input size and it streams arbitrarily large files.
+"""
+
+from __future__ import annotations
+
+from repro.core.stride.detector import StrideDetector
+from repro.core.stride.model import StrideConfig
+
+__all__ = ["forward_transform", "inverse_transform"]
+
+
+def forward_transform(
+    data: bytes | bytearray | memoryview,
+    config: StrideConfig | None = None,
+) -> bytes:
+    """Transform ``data`` into a prediction-residual stream (same length)."""
+    det = StrideDetector(config)
+    predict = det.predict
+    observe = det.observe
+    out = bytearray(len(data))
+    for i, x in enumerate(data):
+        pred = predict(i)
+        out[i] = x if pred is None else (x - pred) & 0xFF
+        observe(i, x)
+    return bytes(out)
+
+
+def inverse_transform(
+    data: bytes | bytearray | memoryview,
+    config: StrideConfig | None = None,
+) -> bytes:
+    """Reconstruct the original stream from a residual stream."""
+    det = StrideDetector(config)
+    predict = det.predict
+    observe = det.observe
+    out = bytearray(len(data))
+    for i, y in enumerate(data):
+        pred = predict(i)
+        x = y if pred is None else (y + pred) & 0xFF
+        out[i] = x
+        observe(i, x)
+    return bytes(out)

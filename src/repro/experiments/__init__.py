@@ -1,0 +1,12 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Each module exposes ``run(...) -> ExperimentResult`` regenerating the
+corresponding artifact (see DESIGN.md's per-experiment index); the
+``benchmarks/`` suite calls these and prints paper-vs-measured tables.
+All harnesses honor the ``REPRO_SCALE`` environment variable (a float;
+1.0 = paper scale, default < 1 where paper scale is slow in Python).
+"""
+
+from repro.experiments.common import ExperimentResult, scaled, get_scale
+
+__all__ = ["ExperimentResult", "scaled", "get_scale"]

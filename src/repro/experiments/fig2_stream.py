@@ -1,0 +1,120 @@
+"""E2 -- Fig 2: the encoded key stream and its dominant linear sequence.
+
+Fig 2 hexdumps a serialized ``windspeed1`` key stream and highlights one
+detected sequence (delta=0x0a, s=47, phi=34 in the paper's SequenceFile
+framing).  Our framing differs (IFile, no sync markers), so the dominant
+stride differs too -- for a 3-D name-mode cell key stream it is the
+33-byte record pitch (27-byte key + 4-byte value + 2 framing bytes) --
+but the *phenomenon* is identical: one byte position advancing linearly
+per record, everything else constant.
+"""
+
+from __future__ import annotations
+
+from repro.core.stride import dominant_sequences
+from repro.experiments.common import ExperimentResult
+from repro.mapreduce.keys import CellKeySerde
+from repro.mapreduce.seqfile import SequenceFileWriter
+from repro.scidata.slab import Slab
+from repro.util.varint import write_vlong
+
+__all__ = ["run", "run_seqfile", "key_stream", "seqfile_key_stream", "hexdump"]
+
+
+def key_stream(side: int = 12, variable: str = "windspeed1") -> bytes:
+    """Serialized framed records for a C-order walk of a side^3 grid.
+
+    Mirrors what the mapper's output stream looks like on disk: per
+    record an IFile frame (key length, value length), the cell key, and
+    a 4-byte value.
+    """
+    serde = CellKeySerde(ndim=3, variable_mode="name")
+    slab = Slab((0, 0, 0), (side, side, side))
+    out = bytearray()
+    value = b"\x00\x00\x80\x3f"
+    for kb in serde.write_batch(variable, slab.coords()):
+        write_vlong(len(kb), out)
+        write_vlong(len(value), out)
+        out.extend(kb)
+        out.extend(value)
+    return bytes(out)
+
+
+def seqfile_key_stream(side: int = 12, variable: str = "windspeed1") -> bytes:
+    """The paper-exact Fig 2 framing: SequenceFile records, int64 coords.
+
+    Record pitch = 4 (record len) + 4 (key len) + 35 (Text 'windspeed1' +
+    3 x int64) + 4 (float value) = **47 bytes**, matching the stride the
+    paper's figure highlights.
+    """
+    serde = CellKeySerde(ndim=3, variable_mode="name", coord_width=8,
+                         include_slot=False)
+    slab = Slab((0, 0, 0), (side, side, side))
+    writer = SequenceFileWriter(sync_interval=2000, seed=0)
+    value = b"\x00\x00\x80\x3f"
+    for kb in serde.write_batch(variable, slab.coords()):
+        writer.append(kb, value)
+    return writer.getvalue()
+
+
+def run_seqfile(side: int = 12, top: int = 6) -> ExperimentResult:
+    """Fig 2 with the paper's own framing: the 47-byte stride appears."""
+    data = seqfile_key_stream(side)
+    reports = dominant_sequences(data, max_stride=100, top=top,
+                                 min_hold_rate=0.6)
+    result = ExperimentResult(
+        experiment="E2/seqfile",
+        title="dominant sequences under SequenceFile framing (Fig 2, exact)",
+        columns=["stride", "phase", "delta_hex", "max_run", "hold_rate"],
+    )
+    for r in reports:
+        result.add(
+            stride=r.stride,
+            phase=r.phase,
+            delta_hex=f"0x{r.delta:02x}",
+            max_run=r.max_run,
+            hold_rate=round(r.hold_rate, 4),
+        )
+    result.note("record pitch 4+4+35+4 = 47 bytes; the paper's detector "
+                "reports s=47 on this framing")
+    return result
+
+
+def hexdump(data: bytes, rows: int = 6, width: int = 16) -> list[str]:
+    """Fig 2-style hex rows with printable-ASCII gutter."""
+    lines = []
+    for r in range(rows):
+        chunk = data[r * width:(r + 1) * width]
+        if not chunk:
+            break
+        hexes = " ".join(f"{b:02x}" for b in chunk)
+        text = "".join(chr(b) if 32 <= b < 127 else "." for b in chunk)
+        lines.append(f"{hexes:<{width * 3}}  {text}")
+    return lines
+
+
+def run(side: int = 12, top: int = 5) -> ExperimentResult:
+    """Regenerate Fig 2: stream excerpt plus detected sequences."""
+    data = key_stream(side)
+    reports = dominant_sequences(data, max_stride=100, top=top,
+                                 min_hold_rate=0.6)
+    result = ExperimentResult(
+        experiment="E2",
+        title="dominant linear sequences in the serialized key stream (Fig 2)",
+        columns=["stride", "phase", "delta_hex", "max_run", "hold_rate"],
+    )
+    for r in reports:
+        result.add(
+            stride=r.stride,
+            phase=r.phase,
+            delta_hex=f"0x{r.delta:02x}",
+            max_run=r.max_run,
+            hold_rate=round(r.hold_rate, 4),
+        )
+    for line in hexdump(data):
+        result.note(line)
+    result.note(
+        "paper highlights delta=0x0a, s=47, phi=34 in its SequenceFile "
+        "framing; our IFile framing pitches records at 33 bytes instead"
+    )
+    return result

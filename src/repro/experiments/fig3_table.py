@@ -1,0 +1,135 @@
+"""E3/E5 -- Fig 3's compression table and §III's stride-choice comparisons.
+
+Fig 3 (paper, side=100 -> 12,000,000 bytes of int32 triples):
+
+    Method            File size (bytes)   Time (seconds)
+    Original          12,000,000          --
+    gzip              1,630,xxx           ...
+    transform+gzip    33,xxx              ...
+    bzip2             512,xxx             ...
+    transform+bzip    (hundreds)          ...
+
+§III text adds: a user-specified single stride of 12 gives 1619 bytes
+under bzip2 versus 701 bytes for all strides < 100 (brute force), and
+the adaptive algorithm beats both at 468 bytes; brute force is ~4x
+slower at max stride 100 and ~17x at max stride 1000.
+
+The exact per-byte transform is pure Python here, so the default side is
+scaled down (REPRO_SCALE=1.0 restores side=100); compression *ratios*
+are size-stable, which is what the comparison needs.
+"""
+
+from __future__ import annotations
+
+import bz2
+import time
+import zlib
+
+from repro.core.stride import (
+    StrideConfig,
+    fast_forward_transform,
+    fixed_forward_transform,
+    forward_transform,
+)
+from repro.experiments.common import ExperimentResult, get_scale, scaled
+from repro.scidata.generator import walk_grid_int32_triples
+
+__all__ = ["run", "run_stride_choice", "PAPER"]
+
+PAPER = {
+    "original_bytes": 12_000_000,
+    "single_stride_12_bz2": 1619,
+    "all_strides_lt_100_bz2": 701,
+    "adaptive_bz2": 468,
+    "bruteforce_slowdown_100": 4.0,
+    "bruteforce_slowdown_1000": 17.0,
+}
+
+
+def _timed(fn, *args):
+    t0 = time.perf_counter()
+    out = fn(*args)
+    return out, time.perf_counter() - t0
+
+
+def run(side: int | None = None, max_stride: int = 100) -> ExperimentResult:
+    """Regenerate the Fig 3 table at ``side`` (default: scaled from 100)."""
+    if side is None:
+        side = scaled(100, default_scale=0.4)
+    data = walk_grid_int32_triples(side)
+    cfg = StrideConfig(max_stride=max_stride)
+
+    result = ExperimentResult(
+        experiment="E3",
+        title=f"byte-level compression of {len(data):,} grid-walk bytes (Fig 3)",
+        columns=["method", "file_bytes", "ratio_pct", "time_seconds"],
+    )
+
+    def add(method: str, blob: bytes, seconds: float) -> None:
+        result.add(
+            method=method,
+            file_bytes=len(blob),
+            ratio_pct=round(100.0 * (1.0 - len(blob) / len(data)), 4),
+            time_seconds=round(seconds, 4),
+        )
+
+    result.add(method="original", file_bytes=len(data), ratio_pct=0.0,
+               time_seconds=0.0)
+    gz, t_gz = _timed(zlib.compress, data, 6)
+    add("gzip", gz, t_gz)
+    transformed, t_tr = _timed(forward_transform, data, cfg)
+    tgz, t_tgz = _timed(zlib.compress, transformed, 6)
+    add("transform+gzip", tgz, t_tr + t_tgz)
+    bz, t_bz = _timed(bz2.compress, data, 9)
+    add("bzip2", bz, t_bz)
+    tbz, t_tbz = _timed(bz2.compress, transformed, 9)
+    add("transform+bzip2", tbz, t_tr + t_tbz)
+    fastt, t_fast = _timed(fast_forward_transform, data, max_stride)
+    fgz, t_fgz = _timed(zlib.compress, fastt, 6)
+    add("fastpred+gzip (ours)", fgz, t_fast + t_fgz)
+
+    result.note(f"side={side}; paper ran side=100 (12,000,000 bytes)")
+    result.note(
+        "paper shape: transform+gzip beats gzip by ~50x and "
+        "transform+bzip2 beats bzip2 by ~1000x on this input"
+    )
+    if get_scale(0.4) != 1.0:
+        result.note("set REPRO_SCALE=1.0 for paper-scale input")
+    return result
+
+
+def run_stride_choice(side: int | None = None) -> ExperimentResult:
+    """Regenerate §III's stride-choice comparison (E5)."""
+    if side is None:
+        side = scaled(100, default_scale=0.25)
+    data = walk_grid_int32_triples(side)
+
+    result = ExperimentResult(
+        experiment="E5",
+        title=f"stride detection regimes on {len(data):,} bytes (§III text)",
+        columns=["regime", "bz2_bytes", "time_seconds"],
+    )
+
+    single, t_single = _timed(fixed_forward_transform, data, [12])
+    result.add(regime="single stride 12 (user-specified)",
+               bz2_bytes=len(bz2.compress(single, 9)),
+               time_seconds=round(t_single, 4))
+
+    brute, t_brute = _timed(
+        fixed_forward_transform, data, list(range(1, 100)))
+    result.add(regime="all strides < 100 (brute force)",
+               bz2_bytes=len(bz2.compress(brute, 9)),
+               time_seconds=round(t_brute, 4))
+
+    adaptive, t_adaptive = _timed(
+        forward_transform, data, StrideConfig(max_stride=100))
+    result.add(regime="adaptive (§III-A)",
+               bz2_bytes=len(bz2.compress(adaptive, 9)),
+               time_seconds=round(t_adaptive, 4))
+
+    slowdown = t_brute / t_adaptive if t_adaptive > 0 else float("inf")
+    result.note(f"brute-force/adaptive slowdown at max stride 100: "
+                f"{slowdown:.2f}x (paper: ~4x)")
+    result.note("paper bytes: single-12=1619, brute<100=701, adaptive=468 "
+                "(at side=100)")
+    return result

@@ -1,0 +1,78 @@
+"""A10 -- combiners versus key aggregation as data-reduction levers.
+
+The paper's Fig 1 lists combiners (step 3) as Hadoop's built-in
+intermediate-data reducer; §IV adds key aggregation.  They attack
+different redundancy: a combiner removes *value* records by partial
+reduction (only for algebraic functions), aggregation removes *key*
+bytes by representation (any function).  The sliding mean is algebraic,
+so it is the one query where both levers apply -- this harness measures
+each alone and notes that for the paper's own query (the holistic
+median) the combiner lever does not exist at all.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, fmt_bytes, scaled
+from repro.mapreduce.engine import LocalJobRunner
+from repro.mapreduce.metrics import C
+from repro.queries.sliding_mean import SlidingMeanQuery
+from repro.queries.sliding_median import SlidingMedianQuery
+from repro.scidata.generator import integer_grid
+
+__all__ = ["run"]
+
+
+def run(side: int | None = None, num_map_tasks: int = 4,
+        num_reducers: int = 2) -> ExperimentResult:
+    """Sliding mean under each lever; sliding median as the holistic foil."""
+    if side is None:
+        side = scaled(40, default_scale=1.0)
+    grid = integer_grid((side, side), seed=99)
+    mean_q = SlidingMeanQuery(grid, "values", window=3)
+    median_q = SlidingMedianQuery(grid, "values", window=3)
+    common = dict(num_map_tasks=num_map_tasks, num_reducers=num_reducers)
+
+    result = ExperimentResult(
+        experiment="A10",
+        title=(f"combiner vs key aggregation, {side}x{side} sliding "
+               f"window queries"),
+        columns=["query", "lever", "materialized", "shuffle_records"],
+    )
+
+    cases = [
+        ("mean (algebraic)", "none",
+         mean_q.build_job("plain", use_combiner=False, **common)),
+        ("mean (algebraic)", "combiner",
+         mean_q.build_job("plain", use_combiner=True, **common)),
+        ("mean (algebraic)", "aggregation",
+         mean_q.build_job("aggregate", **common)),
+        ("median (holistic)", "none",
+         median_q.build_job("plain", **common)),
+        ("median (holistic)", "aggregation",
+         median_q.build_job("aggregate", **common)),
+    ]
+    outputs: dict[tuple[str, str], dict] = {}
+    for query_name, lever, job in cases:
+        res = LocalJobRunner().run(job, grid)
+        outputs[(query_name, lever)] = {
+            k.coords: v for k, v in res.output
+        }
+        result.add(
+            query=query_name,
+            lever=lever,
+            materialized=fmt_bytes(res.materialized_bytes),
+            shuffle_records=res.counters[C.SPILLED_RECORDS],
+        )
+    # all levers must preserve each query's answers
+    for query_name in ["mean (algebraic)", "median (holistic)"]:
+        answers = [v for (q, _), v in outputs.items() if q == query_name]
+        base = answers[0]
+        for other in answers[1:]:
+            if set(base) != set(other):
+                raise AssertionError(f"{query_name}: levers disagree on cells")
+            for c in base:
+                if abs(base[c] - other[c]) > 1e-9:
+                    raise AssertionError(f"{query_name}: levers disagree at {c}")
+    result.note("a combiner needs an algebraic function -- for the paper's "
+                "holistic median it does not exist, which is why §IV matters")
+    return result

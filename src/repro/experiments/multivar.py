@@ -1,0 +1,90 @@
+"""A9 -- multi-variable streams (§III's open complication).
+
+"If multiple variables are output, this would require determining where
+one ends and another begins in the byte stream, because they may have
+different stride lengths due to different shapes.  The same difficulty
+arises if there are multiple contiguous blocks, even with one variable."
+
+We build exactly that stream -- a mapper's output switching from
+variable ``windspeed1`` (33-byte record pitch) to variable ``t2``
+(25-byte pitch) -- and measure three regimes:
+
+* a single metadata-advised stride for the *first* variable (wrong for
+  the second half);
+* metadata-advised strides for *both* variables (needs the §III
+  "detailed knowledge of the file format");
+* the adaptive detector, which re-learns the pitch at the boundary with
+  no metadata at all -- the reason the paper prefers the automated
+  approach.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.core.stride import (
+    StrideConfig,
+    advise_strides,
+    fixed_forward_transform,
+    forward_transform,
+)
+from repro.experiments.common import ExperimentResult, scaled
+from repro.experiments.fig2_stream import key_stream
+
+__all__ = ["run", "two_variable_stream"]
+
+
+def two_variable_stream(side: int = 10) -> tuple[bytes, int, int]:
+    """Concatenated key streams of two variables with different pitches.
+
+    Returns ``(stream, pitch_a, pitch_b)``.
+    """
+    from repro.mapreduce.keys import CellKeySerde
+    from repro.core.stride.metadata import record_pitch
+
+    a = key_stream(side, variable="windspeed1")
+    b = key_stream(side, variable="t2")
+    serde = CellKeySerde(ndim=3, variable_mode="name")
+    return (a + b,
+            record_pitch(serde, "windspeed1", 4),
+            record_pitch(serde, "t2", 4))
+
+
+def run(side: int | None = None) -> ExperimentResult:
+    """Compare stride regimes on the two-variable stream."""
+    if side is None:
+        side = scaled(12, default_scale=1.0)
+    data, pitch_a, pitch_b = two_variable_stream(side)
+
+    from repro.mapreduce.keys import CellKeySerde
+
+    serde = CellKeySerde(ndim=3, variable_mode="name")
+    shape = (side, side, side)
+    advice_a = advise_strides(serde, "windspeed1", 4, shape)
+    advice_b = advise_strides(serde, "t2", 4, shape)
+
+    result = ExperimentResult(
+        experiment="A9",
+        title=(f"two-variable stream ({len(data):,} bytes; pitches "
+               f"{pitch_a} then {pitch_b})"),
+        columns=["regime", "gzip_bytes"],
+    )
+    regimes = [
+        ("first variable's metadata stride only",
+         fixed_forward_transform(data, advice_a.candidates)),
+        ("both variables' metadata strides",
+         fixed_forward_transform(
+             data, list(advice_a.candidates) + list(advice_b.candidates))),
+        ("adaptive §III-A (no metadata)",
+         forward_transform(data, StrideConfig(max_stride=100))),
+    ]
+    for label, transformed in regimes:
+        result.add(regime=label,
+                   gzip_bytes=len(zlib.compress(transformed, 6)))
+    result.add(regime="no transform (gzip only)",
+               gzip_bytes=len(zlib.compress(data, 6)))
+    result.note(f"metadata pitches: windspeed1={pitch_a}, t2={pitch_b}")
+    result.note("the adaptive detector needs no format knowledge and "
+                "re-locks after the variable boundary -- §III's argument "
+                "for the automated approach")
+    return result

@@ -1,0 +1,67 @@
+"""A from-scratch Hadoop-like MapReduce engine (the paper's substrate).
+
+The paper's measurements are properties of Hadoop's *data path*: how
+intermediate key/value pairs are serialized (one independent record at a
+time, §II-B), framed on disk (IFile, with per-record overhead), compressed
+(pluggable codecs, §III), partitioned, shuffled, and merge-sorted.  This
+package reimplements that data path faithfully enough that byte counts --
+the paper's primary metric -- are *measured*, not modeled:
+
+* :mod:`~repro.mapreduce.serde` / :mod:`~repro.mapreduce.keys` -- the
+  Writable-style type system, including the per-cell key layout whose
+  size the paper's intro quantifies;
+* :mod:`~repro.mapreduce.ifile` -- Hadoop-IFile-compatible framing;
+* :mod:`~repro.mapreduce.codecs` -- the pluggable compression hook the
+  paper's §III codec slots into;
+* :mod:`~repro.mapreduce.api`, :mod:`~repro.mapreduce.job`,
+  :mod:`~repro.mapreduce.engine` -- mapper/reducer APIs and a local job
+  runner with real spills, combiners, external merge sort and counters;
+* :mod:`~repro.mapreduce.simcluster` -- the discrete-event cluster
+  simulator that turns measured task profiles into wall-clock estimates.
+"""
+
+from repro.mapreduce.keys import CellKey, CellKeySerde, RangeKey, RangeKeySerde
+from repro.mapreduce.serde import (
+    BytesSerde,
+    Float32Serde,
+    Float64Serde,
+    Int32Serde,
+    Int64Serde,
+    Serde,
+    TextSerde,
+    ValueBlockSerde,
+)
+from repro.mapreduce.codecs import Codec, available_codecs, get_codec, register_codec
+from repro.mapreduce.api import Combiner, MapContext, Mapper, ReduceContext, Reducer
+from repro.mapreduce.job import Job
+from repro.mapreduce.engine import JobResult, LocalJobRunner
+from repro.mapreduce.metrics import Counters, TaskProfile
+
+__all__ = [
+    "CellKey",
+    "CellKeySerde",
+    "RangeKey",
+    "RangeKeySerde",
+    "Serde",
+    "Int32Serde",
+    "Int64Serde",
+    "Float32Serde",
+    "Float64Serde",
+    "TextSerde",
+    "BytesSerde",
+    "ValueBlockSerde",
+    "Codec",
+    "get_codec",
+    "register_codec",
+    "available_codecs",
+    "Mapper",
+    "Reducer",
+    "Combiner",
+    "MapContext",
+    "ReduceContext",
+    "Job",
+    "LocalJobRunner",
+    "JobResult",
+    "Counters",
+    "TaskProfile",
+]

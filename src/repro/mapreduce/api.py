@@ -1,0 +1,153 @@
+"""User-facing Mapper / Combiner / Reducer APIs.
+
+Mirrors Hadoop's programming model (§II-A): a Map function from input
+records to intermediate key/value pairs, an optional Combiner that
+partially reduces map output, and a Reduce function from a key plus all
+its values to output pairs.  Contexts own serialization -- keys are
+converted to bytes the moment they are emitted, reproducing Hadoop
+assumption (b) of §II-B.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.mapreduce.keys import CellKeySerde
+from repro.mapreduce.metrics import C, Counters
+from repro.mapreduce.serde import Serde
+from repro.scidata.splits import InputSplit
+
+__all__ = ["Mapper", "Reducer", "Combiner", "MapContext", "ReduceContext"]
+
+
+class MapContext:
+    """Hands mapper output to the engine's spill buffer, serialized.
+
+    The engine supplies ``sink`` -- a callable taking
+    ``(key_bytes, value_bytes)`` -- plus the job's serdes.  The vectorized
+    :meth:`emit_cells` path exists because a sliding-window mapper emits
+    millions of cell keys; serializing them one Python call at a time
+    would dominate runtime (see the HPC guide rule: vectorize hot loops).
+    """
+
+    def __init__(self, key_serde: Serde, value_serde: Serde, sink, counters: Counters) -> None:
+        self.key_serde = key_serde
+        self.value_serde = value_serde
+        self._sink = sink
+        self.counters = counters
+
+    def emit(self, key: Any, value: Any) -> None:
+        """Serialize and emit one intermediate pair."""
+        kout = bytearray()
+        self.key_serde.write(key, kout)
+        vout = bytearray()
+        self.value_serde.write(value, vout)
+        self._sink(bytes(kout), bytes(vout))
+        self.counters.incr(C.MAP_OUTPUT_RECORDS)
+
+    def emit_serialized(self, key_bytes: bytes, value_bytes: bytes) -> None:
+        """Emit an already-serialized pair (used by the aggregation library)."""
+        self._sink(key_bytes, value_bytes)
+        self.counters.incr(C.MAP_OUTPUT_RECORDS)
+
+    def emit_cells(
+        self,
+        variable: str | int,
+        coords: np.ndarray,
+        values: np.ndarray,
+        slots: np.ndarray | int = 0,
+    ) -> None:
+        """Vectorized emit of many per-cell pairs for one variable.
+
+        Requires the job's key serde to be a :class:`CellKeySerde` and a
+        fixed-width value serde (``SIZE`` attribute).
+        """
+        if not isinstance(self.key_serde, CellKeySerde):
+            raise TypeError("emit_cells requires a CellKeySerde key type")
+        size = getattr(self.value_serde, "SIZE", None)
+        if size is None:
+            raise TypeError("emit_cells requires a fixed-width value serde")
+        coords = np.asarray(coords)
+        values = np.asarray(values).ravel()
+        if coords.shape[0] != values.shape[0]:
+            raise ValueError(
+                f"{coords.shape[0]} coords vs {values.shape[0]} values"
+            )
+        keys = self.key_serde.write_batch(variable, coords, slots)
+        value_blob = self._pack_values(values)
+        sink = self._sink
+        for i, kb in enumerate(keys):
+            sink(kb, value_blob[i * size:(i + 1) * size])
+        self.counters.incr(C.MAP_OUTPUT_RECORDS, len(keys))
+
+    def _pack_values(self, values: np.ndarray) -> bytes:
+        """Serialize a homogeneous value column in one numpy pass."""
+        # Fixed-width serdes are big-endian packers; replicate vectorized.
+        kind = values.dtype.kind
+        if kind in "iu":
+            # order-preserving int packing (sign-bit flip); uint64
+            # arithmetic wraps correctly for the 64-bit bias
+            width = getattr(self.value_serde, "SIZE")
+            bias = np.uint64(1 << (8 * width - 1))
+            mask = np.uint64((1 << (8 * width)) - 1)
+            biased = (values.astype(np.int64).astype(np.uint64) + bias) & mask
+            packed = biased.astype(f">u{width}")
+            return packed.tobytes()
+        if kind == "f":
+            width = getattr(self.value_serde, "SIZE")
+            return values.astype(f">f{width}").tobytes()
+        raise TypeError(f"unsupported value dtype {values.dtype}")
+
+
+class ReduceContext:
+    """Collects reducer output (and exposes counters)."""
+
+    def __init__(self, counters: Counters) -> None:
+        self.counters = counters
+        self.output: list[tuple[Any, Any]] = []
+
+    def emit(self, key: Any, value: Any) -> None:
+        self.output.append((key, value))
+        self.counters.incr(C.REDUCE_OUTPUT_RECORDS)
+
+
+class Mapper(ABC):
+    """Map half of the job.  One instance per map task."""
+
+    #: set True on a subclass to receive ``self.dataset`` (the whole
+    #: input dataset) before :meth:`setup` -- used by multi-variable
+    #: mappers that must read slabs of variables other than the split's
+    wants_dataset: bool = False
+
+    def setup(self, split: InputSplit) -> None:
+        """Called once before :meth:`map`; override for per-task state."""
+
+    @abstractmethod
+    def map(self, split: InputSplit, values: np.ndarray, ctx: MapContext) -> None:
+        """Process one input split.
+
+        ``values`` is the slab of input data for ``split`` (shape
+        ``split.slab.shape``); emit intermediate pairs through ``ctx``.
+        """
+
+    def cleanup(self, ctx: MapContext) -> None:
+        """Called once after :meth:`map` (flush buffered state here)."""
+
+
+class Reducer(ABC):
+    """Reduce half of the job.  One instance per reduce task."""
+
+    @abstractmethod
+    def reduce(self, key: Any, values: Sequence[Any], ctx: ReduceContext) -> None:
+        """Process one key group (all values for one intermediate key)."""
+
+
+class Combiner(ABC):
+    """Optional map-side partial reduce, applied per sorted spill run."""
+
+    @abstractmethod
+    def combine(self, key: Any, values: Sequence[Any]) -> Sequence[Any]:
+        """Fold ``values`` for ``key``; return the surviving values."""

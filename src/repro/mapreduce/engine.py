@@ -1,0 +1,381 @@
+"""Local MapReduce job runner with a faithful Hadoop data path.
+
+Executes every phase of the paper's Fig 1 data flow in-process, through
+*real* files and codecs, so byte counters are measurements:
+
+1. mappers read array input splits,
+2. map output is buffered, sorted, (optionally combined) and spilled to
+   disk as IFile runs,
+3. spills are merged into one final, codec-compressed map output segment
+   per reducer partition ("Map output materialized bytes"),
+4. reducers fetch their segments (shuffle bytes),
+5. runs are merge-sorted, with extra on-disk passes when the run count
+   exceeds the merge factor,
+6. records are grouped by key and reduced,
+7. output is collected.
+
+Wall-clock on a real cluster is then *simulated* from the per-task
+profiles this engine measures -- see :mod:`repro.mapreduce.simcluster`.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.mapreduce.api import MapContext, ReduceContext
+from repro.mapreduce.codecs import cost_categories, get_codec
+from repro.mapreduce.ifile import IFileReader, IFileStats, IFileWriter
+from repro.mapreduce.job import Job
+from repro.mapreduce.metrics import C, Counters, TaskProfile
+from repro.mapreduce.sort import (
+    group_by_key,
+    merge_runs,
+    plan_merge_passes,
+    sort_records,
+)
+from repro.scidata.dataset import Dataset
+from repro.scidata.splits import ArraySplitter, InputSplit
+from repro.util.timing import CostClock
+
+__all__ = ["LocalJobRunner", "JobResult"]
+
+Record = tuple[bytes, bytes]
+
+
+@dataclass
+class JobResult:
+    """Everything a job run produced and measured."""
+
+    output: list[tuple[Any, Any]]
+    counters: Counters
+    task_profiles: list[TaskProfile]
+    #: byte breakdown of the final (materialized) map output segments
+    map_output_stats: IFileStats
+    num_map_tasks: int = 0
+    num_reduce_tasks: int = 0
+
+    @property
+    def materialized_bytes(self) -> int:
+        """The paper's headline metric: 'Map output materialized bytes'."""
+        return self.counters.get(C.MAP_OUTPUT_MATERIALIZED_BYTES)
+
+
+@dataclass
+class _MapTaskOutput:
+    """Final per-partition segments of one map task."""
+
+    task_id: str
+    profile: TaskProfile
+    counters: Counters
+    #: partition -> (path, stats); empty partitions still get a segment
+    segments: dict[int, tuple[str, IFileStats]] = field(default_factory=dict)
+
+
+class LocalJobRunner:
+    """Run :class:`~repro.mapreduce.job.Job` objects against a dataset."""
+
+    def __init__(self, workdir: str | None = None, keep_files: bool = False) -> None:
+        self._own_workdir = workdir is None
+        self.workdir = workdir or tempfile.mkdtemp(prefix="repro-mr-")
+        self.keep_files = keep_files
+        os.makedirs(self.workdir, exist_ok=True)
+
+    # ------------------------------------------------------------------ map
+
+    def _spill(
+        self,
+        job: Job,
+        task_id: str,
+        spill_idx: int,
+        buffer: dict[int, list[Record]],
+        codec,
+        counters: Counters,
+        profile: TaskProfile,
+        clock: CostClock,
+    ) -> dict[int, tuple[str, IFileStats]]:
+        """Sort + (combine) + write one spill; returns per-partition files."""
+        out: dict[int, tuple[str, IFileStats]] = {}
+        for part, records in buffer.items():
+            if not records:
+                continue
+            with clock.measure("sort"):
+                records = sort_records(records)
+            if job.combiner is not None:
+                with clock.measure("combine"):
+                    records = self._combine(job, records, counters)
+            path = os.path.join(self.workdir, f"{task_id}-spill{spill_idx}-p{part}")
+            writer = IFileWriter(path, codec)
+            for kb, vb in records:
+                writer.append(kb, vb)
+            stats = writer.close()
+            counters.incr(C.SPILLED_RECORDS, stats.records)
+            profile.local_write_bytes += stats.materialized_bytes
+            out[part] = (path, stats)
+        counters.incr(C.SPILL_COUNT)
+        return out
+
+    def _combine(self, job: Job, records: list[Record], counters: Counters) -> list[Record]:
+        """Run the job's combiner over one sorted run."""
+        combiner = job.combiner()
+        out: list[Record] = []
+        for kb, value_blobs in group_by_key(records):
+            counters.incr(C.COMBINE_INPUT_RECORDS, len(value_blobs))
+            key = job.key_serde.from_bytes(kb)
+            values = [job.value_serde.from_bytes(v) for v in value_blobs]
+            for v in combiner.combine(key, values):
+                vout = bytearray()
+                job.value_serde.write(v, vout)
+                out.append((kb, bytes(vout)))
+                counters.incr(C.COMBINE_OUTPUT_RECORDS)
+        return out
+
+    def _run_map_task(
+        self, job: Job, split: InputSplit, dataset: Dataset
+    ) -> _MapTaskOutput:
+        task_id = f"m{split.split_id:05d}"
+        counters = Counters()
+        clock = CostClock()
+        profile = TaskProfile(task_id=task_id, kind="map")
+        codec = get_codec(job.codec, **job.codec_options)
+        partitioner = job.partitioner(job.num_reducers)
+        plugin = job.shuffle_plugin
+
+        buffer: dict[int, list[Record]] = {p: [] for p in range(job.num_reducers)}
+        buffered = 0
+        spills: list[dict[int, tuple[str, IFileStats]]] = []
+
+        def flush() -> None:
+            nonlocal buffered
+            if buffered == 0:
+                return
+            spills.append(
+                self._spill(job, task_id, len(spills), buffer, codec,
+                            counters, profile, clock)
+            )
+            for records in buffer.values():
+                records.clear()
+            buffered = 0
+
+        def sink(kb: bytes, vb: bytes) -> None:
+            nonlocal buffered
+            if plugin is not None:
+                routed = plugin.route(kb, vb, job.num_reducers)
+            else:
+                routed = [(partitioner.partition(kb), kb, vb)]
+            for part, k2, v2 in routed:
+                buffer[part].append((k2, v2))
+                buffered += len(k2) + len(v2) + 8
+            if buffered >= job.sort_buffer_bytes:
+                flush()
+
+        ctx = MapContext(job.key_serde, job.value_serde, sink, counters)
+        variable = dataset[split.variable]
+        with clock.measure("read"):
+            values = variable.read(split.slab)
+        profile.input_bytes = values.nbytes
+        counters.incr(C.MAP_INPUT_RECORDS, values.size)
+
+        mapper = job.mapper()
+        if getattr(mapper, "wants_dataset", False):
+            # Multi-variable mappers (e.g. derived-variable queries) need
+            # to read slabs of other variables alongside their split.
+            mapper.dataset = dataset
+        mapper.setup(split)
+        with clock.measure("map"):
+            mapper.map(split, values, ctx)
+            mapper.cleanup(ctx)
+        flush()
+
+        # Merge spills into the final per-partition map output segments.
+        out = _MapTaskOutput(task_id=task_id, profile=profile, counters=counters)
+        for part in range(job.num_reducers):
+            part_spills = [s[part] for s in spills if part in s]
+            final_path = os.path.join(self.workdir, f"{task_id}-out-p{part}")
+            if len(part_spills) == 1:
+                path, stats = part_spills[0]
+                os.replace(path, final_path)
+            else:
+                with clock.measure("merge"):
+                    runs = []
+                    for path, stats in part_spills:
+                        profile.local_read_bytes += stats.materialized_bytes
+                        runs.append(IFileReader(path, codec).read_all())
+                        os.unlink(path)
+                    writer = IFileWriter(final_path, codec)
+                    for kb, vb in merge_runs(runs):
+                        writer.append(kb, vb)
+                    stats = writer.close()
+                profile.local_write_bytes += stats.materialized_bytes
+            out.segments[part] = (final_path, stats)
+
+        counters.incr(C.MAP_OUTPUT_BYTES,
+                      sum(s.key_bytes + s.value_bytes for _, s in out.segments.values()))
+        counters.incr(C.MAP_OUTPUT_KEY_BYTES,
+                      sum(s.key_bytes for _, s in out.segments.values()))
+        counters.incr(C.MAP_OUTPUT_VALUE_BYTES,
+                      sum(s.value_bytes for _, s in out.segments.values()))
+        counters.incr(C.MAP_OUTPUT_FILE_OVERHEAD_BYTES,
+                      sum(s.overhead_bytes for _, s in out.segments.values()))
+        counters.incr(C.MAP_OUTPUT_MATERIALIZED_BYTES,
+                      sum(s.materialized_bytes for _, s in out.segments.values()))
+
+        profile.cpu_seconds = clock.as_dict()
+        for category, seconds in cost_categories(codec).items():
+            profile.cpu_seconds[category] = (
+                profile.cpu_seconds.get(category, 0.0) + seconds
+            )
+        return out
+
+    # --------------------------------------------------------------- reduce
+
+    def _run_reduce_task(
+        self,
+        job: Job,
+        part: int,
+        map_outputs: Sequence[_MapTaskOutput],
+    ) -> tuple[list[tuple[Any, Any]], Counters, TaskProfile]:
+        task_id = f"r{part:05d}"
+        counters = Counters()
+        clock = CostClock()
+        profile = TaskProfile(task_id=task_id, kind="reduce")
+        codec = get_codec(job.codec, **job.codec_options)
+
+        # Shuffle: fetch this partition's segment from every map task.
+        runs: list[list[Record]] = []
+        with clock.measure("shuffle"):
+            for mo in map_outputs:
+                path, stats = mo.segments[part]
+                profile.shuffle_bytes += stats.materialized_bytes
+                records = IFileReader(path, codec).read_all()
+                if records:
+                    runs.append(records)
+        counters.incr(C.SHUFFLE_BYTES, profile.shuffle_bytes)
+
+        # Multi-pass on-disk merge when we hold too many runs (step 5).
+        passes = plan_merge_passes(len(runs), job.merge_factor)
+        for pass_idx, take in enumerate(passes):
+            runs.sort(key=lambda r: sum(len(k) + len(v) for k, v in r))
+            victims, runs = runs[:take], runs[take:]
+            path = os.path.join(self.workdir, f"{task_id}-merge{pass_idx}")
+            with clock.measure("merge"):
+                writer = IFileWriter(path, codec)
+                for kb, vb in merge_runs(victims):
+                    writer.append(kb, vb)
+                stats = writer.close()
+                profile.local_write_bytes += stats.materialized_bytes
+                counters.incr(C.MERGE_PASS_BYTES, stats.materialized_bytes)
+                merged_back = IFileReader(path, codec).read_all()
+                profile.local_read_bytes += stats.materialized_bytes
+            os.unlink(path)
+            runs.append(merged_back)
+
+        with clock.measure("merge"):
+            merged = list(merge_runs(runs))
+
+        if job.shuffle_plugin is not None:
+            with clock.measure("split"):
+                before = len(merged)
+                merged = job.shuffle_plugin.prepare_reduce(merged)
+                counters.incr(C.KEY_SPLITS, max(0, len(merged) - before))
+
+        reducer = job.reducer()
+        ctx = ReduceContext(counters)
+        with clock.measure("reduce"):
+            for kb, value_blobs in group_by_key(merged):
+                counters.incr(C.REDUCE_INPUT_GROUPS)
+                counters.incr(C.REDUCE_INPUT_RECORDS, len(value_blobs))
+                key = job.key_serde.from_bytes(kb)
+                values = [job.value_serde.from_bytes(v) for v in value_blobs]
+                reducer.reduce(key, values, ctx)
+
+        profile.cpu_seconds = clock.as_dict()
+        for category, seconds in cost_categories(codec).items():
+            profile.cpu_seconds[category] = (
+                profile.cpu_seconds.get(category, 0.0) + seconds
+            )
+        if job.output_key_serde is not None and job.output_value_serde is not None:
+            # Write a real part file (Fig 1 step 7) so output bytes are
+            # measured, not estimated.
+            part_path = os.path.join(self.workdir, f"{task_id}-part")
+            writer = IFileWriter(part_path, codec)
+            for k, v in ctx.output:
+                kout = bytearray()
+                job.output_key_serde.write(k, kout)
+                vout = bytearray()
+                job.output_value_serde.write(v, vout)
+                writer.append(bytes(kout), bytes(vout))
+            part_stats = writer.close()
+            profile.output_bytes = part_stats.materialized_bytes
+            if not self.keep_files:
+                os.unlink(part_path)
+        else:
+            profile.output_bytes = sum(
+                len(repr(k)) + len(repr(v)) for k, v in ctx.output
+            )
+        return ctx.output, counters, profile
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self,
+        job: Job,
+        dataset: Dataset,
+        splits: Sequence[InputSplit] | None = None,
+    ) -> JobResult:
+        """Execute ``job`` over ``dataset``; returns outputs and metrics."""
+        # A runner may be reused across jobs; cleanup after a previous run
+        # may have removed an (empty) owned workdir.
+        os.makedirs(self.workdir, exist_ok=True)
+        if splits is None:
+            variables = (list(job.input_variables)
+                         if job.input_variables is not None else None)
+            splits = ArraySplitter(job.num_map_tasks).split(dataset, variables)
+        if not splits:
+            raise ValueError("job has no input splits")
+
+        counters = Counters()
+        profiles: list[TaskProfile] = []
+        map_stats = IFileStats()
+
+        map_outputs: list[_MapTaskOutput] = []
+        for split in splits:
+            mo = self._run_map_task(job, split, dataset)
+            map_outputs.append(mo)
+            counters.merge(mo.counters)
+            profiles.append(mo.profile)
+            for _, stats in mo.segments.values():
+                map_stats.merge(stats)
+
+        output: list[tuple[Any, Any]] = []
+        for part in range(job.num_reducers):
+            part_out, part_counters, part_profile = self._run_reduce_task(
+                job, part, map_outputs
+            )
+            output.extend(part_out)
+            counters.merge(part_counters)
+            profiles.append(part_profile)
+
+        if not self.keep_files:
+            self._cleanup(map_outputs)
+
+        return JobResult(
+            output=output,
+            counters=counters,
+            task_profiles=profiles,
+            map_output_stats=map_stats,
+            num_map_tasks=len(splits),
+            num_reduce_tasks=job.num_reducers,
+        )
+
+    def _cleanup(self, map_outputs: Sequence[_MapTaskOutput]) -> None:
+        for mo in map_outputs:
+            for path, _ in mo.segments.values():
+                if os.path.exists(path):
+                    os.unlink(path)
+        if self._own_workdir and os.path.isdir(self.workdir):
+            if not os.listdir(self.workdir):
+                shutil.rmtree(self.workdir, ignore_errors=True)

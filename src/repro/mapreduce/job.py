@@ -1,0 +1,80 @@
+"""Job configuration.
+
+One :class:`Job` describes everything the engine needs: the user code
+(mapper/reducer/combiner factories), the intermediate types, the codec
+(§III plugs in here), the partitioner, spill/merge tuning, and an
+optional *shuffle plugin* -- the hook through which key aggregation
+(§IV) teaches the shuffle to split aggregate keys.  The plugin hook is
+our stand-in for the paper's "one set of changes inside Hadoop ...
+which allows aggregate keys to be split during the routing and sorting
+phases" (§IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.mapreduce.api import Combiner, Mapper, Reducer
+from repro.mapreduce.partition import HashPartitioner, Partitioner
+from repro.mapreduce.serde import Serde
+
+__all__ = ["Job", "ShufflePlugin"]
+
+Record = tuple[bytes, bytes]
+
+
+class ShufflePlugin(Protocol):
+    """Engine hook for key types that are not atomic (§II-B assumption c).
+
+    ``route`` replaces the partitioner call: it may split one record into
+    several, each bound for one reducer.  ``prepare_reduce`` runs on a
+    reducer's fully merged record list before grouping: the aggregate
+    implementation splits overlapping ranges there (Fig 7).
+    """
+
+    def route(self, key_bytes: bytes, value_bytes: bytes,
+              num_reducers: int) -> list[tuple[int, bytes, bytes]]: ...
+
+    def prepare_reduce(self, records: list[Record]) -> list[Record]: ...
+
+
+@dataclass
+class Job:
+    """Configuration for one MapReduce job."""
+
+    name: str
+    mapper: Callable[[], Mapper]
+    reducer: Callable[[], Reducer]
+    key_serde: Serde
+    value_serde: Serde
+    num_reducers: int = 1
+    num_map_tasks: int = 1
+    combiner: Callable[[], Combiner] | None = None
+    #: codec registry name (see repro.mapreduce.codecs / core.stride.codec)
+    codec: str = "null"
+    codec_options: dict = field(default_factory=dict)
+    partitioner: Callable[[int], Partitioner] = HashPartitioner
+    #: serialized bytes buffered per map task before spilling (io.sort.mb)
+    sort_buffer_bytes: int = 64 << 20
+    #: maximum runs merged per pass (io.sort.factor)
+    merge_factor: int = 10
+    #: non-atomic key support (key aggregation installs itself here)
+    shuffle_plugin: ShufflePlugin | None = None
+    #: restrict input splits to these dataset variables (None = all);
+    #: single-variable queries over multi-variable datasets need this
+    input_variables: tuple[str, ...] | None = None
+    #: when both are set, reducer output is also written to real IFile
+    #: part files (Fig 1 step 7) so output bytes are measured exactly
+    output_key_serde: Serde | None = None
+    output_value_serde: Serde | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_reducers < 1:
+            raise ValueError(f"num_reducers must be >= 1, got {self.num_reducers}")
+        if self.num_map_tasks < 1:
+            raise ValueError(f"num_map_tasks must be >= 1, got {self.num_map_tasks}")
+        if self.sort_buffer_bytes < 1024:
+            raise ValueError("sort_buffer_bytes unreasonably small (< 1 KiB)")
+        if self.merge_factor < 2:
+            raise ValueError(f"merge_factor must be >= 2, got {self.merge_factor}")

@@ -1,0 +1,91 @@
+"""Job counters and per-task cost profiles.
+
+Hadoop exposes its data-path byte accounting through named counters; the
+one the paper reports throughout is ``MAP_OUTPUT_MATERIALIZED_BYTES``
+("Map output materialized bytes"), the on-disk size of the compressed map
+output.  We reproduce the counters the experiments need, plus a
+:class:`TaskProfile` per task that the cluster simulator schedules.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["Counters", "TaskProfile", "C"]
+
+
+class C:
+    """Canonical counter names (subset of Hadoop's TaskCounter)."""
+
+    MAP_INPUT_RECORDS = "MAP_INPUT_RECORDS"
+    MAP_OUTPUT_RECORDS = "MAP_OUTPUT_RECORDS"
+    MAP_OUTPUT_BYTES = "MAP_OUTPUT_BYTES"  # uncompressed serialized bytes
+    MAP_OUTPUT_MATERIALIZED_BYTES = "MAP_OUTPUT_MATERIALIZED_BYTES"
+    MAP_OUTPUT_KEY_BYTES = "MAP_OUTPUT_KEY_BYTES"
+    MAP_OUTPUT_VALUE_BYTES = "MAP_OUTPUT_VALUE_BYTES"
+    MAP_OUTPUT_FILE_OVERHEAD_BYTES = "MAP_OUTPUT_FILE_OVERHEAD_BYTES"
+    COMBINE_INPUT_RECORDS = "COMBINE_INPUT_RECORDS"
+    COMBINE_OUTPUT_RECORDS = "COMBINE_OUTPUT_RECORDS"
+    SPILLED_RECORDS = "SPILLED_RECORDS"
+    SPILL_COUNT = "SPILL_COUNT"
+    SHUFFLE_BYTES = "SHUFFLE_BYTES"
+    MERGE_PASS_BYTES = "MERGE_PASS_BYTES"  # extra reducer-side merge I/O
+    KEY_SPLITS = "KEY_SPLITS"  # aggregate keys split (routing + overlap)
+    REDUCE_INPUT_GROUPS = "REDUCE_INPUT_GROUPS"
+    REDUCE_INPUT_RECORDS = "REDUCE_INPUT_RECORDS"
+    REDUCE_OUTPUT_RECORDS = "REDUCE_OUTPUT_RECORDS"
+
+
+class Counters:
+    """A named-counter multiset with merge, mirroring Hadoop counters."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, int] = defaultdict(int)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._values[name] += int(amount)
+
+    def get(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def merge(self, other: "Counters") -> None:
+        for name, value in other._values.items():
+            self._values[name] += value
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rows = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Counters({rows})"
+
+
+@dataclass
+class TaskProfile:
+    """What one task did, in units the cluster simulator prices.
+
+    ``cpu_seconds`` is split by category (``map``, ``codec``, ``sort``,
+    ``reduce`` ...) so experiments can scale individual components -- e.g.
+    §III-E attributes the 2x runtime regression specifically to transform
+    CPU.
+    """
+
+    task_id: str
+    kind: str  # "map" or "reduce"
+    input_bytes: int = 0
+    #: bytes written to local disk (spills + final map output / merge passes)
+    local_write_bytes: int = 0
+    #: bytes read back from local disk (merges, reduce input)
+    local_read_bytes: int = 0
+    #: bytes crossing the network (map->reduce fetch)
+    shuffle_bytes: int = 0
+    output_bytes: int = 0
+    cpu_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_cpu(self) -> float:
+        return sum(self.cpu_seconds.values())

@@ -1,0 +1,90 @@
+"""Hadoop SequenceFile-compatible record framing.
+
+Fig 2's hexdump is a *SequenceFile* stream, not an IFile: each record is
+framed as ``<int32 record_len><int32 key_len><key><value>`` and a
+16-byte sync marker (escaped by a ``-1`` record length) is inserted
+every ``sync_interval`` bytes.  With SciHadoop's LongWritable coordinate
+keys (``windspeed1`` + 3 x int64 + slot = 35 bytes) and a 4-byte value,
+the record pitch is 4 + 4 + 35 + 4 = **47 bytes** -- exactly the stride
+the paper's detector highlights (s=47, phi=34).
+
+This module exists so experiment E2 can regenerate Fig 2's byte stream
+with the original framing; the shuffle itself uses IFile (as Hadoop
+does for intermediate data).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+__all__ = ["SequenceFileWriter", "read_sequence_file", "SYNC_SIZE"]
+
+_I32 = struct.Struct(">i")
+#: sync marker length (Hadoop: 16 random bytes fixed per file)
+SYNC_SIZE = 16
+_SYNC_ESCAPE = _I32.pack(-1)
+
+
+class SequenceFileWriter:
+    """Append-only SequenceFile-style record stream (in memory)."""
+
+    def __init__(self, sync_interval: int = 2000, seed: int | None = None) -> None:
+        if sync_interval < 100:
+            raise ValueError(
+                f"sync_interval must be >= 100 bytes, got {sync_interval}"
+            )
+        self.sync_interval = sync_interval
+        self.sync_marker = bytes(make_rng(seed).integers(0, 256, SYNC_SIZE,
+                                                         dtype=np.uint8))
+        self._buf = bytearray()
+        self._since_sync = 0
+        self.records = 0
+
+    def append(self, key: bytes, value: bytes) -> None:
+        """Append one record, inserting a sync marker when due."""
+        if self._since_sync >= self.sync_interval:
+            self._buf.extend(_SYNC_ESCAPE)
+            self._buf.extend(self.sync_marker)
+            self._since_sync = 0
+        frame = _I32.pack(len(key) + len(value)) + _I32.pack(len(key))
+        self._buf.extend(frame)
+        self._buf.extend(key)
+        self._buf.extend(value)
+        self._since_sync += len(frame) + len(key) + len(value)
+        self.records += 1
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+
+def read_sequence_file(data: bytes, sync_marker: bytes) -> Iterator[tuple[bytes, bytes]]:
+    """Iterate ``(key, value)`` records, skipping sync markers."""
+    if len(sync_marker) != SYNC_SIZE:
+        raise ValueError(f"sync marker must be {SYNC_SIZE} bytes")
+    offset = 0
+    n = len(data)
+    while offset < n:
+        if offset + 4 > n:
+            raise ValueError("truncated record length")
+        (record_len,) = _I32.unpack_from(data, offset)
+        offset += 4
+        if record_len == -1:
+            if data[offset:offset + SYNC_SIZE] != sync_marker:
+                raise ValueError("bad sync marker")
+            offset += SYNC_SIZE
+            continue
+        if record_len < 0 or offset + 4 > n:
+            raise ValueError("malformed record")
+        (key_len,) = _I32.unpack_from(data, offset)
+        offset += 4
+        if key_len < 0 or key_len > record_len or offset + record_len > n:
+            raise ValueError("malformed record frame")
+        key = data[offset:offset + key_len]
+        value = data[offset + key_len:offset + record_len]
+        offset += record_len
+        yield key, value

@@ -1,0 +1,185 @@
+"""Writable-style serializers.
+
+Hadoop assumption (b) in §II-B: "Keys are serialized (converted to byte
+representation) immediately when output from a Mapper."  Our engine keeps
+that behaviour -- every emitted record is serialized to bytes on the spot
+-- so the intermediate byte counts match Hadoop's record-at-a-time model.
+
+Serialized integers use *order-preserving big-endian* (sign bit flipped)
+so that sorting raw key bytes equals sorting semantically; Hadoop achieves
+the same with per-type raw comparators.  Sizes match Hadoop's Writables
+(int32 = 4 bytes, Text = vint length + UTF-8 bytes), which is what the
+paper's byte arithmetic depends on.
+"""
+
+from __future__ import annotations
+
+import struct
+from abc import ABC, abstractmethod
+from typing import Any
+
+import numpy as np
+
+from repro.util.varint import read_vlong, write_vlong
+
+__all__ = [
+    "Serde",
+    "Int32Serde",
+    "Int64Serde",
+    "Float32Serde",
+    "Float64Serde",
+    "TextSerde",
+    "BytesSerde",
+    "ValueBlockSerde",
+]
+
+_I32 = struct.Struct(">I")
+_I64 = struct.Struct(">Q")
+_F32 = struct.Struct(">f")
+_F64 = struct.Struct(">d")
+
+
+class Serde(ABC):
+    """Bidirectional object <-> bytes converter for one record field."""
+
+    @abstractmethod
+    def write(self, obj: Any, out: bytearray) -> None:
+        """Append the serialized form of ``obj`` to ``out``."""
+
+    @abstractmethod
+    def read(self, buf: memoryview | bytes, offset: int) -> tuple[Any, int]:
+        """Decode one object at ``offset``; return ``(obj, next_offset)``."""
+
+    def to_bytes(self, obj: Any) -> bytes:
+        out = bytearray()
+        self.write(obj, out)
+        return bytes(out)
+
+    def from_bytes(self, data: bytes | memoryview) -> Any:
+        obj, end = self.read(data, 0)
+        if end != len(data):
+            raise ValueError(f"{end - len(data)} trailing bytes after decode")
+        return obj
+
+
+class Int32Serde(Serde):
+    """Order-preserving big-endian signed 32-bit integer (4 bytes)."""
+
+    SIZE = 4
+
+    def write(self, obj: Any, out: bytearray) -> None:
+        value = int(obj)
+        if not -(1 << 31) <= value < (1 << 31):
+            raise ValueError(f"int32 out of range: {value}")
+        out.extend(_I32.pack((value + (1 << 31)) & 0xFFFFFFFF))
+
+    def read(self, buf: memoryview | bytes, offset: int) -> tuple[int, int]:
+        raw = _I32.unpack_from(buf, offset)[0]
+        return raw - (1 << 31), offset + 4
+
+
+class Int64Serde(Serde):
+    """Order-preserving big-endian signed 64-bit integer (8 bytes)."""
+
+    SIZE = 8
+
+    def write(self, obj: Any, out: bytearray) -> None:
+        value = int(obj)
+        if not -(1 << 63) <= value < (1 << 63):
+            raise ValueError(f"int64 out of range: {value}")
+        out.extend(_I64.pack((value + (1 << 63)) & 0xFFFFFFFFFFFFFFFF))
+
+    def read(self, buf: memoryview | bytes, offset: int) -> tuple[int, int]:
+        raw = _I64.unpack_from(buf, offset)[0]
+        return raw - (1 << 63), offset + 8
+
+
+class Float32Serde(Serde):
+    """IEEE-754 single precision, big-endian (4 bytes, Hadoop FloatWritable)."""
+
+    SIZE = 4
+
+    def write(self, obj: Any, out: bytearray) -> None:
+        out.extend(_F32.pack(float(obj)))
+
+    def read(self, buf: memoryview | bytes, offset: int) -> tuple[float, int]:
+        return _F32.unpack_from(buf, offset)[0], offset + 4
+
+
+class Float64Serde(Serde):
+    """IEEE-754 double precision, big-endian (8 bytes, DoubleWritable)."""
+
+    SIZE = 8
+
+    def write(self, obj: Any, out: bytearray) -> None:
+        out.extend(_F64.pack(float(obj)))
+
+    def read(self, buf: memoryview | bytes, offset: int) -> tuple[float, int]:
+        return _F64.unpack_from(buf, offset)[0], offset + 8
+
+
+class TextSerde(Serde):
+    """Hadoop ``Text``: vint byte length followed by UTF-8 bytes.
+
+    ``"windspeed1"`` serializes to 11 bytes (1 length byte + 10 chars),
+    which is one term in the paper's 27-byte key (§I, key/value = 6.75).
+    """
+
+    def write(self, obj: Any, out: bytearray) -> None:
+        data = str(obj).encode("utf-8")
+        write_vlong(len(data), out)
+        out.extend(data)
+
+    def read(self, buf: memoryview | bytes, offset: int) -> tuple[str, int]:
+        length, offset = read_vlong(buf, offset)
+        if length < 0 or offset + length > len(buf):
+            raise ValueError(f"bad Text length {length}")
+        return bytes(buf[offset:offset + length]).decode("utf-8"), offset + length
+
+
+class BytesSerde(Serde):
+    """Length-prefixed raw bytes (Hadoop BytesWritable, vint length)."""
+
+    def write(self, obj: Any, out: bytearray) -> None:
+        data = bytes(obj)
+        write_vlong(len(data), out)
+        out.extend(data)
+
+    def read(self, buf: memoryview | bytes, offset: int) -> tuple[bytes, int]:
+        length, offset = read_vlong(buf, offset)
+        if length < 0 or offset + length > len(buf):
+            raise ValueError(f"bad bytes length {length}")
+        return bytes(buf[offset:offset + length]), offset + length
+
+
+class ValueBlockSerde(Serde):
+    """A packed array of same-typed values (the aggregate-key payload).
+
+    Key aggregation (§IV) relies on "values stored in order": one aggregate
+    key carries a dense block of values for consecutive curve indices.  The
+    wire form is a vint count followed by the raw little-endian array --
+    count * itemsize bytes, zero per-value overhead, which is where most
+    of Fig 8's savings come from.
+    """
+
+    def __init__(self, dtype: np.dtype | str) -> None:
+        self.dtype = np.dtype(dtype).newbyteorder("<")
+        if self.dtype.itemsize == 0:
+            raise ValueError(f"dtype {dtype!r} has zero itemsize")
+
+    def write(self, obj: Any, out: bytearray) -> None:
+        arr = np.ascontiguousarray(obj, dtype=self.dtype)
+        if arr.ndim != 1:
+            raise ValueError(f"value block must be 1-D, got shape {arr.shape}")
+        write_vlong(arr.shape[0], out)
+        out.extend(arr.tobytes())
+
+    def read(self, buf: memoryview | bytes, offset: int) -> tuple[np.ndarray, int]:
+        count, offset = read_vlong(buf, offset)
+        if count < 0:
+            raise ValueError(f"bad block count {count}")
+        nbytes = count * self.dtype.itemsize
+        if offset + nbytes > len(buf):
+            raise ValueError("truncated value block")
+        arr = np.frombuffer(bytes(buf[offset:offset + nbytes]), dtype=self.dtype)
+        return arr, offset + nbytes

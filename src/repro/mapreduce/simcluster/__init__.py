@@ -1,0 +1,31 @@
+"""Discrete-event cluster simulator.
+
+The paper's cluster results (§III-E, §IV-D: 5 nodes, 10 map slots, 5
+reducers) report end-to-end minutes.  We cannot rent their 2012 cluster,
+but wall-clock *shape* is determined by quantities the local engine
+measures exactly -- per-task CPU seconds (including codec cost) and
+per-task disk/network byte counts -- pushed through slot scheduling and
+bandwidth arithmetic.  This package does that scheduling.
+"""
+
+from repro.mapreduce.simcluster.model import ClusterSpec, ClusterSimulator, Timeline
+from repro.mapreduce.simcluster.dfs import BlockLocation, SimDFS
+from repro.mapreduce.simcluster.schedule import (
+    MapTaskSpec,
+    ScheduleResult,
+    schedule_maps,
+)
+from repro.mapreduce.simcluster.pipeline import ClusterJobRunner, ClusterRunResult
+
+__all__ = [
+    "ClusterSpec",
+    "ClusterSimulator",
+    "Timeline",
+    "SimDFS",
+    "BlockLocation",
+    "MapTaskSpec",
+    "ScheduleResult",
+    "schedule_maps",
+    "ClusterJobRunner",
+    "ClusterRunResult",
+]

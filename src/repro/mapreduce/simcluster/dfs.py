@@ -1,0 +1,115 @@
+"""A simulated HDFS: block placement, replication, and locality lookup.
+
+Steps 1 and 7 of the paper's Fig 1 data flow read and write HDFS.  The
+part of HDFS that matters to the wall-clock simulation is *placement*:
+a map task whose input block has a replica on its own node reads from
+local disk; otherwise the input crosses the network first.  This module
+models exactly that -- files are sequences of fixed-size blocks, each
+replicated on ``replication`` distinct nodes chosen by a deterministic
+rendezvous hash, so placement is stable run-to-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["BlockLocation", "SimDFS"]
+
+DEFAULT_BLOCK_SIZE = 64 << 20  # Hadoop-era default: 64 MiB
+
+
+@dataclass(frozen=True)
+class BlockLocation:
+    """One block of one file and the nodes holding its replicas."""
+
+    file: str
+    index: int
+    size: int
+    replicas: tuple[int, ...]
+
+
+class SimDFS:
+    """Deterministic block placement over ``nodes`` machines."""
+
+    def __init__(self, nodes: int, replication: int = 3,
+                 block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        if nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {nodes}")
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.nodes = nodes
+        self.replication = min(replication, nodes)
+        self.block_size = block_size
+        self._files: dict[str, list[BlockLocation]] = {}
+
+    # -- placement ----------------------------------------------------------
+
+    def _place(self, file: str, index: int) -> tuple[int, ...]:
+        """Rendezvous-hash the block onto ``replication`` distinct nodes."""
+        scored = []
+        for node in range(self.nodes):
+            digest = hashlib.blake2b(
+                f"{file}#{index}@{node}".encode(), digest_size=8
+            ).digest()
+            scored.append((int.from_bytes(digest, "big"), node))
+        scored.sort(reverse=True)
+        return tuple(node for _, node in scored[: self.replication])
+
+    def write(self, file: str, size: int) -> list[BlockLocation]:
+        """Create ``file`` of ``size`` bytes; returns its block layout."""
+        if file in self._files:
+            raise ValueError(f"file {file!r} already exists")
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        blocks: list[BlockLocation] = []
+        remaining = size
+        index = 0
+        while remaining > 0 or index == 0:
+            length = min(self.block_size, remaining) if size > 0 else 0
+            blocks.append(BlockLocation(
+                file=file, index=index, size=length,
+                replicas=self._place(file, index),
+            ))
+            remaining -= length
+            index += 1
+            if size == 0:
+                break
+        self._files[file] = blocks
+        return blocks
+
+    def blocks(self, file: str) -> list[BlockLocation]:
+        try:
+            return list(self._files[file])
+        except KeyError:
+            raise KeyError(
+                f"no file {file!r}; have {sorted(self._files)}"
+            ) from None
+
+    def exists(self, file: str) -> bool:
+        return file in self._files
+
+    def file_size(self, file: str) -> int:
+        return sum(b.size for b in self.blocks(file))
+
+    def delete(self, file: str) -> None:
+        self._files.pop(file, None)
+
+    # -- locality -----------------------------------------------------------
+
+    def is_local(self, file: str, index: int, node: int) -> bool:
+        """True if block ``index`` of ``file`` has a replica on ``node``."""
+        for block in self.blocks(file):
+            if block.index == index:
+                return node in block.replicas
+        raise KeyError(f"{file!r} has no block {index}")
+
+    def replica_histogram(self, file: str) -> dict[int, int]:
+        """Node -> replica count for one file (placement balance check)."""
+        hist: dict[int, int] = {n: 0 for n in range(self.nodes)}
+        for block in self.blocks(file):
+            for node in block.replicas:
+                hist[node] += 1
+        return hist

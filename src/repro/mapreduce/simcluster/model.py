@@ -1,0 +1,149 @@
+"""Cluster specification, task cost model, and slot scheduler.
+
+Model (deliberately simple, per DESIGN.md's substitution table):
+
+* A cluster has ``nodes`` identical machines, each with ``map_slots`` and
+  ``reduce_slots`` task slots, one local disk of ``disk_bandwidth`` B/s
+  and a NIC of ``network_bandwidth`` B/s.
+* A map task runs for ``cpu/cpu_scale + local_io/disk_bw`` seconds:
+  measured CPU (scaled to the simulated node's speed) plus its measured
+  disk traffic (input read, spills, merges, final output write).
+* A reduce task additionally pays the shuffle: its fetched bytes cross
+  the network once and land on local disk once before the merge begins
+  (Hadoop-era reducers spill fetched map output to disk).
+* Tasks are scheduled onto free slots in submission order; the reduce
+  phase starts when the map phase ends (a barrier -- real Hadoop overlaps
+  the copy phase, but the barrier preserves ordering of totals, which is
+  all the paper's +106% / -28.5% comparisons need).
+
+Every simplification here moves *both* sides of a comparison the same
+way, so who-wins conclusions survive.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.mapreduce.metrics import TaskProfile
+
+__all__ = ["ClusterSpec", "Timeline", "ClusterSimulator"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Hardware model.  Defaults approximate the paper's 2012 testbed:
+    5 nodes, 10 map slots total, 5 reducers, one SATA disk and GigE each.
+    """
+
+    nodes: int = 5
+    map_slots_per_node: int = 2
+    reduce_slots_per_node: int = 1
+    disk_bandwidth: float = 100e6  # bytes/s
+    network_bandwidth: float = 117e6  # bytes/s (~1 GigE)
+    #: simulated-node CPU speed relative to the measuring machine
+    cpu_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.map_slots_per_node < 1 or self.reduce_slots_per_node < 1:
+            raise ValueError("slots per node must be >= 1")
+        if min(self.disk_bandwidth, self.network_bandwidth, self.cpu_scale) <= 0:
+            raise ValueError("bandwidths and cpu_scale must be positive")
+
+    @property
+    def map_slots(self) -> int:
+        return self.nodes * self.map_slots_per_node
+
+    @property
+    def reduce_slots(self) -> int:
+        return self.nodes * self.reduce_slots_per_node
+
+
+@dataclass
+class Timeline:
+    """Simulated wall clock of one job."""
+
+    map_seconds: float
+    reduce_seconds: float
+    #: per-task simulated durations, in scheduling order
+    map_task_seconds: list[float] = field(default_factory=list)
+    reduce_task_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.map_seconds + self.reduce_seconds
+
+    @property
+    def total_minutes(self) -> float:
+        return self.total_seconds / 60.0
+
+
+def _schedule(durations: Sequence[float], slots: int) -> float:
+    """Makespan of list-scheduling ``durations`` onto ``slots`` workers."""
+    if not durations:
+        return 0.0
+    if slots < 1:
+        raise ValueError(f"slots must be >= 1, got {slots}")
+    free = [0.0] * min(slots, len(durations))
+    heapq.heapify(free)
+    finish = 0.0
+    for d in durations:
+        if d < 0:
+            raise ValueError(f"negative task duration {d}")
+        start = heapq.heappop(free)
+        end = start + d
+        finish = max(finish, end)
+        heapq.heappush(free, end)
+    return finish
+
+
+class ClusterSimulator:
+    """Price measured :class:`TaskProfile` lists into a :class:`Timeline`."""
+
+    def __init__(self, spec: ClusterSpec | None = None) -> None:
+        self.spec = spec or ClusterSpec()
+
+    def map_task_duration(self, profile: TaskProfile) -> float:
+        s = self.spec
+        cpu = profile.total_cpu / s.cpu_scale
+        disk = (
+            profile.input_bytes
+            + profile.local_write_bytes
+            + profile.local_read_bytes
+        ) / s.disk_bandwidth
+        return cpu + disk
+
+    def reduce_task_duration(self, profile: TaskProfile) -> float:
+        s = self.spec
+        cpu = profile.total_cpu / s.cpu_scale
+        net = profile.shuffle_bytes / s.network_bandwidth
+        disk = (
+            profile.shuffle_bytes  # fetched segments land on local disk
+            + profile.local_write_bytes
+            + profile.local_read_bytes
+            + profile.output_bytes
+        ) / s.disk_bandwidth
+        return cpu + net + disk
+
+    def simulate(self, profiles: Iterable[TaskProfile]) -> Timeline:
+        """Slot-schedule all tasks; map barrier before reduce."""
+        maps: list[float] = []
+        reduces: list[float] = []
+        for p in profiles:
+            if p.kind == "map":
+                maps.append(self.map_task_duration(p))
+            elif p.kind == "reduce":
+                reduces.append(self.reduce_task_duration(p))
+            else:
+                raise ValueError(f"unknown task kind {p.kind!r}")
+        map_span = _schedule(maps, self.spec.map_slots)
+        reduce_span = _schedule(reduces, self.spec.reduce_slots)
+        return Timeline(
+            map_seconds=map_span,
+            reduce_seconds=reduce_span,
+            map_task_seconds=maps,
+            reduce_task_seconds=reduces,
+        )

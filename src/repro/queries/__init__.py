@@ -1,0 +1,43 @@
+"""Query workloads over gridded data.
+
+The paper's running example is the holistic sliding-window median
+(§IV-C): each mapper re-emits every input value under the keys of all
+window positions that cover it, and reducers take a median per cell --
+an intermediate-data blow-up of window-size x, which is why intermediate
+key compression matters.  Each query here is implemented twice:
+
+* **plain** -- per-cell :class:`~repro.mapreduce.keys.CellKey` records,
+  Hadoop's native representation (the paper's baseline);
+* **aggregate** -- through the §IV aggregation library
+  (:mod:`repro.core.aggregation`).
+
+Both modes of one query produce identical results (integration tests
+assert this), differing only in intermediate representation -- exactly
+the paper's experimental contrast.
+"""
+
+from repro.queries.base import window_offsets, shifted_cells, GridQuery
+from repro.queries.sliding_median import SlidingMedianQuery
+from repro.queries.sliding_mean import SlidingMeanQuery
+from repro.queries.subset import BoxSubsetQuery
+from repro.queries.histogram import HistogramQuery
+from repro.queries.derived import DerivedVariableQuery
+from repro.queries.sliding_algebraic import SlidingAggregateQuery
+from repro.queries.plan import Binary, Source, Subset, Window, execute
+
+__all__ = [
+    "window_offsets",
+    "shifted_cells",
+    "GridQuery",
+    "SlidingMedianQuery",
+    "SlidingMeanQuery",
+    "BoxSubsetQuery",
+    "HistogramQuery",
+    "DerivedVariableQuery",
+    "SlidingAggregateQuery",
+    "Source",
+    "Subset",
+    "Window",
+    "Binary",
+    "execute",
+]

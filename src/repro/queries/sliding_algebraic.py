@@ -1,0 +1,130 @@
+"""Generic algebraic sliding-window aggregates (min / max / sum).
+
+The median (holistic) and mean (algebraic with a (sum, count) carrier)
+have dedicated modules; this one covers the remaining common window
+aggregates, whose partial results fold with the same operator --
+so the plain mode's combiner is simply the operator itself applied
+map-side, Hadoop's textbook combiner case.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.aggregation import (
+    AggregationConfig,
+    AggregateShufflePlugin,
+    cells_of_group,
+)
+from repro.mapreduce.api import Combiner, Reducer
+from repro.mapreduce.job import Job
+from repro.mapreduce.keys import CellKey, CellKeySerde
+from repro.queries.base import GridQuery, window_offsets
+from repro.queries.sliding_median import (
+    AggregateWindowMapper,
+    PlainWindowMapper,
+    value_serde_for,
+)
+from repro.scidata.dataset import Dataset
+
+__all__ = ["SlidingAggregateQuery", "WINDOW_OPS"]
+
+#: op name -> (python fold over a list, numpy fold over an axis)
+WINDOW_OPS: dict[str, tuple[Callable, Callable]] = {
+    "min": (min, np.min),
+    "max": (max, np.max),
+    "sum": (sum, np.sum),
+}
+
+
+class FoldCombiner(Combiner):
+    """Map-side partial fold with the reduce operator itself."""
+
+    def __init__(self, fold: Callable) -> None:
+        self.fold = fold
+
+    def combine(self, key, values):
+        return [self.fold(values)]
+
+
+class FoldReducer(Reducer):
+    """Final fold of all window values with the operator."""
+
+    def __init__(self, fold: Callable) -> None:
+        self.fold = fold
+
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, self.fold(values))
+
+
+class AggregateFoldReducer(Reducer):
+    """Per-cell fold over the blocks of one range group."""
+
+    def __init__(self, npfold: Callable, config: AggregationConfig,
+                 origin: tuple[int, ...]) -> None:
+        self.npfold = npfold
+        self.config = config
+        self.curve = config.make_curve()
+        self.origin = np.asarray(origin, dtype=np.int64)
+
+    def reduce(self, key, blocks, ctx):
+        coords = self.curve.decode(np.arange(key.start, key.end)) + self.origin
+        for off, cell_values in cells_of_group(key, blocks):
+            value = self.npfold(cell_values)
+            ctx.emit(
+                CellKey(key.variable, tuple(int(c) for c in coords[off])),
+                value.item() if hasattr(value, "item") else value,
+            )
+
+
+class SlidingAggregateQuery(GridQuery):
+    """Builder for min/max/sum sliding-window jobs in both modes."""
+
+    def __init__(self, dataset: Dataset, variable: str, op: str = "max",
+                 window: int = 3) -> None:
+        super().__init__(dataset, variable)
+        if op not in WINDOW_OPS:
+            raise ValueError(f"op must be one of {sorted(WINDOW_OPS)}, got {op!r}")
+        self.op = op
+        self.fold, self.npfold = WINDOW_OPS[op]
+        self.window = window
+        self.offsets = window_offsets(self.extent.ndim, window)
+
+    def expected_output_cells(self) -> int:
+        return self.extent.size
+
+    def build_job(self, mode: str = "plain", use_combiner: bool = True,
+                  agg_overrides: dict | None = None, **job_overrides) -> Job:
+        dtype = self.dataset[self.variable].data.dtype
+        defaults = dict(name=f"sliding-{self.op}-{mode}", num_reducers=1,
+                        num_map_tasks=1,
+                        input_variables=(self.variable,))
+        defaults.update(job_overrides)
+        var_ref = self.variable
+        extent, offsets = self.extent, self.offsets
+        fold, npfold = self.fold, self.npfold
+
+        if mode == "plain":
+            return Job(
+                mapper=lambda: PlainWindowMapper(var_ref, extent, offsets),
+                reducer=lambda: FoldReducer(fold),
+                combiner=(lambda: FoldCombiner(fold)) if use_combiner else None,
+                key_serde=CellKeySerde(self.extent.ndim, "name"),
+                value_serde=value_serde_for(dtype),
+                **defaults,
+            )
+        if mode == "aggregate":
+            config = self.aggregation_config(**(agg_overrides or {}))
+            origin = self.extent.corner
+            return Job(
+                mapper=lambda: AggregateWindowMapper(var_ref, extent, offsets,
+                                                     config),
+                reducer=lambda: AggregateFoldReducer(npfold, config, origin),
+                key_serde=config.key_serde(),
+                value_serde=config.block_serde(),
+                shuffle_plugin=AggregateShufflePlugin(config),
+                **defaults,
+            )
+        raise ValueError(f"mode must be 'plain' or 'aggregate', got {mode!r}")

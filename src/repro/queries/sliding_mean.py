@@ -1,0 +1,157 @@
+"""Sliding-window mean: the algebraic counterpart of the median query.
+
+Unlike the median, a mean is partially reducible, so the plain mode can
+run a combiner ((sum, count) pairs fold associatively) -- the paper's
+data-flow step 3.  Included because it separates two effects the median
+conflates: combiners shrink intermediate data by partial reduction,
+key aggregation shrinks it by representation.  The ablation benches
+compare both levers.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.aggregation import (
+    AggregationConfig,
+    AggregateShufflePlugin,
+    cells_of_group,
+)
+from repro.mapreduce.api import Combiner, Mapper, Reducer
+from repro.mapreduce.job import Job
+from repro.mapreduce.keys import CellKey, CellKeySerde
+from repro.mapreduce.serde import Serde
+from repro.queries.base import GridQuery, shifted_cells, window_offsets
+from repro.queries.sliding_median import AggregateWindowMapper
+from repro.scidata.dataset import Dataset
+from repro.scidata.slab import Slab
+
+__all__ = ["SlidingMeanQuery", "SumCountSerde"]
+
+_PAIR = struct.Struct(">dI")
+
+
+class SumCountSerde(Serde):
+    """(sum: float64, count: uint32) partial-aggregate pairs (12 bytes)."""
+
+    SIZE = 12
+
+    def write(self, obj, out: bytearray) -> None:
+        total, count = obj
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        out.extend(_PAIR.pack(float(total), int(count)))
+
+    def read(self, buf, offset: int):
+        total, count = _PAIR.unpack_from(buf, offset)
+        return (total, count), offset + self.SIZE
+
+
+class PlainMeanMapper(Mapper):
+    """Emit (cell key, (value, 1)) for every covering window."""
+
+    def __init__(self, var_ref: str | int, extent: Slab,
+                 offsets: Sequence[tuple[int, ...]]) -> None:
+        self.var_ref = var_ref
+        self.extent = extent
+        self.offsets = offsets
+
+    def map(self, split, values, ctx):
+        coords = split.slab.coords()
+        flat = values.ravel()
+        for offset in self.offsets:
+            shifted, kept = shifted_cells(coords, flat, offset, self.extent)
+            for row, v in zip(shifted, kept):
+                ctx.emit(
+                    CellKey(self.var_ref, tuple(int(c) for c in row)),
+                    (float(v), 1),
+                )
+
+
+class SumCountCombiner(Combiner):
+    """Fold (sum, count) pairs -- the algebraic partial reduce."""
+
+    def combine(self, key, values):
+        total = sum(v[0] for v in values)
+        count = sum(v[1] for v in values)
+        return [(total, count)]
+
+
+class PlainMeanReducer(Reducer):
+    """Final mean from folded (sum, count) pairs."""
+
+    def reduce(self, key, values, ctx):
+        total = sum(v[0] for v in values)
+        count = sum(v[1] for v in values)
+        ctx.emit(key, total / count)
+
+
+class AggregateMeanReducer(Reducer):
+    """Mean per cell over the blocks of one range group."""
+
+    def __init__(self, config: AggregationConfig, origin: tuple[int, ...]) -> None:
+        self.config = config
+        self.curve = config.make_curve()
+        self.origin = np.asarray(origin, dtype=np.int64)
+
+    def reduce(self, key, blocks, ctx):
+        coords = self.curve.decode(np.arange(key.start, key.end)) + self.origin
+        for off, cell_values in cells_of_group(key, blocks):
+            ctx.emit(
+                CellKey(key.variable, tuple(int(c) for c in coords[off])),
+                float(np.mean(cell_values)),
+            )
+
+
+class SlidingMeanQuery(GridQuery):
+    """Builder for plain (+combiner) and aggregate sliding-mean jobs."""
+
+    def __init__(self, dataset: Dataset, variable: str, window: int = 3) -> None:
+        super().__init__(dataset, variable)
+        self.window = window
+        self.offsets = window_offsets(self.extent.ndim, window)
+
+    def expected_output_cells(self) -> int:
+        return self.extent.size
+
+    def build_job(self, mode: str = "plain", variable_mode: str = "name",
+                  use_combiner: bool = True,
+                  agg_overrides: dict | None = None, reaggregate: bool = False,
+                  **job_overrides) -> Job:
+        var_ref: str | int
+        if variable_mode == "name":
+            var_ref = self.variable
+        else:
+            var_ref = self.dataset.names.index(self.variable)
+        defaults = dict(name=f"sliding-mean-{mode}", num_reducers=1,
+                        num_map_tasks=1,
+                        input_variables=(self.variable,))
+        defaults.update(job_overrides)
+
+        if mode == "plain":
+            extent, offsets = self.extent, self.offsets
+            return Job(
+                mapper=lambda: PlainMeanMapper(var_ref, extent, offsets),
+                reducer=PlainMeanReducer,
+                combiner=SumCountCombiner if use_combiner else None,
+                key_serde=CellKeySerde(self.extent.ndim, variable_mode),
+                value_serde=SumCountSerde(),
+                **defaults,
+            )
+        if mode == "aggregate":
+            config = self.aggregation_config(
+                variable_mode=variable_mode, **(agg_overrides or {}))
+            extent, offsets = self.extent, self.offsets
+            origin = self.extent.corner
+            return Job(
+                mapper=lambda: AggregateWindowMapper(var_ref, extent, offsets, config),
+                reducer=lambda: AggregateMeanReducer(config, origin),
+                key_serde=config.key_serde(),
+                value_serde=config.block_serde(),
+                shuffle_plugin=AggregateShufflePlugin(config, reaggregate=reaggregate),
+                **defaults,
+            )
+        raise ValueError(f"mode must be 'plain' or 'aggregate', got {mode!r}")

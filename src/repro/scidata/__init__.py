@@ -1,0 +1,40 @@
+"""Scientific-data substrate (SciHadoop's array data model).
+
+SciHadoop processes "array-based" inputs: named variables laid out on
+regular n-D grids, addressed by *slabs* (corner + shape), and partitioned
+across mappers by slab rather than by byte offset.  The paper's
+experiments all run over such grids (a 3-D ``windspeed1`` field, integer
+grids for the sliding-median query), so this package provides:
+
+* :class:`~repro.scidata.slab.Slab` -- corner+shape boxes with the algebra
+  (intersection, containment, iteration, splitting) the aggregation and
+  query layers need;
+* :class:`~repro.scidata.dataset.Dataset` / ``Variable`` -- an in-memory
+  NetCDF-like container standing in for the paper's NetCDF inputs;
+* :mod:`~repro.scidata.generator` -- deterministic synthetic fields;
+* :class:`~repro.scidata.splits.ArraySplitter` -- SciHadoop-style input
+  splits (one slab per map task).
+"""
+
+from repro.scidata.slab import Slab
+from repro.scidata.dataset import Dataset, Variable
+from repro.scidata.generator import (
+    integer_grid,
+    windspeed_field,
+    walk_grid_int32_triples,
+)
+from repro.scidata.splits import ArraySplitter, InputSplit
+from repro.scidata.ncfile import open_dataset, save_dataset
+
+__all__ = [
+    "Slab",
+    "Dataset",
+    "Variable",
+    "integer_grid",
+    "windspeed_field",
+    "walk_grid_int32_triples",
+    "ArraySplitter",
+    "InputSplit",
+    "save_dataset",
+    "open_dataset",
+]

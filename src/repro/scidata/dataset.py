@@ -1,0 +1,129 @@
+"""In-memory NetCDF-like datasets.
+
+The paper's inputs are NetCDF files of gridded variables; we stand in a
+minimal but faithful model: a :class:`Dataset` maps variable names to
+:class:`Variable` objects, each an n-D numpy array anchored at a global
+grid origin, with free-form attributes.  Reads are slab-addressed, which
+is all SciHadoop's input path uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.scidata.slab import Slab
+
+__all__ = ["Variable", "Dataset"]
+
+
+class Variable:
+    """A named n-D gridded variable.
+
+    Parameters
+    ----------
+    name:
+        Variable name (e.g. ``"windspeed1"``); becomes part of every
+        per-cell intermediate key, which is precisely the waste the paper
+        attacks.
+    data:
+        The grid values.
+    origin:
+        Global coordinate of ``data[0, 0, ...]``; defaults to all zeros.
+    attrs:
+        Free-form metadata (units etc.), carried for API completeness.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        data: np.ndarray,
+        origin: tuple[int, ...] | None = None,
+        attrs: Mapping[str, object] | None = None,
+    ) -> None:
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        data = np.asarray(data)
+        if data.ndim < 1:
+            raise ValueError("variable data must have at least one dimension")
+        self.name = name
+        self.data = data
+        self.origin = tuple(origin) if origin is not None else (0,) * data.ndim
+        if len(self.origin) != data.ndim:
+            raise ValueError(
+                f"origin rank {len(self.origin)} != data rank {data.ndim}"
+            )
+        self.attrs: dict[str, object] = dict(attrs or {})
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def extent(self) -> Slab:
+        """The slab of global coordinates this variable covers."""
+        return Slab(self.origin, self.data.shape)
+
+    def read(self, slab: Slab) -> np.ndarray:
+        """Read the values inside ``slab`` (global coordinates).
+
+        Raises :class:`ValueError` if the slab is not fully inside the
+        variable's extent -- SciHadoop validates query extents up front.
+        """
+        if not self.extent.contains(slab):
+            raise ValueError(f"{slab} not contained in variable extent {self.extent}")
+        idx = tuple(
+            slice(c - o, c - o + s)
+            for c, s, o in zip(slab.corner, slab.shape, self.origin)
+        )
+        return self.data[idx]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Variable({self.name!r}, shape={self.data.shape}, dtype={self.dtype})"
+
+
+class Dataset:
+    """A collection of named variables, the unit a job takes as input."""
+
+    def __init__(self, variables: Mapping[str, Variable] | None = None) -> None:
+        self._variables: dict[str, Variable] = {}
+        for var in (variables or {}).values():
+            self.add(var)
+
+    def add(self, variable: Variable) -> None:
+        if variable.name in self._variables:
+            raise ValueError(f"duplicate variable {variable.name!r}")
+        self._variables[variable.name] = variable
+
+    def __getitem__(self, name: str) -> Variable:
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise KeyError(
+                f"no variable {name!r}; have {sorted(self._variables)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._variables
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._variables.values())
+
+    def __len__(self) -> int:
+        return len(self._variables)
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._variables)
+
+    def total_cells(self) -> int:
+        return sum(v.data.size for v in self)
+
+    def total_value_bytes(self) -> int:
+        """Size of all raw values -- the paper's 'data is N bytes' figure."""
+        return sum(v.data.nbytes for v in self)

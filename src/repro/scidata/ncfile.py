@@ -1,0 +1,93 @@
+"""A minimal NetCDF-like on-disk container for datasets.
+
+The paper's inputs are NetCDF files; SciHadoop's input format reads
+slabs of named variables from them without loading whole arrays.  This
+module provides that capability for our datasets with a deliberately
+simple format:
+
+* header: magic ``b"RNC1"``, then a JSON document describing each
+  variable (name, dtype, shape, origin, attrs, byte offset);
+* body: each variable's raw C-order little-endian array at its offset,
+  64-byte aligned.
+
+Reads are lazy: :func:`open_dataset` memory-maps the body, so a slab
+read touches only the pages the slab covers -- the access pattern the
+array splitter induces on real scientific inputs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.scidata.dataset import Dataset, Variable
+
+__all__ = ["save_dataset", "open_dataset", "MAGIC"]
+
+MAGIC = b"RNC1"
+_ALIGN = 64
+
+
+def save_dataset(dataset: Dataset, path: str | os.PathLike) -> int:
+    """Write ``dataset`` to ``path``; returns total bytes written."""
+    entries = []
+    offset = 0  # relative to body start; fixed up after header sizing
+    payloads: list[np.ndarray] = []
+    for name in dataset.names:
+        var = dataset[name]
+        data = np.ascontiguousarray(var.data)
+        data = data.astype(data.dtype.newbyteorder("<"))
+        entries.append({
+            "name": var.name,
+            "dtype": data.dtype.str,
+            "shape": list(data.shape),
+            "origin": list(var.origin),
+            "attrs": {k: v for k, v in var.attrs.items()
+                      if isinstance(v, (str, int, float, bool))},
+            "offset": offset,
+        })
+        payloads.append(data)
+        offset += -(-data.nbytes // _ALIGN) * _ALIGN
+    header = json.dumps({"variables": entries}).encode("utf-8")
+    with open(path, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(len(header).to_bytes(8, "little"))
+        fh.write(header)
+        body_start = fh.tell()
+        pad = -body_start % _ALIGN
+        fh.write(b"\x00" * pad)
+        body_start += pad
+        for entry, data in zip(entries, payloads):
+            fh.seek(body_start + entry["offset"])
+            fh.write(data.tobytes())
+        # pad the final variable to its aligned slot size
+        end = body_start + offset
+        fh.seek(end - 1)
+        fh.write(b"\x00")
+        return end
+
+
+def open_dataset(path: str | os.PathLike) -> Dataset:
+    """Open a saved dataset with memory-mapped (lazy) variable data."""
+    with open(path, "rb") as fh:
+        magic = fh.read(4)
+        if magic != MAGIC:
+            raise ValueError(f"{path!r} is not a {MAGIC!r} container")
+        header_len = int.from_bytes(fh.read(8), "little")
+        header = json.loads(fh.read(header_len).decode("utf-8"))
+        body_start = fh.tell()
+        body_start += -body_start % _ALIGN
+    ds = Dataset()
+    for entry in header["variables"]:
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(entry["shape"])
+        data = np.memmap(path, dtype=dtype, mode="r",
+                         offset=body_start + entry["offset"], shape=shape)
+        ds.add(Variable(
+            entry["name"], data,
+            origin=tuple(entry["origin"]),
+            attrs=entry.get("attrs", {}),
+        ))
+    return ds

@@ -1,0 +1,204 @@
+"""Axis-aligned hyper-rectangles ("slabs") with corner+shape addressing.
+
+The paper's central observation is that a regular grid "can be described
+in small, constant size" as a ``(corner, size)`` pair; slabs are that
+description.  They appear everywhere in the system: input splits, the
+sliding-window halo a mapper emits into, alignment boxes in §IV-C, and the
+cells covered by an aggregate key.
+
+Coordinates may be negative: the sliding-median example in §IV-C has
+mappers emitting into ``(-1,-1)-(10,10)`` for an input block of
+``(0,0)-(9,9)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Slab"]
+
+
+@dataclass(frozen=True)
+class Slab:
+    """An n-D box: ``corner[d] <= x[d] < corner[d] + shape[d]``."""
+
+    corner: tuple[int, ...]
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        corner = tuple(int(c) for c in self.corner)
+        shape = tuple(int(s) for s in self.shape)
+        object.__setattr__(self, "corner", corner)
+        object.__setattr__(self, "shape", shape)
+        if len(corner) != len(shape):
+            raise ValueError(f"corner {corner} and shape {shape} rank mismatch")
+        if not corner:
+            raise ValueError("slab must have at least one dimension")
+        if any(s < 0 for s in shape):
+            raise ValueError(f"shape must be non-negative, got {shape}")
+
+    # -- basic geometry -----------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.corner)
+
+    @property
+    def size(self) -> int:
+        """Number of cells (0 if any extent is 0)."""
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def end(self) -> tuple[int, ...]:
+        """Exclusive upper corner."""
+        return tuple(c + s for c, s in zip(self.corner, self.shape))
+
+    def is_empty(self) -> bool:
+        return self.size == 0
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        if len(point) != self.ndim:
+            raise ValueError(f"point rank {len(point)} != slab rank {self.ndim}")
+        return all(c <= p < c + s for p, c, s in zip(point, self.corner, self.shape))
+
+    def contains(self, other: "Slab") -> bool:
+        """True if ``other`` lies entirely inside this slab."""
+        self._check_rank(other)
+        if other.is_empty():
+            return True
+        return all(
+            sc <= oc and oc + osz <= sc + ssz
+            for sc, ssz, oc, osz in zip(self.corner, self.shape, other.corner, other.shape)
+        )
+
+    def intersect(self, other: "Slab") -> "Slab | None":
+        """The overlapping slab, or ``None`` if disjoint/empty."""
+        self._check_rank(other)
+        corner = []
+        shape = []
+        for sc, ssz, oc, osz in zip(self.corner, self.shape, other.corner, other.shape):
+            lo = max(sc, oc)
+            hi = min(sc + ssz, oc + osz)
+            if hi <= lo:
+                return None
+            corner.append(lo)
+            shape.append(hi - lo)
+        return Slab(tuple(corner), tuple(shape))
+
+    def expand(self, halo: int | Sequence[int]) -> "Slab":
+        """Grow by ``halo`` cells on every side (per-dimension if a sequence).
+
+        This is the "mapper taking input for (0,0)-(9,9) produces output in
+        (-1,-1)-(10,10)" operation from §IV-C.
+        """
+        halos = [halo] * self.ndim if isinstance(halo, int) else list(halo)
+        if len(halos) != self.ndim:
+            raise ValueError(f"halo rank {len(halos)} != slab rank {self.ndim}")
+        if any(h < 0 for h in halos):
+            raise ValueError(f"halo must be non-negative, got {halos}")
+        return Slab(
+            tuple(c - h for c, h in zip(self.corner, halos)),
+            tuple(s + 2 * h for s, h in zip(self.shape, halos)),
+        )
+
+    def clip(self, bounds: "Slab") -> "Slab | None":
+        """Alias for intersection, reading as 'restrict to bounds'."""
+        return self.intersect(bounds)
+
+    # -- iteration / conversion ---------------------------------------------
+
+    def coords(self) -> np.ndarray:
+        """All cell coordinates as an ``(size, ndim)`` int64 array, C order."""
+        if self.is_empty():
+            return np.zeros((0, self.ndim), dtype=np.int64)
+        axes = [np.arange(c, c + s, dtype=np.int64) for c, s in zip(self.corner, self.shape)]
+        grids = np.meshgrid(*axes, indexing="ij")
+        return np.stack([g.ravel() for g in grids], axis=1)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        """Iterate cell coordinates in C order (last dim fastest)."""
+        for row in self.coords():
+            yield tuple(int(v) for v in row)
+
+    def local_index(self, point: Sequence[int]) -> int:
+        """Row-major offset of ``point`` within this slab."""
+        if not self.contains_point(point):
+            raise ValueError(f"{tuple(point)} not inside {self}")
+        idx = 0
+        for p, c, s in zip(point, self.corner, self.shape):
+            idx = idx * s + (p - c)
+        return idx
+
+    # -- splitting ------------------------------------------------------------
+
+    def split(self, dim: int, at: int) -> tuple["Slab", "Slab"]:
+        """Cut along ``dim`` at absolute coordinate ``at`` (goes to the right half)."""
+        if not 0 <= dim < self.ndim:
+            raise ValueError(f"dim {dim} out of range for rank {self.ndim}")
+        lo, hi = self.corner[dim], self.corner[dim] + self.shape[dim]
+        if not lo < at < hi:
+            raise ValueError(f"cut {at} outside open interval ({lo}, {hi})")
+        left_shape = list(self.shape)
+        left_shape[dim] = at - lo
+        right_corner = list(self.corner)
+        right_corner[dim] = at
+        right_shape = list(self.shape)
+        right_shape[dim] = hi - at
+        return (
+            Slab(self.corner, tuple(left_shape)),
+            Slab(tuple(right_corner), tuple(right_shape)),
+        )
+
+    def grid_partition(self, chunks: Sequence[int]) -> list["Slab"]:
+        """Partition into an axis-aligned grid of roughly equal sub-slabs.
+
+        ``chunks[d]`` pieces along dimension ``d``; earlier pieces take the
+        remainder cells, matching how SciHadoop balances array splits.
+        """
+        if len(chunks) != self.ndim:
+            raise ValueError(f"chunks rank {len(chunks)} != slab rank {self.ndim}")
+        if any(c < 1 for c in chunks):
+            raise ValueError(f"chunk counts must be >= 1, got {chunks}")
+        if any(c > s for c, s in zip(chunks, self.shape)):
+            raise ValueError(f"cannot cut {self.shape} into {tuple(chunks)} pieces")
+        per_dim: list[list[tuple[int, int]]] = []
+        for d, nchunks in enumerate(chunks):
+            extent = self.shape[d]
+            base, rem = divmod(extent, nchunks)
+            pieces = []
+            start = self.corner[d]
+            for i in range(nchunks):
+                length = base + (1 if i < rem else 0)
+                pieces.append((start, length))
+                start += length
+            per_dim.append(pieces)
+        out: list[Slab] = []
+        idx = [0] * self.ndim
+        while True:
+            corner = tuple(per_dim[d][idx[d]][0] for d in range(self.ndim))
+            shape = tuple(per_dim[d][idx[d]][1] for d in range(self.ndim))
+            out.append(Slab(corner, shape))
+            d = self.ndim - 1
+            while d >= 0:
+                idx[d] += 1
+                if idx[d] < chunks[d]:
+                    break
+                idx[d] = 0
+                d -= 1
+            if d < 0:
+                return out
+
+    def _check_rank(self, other: "Slab") -> None:
+        if other.ndim != self.ndim:
+            raise ValueError(f"rank mismatch: {self.ndim} vs {other.ndim}")
+
+    def __repr__(self) -> str:
+        lo = ",".join(str(c) for c in self.corner)
+        hi = ",".join(str(e - 1) for e in self.end)
+        return f"Slab(({lo})-({hi}))"

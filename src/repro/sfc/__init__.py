@@ -1,0 +1,30 @@
+"""Space-filling curves (paper §IV).
+
+Key aggregation reduces the n-dimensional grouping problem (Fig 5, which
+the paper suspects is NP-hard) to one dimension by numbering cells along a
+space-filling curve and collapsing contiguous index runs into ranges
+(Fig 6).  The paper uses a Z-order curve "due to speed and ease of
+implementation" and cites Moon et al. for the Hilbert curve's better
+clustering; we implement both (plus row-major as the degenerate baseline)
+behind one vectorized interface so the A1 ablation can compare them.
+"""
+
+from repro.sfc.base import Curve, get_curve, register_curve, available_curves
+from repro.sfc.rowmajor import RowMajorCurve
+from repro.sfc.zorder import ZOrderCurve
+from repro.sfc.hilbert import HilbertCurve
+from repro.sfc.peano import PeanoCurve
+from repro.sfc.stats import box_range_count, clustering_report
+
+__all__ = [
+    "Curve",
+    "get_curve",
+    "register_curve",
+    "available_curves",
+    "RowMajorCurve",
+    "ZOrderCurve",
+    "HilbertCurve",
+    "PeanoCurve",
+    "box_range_count",
+    "clustering_report",
+]

@@ -1,0 +1,130 @@
+"""Peano curve (base-3), the paper's third curve candidate.
+
+§IV-A: "Other curves, such as the Hilbert curve or Peano curve could be
+used."  The Peano curve is the original (1890) space-filling curve; like
+Hilbert it is *continuous* -- consecutive indices are grid neighbours --
+but it divides each level into 3x3 (not 2x2) blocks traversed in a
+serpentine order.
+
+Construction (the standard n-D generalization): coordinates are read as
+base-3 digit rows, most significant level first.  Per level, the block
+is traversed serpentine-fashion -- dimension 0 slowest, and each later
+dimension's digit is reflected (``2 - d``) when the sum of the more
+significant digits at that level is odd -- and each dimension carries a
+cumulative reflection flag that toggles with the parity of the *other*
+dimensions' traversal digits, which is exactly what keeps consecutive
+subcells' entry/exit corners glued together.
+
+``bits`` is interpreted as base-3 *levels*: the curve covers
+``3**(ndim*bits)`` cells with side ``3**bits`` (the registry signature is
+shared with the binary curves; callers sizing a curve to a grid must use
+``ceil(log3(side))`` levels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sfc.base import Curve, register_curve
+
+__all__ = ["PeanoCurve"]
+
+
+@register_curve
+class PeanoCurve(Curve):
+    """Peano-order bijection between ``ndim``-D coordinates and indices."""
+
+    name = "peano"
+
+    def __init__(self, ndim: int, bits: int) -> None:
+        # base-3 geometry: validate without the binary base class rules
+        if ndim < 1:
+            raise ValueError(f"ndim must be >= 1, got {ndim}")
+        if bits < 1:
+            raise ValueError(f"bits (base-3 levels) must be >= 1, got {bits}")
+        # 3**(ndim*bits) must fit a signed 64-bit index
+        if ndim * bits * np.log2(3.0) > 62:
+            raise ValueError(
+                f"ndim*levels too large for int64 indices: {ndim}*{bits}"
+            )
+        self.ndim = ndim
+        self.bits = bits
+
+    @property
+    def side(self) -> int:
+        return 3 ** self.bits
+
+    @property
+    def size(self) -> int:
+        return 3 ** (self.ndim * self.bits)
+
+    # -- digit helpers ---------------------------------------------------------
+
+    def _coord_digits(self, coords: np.ndarray) -> np.ndarray:
+        """Base-3 digits of each coordinate: (npoints, ndim, levels),
+        most significant level first."""
+        n, nd = coords.shape
+        digits = np.empty((n, nd, self.bits), dtype=np.int64)
+        work = coords.copy()
+        for lvl in range(self.bits - 1, -1, -1):
+            digits[:, :, lvl] = work % 3
+            work //= 3
+        return digits
+
+    # -- encode / decode ---------------------------------------------------------
+
+    def encode(self, coords: np.ndarray) -> np.ndarray:
+        coords = self._check_coords(coords)
+        if coords.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        n, nd = coords.shape
+        digits = self._coord_digits(coords)
+        flips = np.zeros((n, nd), dtype=np.int64)  # parity flags per dim
+        index = np.zeros(n, dtype=np.int64)
+        for lvl in range(self.bits):
+            q = digits[:, :, lvl]
+            # undo the cumulative per-dimension reflection
+            p = np.where(flips & 1, 2 - q, q)
+            # undo the serpentine within-level reflection
+            t = np.empty_like(p)
+            prefix = np.zeros(n, dtype=np.int64)
+            for j in range(nd):
+                t[:, j] = np.where(prefix & 1, 2 - p[:, j], p[:, j])
+                prefix += t[:, j]
+            # accumulate index digits, dimension-major
+            for j in range(nd):
+                index = index * 3 + t[:, j]
+            # toggle each dim's flip with the parity of the others' digits
+            total = t.sum(axis=1)
+            flips += total[:, None] - t
+        return index
+
+    def decode(self, indices: np.ndarray) -> np.ndarray:
+        indices = self._check_indices(indices)
+        if indices.shape[0] == 0:
+            return np.zeros((0, self.ndim), dtype=np.int64)
+        n = indices.shape[0]
+        nd = self.ndim
+        # split the index into per-level digit groups, most significant first
+        groups = np.empty((n, self.bits, nd), dtype=np.int64)
+        work = indices.copy()
+        for lvl in range(self.bits - 1, -1, -1):
+            for j in range(nd - 1, -1, -1):
+                groups[:, lvl, j] = work % 3
+                work //= 3
+        flips = np.zeros((n, nd), dtype=np.int64)
+        coords = np.zeros((n, nd), dtype=np.int64)
+        for lvl in range(self.bits):
+            t = groups[:, lvl, :]
+            # apply the serpentine within-level reflection
+            p = np.empty_like(t)
+            prefix = np.zeros(n, dtype=np.int64)
+            for j in range(nd):
+                p[:, j] = np.where(prefix & 1, 2 - t[:, j], t[:, j])
+                prefix += t[:, j]
+            # apply the cumulative per-dimension reflection
+            q = np.where(flips & 1, 2 - p, p)
+            coords = coords * 3 + q
+            total = t.sum(axis=1)
+            flips += total[:, None] - t
+        return coords

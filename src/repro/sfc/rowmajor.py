@@ -1,0 +1,40 @@
+"""Row-major (C-order) linearization.
+
+Not a locality-preserving curve at all -- it is how the raw array is laid
+out on disk, and is the implicit ordering a naive per-cell key scheme
+produces.  Included as the baseline for the A1 clustering ablation: for a
+box query spanning ``k`` rows, row-major yields one range per row while
+Z-order/Hilbert yield far fewer once the box aligns with curve blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sfc.base import Curve, register_curve
+
+__all__ = ["RowMajorCurve"]
+
+
+@register_curve
+class RowMajorCurve(Curve):
+    """C-order index: last dimension varies fastest."""
+
+    name = "rowmajor"
+
+    def encode(self, coords: np.ndarray) -> np.ndarray:
+        coords = self._check_coords(coords)
+        out = np.zeros(coords.shape[0], dtype=np.int64)
+        for dim in range(self.ndim):
+            out = (out << self.bits) | coords[:, dim]
+        return out
+
+    def decode(self, indices: np.ndarray) -> np.ndarray:
+        indices = self._check_indices(indices)
+        coords = np.zeros((indices.shape[0], self.ndim), dtype=np.int64)
+        mask = self.side - 1
+        work = indices.copy()
+        for dim in range(self.ndim - 1, -1, -1):
+            coords[:, dim] = work & mask
+            work >>= self.bits
+        return coords

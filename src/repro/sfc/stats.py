@@ -1,0 +1,100 @@
+"""Clustering statistics for curves (ablation A1).
+
+Moon et al. (cited in §IV-A) analyze curve quality as the expected number
+of contiguous index runs ("clusters") covering a query region: fewer runs
+means fewer aggregate keys after coalescing, hence smaller intermediate
+data.  These helpers measure that directly for our curve implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.sfc.base import Curve
+
+__all__ = ["box_range_count", "clustering_report", "CurveClusterStats"]
+
+
+def _box_coords(corner: Sequence[int], shape: Sequence[int]) -> np.ndarray:
+    """All integer coordinates inside the axis-aligned box, as (N, ndim)."""
+    axes = [np.arange(c, c + s, dtype=np.int64) for c, s in zip(corner, shape)]
+    grids = np.meshgrid(*axes, indexing="ij")
+    return np.stack([g.ravel() for g in grids], axis=1)
+
+
+def box_range_count(curve: Curve, corner: Sequence[int], shape: Sequence[int]) -> int:
+    """Number of contiguous curve-index runs covering the box.
+
+    This is exactly the number of aggregate keys key-aggregation would emit
+    for a mapper whose output is this box (assuming no buffer flushes).
+    """
+    if len(corner) != curve.ndim or len(shape) != curve.ndim:
+        raise ValueError(
+            f"corner/shape must have {curve.ndim} entries, got {corner!r}/{shape!r}"
+        )
+    if any(s <= 0 for s in shape):
+        raise ValueError(f"box shape must be positive, got {shape!r}")
+    idx = np.sort(curve.encode(_box_coords(corner, shape)))
+    if idx.size == 0:
+        return 0
+    # A new run starts wherever the gap to the predecessor exceeds 1.
+    return int(1 + np.count_nonzero(np.diff(idx) > 1))
+
+
+@dataclass(frozen=True)
+class CurveClusterStats:
+    """Aggregate clustering quality of one curve over a set of query boxes."""
+
+    curve_name: str
+    boxes: int
+    mean_ranges: float
+    max_ranges: int
+    #: mean of (ranges / cells-in-box): 1/cells is perfect clustering
+    mean_ranges_per_cell: float
+
+
+def clustering_report(
+    curves: Sequence[Curve],
+    boxes: Sequence[tuple[Sequence[int], Sequence[int]]],
+) -> list[CurveClusterStats]:
+    """Measure range counts for each curve over each (corner, shape) box.
+
+    Returns one row per curve, in input order, ready for the A1 bench to
+    print.  Curves must share ndim and every box must fit inside every
+    curve's side (sides may differ: base-3 curves cover the next power
+    of three).
+    """
+    if not curves:
+        return []
+    ndim = curves[0].ndim
+    for c in curves[1:]:
+        if c.ndim != ndim:
+            raise ValueError("all curves must share ndim")
+    for corner, shape in boxes:
+        for c in curves:
+            hi = max(cc + ss for cc, ss in zip(corner, shape))
+            if hi > c.side:
+                raise ValueError(
+                    f"box ({corner}, {shape}) exceeds curve {c.name} side {c.side}"
+                )
+    rows: list[CurveClusterStats] = []
+    for curve in curves:
+        counts = []
+        per_cell = []
+        for corner, shape in boxes:
+            n_ranges = box_range_count(curve, corner, shape)
+            counts.append(n_ranges)
+            per_cell.append(n_ranges / float(np.prod(shape)))
+        rows.append(
+            CurveClusterStats(
+                curve_name=curve.name,
+                boxes=len(boxes),
+                mean_ranges=float(np.mean(counts)),
+                max_ranges=int(np.max(counts)),
+                mean_ranges_per_cell=float(np.mean(per_cell)),
+            )
+        )
+    return rows

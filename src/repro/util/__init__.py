@@ -1,0 +1,39 @@
+"""Low-level utilities shared by every subsystem.
+
+This package hosts the byte-level plumbing that the rest of the
+reproduction builds on:
+
+* :mod:`repro.util.varint` -- Hadoop ``WritableUtils``-compatible
+  variable-length integer encoding (the framing used by the IFile
+  intermediate format).
+* :mod:`repro.util.bytebuf` -- growable byte buffers and chunked stream
+  adapters used by serializers and codecs.
+* :mod:`repro.util.timing` -- lightweight CPU accounting used to attribute
+  codec/transform cost in the cluster simulator.
+* :mod:`repro.util.rng` -- deterministic random-number helpers so every
+  experiment is reproducible bit-for-bit.
+"""
+
+from repro.util.varint import (
+    read_vint,
+    read_vlong,
+    vint_size,
+    write_vint,
+    write_vlong,
+)
+from repro.util.bytebuf import ByteBuffer, ChunkReader
+from repro.util.timing import CostClock, Stopwatch
+from repro.util.rng import make_rng
+
+__all__ = [
+    "read_vint",
+    "read_vlong",
+    "vint_size",
+    "write_vint",
+    "write_vlong",
+    "ByteBuffer",
+    "ChunkReader",
+    "CostClock",
+    "Stopwatch",
+    "make_rng",
+]

@@ -1,0 +1,87 @@
+"""Growable byte buffers and chunked readers.
+
+Serializers in :mod:`repro.mapreduce` append into a :class:`ByteBuffer`
+instead of concatenating ``bytes`` objects (quadratic); codecs and the
+stride transform consume input through :class:`ChunkReader` so that
+arbitrarily large intermediate files stream with constant memory, matching
+the paper's requirement that all shuffle-path algorithms be streaming
+(§IV-D: "the aggregation and sort/merge/split code is all based on
+streaming algorithms").
+"""
+
+from __future__ import annotations
+
+from typing import BinaryIO, Iterator
+
+__all__ = ["ByteBuffer", "ChunkReader"]
+
+
+class ByteBuffer:
+    """A growable byte buffer with explicit position accounting.
+
+    Thin convenience wrapper over :class:`bytearray` that tracks how many
+    bytes have been appended, which the IFile writer uses for record
+    offsets and spill thresholds.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, initial: bytes | bytearray | None = None) -> None:
+        self._data = bytearray(initial or b"")
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def write(self, chunk: bytes | bytearray | memoryview) -> int:
+        """Append ``chunk``; return number of bytes written."""
+        self._data.extend(chunk)
+        return len(chunk)
+
+    def write_byte(self, b: int) -> None:
+        """Append a single byte value in ``[0, 255]``."""
+        self._data.append(b)
+
+    @property
+    def raw(self) -> bytearray:
+        """The underlying mutable storage (no copy)."""
+        return self._data
+
+    def getvalue(self) -> bytes:
+        """An immutable snapshot of the contents."""
+        return bytes(self._data)
+
+    def clear(self) -> None:
+        """Discard all contents, retaining the allocation."""
+        self._data.clear()
+
+    def view(self) -> memoryview:
+        """A zero-copy read-only view of the contents."""
+        return memoryview(self._data).toreadonly()
+
+
+class ChunkReader:
+    """Iterate a binary stream (or in-memory bytes) in fixed-size chunks.
+
+    The stride codec processes its input one chunk at a time; this adapter
+    lets the same code path serve file handles and in-memory buffers.
+    """
+
+    def __init__(self, source: bytes | bytearray | memoryview | BinaryIO,
+                 chunk_size: int = 1 << 16) -> None:
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self._source = source
+        self.chunk_size = chunk_size
+
+    def __iter__(self) -> Iterator[bytes]:
+        src = self._source
+        if isinstance(src, (bytes, bytearray, memoryview)):
+            data = memoryview(src)
+            for off in range(0, len(data), self.chunk_size):
+                yield bytes(data[off:off + self.chunk_size])
+            return
+        while True:
+            chunk = src.read(self.chunk_size)
+            if not chunk:
+                return
+            yield chunk

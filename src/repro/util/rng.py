@@ -1,0 +1,23 @@
+"""Deterministic random-number helpers.
+
+Every workload generator takes a seed so that benchmark rows are
+reproducible run-to-run; all randomness flows through
+:func:`make_rng` so there is exactly one convention in the codebase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng"]
+
+_DEFAULT_SEED = 0x5C1_44D0_0  # "SciHadoop", loosely
+
+
+def make_rng(seed: int | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` seeded deterministically.
+
+    ``None`` selects the project-wide default seed (NOT entropy): repeated
+    calls with the same argument always produce identical streams.
+    """
+    return np.random.default_rng(_DEFAULT_SEED if seed is None else seed)

@@ -1,0 +1,96 @@
+"""CPU-time accounting used to cost the shuffle path.
+
+The cluster simulator (§2 of DESIGN.md) turns measured per-task CPU
+seconds and byte counts into a simulated wall clock.  Two small pieces:
+
+* :class:`Stopwatch` -- measure a code region with ``time.perf_counter``.
+* :class:`CostClock` -- accumulate named cost categories (``map``,
+  ``codec``, ``sort`` ...) so a task can report where its CPU went; this is
+  how we reproduce the paper's observation that the stride transform costs
+  roughly 2.9x gzip and therefore *increases* total runtime (§III-E)
+  despite shrinking the data.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["Stopwatch", "CostClock"]
+
+
+class Stopwatch:
+    """Accumulating stopwatch over ``time.perf_counter``."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def start(self) -> "Stopwatch":
+        if self._start is not None:
+            raise RuntimeError("stopwatch already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch not running")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    @contextmanager
+    def running(self) -> Iterator["Stopwatch"]:
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+class CostClock:
+    """Accumulate CPU seconds per named category.
+
+    >>> clock = CostClock()
+    >>> with clock.measure("codec"):
+    ...     pass
+    >>> clock.total() >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._costs: dict[str, float] = defaultdict(float)
+
+    @contextmanager
+    def measure(self, category: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._costs[category] += time.perf_counter() - start
+
+    def add(self, category: str, seconds: float) -> None:
+        """Directly charge ``seconds`` to ``category``."""
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time: {seconds}")
+        self._costs[category] += seconds
+
+    def get(self, category: str) -> float:
+        return self._costs.get(category, 0.0)
+
+    def total(self) -> float:
+        return sum(self._costs.values())
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._costs)
+
+    def merge(self, other: "CostClock") -> None:
+        """Fold another clock's categories into this one."""
+        for category, seconds in other._costs.items():
+            self._costs[category] += seconds

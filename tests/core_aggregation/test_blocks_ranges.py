@@ -1,0 +1,218 @@
+"""Tests for value blocks and range coalescing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregation import (
+    BlockSerde,
+    ValueBlock,
+    coalesce_indices,
+    layered_runs,
+)
+
+
+class TestValueBlock:
+    def test_dense_construction(self):
+        b = ValueBlock(3, np.array([1, 2, 3]))
+        assert b.is_dense()
+        assert b.valid_cells == 3
+
+    def test_masked_construction(self):
+        b = ValueBlock(4, np.array([7, 9]), np.array([True, False, False, True]))
+        assert not b.is_dense()
+        assert b.valid_cells == 2
+
+    def test_full_mask_canonicalizes_to_dense(self):
+        b = ValueBlock(2, np.array([1, 2]), np.array([True, True]))
+        assert b.is_dense()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ValueBlock(0, np.array([]))
+        with pytest.raises(ValueError):
+            ValueBlock(2, np.array([1]))  # dense count mismatch
+        with pytest.raises(ValueError):
+            ValueBlock(2, np.array([1]), np.array([True, True]))  # mask/values
+        with pytest.raises(ValueError):
+            ValueBlock(3, np.array([1]), np.array([True, False]))  # mask length
+
+    def test_slice_dense(self):
+        b = ValueBlock(5, np.arange(5))
+        s = b.slice(1, 4)
+        assert s.count == 3
+        assert (s.values == [1, 2, 3]).all()
+
+    def test_slice_masked(self):
+        mask = np.array([True, False, True, True, False])
+        b = ValueBlock(5, np.array([10, 20, 30]), mask)
+        s = b.slice(1, 4)  # covers cells 1,2,3 -> valid values 20, 30
+        assert s.count == 3
+        assert (s.values == [20, 30]).all()
+        assert (s.dense_mask() == [False, True, True]).all()
+
+    def test_slice_validation(self):
+        b = ValueBlock(3, np.arange(3))
+        with pytest.raises(ValueError):
+            b.slice(2, 2)
+        with pytest.raises(ValueError):
+            b.slice(-1, 2)
+        with pytest.raises(ValueError):
+            b.slice(0, 4)
+
+    def test_expand(self):
+        b = ValueBlock(2, np.array([5, 6]))
+        e = b.expand(1, 2)
+        assert e.count == 5
+        assert (e.dense_mask() == [False, True, True, False, False]).all()
+        assert (e.values == [5, 6]).all()
+        assert b.expand(0, 0) is b
+
+    def test_expand_validation(self):
+        with pytest.raises(ValueError):
+            ValueBlock(1, np.array([1])).expand(-1, 0)
+
+    def test_equality(self):
+        a = ValueBlock(2, np.array([1, 2]))
+        b = ValueBlock(2, np.array([1, 2]))
+        c = ValueBlock(2, np.array([1], dtype=np.int64), np.array([True, False]))
+        assert a == b
+        assert a != c
+        assert a != "nope"
+
+
+class TestBlockSerde:
+    def test_dense_roundtrip(self):
+        s = BlockSerde(np.int32)
+        b = ValueBlock(4, np.array([1, -2, 3, 4], dtype=np.int32))
+        assert s.from_bytes(s.to_bytes(b)) == b
+
+    def test_masked_roundtrip(self):
+        s = BlockSerde(np.int32)
+        b = ValueBlock(10, np.arange(4, dtype=np.int32),
+                       np.array([1, 0, 0, 1, 0, 1, 0, 0, 0, 1], dtype=bool))
+        out = s.from_bytes(s.to_bytes(b))
+        assert out == b
+
+    def test_dense_wire_size(self):
+        s = BlockSerde(np.int32)
+        b = ValueBlock(100, np.zeros(100, dtype=np.int32))
+        # flag + vint(100) + 400 value bytes: zero per-value overhead
+        assert len(s.to_bytes(b)) == 1 + 1 + 400
+
+    def test_masked_wire_size(self):
+        s = BlockSerde(np.int32)
+        b = ValueBlock(16, np.zeros(4, dtype=np.int32),
+                       np.array([True] * 4 + [False] * 12))
+        assert len(s.to_bytes(b)) == 1 + 1 + 2 + 16  # flag, vint, bitmap, values
+
+    def test_corrupt_flag(self):
+        s = BlockSerde(np.int32)
+        blob = bytearray(s.to_bytes(ValueBlock(1, np.array([1], dtype=np.int32))))
+        blob[0] = 9
+        with pytest.raises(ValueError):
+            s.from_bytes(bytes(blob))
+
+    def test_truncation(self):
+        s = BlockSerde(np.int32)
+        blob = s.to_bytes(ValueBlock(2, np.array([1, 2], dtype=np.int32)))
+        with pytest.raises(ValueError):
+            s.from_bytes(blob[:-1])
+        with pytest.raises(ValueError):
+            s.from_bytes(b"")
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=40))
+    def test_masked_roundtrip_property(self, mask_list):
+        mask = np.array(mask_list)
+        values = np.arange(int(mask.sum()), dtype=np.int32)
+        if mask.sum() == 0:
+            return  # block with zero valid cells is legal; check separately
+        s = BlockSerde(np.int32)
+        b = ValueBlock(len(mask_list), values, mask)
+        assert s.from_bytes(s.to_bytes(b)) == b
+
+    def test_all_invalid_mask(self):
+        s = BlockSerde(np.int32)
+        b = ValueBlock(3, np.zeros(0, dtype=np.int32), np.zeros(3, dtype=bool))
+        assert s.from_bytes(s.to_bytes(b)) == b
+
+
+class TestCoalesce:
+    def test_fig6_example(self):
+        """The paper's Fig 6: cells -> ranges '1-2, 7, 9-10, 13'."""
+        runs = coalesce_indices(np.array([1, 2, 7, 9, 10, 13]))
+        assert runs == [(1, 2), (7, 1), (9, 2), (13, 1)]
+
+    def test_single_run(self):
+        assert coalesce_indices(np.arange(5, 20)) == [(5, 15)]
+
+    def test_empty(self):
+        assert coalesce_indices(np.array([], dtype=np.int64)) == []
+
+    def test_rejects_duplicates_and_unsorted(self):
+        with pytest.raises(ValueError):
+            coalesce_indices(np.array([1, 1, 2]))
+        with pytest.raises(ValueError):
+            coalesce_indices(np.array([2, 1]))
+        with pytest.raises(ValueError):
+            coalesce_indices(np.array([[1, 2]]))
+
+
+class TestLayeredRuns:
+    def test_no_duplicates_single_layer(self):
+        runs = layered_runs(np.array([3, 1, 2, 7]), np.array([30, 10, 20, 70]))
+        assert [(s, c) for s, c, _ in runs] == [(1, 3), (7, 1)]
+        assert (runs[0][2] == [10, 20, 30]).all()
+        assert (runs[1][2] == [70]).all()
+
+    def test_duplicates_spread_into_layers(self):
+        idx = np.array([0, 1, 2, 0, 1, 2])
+        val = np.array([1, 2, 3, 4, 5, 6])
+        runs = layered_runs(idx, val)
+        assert [(s, c) for s, c, _ in runs] == [(0, 3), (0, 3)]
+        assert (runs[0][2] == [1, 2, 3]).all()
+        assert (runs[1][2] == [4, 5, 6]).all()
+
+    def test_stability_within_duplicates(self):
+        idx = np.array([5, 5, 5])
+        val = np.array([9, 8, 7])
+        runs = layered_runs(idx, val)
+        assert [r[2][0] for r in runs] == [9, 8, 7]
+
+    def test_mixed_multiplicity(self):
+        idx = np.array([0, 1, 1, 3])
+        val = np.array([0, 10, 11, 30])
+        runs = layered_runs(idx, val)
+        assert [(s, c) for s, c, _ in runs] == [(0, 2), (3, 1), (1, 1)]
+
+    def test_empty(self):
+        assert layered_runs(np.array([]), np.array([])) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            layered_runs(np.array([1, 2]), np.array([1]))
+        with pytest.raises(ValueError):
+            layered_runs(np.array([[1]]), np.array([1]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 30), min_size=0, max_size=60))
+    def test_conservation_property(self, idx_list):
+        """Every (index, value) pair appears in exactly one run."""
+        idx = np.array(idx_list, dtype=np.int64)
+        val = np.arange(len(idx_list))
+        runs = layered_runs(idx, val)
+        seen = []
+        for start, count, values in runs:
+            assert len(values) == count
+            for j, v in enumerate(values):
+                seen.append((start + j, int(v)))
+        assert sorted(seen) == sorted(zip(idx_list, range(len(idx_list))))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=60))
+    def test_runs_are_contiguous_property(self, idx_list):
+        idx = np.array(idx_list, dtype=np.int64)
+        val = np.zeros(len(idx_list))
+        for start, count, values in layered_runs(idx, val):
+            assert count >= 1 and start >= 0

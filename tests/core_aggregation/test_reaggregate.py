@@ -1,0 +1,130 @@
+"""Tests for reducer-side re-aggregation (§IV-B future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregation import ValueBlock, split_overlaps
+from repro.core.aggregation.reaggregate import concat_blocks, merge_adjacent_groups
+from repro.mapreduce.keys import RangeKey
+
+
+def dense(count, base=0):
+    return ValueBlock(count, np.arange(base, base + count))
+
+
+class TestConcatBlocks:
+    def test_dense(self):
+        out = concat_blocks(dense(2), dense(3, 10))
+        assert out.count == 5
+        assert (out.values == [0, 1, 10, 11, 12]).all()
+        assert out.is_dense()
+
+    def test_masked(self):
+        a = ValueBlock(3, np.array([7]), np.array([False, True, False]))
+        out = concat_blocks(a, dense(2, 50))
+        assert out.count == 5
+        assert (out.values == [7, 50, 51]).all()
+        assert (out.dense_mask() == [0, 1, 0, 1, 1]).all()
+
+
+class TestMergeAdjacentGroups:
+    def test_adjacent_equal_depth_groups_fuse(self):
+        pairs = [
+            (RangeKey("v", 0, 5), dense(5)),
+            (RangeKey("v", 0, 5), dense(5, 100)),
+            (RangeKey("v", 5, 3), dense(3, 50)),
+            (RangeKey("v", 5, 3), dense(3, 150)),
+        ]
+        out = merge_adjacent_groups(pairs)
+        assert [(k.start, k.count) for k, _ in out] == [(0, 8), (0, 8)]
+        assert (out[0][1].values == list(range(5)) + [50, 51, 52]).all()
+        assert (out[1][1].values
+                == list(range(100, 105)) + [150, 151, 152]).all()
+
+    def test_depth_mismatch_blocks_merge(self):
+        pairs = [
+            (RangeKey("v", 0, 5), dense(5)),
+            (RangeKey("v", 5, 3), dense(3)),
+            (RangeKey("v", 5, 3), dense(3)),
+        ]
+        out = merge_adjacent_groups(pairs)
+        assert [(k.start, k.count) for k, _ in out] == [(0, 5), (5, 3), (5, 3)]
+
+    def test_gap_blocks_merge(self):
+        pairs = [
+            (RangeKey("v", 0, 5), dense(5)),
+            (RangeKey("v", 6, 3), dense(3)),
+        ]
+        out = merge_adjacent_groups(pairs)
+        assert len(out) == 2
+
+    def test_variable_boundary_blocks_merge(self):
+        pairs = [
+            (RangeKey("a", 0, 5), dense(5)),
+            (RangeKey("b", 5, 3), dense(3)),
+        ]
+        out = merge_adjacent_groups(pairs)
+        assert len(out) == 2
+
+    def test_chain_merge(self):
+        pairs = [(RangeKey("v", i * 4, 4), dense(4, i * 100)) for i in range(5)]
+        out = merge_adjacent_groups(pairs)
+        assert len(out) == 1
+        assert out[0][0] == RangeKey("v", 0, 20)
+
+    def test_empty(self):
+        assert merge_adjacent_groups([]) == []
+
+    def test_after_overlap_split_per_cell_values_preserved(self):
+        """End-to-end invariant: split then re-aggregate preserves every
+        cell's value multiset."""
+        pairs = [
+            (RangeKey("v", 0, 10), dense(10)),
+            (RangeKey("v", 5, 10), dense(10, 100)),
+            (RangeKey("v", 15, 5), dense(5, 200)),
+        ]
+
+        def cell_values(ps):
+            cells = {}
+            for k, b in ps:
+                mask = b.dense_mask()
+                vi = 0
+                for off in range(k.count):
+                    if mask[off]:
+                        cells.setdefault(k.start + off, []).append(
+                            int(b.values[vi]))
+                        vi += 1
+            return {c: sorted(v) for c, v in cells.items()}
+
+        split = split_overlaps(pairs)
+        merged = merge_adjacent_groups(split)
+        assert cell_values(merged) == cell_values(pairs)
+        assert len(merged) <= len(split)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(1, 8)),
+                    min_size=1, max_size=8))
+    def test_property_split_then_merge_preserves_cells(self, spans):
+        pairs = [(RangeKey("v", s, c), dense(c, i * 1000))
+                 for i, (s, c) in enumerate(spans)]
+
+        def cells(ps):
+            acc = []
+            for k, b in ps:
+                mask = b.dense_mask()
+                vi = 0
+                for off in range(k.count):
+                    if mask[off]:
+                        acc.append((k.start + off, int(b.values[vi])))
+                        vi += 1
+            return sorted(acc)
+
+        split = split_overlaps(pairs)
+        merged = merge_adjacent_groups(split)
+        assert cells(merged) == cells(pairs)
+        # groups in the merged stream remain adjacent-equal-key runs
+        keys = [k for k, _ in merged]
+        for i in range(1, len(keys)):
+            a, b = keys[i - 1], keys[i]
+            assert a == b or not a.overlaps(b)

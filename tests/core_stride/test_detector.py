@@ -1,0 +1,110 @@
+"""Tests for the adaptive detector's active-set mechanics (§III-A)."""
+
+import numpy as np
+
+from repro.core.stride.detector import StrideDetector
+from repro.core.stride.model import StrideConfig, StrideState
+
+
+def feed(det: StrideDetector, data: bytes) -> None:
+    for i, x in enumerate(data):
+        det.observe(i, x)
+
+
+class TestActiveSet:
+    def test_starts_with_full_set(self):
+        det = StrideDetector(StrideConfig(max_stride=10))
+        assert det.active_strides == list(range(1, 11))
+
+    def test_noise_prunes_most_strides(self):
+        rng = np.random.default_rng(0)
+        det = StrideDetector(StrideConfig(max_stride=20))
+        feed(det, rng.integers(0, 256, 8192, dtype=np.uint8).tobytes())
+        # Random bytes cannot sustain 5/6 hit rates; nearly everything is
+        # pruned (one stride may have just been re-selected).
+        assert len(det.active_strides) <= 3
+
+    def test_periodic_keeps_true_stride(self):
+        period = 7
+        data = bytes(range(period)) * 2000
+        det = StrideDetector(StrideConfig(max_stride=20))
+        feed(det, data)
+        active = det.active_strides
+        assert any(s % period == 0 for s in active), active
+
+    def test_brute_force_never_prunes(self):
+        rng = np.random.default_rng(1)
+        det = StrideDetector(StrideConfig(max_stride=15, adaptive=False))
+        feed(det, rng.integers(0, 256, 4096, dtype=np.uint8).tobytes())
+        assert det.active_strides == list(range(1, 16))
+
+    def test_pruned_stride_reactivates_after_input_change(self):
+        cfg = StrideConfig(max_stride=8)
+        det = StrideDetector(cfg)
+        rng = np.random.default_rng(2)
+        noise = rng.integers(0, 256, 4096, dtype=np.uint8).tobytes()
+        periodic = bytes(range(4)) * 2048
+        data = noise + periodic
+        feed(det, data)
+        # After the input turns periodic, the selection cycle must have
+        # brought a multiple of 4 back into the active set.
+        assert any(s % 4 == 0 for s in det.active_strides), det.active_strides
+
+    def test_settling_time_protects_young_strides(self):
+        # With an enormous settling factor nothing can ever be pruned.
+        cfg = StrideConfig(max_stride=10, settle_factor=10**9)
+        det = StrideDetector(cfg)
+        rng = np.random.default_rng(3)
+        feed(det, rng.integers(0, 256, 2048, dtype=np.uint8).tobytes())
+        assert det.active_strides == list(range(1, 11))
+
+
+class TestPrediction:
+    def test_no_prediction_before_history(self):
+        det = StrideDetector(StrideConfig(max_stride=5))
+        assert det.predict(0) is None
+
+    def test_prediction_requires_run_above_threshold(self):
+        det = StrideDetector(StrideConfig(max_stride=3, run_threshold=2))
+        data = bytes([1, 1, 1, 1])  # stride-1 runs: after 4 bytes run=3
+        for i, x in enumerate(data):
+            assert det.predict(i) is None or i >= 3
+            det.observe(i, x)
+        # run length for stride 1 is now 3 > 2: prediction available
+        assert det.predict(len(data)) == 1
+
+    def test_constant_stream_predicts_delta_zero(self):
+        det = StrideDetector(StrideConfig(max_stride=4))
+        data = bytes([9]) * 100
+        for i, x in enumerate(data):
+            det.observe(i, x)
+        assert det.predict(100) == 9
+
+    def test_linear_sequence_predicts_with_delta(self):
+        det = StrideDetector(StrideConfig(max_stride=4))
+        data = bytes([(3 * k) & 0xFF for k in range(100)])  # delta=3, stride 1
+        for i, x in enumerate(data):
+            det.observe(i, x)
+        assert det.predict(100) == (data[-1] + 3) & 0xFF
+
+
+class TestHitAccounting:
+    def test_hit_rate_zero_without_attempts(self):
+        st = StrideState(stride=3, position=0)
+        assert st.hit_rate() == 0.0
+
+    def test_hits_accumulate_on_periodic_stream(self):
+        det = StrideDetector(StrideConfig(max_stride=4))
+        feed(det, bytes([5, 6]) * 300)
+        st = det.state_of(2)
+        assert st is not None
+        assert st.attempts > 0
+        assert st.hits / st.attempts > 0.9
+
+    def test_state_of_inactive_is_none(self):
+        det = StrideDetector(StrideConfig(max_stride=5))
+        rng = np.random.default_rng(4)
+        feed(det, rng.integers(0, 256, 4096, dtype=np.uint8).tobytes())
+        pruned = set(range(1, 6)) - set(det.active_strides)
+        assert pruned
+        assert det.state_of(next(iter(pruned))) is None

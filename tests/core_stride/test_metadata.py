@@ -1,0 +1,97 @@
+"""Tests for metadata-derived stride prediction (§III)."""
+
+import bz2
+
+import pytest
+
+from repro.core.stride import dominant_sequences, fixed_forward_transform
+from repro.core.stride.metadata import StrideAdvice, advise_strides, record_pitch
+from repro.experiments.fig2_stream import key_stream, seqfile_key_stream
+from repro.mapreduce.keys import CellKeySerde
+
+
+class TestRecordPitch:
+    def test_ifile_pitch_matches_fig2_stream(self):
+        serde = CellKeySerde(ndim=3, variable_mode="name")
+        assert record_pitch(serde, "windspeed1", 4, "ifile") == 33
+
+    def test_seqfile_pitch_is_47_for_paper_layout(self):
+        serde = CellKeySerde(ndim=3, variable_mode="name", coord_width=8,
+                             include_slot=False)
+        assert record_pitch(serde, "windspeed1", 4, "seqfile") == 47
+
+    def test_raw_pitch(self):
+        serde = CellKeySerde(ndim=3, variable_mode="index")
+        assert record_pitch(serde, 0, 4, "raw") == 24
+
+    def test_validation(self):
+        serde = CellKeySerde(ndim=2)
+        with pytest.raises(ValueError):
+            record_pitch(serde, "v", -1)
+        with pytest.raises(ValueError):
+            record_pitch(serde, "v", 4, "parquet")
+
+
+class TestAdvise:
+    def test_candidates_include_rollovers(self):
+        serde = CellKeySerde(ndim=3, variable_mode="index")
+        # pitch: vint(20)=1, vint(4)=1, 20, 4 -> 26
+        advice = advise_strides(serde, 0, 4, shape=(8, 3, 2), max_stride=200)
+        assert advice.record_pitch == 26
+        assert 26 in advice.candidates
+        assert 26 * 2 in advice.candidates      # dim -2 rollover
+        assert 26 * 6 in advice.candidates      # dim -3 rollover
+        assert advice.caveats == ()
+
+    def test_rollovers_clipped_to_max_stride(self):
+        serde = CellKeySerde(ndim=2, variable_mode="index")
+        advice = advise_strides(serde, 0, 4, shape=(100, 100), max_stride=50)
+        assert advice.candidates == (advice.record_pitch,)
+
+    def test_seqfile_caveat(self):
+        serde = CellKeySerde(ndim=3, variable_mode="name", coord_width=8,
+                             include_slot=False)
+        advice = advise_strides(serde, "windspeed1", 4, shape=(12, 12, 12),
+                                framing="seqfile")
+        assert advice.caveats
+        assert "sync" in advice.caveats[0]
+
+    def test_validation(self):
+        serde = CellKeySerde(ndim=2)
+        with pytest.raises(ValueError):
+            advise_strides(serde, "v", 4, shape=(3,))
+        with pytest.raises(ValueError):
+            advise_strides(serde, "v", 4, shape=(0, 3))
+
+
+class TestAdviceAgreesWithDetection:
+    def test_predicted_pitch_is_detected_dominant_stride(self):
+        """Metadata and measurement must agree on the record pitch."""
+        serde = CellKeySerde(ndim=3, variable_mode="name")
+        advice = advise_strides(serde, "windspeed1", 4, shape=(12, 12, 12))
+        data = key_stream(side=12)
+        reports = dominant_sequences(data, max_stride=100, top=5,
+                                     min_hold_rate=0.6)
+        assert any(r.stride % advice.record_pitch == 0 for r in reports)
+
+    def test_advised_stride_compresses_like_detected(self):
+        """Feeding the advice to the fixed transform must beat a wrong
+        stride decisively."""
+        data = key_stream(side=10)
+        serde = CellKeySerde(ndim=3, variable_mode="name")
+        advice = advise_strides(serde, "windspeed1", 4, shape=(10, 10, 10))
+        good = len(bz2.compress(
+            fixed_forward_transform(data, list(advice.candidates)), 9))
+        bad = len(bz2.compress(fixed_forward_transform(data, [29]), 9))
+        assert good < bad / 2
+
+    def test_seqfile_advice_matches_fig2(self):
+        serde = CellKeySerde(ndim=3, variable_mode="name", coord_width=8,
+                             include_slot=False)
+        advice = advise_strides(serde, "windspeed1", 4, shape=(12, 12, 12),
+                                framing="seqfile")
+        assert advice.record_pitch == 47
+        data = seqfile_key_stream(side=12)
+        reports = dominant_sequences(data, max_stride=100, top=5,
+                                     min_hold_rate=0.6)
+        assert {r.stride for r in reports} == {47}

@@ -1,0 +1,48 @@
+"""Tests for the experiment CLI."""
+
+import os
+
+import pytest
+
+from repro.cli import experiment_ids, main
+
+
+class TestList:
+    def test_list_prints_all_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in experiment_ids():
+            assert exp_id in out
+
+    def test_known_ids_present(self):
+        ids = experiment_ids()
+        for expected in ["E1", "E3", "E7", "A1", "A6", "A8", "F6"]:
+            assert expected in ids
+
+
+class TestRun:
+    def test_run_fast_experiment(self, capsys):
+        assert main(["run", "F6"]) == 0
+        out = capsys.readouterr().out
+        assert "1-2, 7, 9-10, 13" in out
+
+    def test_run_is_case_insensitive(self, capsys):
+        assert main(["run", "f5"]) == 0
+        assert "ambiguity" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "Z9"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_scale_flag_sets_env(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert main(["run", "F7", "--scale", "0.5"]) == 0
+        assert os.environ.get("REPRO_SCALE") == "0.5"
+
+    def test_negative_scale_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "F7", "--scale", "-1"])
+
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,146 @@
+"""Tests for the experiment harnesses (small sizes; benches run larger)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    ExperimentResult,
+    fmt_bytes,
+    get_scale,
+    pct,
+    scaled,
+)
+from repro.experiments.e1_motivation import run as e1_run
+from repro.experiments.fig2_stream import hexdump, key_stream, run as e2_run
+from repro.experiments.fig3_table import run as e3_run, run_stride_choice
+from repro.experiments.fig4_scaling import fit_linearity, run as e4_run
+from repro.experiments.fig8_aggregation import run as e7_run
+from repro.experiments.figures_5_6_7 import run_fig5, run_fig6, run_fig7
+
+
+class TestCommon:
+    def test_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale(0.5) == 0.5
+        monkeypatch.setenv("REPRO_SCALE", "1.0")
+        assert get_scale(0.5) == 1.0
+        assert scaled(100, 0.5) == 100
+        monkeypatch.setenv("REPRO_SCALE", "abc")
+        with pytest.raises(ValueError):
+            get_scale(0.5)
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            get_scale(0.5)
+
+    def test_scaled_minimum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.0001")
+        assert scaled(100, 1.0, minimum=5) == 5
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(10) == "10 B"
+        assert fmt_bytes(2048) == "2.00 KiB"
+        assert "MiB" in fmt_bytes(5 << 20)
+
+    def test_pct(self):
+        assert pct(50, 100) == -50.0
+        with pytest.raises(ValueError):
+            pct(1, 0)
+
+    def test_result_table(self):
+        r = ExperimentResult("X", "title", ["a", "b"])
+        r.add(a=1, b="x")
+        r.note("hello")
+        text = r.format_table()
+        assert "X" in text and "hello" in text and "1" in text
+        assert r.column("a") == [1]
+        assert r.row_by("b", "x")["a"] == 1
+        with pytest.raises(KeyError):
+            r.column("c")
+        with pytest.raises(KeyError):
+            r.row_by("a", 99)
+        with pytest.raises(ValueError):
+            r.add(a=1)  # missing column
+
+
+class TestE1:
+    def test_small_grid_constants(self):
+        result = e1_run(side=10)
+        index_row = result.row_by("variable_as", "index")
+        assert index_row["file_bytes"] == 26 * 1000 + 6
+        name_row = result.row_by("variable_as", "name")
+        assert name_row["file_bytes"] == 33 * 1000 + 6
+        assert name_row["key_value_ratio"] == 6.75
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            e1_run(side=0)
+
+
+class TestE2:
+    def test_key_stream_record_pitch(self):
+        data = key_stream(side=4)
+        assert len(data) == 64 * 33  # 33 bytes per framed record
+
+    def test_hexdump(self):
+        lines = hexdump(b"windspeed1\x00\xff", rows=1, width=12)
+        assert "windspeed1" in lines[0]
+        assert "ff" in lines[0]
+
+    def test_run_finds_pitch(self):
+        result = e2_run(side=8)
+        assert any(s % 33 == 0 for s in result.column("stride"))
+
+
+class TestE3:
+    def test_small_run_shape(self):
+        result = e3_run(side=12)
+        methods = result.column("method")
+        assert methods[0] == "original"
+        tg = result.row_by("method", "transform+gzip")["file_bytes"]
+        g = result.row_by("method", "gzip")["file_bytes"]
+        assert tg < g
+
+    def test_stride_choice_rows(self):
+        result = run_stride_choice(side=10)
+        assert len(result.rows) == 3
+        assert all(r["bz2_bytes"] > 0 for r in result.rows)
+
+
+class TestE4:
+    def test_fit_linearity(self):
+        slope, intercept, r2 = fit_linearity(
+            [10, 20, 30, 40], [1.0, 2.0, 3.0, 4.0])
+        assert slope == pytest.approx(0.1)
+        assert r2 == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            fit_linearity([1, 2], [1.0, 2.0])
+
+    def test_small_run(self):
+        result = e4_run(sides=[6, 8, 10], max_stride=20)
+        assert len(result.rows) == 3
+        assert result.notes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            e4_run(sides=[6, 8, 10], repeats=0)
+
+
+class TestE7:
+    def test_reduction_direction(self):
+        result = e7_run(side=16)
+        plain = result.row_by("mode", "plain")
+        agg = result.row_by("mode", "aggregate")
+        assert agg["records"] < plain["records"]
+
+
+class TestFigures:
+    def test_fig5(self):
+        counts = run_fig5().column("aggregate_keys")
+        assert counts[0] != counts[1]
+
+    def test_fig6(self):
+        assert run_fig6().column("rendered") == ["1-2", "7", "9-10", "13"]
+
+    def test_fig7(self):
+        result = run_fig7()
+        assert len(result.rows) == 4

@@ -1,0 +1,53 @@
+"""Tests for the A6/A7/A8 harnesses and the E2 SequenceFile variant."""
+
+import pytest
+
+from repro.experiments.density import run as density_run
+from repro.experiments.fig2_stream import run_seqfile
+from repro.experiments.key_splitting import run as splitting_run
+from repro.experiments.locality import run as locality_run
+
+
+class TestKeySplitting:
+    def test_stages_and_consistency(self):
+        result = splitting_run(side=24, num_map_tasks=4, num_reducers=2)
+        rows = {r["stage"]: r for r in result.rows}
+        assert set(rows) == {"mapper_keys", "after_routing",
+                             "after_overlap_split", "reduce_stream_keys",
+                             "reduce_groups"}
+        # without re-aggregation the reduce stream is the split stream
+        assert (rows["reduce_stream_keys"]["without_reagg"]
+                == rows["after_overlap_split"]["without_reagg"])
+        # re-aggregation can only shrink the stream
+        assert (rows["reduce_stream_keys"]["with_reagg"]
+                <= rows["after_overlap_split"]["with_reagg"])
+
+
+class TestLocality:
+    def test_table_shape(self):
+        result = locality_run(input_gb=1.0, replications=[1, 3])
+        assert len(result.rows) == 4
+        for row in result.rows:
+            assert 0.0 <= row["data_local_pct"] <= 100.0
+            assert row["map_makespan_s"] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            locality_run(input_gb=0)
+
+
+class TestDensity:
+    def test_dense_beats_sparse(self):
+        result = density_run(side=32, densities=[1.0, 0.01])
+        wins = result.column("agg_win_pct")
+        assert wins[0] > wins[1]
+
+    def test_full_density_single_range(self):
+        result = density_run(side=16, densities=[1.0])
+        assert result.rows[0]["ranges"] == 1
+
+
+class TestSeqfileFig2:
+    def test_stride_47(self):
+        result = run_seqfile(side=10)
+        assert set(result.column("stride")) == {47}

@@ -1,0 +1,120 @@
+"""Cross-module integration tests: the paper's pipelines end to end."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import LocalJobRunner
+from repro.mapreduce.metrics import C
+from repro.queries import BoxSubsetQuery, SlidingMedianQuery
+from repro.scidata import Slab, integer_grid, windspeed_field
+
+
+class TestCodecsInsideJobs:
+    """Every registered codec must run the same job to the same answer."""
+
+    @pytest.mark.parametrize("codec", ["null", "zlib", "bz2",
+                                       "fastpred+zlib", "stride+zlib"])
+    def test_sliding_median_under_codec(self, codec):
+        grid = integer_grid((7, 7), seed=3)
+        query = SlidingMedianQuery(grid, "values", window=3)
+        job = query.build_job("plain", codec=codec, num_map_tasks=2,
+                              num_reducers=2)
+        result = LocalJobRunner().run(job, grid)
+        assert len(result.output) == 49
+        baseline = LocalJobRunner().run(
+            query.build_job("plain", num_map_tasks=2, num_reducers=2), grid)
+        as_map = lambda r: {k.coords: v for k, v in r.output}
+        assert as_map(result) == as_map(baseline)
+
+    def test_compressing_codecs_shrink_materialized(self):
+        grid = integer_grid((10, 10), seed=4)
+        query = SlidingMedianQuery(grid, "values", window=3)
+        sizes = {}
+        for codec in ["null", "zlib", "fastpred+zlib"]:
+            job = query.build_job("plain", codec=codec)
+            sizes[codec] = LocalJobRunner().run(job, grid).materialized_bytes
+        assert sizes["zlib"] < sizes["null"]
+        assert sizes["fastpred+zlib"] < sizes["null"]
+
+
+class TestAggregationPlusCodec:
+    """§III and §IV compose: a codec on top of aggregate records."""
+
+    def test_aggregate_mode_with_zlib(self):
+        grid = integer_grid((8, 8), seed=5)
+        query = SlidingMedianQuery(grid, "values", window=3)
+        plain = LocalJobRunner().run(query.build_job("aggregate"), grid)
+        zipped = LocalJobRunner().run(
+            query.build_job("aggregate", codec="zlib"), grid)
+        as_map = lambda r: {k.coords: v for k, v in r.output}
+        assert as_map(plain) == as_map(zipped)
+        assert zipped.materialized_bytes < plain.materialized_bytes
+
+
+class TestFloatPipeline:
+    """The windspeed1 float field flows through both modes."""
+
+    def test_float32_sliding_median_both_modes(self):
+        ds = windspeed_field((6, 6, 4), seed=9)
+        query = SlidingMedianQuery(ds, "windspeed1", window=3)
+        plain = LocalJobRunner().run(
+            query.build_job("plain", num_map_tasks=2), ds)
+        agg = LocalJobRunner().run(
+            query.build_job("aggregate", num_map_tasks=2), ds)
+        pm = {k.coords: v for k, v in plain.output}
+        am = {k.coords: v for k, v in agg.output}
+        assert set(pm) == set(am)
+        for c in pm:
+            assert pm[c] == pytest.approx(am[c], rel=1e-6)
+
+    def test_float_subset(self):
+        ds = windspeed_field((8, 8, 2), seed=10)
+        box = Slab((1, 1, 0), (3, 3, 2))
+        query = BoxSubsetQuery(ds, "windspeed1", box)
+        result = LocalJobRunner().run(query.build_job("plain"), ds)
+        data = ds["windspeed1"].data
+        assert len(result.output) == box.size
+        for key, value in result.output:
+            assert value == pytest.approx(float(data[key.coords]))
+
+
+class TestScaleInvariants:
+    """Byte accounting identities that must hold at any size."""
+
+    @pytest.mark.parametrize("side", [5, 9, 16])
+    def test_materialized_equals_shuffle(self, side):
+        grid = integer_grid((side, side), seed=side)
+        query = SlidingMedianQuery(grid, "values", window=3)
+        job = query.build_job("plain", num_map_tasks=2, num_reducers=3)
+        res = LocalJobRunner().run(job, grid)
+        assert (res.counters[C.SHUFFLE_BYTES]
+                == res.counters[C.MAP_OUTPUT_MATERIALIZED_BYTES])
+
+    @pytest.mark.parametrize("side", [6, 12])
+    def test_stats_decomposition(self, side):
+        grid = integer_grid((side, side), seed=side)
+        query = SlidingMedianQuery(grid, "values", window=3)
+        res = LocalJobRunner().run(query.build_job("plain"), grid)
+        s = res.map_output_stats
+        # null codec: on-disk == framed raw stream
+        assert s.materialized_bytes == s.raw_bytes
+        assert s.raw_bytes == s.key_bytes + s.value_bytes + s.overhead_bytes
+
+    def test_window_emission_count(self):
+        # interior cells emit window**2 values; edges fewer
+        side, w = 10, 3
+        grid = integer_grid((side, side), seed=0)
+        query = SlidingMedianQuery(grid, "values", window=w)
+        res = LocalJobRunner().run(query.build_job("plain"), grid)
+        expected = sum(
+            (min(i + 1, w, side - i + w // 2 - ((w // 2) - 0)) if False else 1)
+            for i in range(1)
+        )  # computed directly below instead
+        total = 0
+        half = w // 2
+        for i in range(side):
+            for j in range(side):
+                ni = min(i + half, side - 1) - max(i - half, 0) + 1
+                nj = min(j + half, side - 1) - max(j - half, 0) + 1
+                total += ni * nj
+        assert res.counters[C.MAP_OUTPUT_RECORDS] == total

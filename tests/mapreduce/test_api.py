@@ -1,0 +1,110 @@
+"""Unit tests for the Mapper/Reducer context layer."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.api import MapContext, ReduceContext
+from repro.mapreduce.keys import CellKey, CellKeySerde
+from repro.mapreduce.metrics import C, Counters
+from repro.mapreduce.serde import (
+    BytesSerde,
+    Float32Serde,
+    Float64Serde,
+    Int32Serde,
+    Int64Serde,
+    TextSerde,
+)
+
+
+def capture_ctx(key_serde, value_serde):
+    records = []
+    ctx = MapContext(key_serde, value_serde,
+                     lambda k, v: records.append((k, v)), Counters())
+    return ctx, records
+
+
+class TestEmit:
+    def test_emit_serializes_both_sides(self):
+        ctx, records = capture_ctx(TextSerde(), Int32Serde())
+        ctx.emit("hello", 42)
+        assert len(records) == 1
+        kb, vb = records[0]
+        assert TextSerde().from_bytes(kb) == "hello"
+        assert Int32Serde().from_bytes(vb) == 42
+        assert ctx.counters[C.MAP_OUTPUT_RECORDS] == 1
+
+    def test_emit_serialized_passthrough(self):
+        ctx, records = capture_ctx(BytesSerde(), BytesSerde())
+        ctx.emit_serialized(b"K", b"V")
+        assert records == [(b"K", b"V")]
+        assert ctx.counters[C.MAP_OUTPUT_RECORDS] == 1
+
+
+class TestEmitCells:
+    def test_matches_scalar_emit(self):
+        serde = CellKeySerde(ndim=2, variable_mode="name")
+        ctx1, rec1 = capture_ctx(serde, Int32Serde())
+        ctx2, rec2 = capture_ctx(serde, Int32Serde())
+        coords = np.array([[0, 1], [2, 3]])
+        values = np.array([10, -20], dtype=np.int32)
+        ctx1.emit_cells("v", coords, values)
+        for c, v in zip(coords, values):
+            ctx2.emit(CellKey("v", tuple(int(x) for x in c)), int(v))
+        assert rec1 == rec2
+
+    @pytest.mark.parametrize("dtype,serde_cls", [
+        (np.int32, Int32Serde), (np.int64, Int64Serde),
+        (np.float32, Float32Serde), (np.float64, Float64Serde),
+    ])
+    def test_value_packing_per_dtype(self, dtype, serde_cls):
+        serde = CellKeySerde(ndim=1, variable_mode="index")
+        value_serde = serde_cls()
+        ctx, records = capture_ctx(serde, value_serde)
+        values = np.array([1, 2, 3], dtype=dtype)
+        ctx.emit_cells(0, np.array([[0], [1], [2]]), values)
+        decoded = [value_serde.from_bytes(v) for _, v in records]
+        assert decoded == pytest.approx(values.tolist())
+
+    def test_requires_cell_key_serde(self):
+        ctx, _ = capture_ctx(TextSerde(), Int32Serde())
+        with pytest.raises(TypeError):
+            ctx.emit_cells("v", np.array([[0, 0]]), np.array([1]))
+
+    def test_requires_fixed_width_values(self):
+        ctx, _ = capture_ctx(CellKeySerde(2), BytesSerde())
+        with pytest.raises(TypeError):
+            ctx.emit_cells("v", np.array([[0, 0]]), np.array([1]))
+
+    def test_length_mismatch(self):
+        ctx, _ = capture_ctx(CellKeySerde(2), Int32Serde())
+        with pytest.raises(ValueError):
+            ctx.emit_cells("v", np.array([[0, 0]]), np.array([1, 2]))
+
+    def test_unsupported_value_dtype(self):
+        ctx, _ = capture_ctx(CellKeySerde(1), Int32Serde())
+        with pytest.raises(TypeError):
+            ctx.emit_cells("v", np.array([[0]]),
+                           np.array(["x"], dtype=object))
+
+    def test_empty_batch(self):
+        ctx, records = capture_ctx(CellKeySerde(2), Int32Serde())
+        ctx.emit_cells("v", np.zeros((0, 2), dtype=np.int64),
+                       np.zeros(0, dtype=np.int32))
+        assert records == []
+        assert ctx.counters[C.MAP_OUTPUT_RECORDS] == 0
+
+    def test_negative_values_roundtrip(self):
+        serde = CellKeySerde(ndim=1)
+        value_serde = Int32Serde()
+        ctx, records = capture_ctx(serde, value_serde)
+        ctx.emit_cells("v", np.array([[0]]), np.array([-7], dtype=np.int32))
+        assert value_serde.from_bytes(records[0][1]) == -7
+
+
+class TestReduceContext:
+    def test_collects_output_and_counts(self):
+        ctx = ReduceContext(Counters())
+        ctx.emit("k", 1)
+        ctx.emit("k2", 2)
+        assert ctx.output == [("k", 1), ("k2", 2)]
+        assert ctx.counters[C.REDUCE_OUTPUT_RECORDS] == 2

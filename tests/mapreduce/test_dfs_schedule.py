@@ -1,0 +1,160 @@
+"""Tests for the simulated DFS and locality-aware map scheduling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapreduce.simcluster import (
+    ClusterSpec,
+    MapTaskSpec,
+    SimDFS,
+    schedule_maps,
+)
+
+
+class TestSimDFS:
+    def test_write_and_block_layout(self):
+        dfs = SimDFS(nodes=5, replication=3, block_size=100)
+        blocks = dfs.write("input.nc", 250)
+        assert [b.size for b in blocks] == [100, 100, 50]
+        assert dfs.file_size("input.nc") == 250
+        assert dfs.exists("input.nc")
+
+    def test_replicas_distinct_and_bounded(self):
+        dfs = SimDFS(nodes=5, replication=3, block_size=10)
+        for block in dfs.write("f", 200):
+            assert len(set(block.replicas)) == 3
+            assert all(0 <= n < 5 for n in block.replicas)
+
+    def test_replication_capped_at_nodes(self):
+        dfs = SimDFS(nodes=2, replication=5)
+        assert dfs.replication == 2
+
+    def test_placement_deterministic(self):
+        a = SimDFS(nodes=7, replication=3, block_size=10)
+        b = SimDFS(nodes=7, replication=3, block_size=10)
+        assert a.write("x", 100) == b.write("x", 100)
+
+    def test_placement_roughly_balanced(self):
+        dfs = SimDFS(nodes=5, replication=3, block_size=10)
+        dfs.write("big", 10 * 200)
+        hist = dfs.replica_histogram("big")
+        total = sum(hist.values())
+        assert total == 200 * 3
+        for count in hist.values():
+            # each node within 2x of fair share
+            assert total / 5 / 2 <= count <= total / 5 * 2
+
+    def test_empty_file_gets_one_empty_block(self):
+        dfs = SimDFS(nodes=3)
+        blocks = dfs.write("empty", 0)
+        assert len(blocks) == 1
+        assert blocks[0].size == 0
+
+    def test_is_local(self):
+        dfs = SimDFS(nodes=4, replication=2, block_size=10)
+        block = dfs.write("f", 10)[0]
+        for node in range(4):
+            assert dfs.is_local("f", 0, node) == (node in block.replicas)
+        with pytest.raises(KeyError):
+            dfs.is_local("f", 9, 0)
+
+    def test_duplicate_and_missing_files(self):
+        dfs = SimDFS(nodes=3)
+        dfs.write("f", 10)
+        with pytest.raises(ValueError):
+            dfs.write("f", 10)
+        with pytest.raises(KeyError):
+            dfs.blocks("missing")
+        dfs.delete("f")
+        assert not dfs.exists("f")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimDFS(nodes=0)
+        with pytest.raises(ValueError):
+            SimDFS(nodes=3, replication=0)
+        with pytest.raises(ValueError):
+            SimDFS(nodes=3, block_size=0)
+        with pytest.raises(ValueError):
+            SimDFS(nodes=3).write("f", -1)
+
+
+class TestScheduleMaps:
+    def spec(self, **kw):
+        defaults = dict(nodes=2, map_slots_per_node=1,
+                        network_bandwidth=100.0)
+        defaults.update(kw)
+        return ClusterSpec(**defaults)
+
+    def test_all_local_no_penalty(self):
+        spec = self.spec()
+        tasks = [MapTaskSpec(1.0, 1000, (0,)), MapTaskSpec(1.0, 1000, (1,))]
+        result = schedule_maps(spec, tasks)
+        assert result.makespan == pytest.approx(1.0)
+        assert result.locality_fraction == 1.0
+
+    def test_remote_task_pays_transfer(self):
+        spec = self.spec(nodes=1)
+        tasks = [MapTaskSpec(1.0, 500, (5,))]  # replica on nonexistent node
+        result = schedule_maps(spec, tasks)
+        assert result.makespan == pytest.approx(1.0 + 500 / 100.0)
+        assert result.data_local_tasks == 0
+
+    def test_locality_aware_beats_blind(self):
+        # Two nodes; all inputs on node 0; big transfer penalty.  The
+        # aware scheduler queues on node 0; the blind one spreads tasks
+        # and pays transfers.
+        spec = self.spec(network_bandwidth=10.0)
+        tasks = [MapTaskSpec(1.0, 100, (0,)) for _ in range(4)]
+        aware = schedule_maps(spec, tasks, locality_aware=True)
+        blind = schedule_maps(spec, tasks, locality_aware=False)
+        assert aware.locality_fraction > blind.locality_fraction
+        assert aware.makespan <= blind.makespan
+
+    def test_aware_scheduler_still_spreads_when_cheap(self):
+        # Tiny inputs: transfers are cheap, so parallelism wins and the
+        # aware scheduler must not serialize everything on one node.
+        spec = self.spec(network_bandwidth=1e9)
+        tasks = [MapTaskSpec(1.0, 10, (0,)) for _ in range(4)]
+        aware = schedule_maps(spec, tasks, locality_aware=True)
+        assert aware.makespan == pytest.approx(2.0, abs=1e-6)
+
+    def test_empty_task_list(self):
+        result = schedule_maps(self.spec(), [])
+        assert result.makespan == 0.0
+        assert result.locality_fraction == 1.0
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            MapTaskSpec(-1.0, 0, (0,))
+        with pytest.raises(ValueError):
+            MapTaskSpec(1.0, -5, (0,))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0.1, 5.0), st.integers(0, 10**6),
+                              st.integers(0, 4)), min_size=1, max_size=20))
+    def test_property_makespan_bounds(self, raw):
+        """Sound bounds for any greedy schedule: makespan is at least the
+        longest single task and at most the fully-serialized worst case
+        (every task remote, one slot)."""
+        spec = ClusterSpec(nodes=5, map_slots_per_node=2,
+                           network_bandwidth=1e6)
+        tasks = [MapTaskSpec(d, b, (n,)) for d, b, n in raw]
+        for aware in [True, False]:
+            result = schedule_maps(spec, tasks, locality_aware=aware)
+            assert result.makespan >= max(t.duration for t in tasks) - 1e-9
+            worst = sum(t.duration + t.input_bytes / spec.network_bandwidth
+                        for t in tasks)
+            assert result.makespan <= worst + 1e-9
+            assert 0.0 <= result.locality_fraction <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0.1, 5.0), st.integers(0, 10**5),
+                              st.integers(0, 3)), min_size=1, max_size=15))
+    def test_property_busy_time_conservation(self, raw):
+        spec = ClusterSpec(nodes=4, map_slots_per_node=1,
+                           network_bandwidth=1e5)
+        tasks = [MapTaskSpec(d, b, (n,)) for d, b, n in raw]
+        result = schedule_maps(spec, tasks)
+        # busy time >= sum of pure durations (penalties only add)
+        assert sum(result.node_busy) >= sum(t.duration for t in tasks) - 1e-9

@@ -1,0 +1,111 @@
+"""Failure-injection tests for the engine's data path."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import (
+    CellKey,
+    CellKeySerde,
+    Int32Serde,
+    Job,
+    LocalJobRunner,
+    Mapper,
+    Reducer,
+)
+from repro.scidata import integer_grid
+from tests.mapreduce.test_engine import EmitCellsMapper, SumReducer
+
+
+def base_job(**overrides):
+    defaults = dict(
+        name="fail",
+        mapper=EmitCellsMapper,
+        reducer=SumReducer,
+        key_serde=CellKeySerde(ndim=2, variable_mode="name"),
+        value_serde=Int32Serde(),
+    )
+    defaults.update(overrides)
+    return Job(**defaults)
+
+
+class TestUserCodeFailures:
+    def test_mapper_exception_propagates(self):
+        class BoomMapper(Mapper):
+            def map(self, split, values, ctx):
+                raise RuntimeError("boom in map")
+
+        grid = integer_grid((4, 4), seed=1)
+        with pytest.raises(RuntimeError, match="boom in map"):
+            LocalJobRunner().run(base_job(mapper=BoomMapper), grid)
+
+    def test_reducer_exception_propagates(self):
+        class BoomReducer(Reducer):
+            def reduce(self, key, values, ctx):
+                raise RuntimeError("boom in reduce")
+
+        grid = integer_grid((4, 4), seed=1)
+        with pytest.raises(RuntimeError, match="boom in reduce"):
+            LocalJobRunner().run(base_job(reducer=BoomReducer), grid)
+
+    def test_mapper_emitting_wrong_key_shape_fails_fast(self):
+        class WrongNdimMapper(Mapper):
+            def map(self, split, values, ctx):
+                ctx.emit(CellKey(split.variable, (1, 2, 3)), 1)  # 3-D key
+
+        grid = integer_grid((4, 4), seed=1)
+        with pytest.raises(ValueError):
+            LocalJobRunner().run(base_job(mapper=WrongNdimMapper), grid)
+
+    def test_value_out_of_serde_range_fails_fast(self):
+        class HugeValueMapper(Mapper):
+            def map(self, split, values, ctx):
+                ctx.emit(CellKey(split.variable, (0, 0)), 2**40)
+
+        grid = integer_grid((4, 4), seed=1)
+        with pytest.raises(ValueError):
+            LocalJobRunner().run(base_job(mapper=HugeValueMapper), grid)
+
+
+class TestConfigurationFailures:
+    def test_unknown_codec(self):
+        grid = integer_grid((4, 4), seed=1)
+        with pytest.raises(KeyError):
+            LocalJobRunner().run(base_job(codec="lzma"), grid)
+
+    def test_bad_codec_options(self):
+        grid = integer_grid((4, 4), seed=1)
+        with pytest.raises(ValueError):
+            LocalJobRunner().run(
+                base_job(codec="zlib", codec_options={"level": 99}), grid)
+
+    def test_missing_variable_in_dataset(self):
+        from repro.scidata import InputSplit, Slab
+
+        grid = integer_grid((4, 4), seed=1)
+        bogus = [InputSplit(variable="ghost", slab=Slab((0, 0), (2, 2)),
+                            split_id=0)]
+        with pytest.raises(KeyError):
+            LocalJobRunner().run(base_job(), grid, splits=bogus)
+
+    def test_split_outside_extent(self):
+        from repro.scidata import InputSplit, Slab
+
+        grid = integer_grid((4, 4), seed=1)
+        bogus = [InputSplit(variable="values", slab=Slab((3, 3), (4, 4)),
+                            split_id=0)]
+        with pytest.raises(ValueError):
+            LocalJobRunner().run(base_job(), grid, splits=bogus)
+
+
+class TestEmptyEmission:
+    def test_mapper_emitting_nothing_still_completes(self):
+        class SilentMapper(Mapper):
+            def map(self, split, values, ctx):
+                pass
+
+        grid = integer_grid((4, 4), seed=1)
+        result = LocalJobRunner().run(
+            base_job(mapper=SilentMapper, num_reducers=2), grid)
+        assert result.output == []
+        # empty segments still materialize their trailers
+        assert result.materialized_bytes > 0

@@ -1,0 +1,49 @@
+"""Regression tests for runner reuse and workdir lifecycle."""
+
+import os
+
+from repro.mapreduce import CellKeySerde, Int32Serde, Job, LocalJobRunner
+from repro.scidata import integer_grid
+from tests.mapreduce.test_engine import EmitCellsMapper, SumReducer
+
+
+def make_job():
+    return Job(
+        name="reuse",
+        mapper=EmitCellsMapper,
+        reducer=SumReducer,
+        key_serde=CellKeySerde(ndim=2, variable_mode="name"),
+        value_serde=Int32Serde(),
+    )
+
+
+def test_runner_is_reusable_across_jobs():
+    """A runner must survive its own post-run cleanup (quickstart bug)."""
+    grid = integer_grid((6, 6), seed=1)
+    runner = LocalJobRunner()
+    first = runner.run(make_job(), grid)
+    second = runner.run(make_job(), grid)
+    assert sorted(map(repr, first.output)) == sorted(map(repr, second.output))
+
+
+def test_keep_files_retains_segments(tmp_path):
+    grid = integer_grid((4, 4), seed=2)
+    runner = LocalJobRunner(workdir=str(tmp_path), keep_files=True)
+    runner.run(make_job(), grid)
+    assert any(f.name.endswith("-p0") for f in tmp_path.iterdir())
+
+
+def test_own_workdir_cleaned_when_empty():
+    grid = integer_grid((4, 4), seed=2)
+    runner = LocalJobRunner()
+    workdir = runner.workdir
+    runner.run(make_job(), grid)
+    # either removed entirely or left empty -- never littered
+    assert not os.path.isdir(workdir) or os.listdir(workdir) == []
+
+
+def test_explicit_workdir_never_deleted(tmp_path):
+    grid = integer_grid((4, 4), seed=2)
+    runner = LocalJobRunner(workdir=str(tmp_path))
+    runner.run(make_job(), grid)
+    assert tmp_path.is_dir()

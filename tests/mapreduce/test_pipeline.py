@@ -1,0 +1,69 @@
+"""Tests for the end-to-end cluster pipeline facade."""
+
+import pytest
+
+from repro.mapreduce.simcluster import ClusterSpec
+from repro.mapreduce.simcluster.pipeline import ClusterJobRunner
+from repro.queries import SlidingMedianQuery
+from repro.scidata import integer_grid
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return integer_grid((16, 16), seed=8)
+
+
+def build_job(grid, mode="plain", **kw):
+    query = SlidingMedianQuery(grid, "values", window=3)
+    return query.build_job(mode, num_map_tasks=4, num_reducers=2, **kw)
+
+
+class TestClusterJobRunner:
+    def test_produces_real_results_and_timeline(self, grid):
+        runner = ClusterJobRunner()
+        out = runner.run(build_job(grid), grid)
+        assert len(out.job_result.output) == 256
+        assert out.map_seconds > 0
+        assert out.reduce_seconds > 0
+        assert out.output_write_seconds >= 0
+        assert out.total_seconds == pytest.approx(
+            out.map_seconds + out.reduce_seconds + out.output_write_seconds)
+        assert 0.0 <= out.data_local_fraction <= 1.0
+
+    def test_dfs_holds_input_and_output(self, grid):
+        runner = ClusterJobRunner()
+        runner.run(build_job(grid), grid)
+        assert runner.dfs.exists("sliding-median-plain-input")
+        assert runner.dfs.exists("sliding-median-plain-output")
+        assert (runner.dfs.file_size("sliding-median-plain-input")
+                == grid.total_value_bytes())
+
+    def test_rerun_same_job_name_overwrites(self, grid):
+        runner = ClusterJobRunner()
+        runner.run(build_job(grid), grid)
+        runner.run(build_job(grid), grid)  # must not raise on re-write
+
+    def test_aggregation_cuts_simulated_runtime(self, grid):
+        """The E8 story holds through the full pipeline too."""
+        runner = ClusterJobRunner()
+        plain = runner.run(build_job(grid, "plain"), grid)
+        agg = runner.run(build_job(grid, "aggregate"), grid)
+        assert (agg.job_result.materialized_bytes
+                < plain.job_result.materialized_bytes)
+        # identical answers through completely different shuffles
+        pm = {k.coords: v for k, v in plain.job_result.output}
+        am = {k.coords: v for k, v in agg.job_result.output}
+        assert pm == am
+
+    def test_locality_awareness_helps_or_ties(self, grid):
+        aware = ClusterJobRunner(locality_aware=True).run(build_job(grid), grid)
+        blind = ClusterJobRunner(locality_aware=False).run(build_job(grid), grid)
+        assert aware.data_local_fraction >= blind.data_local_fraction
+
+    def test_replication_one_has_more_remote_reads(self, grid):
+        spec = ClusterSpec()
+        r1 = ClusterJobRunner(spec=spec, replication=1).run(build_job(grid), grid)
+        r3 = ClusterJobRunner(spec=spec, replication=3).run(build_job(grid), grid)
+        assert r3.data_local_fraction >= r1.data_local_fraction
+        # output replication also costs network time
+        assert r3.output_write_seconds >= r1.output_write_seconds

@@ -1,0 +1,78 @@
+"""Tests for the SequenceFile-compatible framing (Fig 2's container)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapreduce.seqfile import SYNC_SIZE, SequenceFileWriter, read_sequence_file
+
+
+class TestWriter:
+    def test_single_record_pitch_is_47_for_paper_layout(self):
+        # 35-byte key + 4-byte value: the Fig 2 record pitch.
+        w = SequenceFileWriter()
+        w.append(b"k" * 35, b"v" * 4)
+        assert len(w.getvalue()) == 47
+
+    def test_roundtrip(self):
+        w = SequenceFileWriter(sync_interval=100)
+        records = [(b"key%d" % i, b"value%d" % i) for i in range(50)]
+        for k, v in records:
+            w.append(k, v)
+        out = list(read_sequence_file(w.getvalue(), w.sync_marker))
+        assert out == records
+
+    def test_sync_markers_inserted(self):
+        w = SequenceFileWriter(sync_interval=100, seed=3)
+        for i in range(50):
+            w.append(b"0123456789", b"abcdefghij")
+        data = w.getvalue()
+        # 50 records x 28 bytes = 1400 bytes; sync every ~100 bytes
+        assert data.count(w.sync_marker) >= 10
+
+    def test_sync_marker_deterministic(self):
+        assert (SequenceFileWriter(seed=5).sync_marker
+                == SequenceFileWriter(seed=5).sync_marker)
+        assert (SequenceFileWriter(seed=5).sync_marker
+                != SequenceFileWriter(seed=6).sync_marker)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequenceFileWriter(sync_interval=10)
+
+    def test_empty_file(self):
+        w = SequenceFileWriter()
+        assert list(read_sequence_file(w.getvalue(), w.sync_marker)) == []
+
+
+class TestReader:
+    def test_bad_sync_marker_detected(self):
+        w = SequenceFileWriter(sync_interval=100, seed=1)
+        for i in range(20):
+            w.append(b"0123456789", b"abcdefghij")
+        wrong = bytes(SYNC_SIZE)
+        with pytest.raises(ValueError):
+            list(read_sequence_file(w.getvalue(), wrong))
+
+    def test_wrong_marker_length(self):
+        with pytest.raises(ValueError):
+            list(read_sequence_file(b"", b"short"))
+
+    def test_truncated_stream(self):
+        w = SequenceFileWriter()
+        w.append(b"abc", b"de")
+        data = w.getvalue()
+        with pytest.raises(ValueError):
+            list(read_sequence_file(data[:-1], w.sync_marker))
+        with pytest.raises(ValueError):
+            list(read_sequence_file(data[:2], w.sync_marker))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.binary(max_size=30), st.binary(max_size=30)),
+                max_size=40),
+       st.integers(100, 500))
+def test_roundtrip_property(records, interval):
+    w = SequenceFileWriter(sync_interval=interval, seed=9)
+    for k, v in records:
+        w.append(k, v)
+    assert list(read_sequence_file(w.getvalue(), w.sync_marker)) == records

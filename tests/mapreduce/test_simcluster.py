@@ -1,0 +1,115 @@
+"""Tests for the discrete-event cluster simulator."""
+
+import pytest
+
+from repro.mapreduce.metrics import TaskProfile
+from repro.mapreduce.simcluster import ClusterSimulator, ClusterSpec
+from repro.mapreduce.simcluster.model import _schedule
+
+
+def map_profile(cpu=1.0, disk=0, task_id="m0"):
+    return TaskProfile(task_id=task_id, kind="map", input_bytes=disk,
+                       cpu_seconds={"map": cpu})
+
+
+def reduce_profile(cpu=1.0, shuffle=0, task_id="r0"):
+    return TaskProfile(task_id=task_id, kind="reduce", shuffle_bytes=shuffle,
+                       cpu_seconds={"reduce": cpu})
+
+
+class TestScheduling:
+    def test_single_slot_serializes(self):
+        assert _schedule([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_enough_slots_parallelizes(self):
+        assert _schedule([1.0, 2.0, 3.0], 3) == pytest.approx(3.0)
+
+    def test_greedy_fill(self):
+        # 4 tasks of 1s on 2 slots: 2 waves.
+        assert _schedule([1.0] * 4, 2) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert _schedule([], 5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _schedule([1.0], 0)
+        with pytest.raises(ValueError):
+            _schedule([-1.0], 1)
+
+
+class TestCostModel:
+    def test_map_duration_includes_disk(self):
+        spec = ClusterSpec(disk_bandwidth=100.0, cpu_scale=1.0)
+        sim = ClusterSimulator(spec)
+        p = TaskProfile(task_id="m", kind="map", input_bytes=50,
+                        local_write_bytes=30, local_read_bytes=20,
+                        cpu_seconds={"map": 2.0})
+        assert sim.map_task_duration(p) == pytest.approx(2.0 + 100 / 100.0)
+
+    def test_reduce_duration_includes_network(self):
+        spec = ClusterSpec(disk_bandwidth=100.0, network_bandwidth=50.0)
+        sim = ClusterSimulator(spec)
+        p = TaskProfile(task_id="r", kind="reduce", shuffle_bytes=100,
+                        cpu_seconds={"reduce": 1.0})
+        # 100B over net at 50B/s = 2s; 100B landing on disk at 100B/s = 1s
+        assert sim.reduce_task_duration(p) == pytest.approx(1.0 + 2.0 + 1.0)
+
+    def test_cpu_scale(self):
+        fast = ClusterSimulator(ClusterSpec(cpu_scale=2.0))
+        slow = ClusterSimulator(ClusterSpec(cpu_scale=1.0))
+        p = map_profile(cpu=4.0)
+        assert fast.map_task_duration(p) == pytest.approx(slow.map_task_duration(p) / 2)
+
+
+class TestTimeline:
+    def test_phases_sum(self):
+        sim = ClusterSimulator(ClusterSpec(nodes=1, map_slots_per_node=1))
+        tl = sim.simulate([map_profile(1.0), reduce_profile(2.0)])
+        assert tl.map_seconds == pytest.approx(1.0)
+        assert tl.reduce_seconds > 0.0
+        assert tl.total_seconds == pytest.approx(tl.map_seconds + tl.reduce_seconds)
+        assert tl.total_minutes == pytest.approx(tl.total_seconds / 60.0)
+
+    def test_paper_slot_configuration(self):
+        """5 nodes x 2 map slots = 10 map slots (the paper's setup)."""
+        spec = ClusterSpec()
+        assert spec.map_slots == 10
+        assert spec.reduce_slots == 5
+        sim = ClusterSimulator(spec)
+        # 20 map tasks of 1s on 10 slots: exactly 2 waves.
+        tl = sim.simulate([map_profile(1.0, task_id=f"m{i}") for i in range(20)])
+        assert tl.map_seconds == pytest.approx(2.0)
+
+    def test_more_intermediate_data_takes_longer(self):
+        """Directional check backing E6/E8: shuffle bytes drive runtime."""
+        sim = ClusterSimulator()
+        small = sim.simulate([map_profile(), reduce_profile(shuffle=10**6)])
+        big = sim.simulate([map_profile(), reduce_profile(shuffle=10**9)])
+        assert big.total_seconds > small.total_seconds
+
+    def test_cpu_cost_can_outweigh_byte_savings(self):
+        """The §III-E effect: a codec that halves bytes but burns CPU loses."""
+        sim = ClusterSimulator()
+        baseline = sim.simulate(
+            [map_profile(cpu=10.0), reduce_profile(shuffle=10**9)])
+        compressed = sim.simulate(
+            [map_profile(cpu=200.0), reduce_profile(shuffle=5 * 10**8)])
+        assert compressed.total_seconds > baseline.total_seconds
+
+    def test_unknown_kind_rejected(self):
+        sim = ClusterSimulator()
+        with pytest.raises(ValueError):
+            sim.simulate([TaskProfile(task_id="x", kind="setup")])
+
+
+class TestSpecValidation:
+    def test_bad_values(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(map_slots_per_node=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(disk_bandwidth=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(cpu_scale=-1)

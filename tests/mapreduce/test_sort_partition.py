@@ -1,0 +1,171 @@
+"""Tests for sorting/merging and partitioners."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapreduce.keys import RangeKey
+from repro.mapreduce.partition import CurveRangePartitioner, HashPartitioner
+from repro.mapreduce.sort import (
+    group_by_key,
+    merge_runs,
+    plan_merge_passes,
+    sort_records,
+)
+
+
+class TestSortRecords:
+    def test_uniform_length_fast_path(self):
+        records = [(b"bb", b"1"), (b"aa", b"2"), (b"cc", b"3"), (b"aa", b"4")]
+        out = sort_records(records)
+        assert [k for k, _ in out] == [b"aa", b"aa", b"bb", b"cc"]
+        # stability: equal keys keep emission order
+        assert [v for k, v in out if k == b"aa"] == [b"2", b"4"]
+
+    def test_mixed_length_fallback(self):
+        records = [(b"b", b"1"), (b"aaa", b"2"), (b"ab", b"3")]
+        out = sort_records(records)
+        assert [k for k, _ in out] == [b"aaa", b"ab", b"b"]
+
+    def test_trivial_inputs(self):
+        assert sort_records([]) == []
+        assert sort_records([(b"x", b"y")]) == [(b"x", b"y")]
+
+    def test_empty_keys(self):
+        records = [(b"", b"1"), (b"", b"2")]
+        assert sort_records(records) == records
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.binary(min_size=0, max_size=8),
+                              st.binary(max_size=4)), max_size=60))
+    def test_matches_python_sorted(self, records):
+        expected = sorted(records, key=lambda r: r[0])
+        got = sort_records(records)
+        assert [k for k, _ in got] == [k for k, _ in expected]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from([b"aaaa", b"bbbb", b"cccc"]),
+                              st.integers(0, 1000).map(lambda i: str(i).encode())),
+                    max_size=40))
+    def test_stability_property(self, records):
+        out = sort_records(records)
+        for key in {b"aaaa", b"bbbb", b"cccc"}:
+            assert [v for k, v in out if k == key] == [v for k, v in records if k == key]
+
+
+class TestMergeAndGroup:
+    def test_merge_runs(self):
+        a = [(b"a", b"1"), (b"c", b"2")]
+        b = [(b"b", b"3"), (b"d", b"4")]
+        merged = list(merge_runs([a, b]))
+        assert [k for k, _ in merged] == [b"a", b"b", b"c", b"d"]
+
+    def test_group_by_key(self):
+        stream = [(b"a", b"1"), (b"a", b"2"), (b"b", b"3")]
+        groups = list(group_by_key(stream))
+        assert groups == [(b"a", [b"1", b"2"]), (b"b", [b"3"])]
+
+    def test_group_empty(self):
+        assert list(group_by_key([])) == []
+
+    def test_merge_then_group_counts(self):
+        runs = [[(b"k%02d" % (i % 5), b"x") for i in range(j, 20, 2)] for j in range(2)]
+        runs = [sort_records(r) for r in runs]
+        groups = list(group_by_key(merge_runs(runs)))
+        assert sum(len(vs) for _, vs in groups) == 20
+        assert len(groups) == 5
+
+
+class TestMergePlanning:
+    def test_under_factor_needs_no_passes(self):
+        assert plan_merge_passes(5, 10) == []
+        assert plan_merge_passes(10, 10) == []
+        assert plan_merge_passes(0, 10) == []
+
+    def test_one_extra_run(self):
+        # 11 runs, factor 10: fold 2 into 1 -> 10 runs remain.
+        assert plan_merge_passes(11, 10) == [2]
+
+    def test_many_runs(self):
+        passes = plan_merge_passes(100, 10)
+        remaining = 100
+        for take in passes:
+            assert 2 <= take <= 10
+            remaining -= take - 1
+        assert remaining <= 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_merge_passes(5, 1)
+        with pytest.raises(ValueError):
+            plan_merge_passes(-1, 5)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 500), st.integers(2, 20))
+    def test_plan_always_reaches_factor(self, runs, factor):
+        remaining = runs
+        for take in plan_merge_passes(runs, factor):
+            assert take >= 2
+            remaining -= take - 1
+        assert remaining <= factor
+
+
+class TestHashPartitioner:
+    def test_range_and_determinism(self):
+        p = HashPartitioner(7)
+        for key in [b"", b"a", b"windspeed1", bytes(100)]:
+            r = p.partition(key)
+            assert 0 <= r < 7
+            assert p.partition(key) == r
+
+    def test_spreads_keys(self):
+        p = HashPartitioner(5)
+        hits = {p.partition(b"key-%d" % i) for i in range(100)}
+        assert hits == set(range(5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+
+class TestCurveRangePartitioner:
+    def test_boundaries_cover_space(self):
+        p = CurveRangePartitioner(5, 1000)
+        assert p.boundaries[0] == 0
+        assert p.boundaries[-1] == 1000
+        assert p.reducer_for_index(0) == 0
+        assert p.reducer_for_index(999) == 4
+
+    def test_each_reducer_owns_contiguous_span(self):
+        p = CurveRangePartitioner(4, 64)
+        owners = [p.reducer_for_index(i) for i in range(64)]
+        assert owners == sorted(owners)
+        assert set(owners) == {0, 1, 2, 3}
+
+    def test_check_range(self):
+        p = CurveRangePartitioner(2, 100)  # boundary at 50
+        assert p.check_range(RangeKey("v", 0, 50)) == 0
+        assert p.check_range(RangeKey("v", 50, 50)) == 1
+        with pytest.raises(ValueError):
+            p.check_range(RangeKey("v", 40, 20))
+
+    def test_split_points(self):
+        p = CurveRangePartitioner(5, 1000)
+        assert p.split_points() == [200, 400, 600, 800]
+        assert CurveRangePartitioner(1, 10).split_points() == []
+
+    def test_index_validation(self):
+        p = CurveRangePartitioner(2, 10)
+        with pytest.raises(ValueError):
+            p.reducer_for_index(10)
+        with pytest.raises(ValueError):
+            p.reducer_for_index(-1)
+
+    def test_raw_partition_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            CurveRangePartitioner(2, 10).partition(b"xx")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CurveRangePartitioner(0, 10)
+        with pytest.raises(ValueError):
+            CurveRangePartitioner(2, 0)

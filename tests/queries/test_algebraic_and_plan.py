@@ -1,0 +1,139 @@
+"""Tests for algebraic window queries and the logical plan executor."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import LocalJobRunner
+from repro.mapreduce.metrics import C
+from repro.queries.plan import Binary, Source, Subset, Window, execute
+from repro.queries.sliding_algebraic import SlidingAggregateQuery
+from repro.scidata import Dataset, Slab, Variable, integer_grid
+
+
+def numpy_window(data, window, fold):
+    half = window // 2
+    out = np.empty(data.shape, dtype=data.dtype if fold is not np.mean else float)
+    for idx in np.ndindex(data.shape):
+        slices = tuple(slice(max(0, i - half), min(n, i + half + 1))
+                       for i, n in zip(idx, data.shape))
+        out[idx] = fold(data[slices])
+    return out
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return integer_grid((8, 8), seed=77, low=0, high=1000)
+
+
+class TestSlidingAggregate:
+    @pytest.mark.parametrize("op,npfold", [
+        ("min", np.min), ("max", np.max), ("sum", np.sum)])
+    def test_plain_matches_numpy(self, grid, op, npfold):
+        query = SlidingAggregateQuery(grid, "values", op=op, window=3)
+        result = LocalJobRunner().run(query.build_job("plain"), grid)
+        truth = numpy_window(grid["values"].data, 3, npfold)
+        assert len(result.output) == 64
+        for key, value in result.output:
+            assert value == truth[key.coords]
+
+    @pytest.mark.parametrize("op", ["min", "max", "sum"])
+    def test_aggregate_matches_plain(self, grid, op):
+        query = SlidingAggregateQuery(grid, "values", op=op, window=3)
+        plain = LocalJobRunner().run(
+            query.build_job("plain", num_map_tasks=2), grid)
+        agg = LocalJobRunner().run(
+            query.build_job("aggregate", num_map_tasks=2, num_reducers=2), grid)
+        pm = {k.coords: v for k, v in plain.output}
+        am = {k.coords: v for k, v in agg.output}
+        assert pm == am
+
+    def test_combiner_used_and_harmless(self, grid):
+        query = SlidingAggregateQuery(grid, "values", op="max", window=3)
+        with_c = LocalJobRunner().run(
+            query.build_job("plain", use_combiner=True, num_map_tasks=2), grid)
+        without = LocalJobRunner().run(
+            query.build_job("plain", use_combiner=False, num_map_tasks=2), grid)
+        assert with_c.counters[C.COMBINE_INPUT_RECORDS] > 0
+        assert with_c.materialized_bytes < without.materialized_bytes
+        assert ({k.coords: v for k, v in with_c.output}
+                == {k.coords: v for k, v in without.output})
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            SlidingAggregateQuery(grid, "values", op="median")
+        with pytest.raises(ValueError):
+            SlidingAggregateQuery(grid, "values", op="max").build_job("nope")
+
+
+class TestPlanNodes:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            Window(Source("v"), op="argmax")
+
+    def test_binary_validation(self):
+        with pytest.raises(ValueError):
+            Binary(Source("a"), Source("b"), op="xor")
+
+
+class TestExecute:
+    def test_source_passthrough_requires_known_variable(self, grid):
+        with pytest.raises(KeyError):
+            execute(Subset(Source("ghost"), Slab((0, 0), (2, 2))), grid)
+
+    def test_subset_stage(self, grid):
+        box = Slab((2, 2), (3, 4))
+        out = execute(Subset(Source("values"), box), grid)
+        assert out.extent == box
+        assert (out.data == grid["values"].read(box)).all()
+
+    @pytest.mark.parametrize("op,npfold", [
+        ("median", np.median), ("mean", np.mean),
+        ("min", np.min), ("max", np.max), ("sum", np.sum)])
+    def test_window_stage(self, grid, op, npfold):
+        out = execute(Window(Source("values"), op=op), grid)
+        data = grid["values"].data
+        half = 1
+        for idx in [(0, 0), (3, 4), (7, 7)]:
+            slices = tuple(slice(max(0, i - half), min(8, i + half + 1))
+                           for i in idx)
+            assert out.data[idx] == pytest.approx(npfold(data[slices]))
+
+    def test_chained_subset_then_window(self, grid):
+        box = Slab((1, 1), (5, 5))
+        plan = Window(Subset(Source("values"), box), op="max")
+        out = execute(plan, grid)
+        assert out.extent == box
+        # window applies to the *subset* extent: clipped at the box edge
+        sub = grid["values"].read(box)
+        assert out.data[0, 0] == sub[0:2, 0:2].max()
+
+    def test_binary_of_two_windows(self, grid):
+        plan = Binary(
+            Window(Source("values"), op="max"),
+            Window(Source("values"), op="min"),
+            op="sub",
+        )
+        out = execute(plan, grid)  # windowed range = max - min
+        data = grid["values"].data
+        assert out.data[4, 4] == data[3:6, 3:6].max() - data[3:6, 3:6].min()
+        assert (out.data >= 0).all()
+
+    def test_binary_of_two_variables(self):
+        ds = Dataset()
+        rng = np.random.default_rng(0)
+        ds.add(Variable("u", rng.integers(0, 9, (5, 5)).astype(np.int32)))
+        ds.add(Variable("v", rng.integers(0, 9, (5, 5)).astype(np.int32)))
+        out = execute(Binary(Source("u"), Source("v"), op="add"), ds)
+        assert (out.data == ds["u"].data + ds["v"].data).all()
+
+    def test_aggregate_mode_pipeline_matches_plain(self, grid):
+        plan = Window(Subset(Source("values"), Slab((0, 0), (6, 6))),
+                      op="median")
+        plain = execute(plan, grid, mode="plain")
+        agg = execute(plan, grid, mode="aggregate", num_map_tasks=2,
+                      num_reducers=2)
+        assert np.allclose(plain.data, agg.data)
+
+    def test_unknown_node_type(self, grid):
+        with pytest.raises(TypeError):
+            execute(object(), grid)

@@ -1,0 +1,91 @@
+"""Unit tests for shared query plumbing (window geometry, configs)."""
+
+import numpy as np
+import pytest
+
+from repro.queries import SlidingMedianQuery, window_offsets, shifted_cells
+from repro.queries.sliding_median import value_serde_for
+from repro.scidata import Slab, integer_grid
+
+
+class TestWindowOffsets:
+    def test_3x3(self):
+        offsets = window_offsets(2, 3)
+        assert len(offsets) == 9
+        assert (0, 0) in offsets
+        assert (-1, -1) in offsets and (1, 1) in offsets
+
+    def test_window_1_is_identity(self):
+        assert window_offsets(3, 1) == [(0, 0, 0)]
+
+    def test_5_wide_3d(self):
+        assert len(window_offsets(3, 5)) == 125
+
+    def test_even_or_negative_rejected(self):
+        with pytest.raises(ValueError):
+            window_offsets(2, 2)
+        with pytest.raises(ValueError):
+            window_offsets(2, 0)
+        with pytest.raises(ValueError):
+            window_offsets(2, -3)
+
+
+class TestShiftedCells:
+    def test_interior_shift_keeps_all(self):
+        extent = Slab((0, 0), (10, 10))
+        coords = np.array([[5, 5], [6, 6]])
+        values = np.array([1, 2])
+        out_c, out_v = shifted_cells(coords, values, (1, -1), extent)
+        assert out_c.tolist() == [[6, 4], [7, 5]]
+        assert out_v.tolist() == [1, 2]
+
+    def test_boundary_clipping(self):
+        extent = Slab((0, 0), (10, 10))
+        coords = np.array([[0, 0], [9, 9], [5, 5]])
+        values = np.array([1, 2, 3])
+        out_c, out_v = shifted_cells(coords, values, (-1, 0), extent)
+        # (0,0) falls off the top edge
+        assert out_v.tolist() == [2, 3]
+
+    def test_negative_extent_corner(self):
+        extent = Slab((-5, -5), (10, 10))
+        coords = np.array([[-5, -5]])
+        values = np.array([7])
+        out_c, out_v = shifted_cells(coords, values, (-1, 0), extent)
+        assert out_v.size == 0  # clipped at the negative corner too
+
+    def test_zero_offset_identity(self):
+        extent = Slab((0, 0), (4, 4))
+        coords = np.array([[1, 2]])
+        values = np.array([9])
+        out_c, out_v = shifted_cells(coords, values, (0, 0), extent)
+        assert out_c.tolist() == [[1, 2]]
+
+
+class TestValueSerdeFor:
+    @pytest.mark.parametrize("dtype,size", [
+        ("int32", 4), ("int64", 8), ("float32", 4), ("float64", 8)])
+    def test_supported(self, dtype, size):
+        serde = value_serde_for(np.dtype(dtype))
+        assert serde.SIZE == size
+
+    def test_unsupported(self):
+        with pytest.raises(TypeError):
+            value_serde_for(np.dtype("uint8"))
+
+
+class TestAggregationConfigSizing:
+    def test_curve_covers_grid(self):
+        grid = integer_grid((100, 37), seed=1)
+        query = SlidingMedianQuery(grid, "values")
+        cfg = query.aggregation_config()
+        assert cfg.make_curve().side >= 100
+        assert cfg.ndim == 2
+        assert cfg.dtype == "int32"
+
+    def test_overrides(self):
+        grid = integer_grid((8, 8), seed=1)
+        query = SlidingMedianQuery(grid, "values")
+        cfg = query.aggregation_config(curve="hilbert", buffer_cells=10)
+        assert cfg.curve == "hilbert"
+        assert cfg.buffer_cells == 10

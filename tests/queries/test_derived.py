@@ -1,0 +1,85 @@
+"""Tests for the derived-variable (multi-variable) query."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import LocalJobRunner
+from repro.queries import DerivedVariableQuery
+from repro.scidata import Dataset, Variable, integer_grid
+
+
+@pytest.fixture(scope="module")
+def two_vars():
+    rng = np.random.default_rng(3)
+    ds = Dataset()
+    ds.add(Variable("u", rng.integers(0, 100, (8, 8)).astype(np.int32)))
+    ds.add(Variable("v", rng.integers(0, 100, (8, 8)).astype(np.int32)))
+    return ds
+
+
+class TestPlainMode:
+    @pytest.mark.parametrize("op,npfunc", [
+        ("add", np.add), ("sub", np.subtract), ("mul", np.multiply),
+        ("max", np.maximum), ("hypot", np.hypot),
+    ])
+    def test_ops_match_numpy(self, two_vars, op, npfunc):
+        query = DerivedVariableQuery(two_vars, "u", "v", op=op)
+        result = LocalJobRunner().run(query.build_job("plain"), two_vars)
+        truth = npfunc(two_vars["u"].data, two_vars["v"].data)
+        assert len(result.output) == 64
+        for key, value in result.output:
+            assert key.variable == "derived"
+            assert value == pytest.approx(truth[key.coords])
+
+    def test_multi_mapper(self, two_vars):
+        query = DerivedVariableQuery(two_vars, "u", "v", op="add")
+        result = LocalJobRunner().run(
+            query.build_job("plain", num_map_tasks=3, num_reducers=2), two_vars)
+        truth = two_vars["u"].data + two_vars["v"].data
+        assert len(result.output) == 64
+        for key, value in result.output:
+            assert value == truth[key.coords]
+
+
+class TestAggregateMode:
+    def test_matches_plain(self, two_vars):
+        query = DerivedVariableQuery(two_vars, "u", "v", op="mul")
+        plain = LocalJobRunner().run(query.build_job("plain"), two_vars)
+        agg = LocalJobRunner().run(
+            query.build_job("aggregate", num_map_tasks=2), two_vars)
+        pm = {k.coords: v for k, v in plain.output}
+        am = {k.coords: v for k, v in agg.output}
+        assert pm == am
+
+    def test_aggregation_shrinks_bytes(self, two_vars):
+        query = DerivedVariableQuery(two_vars, "u", "v")
+        plain = LocalJobRunner().run(query.build_job("plain"), two_vars)
+        agg = LocalJobRunner().run(query.build_job("aggregate"), two_vars)
+        assert agg.materialized_bytes < plain.materialized_bytes
+
+
+class TestValidation:
+    def test_unknown_variable(self, two_vars):
+        with pytest.raises(KeyError):
+            DerivedVariableQuery(two_vars, "u", "w")
+        with pytest.raises(KeyError):
+            DerivedVariableQuery(two_vars, "w", "v")
+
+    def test_unknown_op(self, two_vars):
+        with pytest.raises(ValueError):
+            DerivedVariableQuery(two_vars, "u", "v", op="xor")
+
+    def test_extent_mismatch(self):
+        ds = Dataset()
+        ds.add(Variable("a", np.zeros((4, 4), dtype=np.int32)))
+        ds.add(Variable("b", np.zeros((5, 4), dtype=np.int32)))
+        with pytest.raises(ValueError):
+            DerivedVariableQuery(ds, "a", "b")
+
+    def test_dtype_promotion(self, two_vars):
+        query = DerivedVariableQuery(two_vars, "u", "v", op="hypot")
+        assert query.out_dtype == np.dtype(np.float64)
+
+    def test_bad_mode(self, two_vars):
+        with pytest.raises(ValueError):
+            DerivedVariableQuery(two_vars, "u", "v").build_job("bogus")

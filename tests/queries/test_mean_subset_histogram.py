@@ -1,0 +1,149 @@
+"""Tests for the sliding-mean, subset, and histogram queries."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import LocalJobRunner
+from repro.mapreduce.metrics import C
+from repro.queries import BoxSubsetQuery, HistogramQuery, SlidingMeanQuery
+from repro.queries.sliding_mean import SumCountSerde
+from repro.scidata import Slab, integer_grid
+
+
+def numpy_sliding_mean(data: np.ndarray, window: int) -> np.ndarray:
+    half = window // 2
+    out = np.empty(data.shape, dtype=float)
+    for idx in np.ndindex(data.shape):
+        slices = tuple(
+            slice(max(0, i - half), min(n, i + half + 1))
+            for i, n in zip(idx, data.shape)
+        )
+        out[idx] = np.mean(data[slices])
+    return out
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return integer_grid((8, 8), seed=33, low=0, high=500)
+
+
+class TestSumCountSerde:
+    def test_roundtrip(self):
+        s = SumCountSerde()
+        assert s.from_bytes(s.to_bytes((3.5, 7))) == (3.5, 7)
+
+    def test_size(self):
+        assert len(SumCountSerde().to_bytes((0.0, 0))) == 12
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            SumCountSerde().to_bytes((1.0, -1))
+
+
+class TestSlidingMean:
+    def test_plain_matches_numpy(self, grid):
+        query = SlidingMeanQuery(grid, "values", window=3)
+        result = LocalJobRunner().run(query.build_job("plain"), grid)
+        truth = numpy_sliding_mean(grid["values"].data, 3)
+        assert len(result.output) == 64
+        for key, value in result.output:
+            assert value == pytest.approx(truth[key.coords])
+
+    def test_aggregate_matches_plain(self, grid):
+        query = SlidingMeanQuery(grid, "values", window=3)
+        plain = LocalJobRunner().run(query.build_job("plain"), grid)
+        agg = LocalJobRunner().run(
+            query.build_job("aggregate", num_map_tasks=2, num_reducers=2), grid)
+        pm = {k.coords: v for k, v in plain.output}
+        am = {k.coords: v for k, v in agg.output}
+        assert set(pm) == set(am)
+        for c in pm:
+            assert pm[c] == pytest.approx(am[c])
+
+    def test_combiner_shrinks_data(self, grid):
+        query = SlidingMeanQuery(grid, "values", window=3)
+        with_comb = LocalJobRunner().run(
+            query.build_job("plain", use_combiner=True, num_map_tasks=2), grid)
+        without = LocalJobRunner().run(
+            query.build_job("plain", use_combiner=False, num_map_tasks=2), grid)
+        assert with_comb.materialized_bytes < without.materialized_bytes
+        assert with_comb.counters[C.COMBINE_INPUT_RECORDS] > 0
+        # combiner must not change the answer
+        wm = {k.coords: v for k, v in with_comb.output}
+        wo = {k.coords: v for k, v in without.output}
+        for c in wm:
+            assert wm[c] == pytest.approx(wo[c])
+
+    def test_bad_mode(self, grid):
+        with pytest.raises(ValueError):
+            SlidingMeanQuery(grid, "values").build_job("nope")
+
+
+class TestBoxSubset:
+    def test_plain_extracts_box(self, grid):
+        box = Slab((2, 3), (4, 2))
+        query = BoxSubsetQuery(grid, "values", box)
+        result = LocalJobRunner().run(query.build_job("plain"), grid)
+        data = grid["values"].data
+        assert len(result.output) == 8
+        for key, value in result.output:
+            assert box.contains_point(key.coords)
+            assert value == data[key.coords]
+
+    def test_aggregate_matches_plain(self, grid):
+        box = Slab((1, 1), (5, 5))
+        query = BoxSubsetQuery(grid, "values", box)
+        plain = LocalJobRunner().run(query.build_job("plain"), grid)
+        agg = LocalJobRunner().run(
+            query.build_job("aggregate", num_map_tasks=3, num_reducers=2), grid)
+        assert ({(k.coords, v) for k, v in plain.output}
+                == {(k.coords, v) for k, v in agg.output})
+
+    def test_aggregate_shrinks_intermediate(self, grid):
+        box = Slab((0, 0), (8, 8))
+        query = BoxSubsetQuery(grid, "values", box)
+        plain = LocalJobRunner().run(query.build_job("plain"), grid)
+        agg = LocalJobRunner().run(query.build_job("aggregate"), grid)
+        assert agg.materialized_bytes < plain.materialized_bytes / 2
+
+    def test_disjoint_splits_emit_nothing(self, grid):
+        box = Slab((0, 0), (2, 2))
+        query = BoxSubsetQuery(grid, "values", box)
+        result = LocalJobRunner().run(
+            query.build_job("plain", num_map_tasks=4), grid)
+        assert len(result.output) == 4
+
+    def test_box_outside_extent_rejected(self, grid):
+        with pytest.raises(ValueError):
+            BoxSubsetQuery(grid, "values", Slab((5, 5), (10, 10)))
+
+
+class TestHistogram:
+    def test_counts_match_numpy(self, grid):
+        query = HistogramQuery(grid, "values", bins=16)
+        result = LocalJobRunner().run(
+            query.build_job(num_map_tasks=4), grid)
+        data = grid["values"].data
+        truth, _ = np.histogram(data.ravel(), bins=16,
+                                range=(query.lo, query.hi))
+        got = dict(result.output)
+        for b, count in enumerate(truth):
+            assert got.get(b, 0) == count
+        assert sum(got.values()) == data.size
+
+    def test_combiner_path(self, grid):
+        query = HistogramQuery(grid, "values", bins=8)
+        with_comb = LocalJobRunner().run(
+            query.build_job(num_map_tasks=4, use_combiner=True), grid)
+        without = LocalJobRunner().run(
+            query.build_job(num_map_tasks=4, use_combiner=False), grid)
+        assert dict(with_comb.output) == dict(without.output)
+        assert with_comb.materialized_bytes <= without.materialized_bytes
+
+    def test_aggregate_mode_rejected(self, grid):
+        with pytest.raises(ValueError):
+            HistogramQuery(grid, "values").build_job("aggregate")
+
+    def test_bins_validation(self, grid):
+        with pytest.raises(ValueError):
+            HistogramQuery(grid, "values", bins=0)

@@ -1,0 +1,87 @@
+"""Regression tests: single-variable queries over multi-variable datasets.
+
+The query-pipeline example exposed a bug where the default splitter
+handed a query every variable's slabs, duplicating (or corrupting)
+output.  These tests pin the fix (Job.input_variables).
+"""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import LocalJobRunner
+from repro.queries import (
+    BoxSubsetQuery,
+    HistogramQuery,
+    SlidingAggregateQuery,
+    SlidingMedianQuery,
+)
+from repro.scidata import ArraySplitter, Dataset, Slab, Variable
+
+
+@pytest.fixture(scope="module")
+def multi():
+    rng = np.random.default_rng(6)
+    ds = Dataset()
+    ds.add(Variable("a", rng.integers(0, 100, (6, 6)).astype(np.int32)))
+    ds.add(Variable("b", rng.integers(500, 600, (6, 6)).astype(np.int32)))
+    return ds
+
+
+def test_subset_only_sees_its_variable(multi):
+    box = Slab((0, 0), (6, 6))
+    query = BoxSubsetQuery(multi, "a", box)
+    result = LocalJobRunner().run(
+        query.build_job("plain", num_map_tasks=2), multi)
+    assert len(result.output) == 36  # not 72
+    data = multi["a"].data
+    for key, value in result.output:
+        assert key.variable == "a"
+        assert value == data[key.coords]
+        assert value < 500  # never a value from variable b
+
+
+def test_sliding_median_only_sees_its_variable(multi):
+    query = SlidingMedianQuery(multi, "b", window=3)
+    result = LocalJobRunner().run(
+        query.build_job("plain", num_map_tasks=2), multi)
+    assert len(result.output) == 36
+    for key, value in result.output:
+        assert value >= 500  # medians of b values only
+
+
+def test_sliding_aggregate_only_sees_its_variable(multi):
+    query = SlidingAggregateQuery(multi, "a", op="max")
+    result = LocalJobRunner().run(query.build_job("plain"), multi)
+    assert len(result.output) == 36
+    assert all(v < 500 for _, v in result.output)
+
+
+def test_histogram_only_counts_its_variable(multi):
+    query = HistogramQuery(multi, "a", bins=4)
+    result = LocalJobRunner().run(query.build_job(num_map_tasks=2), multi)
+    assert sum(v for _, v in result.output) == 36
+
+
+def test_aggregate_mode_multi_variable(multi):
+    query = SlidingMedianQuery(multi, "a", window=3)
+    plain = LocalJobRunner().run(
+        query.build_job("plain", num_map_tasks=2), multi)
+    agg = LocalJobRunner().run(
+        query.build_job("aggregate", num_map_tasks=2), multi)
+    assert ({k.coords: v for k, v in plain.output}
+            == {k.coords: v for k, v in agg.output})
+
+
+class TestSplitterVariableSelection:
+    def test_selected_variable_only(self, multi):
+        splits = ArraySplitter(2).split(multi, ["b"])
+        assert len(splits) == 2
+        assert all(s.variable == "b" for s in splits)
+
+    def test_default_is_all(self, multi):
+        splits = ArraySplitter(2).split(multi)
+        assert {s.variable for s in splits} == {"a", "b"}
+
+    def test_unknown_variable_rejected(self, multi):
+        with pytest.raises(KeyError):
+            ArraySplitter(2).split(multi, ["ghost"])

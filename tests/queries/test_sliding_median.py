@@ -1,0 +1,134 @@
+"""Tests for the sliding-median query in both modes, against numpy truth."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import LocalJobRunner
+from repro.mapreduce.metrics import C
+from repro.queries import SlidingMedianQuery
+from repro.scidata import integer_grid
+
+
+def numpy_sliding_median(data: np.ndarray, window: int) -> np.ndarray:
+    """Reference: median over the clipped window around each cell."""
+    half = window // 2
+    out = np.empty(data.shape, dtype=float)
+    for idx in np.ndindex(data.shape):
+        slices = tuple(
+            slice(max(0, i - half), min(n, i + half + 1))
+            for i, n in zip(idx, data.shape)
+        )
+        out[idx] = np.median(data[slices])
+    return out
+
+
+def run_query(grid, mode, **kwargs):
+    query = SlidingMedianQuery(grid, "values", window=3)
+    job = query.build_job(mode=mode, **kwargs)
+    return LocalJobRunner().run(job, grid), query
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return integer_grid((9, 9), seed=21, low=0, high=1000)
+
+
+class TestPlainMode:
+    def test_matches_numpy(self, grid):
+        result, query = run_query(grid, "plain")
+        truth = numpy_sliding_median(grid["values"].data, 3)
+        assert len(result.output) == query.expected_output_cells()
+        for key, value in result.output:
+            assert value == pytest.approx(truth[key.coords])
+
+    def test_intermediate_blowup_is_windowish(self, grid):
+        result, _ = run_query(grid, "plain")
+        # 81 cells, 3x3 window clipped at edges: 625 emissions
+        assert result.counters[C.MAP_OUTPUT_RECORDS] == 625
+
+    def test_multi_mapper_multi_reducer(self, grid):
+        result, query = run_query(grid, "plain", num_map_tasks=3, num_reducers=3)
+        truth = numpy_sliding_median(grid["values"].data, 3)
+        assert len(result.output) == query.expected_output_cells()
+        for key, value in result.output:
+            assert value == pytest.approx(truth[key.coords])
+
+    def test_index_mode_keys_are_smaller(self, grid):
+        by_name, _ = run_query(grid, "plain", variable_mode="name")
+        by_index, _ = run_query(grid, "plain", variable_mode="index")
+        assert (by_index.map_output_stats.key_bytes
+                < by_name.map_output_stats.key_bytes)
+        # same record count, same values
+        assert (by_index.counters[C.MAP_OUTPUT_RECORDS]
+                == by_name.counters[C.MAP_OUTPUT_RECORDS])
+
+
+class TestAggregateMode:
+    def test_matches_numpy(self, grid):
+        result, query = run_query(grid, "aggregate")
+        truth = numpy_sliding_median(grid["values"].data, 3)
+        assert len(result.output) == query.expected_output_cells()
+        for key, value in result.output:
+            assert value == pytest.approx(truth[key.coords])
+
+    def test_matches_plain_mode_exactly(self, grid):
+        plain, _ = run_query(grid, "plain")
+        agg, _ = run_query(grid, "aggregate")
+        as_map = lambda out: {k.coords: v for k, v in out}
+        assert as_map(plain.output) == as_map(agg.output)
+
+    def test_shrinks_intermediate_data(self, grid):
+        """The paper's §IV headline: aggregation shrinks materialized bytes."""
+        plain, _ = run_query(grid, "plain")
+        agg, _ = run_query(grid, "aggregate")
+        assert agg.materialized_bytes < plain.materialized_bytes / 2
+
+    def test_multi_mapper_multi_reducer(self, grid):
+        result, query = run_query(grid, "aggregate", num_map_tasks=4,
+                                  num_reducers=3)
+        truth = numpy_sliding_median(grid["values"].data, 3)
+        assert len(result.output) == query.expected_output_cells()
+        for key, value in result.output:
+            assert value == pytest.approx(truth[key.coords])
+
+    def test_key_splits_happen_with_partitioning(self, grid):
+        result, _ = run_query(grid, "aggregate", num_map_tasks=4, num_reducers=3)
+        assert result.counters[C.KEY_SPLITS] > 0
+
+    def test_hilbert_curve_also_correct(self, grid):
+        result, query = run_query(
+            grid, "aggregate", agg_overrides={"curve": "hilbert"})
+        truth = numpy_sliding_median(grid["values"].data, 3)
+        for key, value in result.output:
+            assert value == pytest.approx(truth[key.coords])
+
+    def test_alignment_mode_correct(self, grid):
+        result, query = run_query(
+            grid, "aggregate", num_map_tasks=3,
+            agg_overrides={"alignment": 16})
+        truth = numpy_sliding_median(grid["values"].data, 3)
+        assert len(result.output) == query.expected_output_cells()
+        for key, value in result.output:
+            assert value == pytest.approx(truth[key.coords])
+
+    def test_small_flush_buffer_correct(self, grid):
+        result, query = run_query(
+            grid, "aggregate", agg_overrides={"buffer_cells": 50})
+        truth = numpy_sliding_median(grid["values"].data, 3)
+        assert len(result.output) == query.expected_output_cells()
+        for key, value in result.output:
+            assert value == pytest.approx(truth[key.coords])
+
+
+class TestValidation:
+    def test_bad_mode(self, grid):
+        with pytest.raises(ValueError):
+            SlidingMedianQuery(grid, "values").build_job(mode="bogus")
+
+    def test_even_window_rejected(self, grid):
+        with pytest.raises(ValueError):
+            SlidingMedianQuery(grid, "values", window=4)
+
+    def test_unknown_variable(self, grid):
+        with pytest.raises(KeyError):
+            SlidingMedianQuery(grid, "nope")

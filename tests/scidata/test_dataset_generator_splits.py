@@ -1,0 +1,148 @@
+"""Tests for datasets, generators, and array input splits."""
+
+import numpy as np
+import pytest
+
+from repro.scidata import (
+    ArraySplitter,
+    Dataset,
+    Slab,
+    Variable,
+    integer_grid,
+    walk_grid_int32_triples,
+    windspeed_field,
+)
+
+
+class TestVariable:
+    def test_read_slab(self):
+        data = np.arange(24).reshape(2, 3, 4)
+        v = Variable("v", data)
+        out = v.read(Slab((0, 1, 2), (2, 2, 2)))
+        assert (out == data[0:2, 1:3, 2:4]).all()
+
+    def test_read_with_origin(self):
+        data = np.arange(16).reshape(4, 4)
+        v = Variable("v", data, origin=(10, 20))
+        out = v.read(Slab((11, 21), (2, 2)))
+        assert (out == data[1:3, 1:3]).all()
+
+    def test_read_out_of_extent(self):
+        v = Variable("v", np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            v.read(Slab((3, 3), (2, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Variable("", np.zeros(3))
+        with pytest.raises(ValueError):
+            Variable("v", np.float64(3.0))
+        with pytest.raises(ValueError):
+            Variable("v", np.zeros((2, 2)), origin=(0,))
+
+    def test_extent(self):
+        v = Variable("v", np.zeros((3, 5)), origin=(1, 2))
+        assert v.extent == Slab((1, 2), (3, 5))
+
+
+class TestDataset:
+    def test_add_and_lookup(self):
+        ds = Dataset()
+        ds.add(Variable("a", np.zeros((2, 2))))
+        ds.add(Variable("b", np.zeros(3, dtype=np.int32)))
+        assert "a" in ds and "b" in ds and "c" not in ds
+        assert ds.names == ["a", "b"]
+        assert len(ds) == 2
+        assert ds.total_cells() == 7
+        assert ds.total_value_bytes() == 4 * 8 + 3 * 4
+
+    def test_duplicate_rejected(self):
+        ds = Dataset()
+        ds.add(Variable("a", np.zeros(2)))
+        with pytest.raises(ValueError):
+            ds.add(Variable("a", np.zeros(2)))
+
+    def test_missing_lookup(self):
+        with pytest.raises(KeyError):
+            Dataset()["nope"]
+
+
+class TestGenerators:
+    def test_windspeed_shape_and_determinism(self):
+        a = windspeed_field((4, 5, 6), seed=1)["windspeed1"]
+        b = windspeed_field((4, 5, 6), seed=1)["windspeed1"]
+        assert a.data.shape == (4, 5, 6)
+        assert a.data.dtype == np.float32
+        assert (a.data == b.data).all()
+
+    def test_windspeed_smooth_vs_noise(self):
+        smooth = windspeed_field((16, 16, 4), seed=1, smooth=True)["windspeed1"]
+        noisy = windspeed_field((16, 16, 4), seed=1, smooth=False)["windspeed1"]
+        # Smooth field has much smaller neighbour differences.
+        ds = np.abs(np.diff(smooth.data, axis=0)).mean()
+        dn = np.abs(np.diff(noisy.data, axis=0)).mean()
+        assert ds < dn
+
+    def test_integer_grid(self):
+        ds = integer_grid((10, 10), seed=3, low=5, high=9)
+        data = ds["values"].data
+        assert data.dtype == np.int32
+        assert data.min() >= 5 and data.max() < 9
+        with pytest.raises(ValueError):
+            integer_grid((10,), low=5, high=5)
+        with pytest.raises(ValueError):
+            integer_grid((0, 3))
+
+    def test_walk_grid_size_matches_paper(self):
+        # side=100 gives the paper's 12,000,000-byte Fig 3 input.
+        assert len(walk_grid_int32_triples(10)) == 12_000
+        data = walk_grid_int32_triples(3)
+        triples = np.frombuffer(data, dtype="<i4").reshape(-1, 3)
+        assert triples.shape == (27, 3)
+        assert tuple(triples[0]) == (0, 0, 0)
+        assert tuple(triples[1]) == (0, 0, 1)  # C-order walk
+        assert tuple(triples[-1]) == (2, 2, 2)
+
+    def test_walk_grid_validation(self):
+        with pytest.raises(ValueError):
+            walk_grid_int32_triples(0)
+
+
+class TestArraySplitter:
+    def test_split_count_and_coverage(self):
+        ds = integer_grid((8, 8), seed=0)
+        splits = ArraySplitter(4).split(ds)
+        assert len(splits) == 4
+        assert sum(s.cells for s in splits) == 64
+        assert [s.split_id for s in splits] == [0, 1, 2, 3]
+        # coverage without overlap
+        cells = set()
+        for s in splits:
+            for p in s.slab:
+                assert p not in cells
+                cells.add(p)
+        assert len(cells) == 64
+
+    def test_single_split(self):
+        ds = integer_grid((5, 5), seed=0)
+        splits = ArraySplitter(1).split(ds)
+        assert len(splits) == 1
+        assert splits[0].slab == ds["values"].extent
+
+    def test_more_splits_than_leading_dim(self):
+        ds = integer_grid((2, 9), seed=0)
+        splits = ArraySplitter(6).split(ds)
+        assert sum(s.cells for s in splits) == 18
+        assert len(splits) >= 6
+
+    def test_multiple_variables(self):
+        ds = Dataset()
+        ds.add(Variable("a", np.zeros((4, 4))))
+        ds.add(Variable("b", np.zeros((4, 4))))
+        splits = ArraySplitter(2).split(ds)
+        assert len(splits) == 4
+        assert {s.variable for s in splits} == {"a", "b"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArraySplitter(0)

@@ -1,0 +1,85 @@
+"""Tests for the on-disk dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import LocalJobRunner
+from repro.queries import SlidingMedianQuery
+from repro.scidata import Dataset, Slab, Variable, integer_grid, windspeed_field
+from repro.scidata.ncfile import MAGIC, open_dataset, save_dataset
+
+
+class TestRoundtrip:
+    def test_single_variable(self, tmp_path):
+        ds = integer_grid((10, 12), seed=5)
+        path = tmp_path / "grid.rnc"
+        size = save_dataset(ds, path)
+        assert path.stat().st_size == size
+        loaded = open_dataset(path)
+        assert loaded.names == ["values"]
+        assert (loaded["values"].data == ds["values"].data).all()
+
+    def test_multi_variable_with_attrs_and_origin(self, tmp_path):
+        ds = Dataset()
+        ds.add(Variable("a", np.arange(24, dtype=np.int32).reshape(2, 3, 4),
+                        origin=(5, 6, 7), attrs={"units": "K", "level": 3}))
+        ds.add(Variable("b", np.ones((4, 4), dtype=np.float64)))
+        path = tmp_path / "multi.rnc"
+        save_dataset(ds, path)
+        loaded = open_dataset(path)
+        assert loaded.names == ["a", "b"]
+        a = loaded["a"]
+        assert a.origin == (5, 6, 7)
+        assert a.attrs["units"] == "K"
+        assert a.attrs["level"] == 3
+        assert (a.data == ds["a"].data).all()
+        assert loaded["b"].data.dtype == np.dtype("<f8")
+
+    def test_float_field(self, tmp_path):
+        ds = windspeed_field((6, 6, 3), seed=2)
+        path = tmp_path / "wind.rnc"
+        save_dataset(ds, path)
+        loaded = open_dataset(path)
+        assert (loaded["windspeed1"].data == ds["windspeed1"].data).all()
+
+    def test_slab_read_is_lazy_and_correct(self, tmp_path):
+        ds = integer_grid((20, 20), seed=9)
+        path = tmp_path / "lazy.rnc"
+        save_dataset(ds, path)
+        loaded = open_dataset(path)
+        # the variable's array must be a view over the file mapping (no
+        # eager copy); Variable's asarray() may strip the memmap subclass
+        # but keeps the buffer
+        data = loaded["values"].data
+        assert not data.flags.owndata
+        assert isinstance(data.base, np.memmap) or isinstance(data, np.memmap)
+        slab = Slab((3, 4), (5, 6))
+        assert (loaded["values"].read(slab) == ds["values"].read(slab)).all()
+
+
+class TestValidation:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bogus"
+        path.write_bytes(b"NOPE" + bytes(100))
+        with pytest.raises(ValueError):
+            open_dataset(path)
+
+    def test_magic_constant(self):
+        assert MAGIC == b"RNC1"
+
+
+class TestEndToEnd:
+    def test_job_runs_against_opened_file(self, tmp_path):
+        """The engine must accept a file-backed dataset transparently."""
+        ds = integer_grid((8, 8), seed=1)
+        path = tmp_path / "input.rnc"
+        save_dataset(ds, path)
+        loaded = open_dataset(path)
+        query = SlidingMedianQuery(loaded, "values", window=3)
+        from_file = LocalJobRunner().run(
+            query.build_job("plain", num_map_tasks=2), loaded)
+        in_memory = LocalJobRunner().run(
+            SlidingMedianQuery(ds, "values", window=3)
+            .build_job("plain", num_map_tasks=2), ds)
+        assert ({k.coords: v for k, v in from_file.output}
+                == {k.coords: v for k, v in in_memory.output})

@@ -1,0 +1,170 @@
+"""Unit and property tests for Slab geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scidata import Slab
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = Slab((0, 0), (3, 4))
+        assert s.ndim == 2
+        assert s.size == 12
+        assert s.end == (3, 4)
+
+    def test_negative_corner_allowed(self):
+        # §IV-C: mappers emit into (-1,-1)-(10,10).
+        s = Slab((-1, -1), (12, 12))
+        assert s.contains_point((-1, -1))
+        assert s.contains_point((10, 10))
+        assert not s.contains_point((11, 0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Slab((0,), (1, 2))
+        with pytest.raises(ValueError):
+            Slab((), ())
+        with pytest.raises(ValueError):
+            Slab((0,), (-1,))
+
+    def test_empty(self):
+        s = Slab((0, 0), (0, 5))
+        assert s.is_empty()
+        assert s.size == 0
+        assert list(s) == []
+
+
+class TestGeometry:
+    def test_contains(self):
+        outer = Slab((0, 0), (10, 10))
+        assert outer.contains(Slab((2, 2), (3, 3)))
+        assert outer.contains(outer)
+        assert not outer.contains(Slab((8, 8), (3, 3)))
+        assert outer.contains(Slab((50, 50), (0, 0)))  # empty fits anywhere
+
+    def test_intersect(self):
+        a = Slab((0, 0), (5, 5))
+        b = Slab((3, 3), (5, 5))
+        inter = a.intersect(b)
+        assert inter == Slab((3, 3), (2, 2))
+        assert b.intersect(a) == inter
+
+    def test_disjoint_intersect_is_none(self):
+        a = Slab((0, 0), (2, 2))
+        assert a.intersect(Slab((2, 0), (2, 2))) is None
+        assert a.intersect(Slab((5, 5), (1, 1))) is None
+
+    def test_paper_overlap_example(self):
+        """§IV-C: neighbouring mapper outputs overlap in (-1,9)-(10,10)."""
+        m1 = Slab((-1, -1), (12, 12))   # (-1,-1)-(10,10)
+        m2 = Slab((-1, 9), (12, 12))    # (-1,9)-(10,20)
+        inter = m1.intersect(m2)
+        assert inter == Slab((-1, 9), (12, 2))  # (-1,9)-(10,10)
+
+    def test_expand(self):
+        s = Slab((0, 0), (10, 10))
+        assert s.expand(1) == Slab((-1, -1), (12, 12))
+        assert s.expand((1, 0)) == Slab((-1, 0), (12, 10))
+        with pytest.raises(ValueError):
+            s.expand(-1)
+        with pytest.raises(ValueError):
+            s.expand((1, 2, 3))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            Slab((0,), (2,)).intersect(Slab((0, 0), (2, 2)))
+        with pytest.raises(ValueError):
+            Slab((0, 0), (2, 2)).contains_point((1,))
+
+
+class TestIteration:
+    def test_coords_c_order(self):
+        s = Slab((1, 2), (2, 2))
+        assert [tuple(c) for c in s.coords()] == [(1, 2), (1, 3), (2, 2), (2, 3)]
+        assert list(s) == [(1, 2), (1, 3), (2, 2), (2, 3)]
+
+    def test_local_index(self):
+        s = Slab((1, 2), (3, 4))
+        seen = [s.local_index(p) for p in s]
+        assert seen == list(range(s.size))
+        with pytest.raises(ValueError):
+            s.local_index((0, 0))
+
+
+class TestSplitting:
+    def test_split(self):
+        s = Slab((0, 0), (10, 4))
+        left, right = s.split(0, 6)
+        assert left == Slab((0, 0), (6, 4))
+        assert right == Slab((6, 0), (4, 4))
+        assert left.size + right.size == s.size
+
+    def test_split_validation(self):
+        s = Slab((0, 0), (10, 4))
+        with pytest.raises(ValueError):
+            s.split(0, 0)  # boundary cut produces empty half
+        with pytest.raises(ValueError):
+            s.split(0, 10)
+        with pytest.raises(ValueError):
+            s.split(2, 1)
+
+    def test_grid_partition_covers_exactly(self):
+        s = Slab((2, -3), (7, 5))
+        parts = s.grid_partition((3, 2))
+        assert len(parts) == 6
+        assert sum(p.size for p in parts) == s.size
+        cells = set()
+        for p in parts:
+            for point in p:
+                assert point not in cells, "partition overlap"
+                cells.add(point)
+        assert cells == set(tuple(c) for c in s.coords().tolist())
+
+    def test_grid_partition_validation(self):
+        s = Slab((0, 0), (4, 4))
+        with pytest.raises(ValueError):
+            s.grid_partition((5, 1))  # more chunks than cells along dim
+        with pytest.raises(ValueError):
+            s.grid_partition((0, 1))
+        with pytest.raises(ValueError):
+            s.grid_partition((2,))
+
+
+slab_strategy = st.integers(1, 3).flatmap(
+    lambda nd: st.tuples(
+        st.lists(st.integers(-8, 8), min_size=nd, max_size=nd),
+        st.lists(st.integers(1, 6), min_size=nd, max_size=nd),
+    ).map(lambda cs: Slab(tuple(cs[0]), tuple(cs[1])))
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(slab_strategy, slab_strategy)
+def test_intersection_properties(a, b):
+    if a.ndim != b.ndim:
+        return
+    inter = a.intersect(b)
+    if inter is None:
+        # verify no shared cell
+        assert not (set(a) & set(b))
+    else:
+        assert a.contains(inter) and b.contains(inter)
+        assert set(inter) == set(a) & set(b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(slab_strategy, st.integers(0, 3))
+def test_expand_contains_original(s, halo):
+    grown = s.expand(halo)
+    assert grown.contains(s)
+    assert grown.size >= s.size
+
+
+@settings(max_examples=60, deadline=None)
+@given(slab_strategy)
+def test_coords_count_matches_size(s):
+    arr = s.coords()
+    assert arr.shape == (s.size, s.ndim)
+    assert len({tuple(r) for r in arr.tolist()}) == s.size

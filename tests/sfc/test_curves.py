@@ -1,0 +1,151 @@
+"""Unit and property tests for space-filling curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sfc import (
+    Curve,
+    HilbertCurve,
+    RowMajorCurve,
+    ZOrderCurve,
+    available_curves,
+    get_curve,
+)
+
+ALL_CURVES = [ZOrderCurve, HilbertCurve, RowMajorCurve]
+
+
+@pytest.mark.parametrize("cls", ALL_CURVES)
+@pytest.mark.parametrize("ndim,bits", [(1, 4), (2, 3), (3, 3), (4, 2)])
+def test_bijection_exhaustive(cls, ndim, bits):
+    """encode must be a bijection onto [0, size) and decode its inverse."""
+    curve = cls(ndim, bits)
+    axes = [np.arange(curve.side)] * ndim
+    grids = np.meshgrid(*axes, indexing="ij")
+    coords = np.stack([g.ravel() for g in grids], axis=1)
+    idx = curve.encode(coords)
+    assert idx.dtype == np.int64
+    assert sorted(idx.tolist()) == list(range(curve.size))
+    back = curve.decode(idx)
+    assert (back == coords).all()
+
+
+@pytest.mark.parametrize("cls", ALL_CURVES)
+def test_scalar_helpers(cls):
+    curve = cls(3, 4)
+    idx = curve.encode_point((1, 2, 3))
+    assert curve.decode_point(idx) == (1, 2, 3)
+
+
+def test_zorder_2d_matches_bit_interleave():
+    curve = ZOrderCurve(2, 2)
+    # dim 0 contributes the low bit of each interleaved pair.
+    assert curve.encode_point((1, 0)) == 1
+    assert curve.encode_point((0, 1)) == 2
+    assert curve.encode_point((1, 1)) == 3
+    assert curve.encode_point((2, 0)) == 4
+    assert curve.encode_point((3, 3)) == 15
+
+
+def test_hilbert_adjacency():
+    """Consecutive Hilbert indices must be grid neighbours (distance 1).
+
+    This is the defining property of the Hilbert curve and is NOT true of
+    Z-order, which takes long diagonal jumps between quadrants.
+    """
+    for ndim, bits in [(2, 4), (3, 3)]:
+        curve = HilbertCurve(ndim, bits)
+        coords = curve.decode(np.arange(curve.size))
+        steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+        assert (steps == 1).all()
+
+
+def test_zorder_is_not_adjacent_everywhere():
+    curve = ZOrderCurve(2, 4)
+    coords = curve.decode(np.arange(curve.size))
+    steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+    assert steps.max() > 1  # sanity: Z-order jumps
+
+
+def test_rowmajor_matches_numpy_ravel():
+    curve = RowMajorCurve(3, 3)
+    shape = (curve.side,) * 3
+    coords = np.array([[1, 2, 3], [7, 0, 5]])
+    expected = np.ravel_multi_index(coords.T, shape)
+    assert (curve.encode(coords) == expected).all()
+
+
+def test_registry():
+    assert set(available_curves()) >= {"zorder", "hilbert", "rowmajor"}
+    curve = get_curve("zorder", 2, 5)
+    assert isinstance(curve, ZOrderCurve)
+    with pytest.raises(KeyError):
+        get_curve("sierpinski", 2, 5)
+
+
+@pytest.mark.parametrize("cls", ALL_CURVES)
+def test_input_validation(cls):
+    curve = cls(2, 3)
+    with pytest.raises(ValueError):
+        curve.encode(np.array([[8, 0]]))  # out of range
+    with pytest.raises(ValueError):
+        curve.encode(np.array([[-1, 0]]))
+    with pytest.raises(ValueError):
+        curve.encode(np.array([[0, 0, 0]]))  # wrong ndim
+    with pytest.raises(ValueError):
+        curve.decode(np.array([curve.size]))
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ZOrderCurve(0, 3)
+    with pytest.raises(ValueError):
+        ZOrderCurve(2, 0)
+    with pytest.raises(ValueError):
+        ZOrderCurve(2, 22)
+    with pytest.raises(ValueError):
+        ZOrderCurve(8, 8)  # 64 bits does not fit int64
+
+
+@pytest.mark.parametrize("cls", ALL_CURVES)
+def test_empty_input(cls):
+    curve = cls(2, 3)
+    assert curve.encode(np.zeros((0, 2), dtype=np.int64)).shape == (0,)
+    assert curve.decode(np.zeros(0, dtype=np.int64)).shape == (0, 2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.data(),
+    name=st.sampled_from(["zorder", "hilbert", "rowmajor"]),
+    ndim=st.integers(min_value=1, max_value=4),
+    bits=st.integers(min_value=1, max_value=8),
+)
+def test_roundtrip_property(data, name, ndim, bits):
+    curve = get_curve(name, ndim, bits)
+    npoints = data.draw(st.integers(min_value=1, max_value=64))
+    coords = data.draw(
+        st.lists(
+            st.lists(st.integers(0, curve.side - 1), min_size=ndim, max_size=ndim),
+            min_size=npoints,
+            max_size=npoints,
+        )
+    )
+    arr = np.asarray(coords, dtype=np.int64)
+    back = curve.decode(curve.encode(arr))
+    assert (back == arr).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    name=st.sampled_from(["zorder", "hilbert", "rowmajor"]),
+    bits=st.integers(min_value=1, max_value=6),
+)
+def test_distinct_points_get_distinct_indices(name, bits):
+    curve = get_curve(name, 2, bits)
+    n = min(curve.size, 128)
+    rng = np.random.default_rng(bits)
+    idx = rng.choice(curve.size, size=n, replace=False)
+    coords = curve.decode(idx)
+    assert len({tuple(c) for c in coords.tolist()}) == n

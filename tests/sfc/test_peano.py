@@ -1,0 +1,91 @@
+"""Tests for the Peano curve (base-3 geometry, §IV-A's third candidate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sfc import PeanoCurve, get_curve
+
+
+@pytest.mark.parametrize("ndim,levels", [(1, 3), (2, 1), (2, 2), (3, 1), (3, 2)])
+def test_bijection_exhaustive(ndim, levels):
+    curve = PeanoCurve(ndim, levels)
+    assert curve.side == 3 ** levels
+    assert curve.size == 3 ** (ndim * levels)
+    idx = np.arange(curve.size)
+    coords = curve.decode(idx)
+    assert (curve.encode(coords) == idx).all()
+    # all coordinates distinct and in range
+    assert len({tuple(c) for c in coords.tolist()}) == curve.size
+    assert coords.min() >= 0 and coords.max() < curve.side
+
+
+@pytest.mark.parametrize("ndim,levels", [(1, 4), (2, 3), (3, 2)])
+def test_continuity(ndim, levels):
+    """Peano's defining property: consecutive indices are grid neighbours."""
+    curve = PeanoCurve(ndim, levels)
+    coords = curve.decode(np.arange(curve.size))
+    steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+    assert (steps == 1).all()
+
+
+def test_first_column_is_serpentine():
+    # Classic Peano on 3x3: up the first column (dim 1 fastest).
+    curve = PeanoCurve(2, 1)
+    coords = [curve.decode_point(i) for i in range(9)]
+    assert coords[:3] == [(0, 0), (0, 1), (0, 2)]
+    assert coords[3] == (1, 2)  # serpentine turn
+
+
+def test_registered():
+    curve = get_curve("peano", 2, 2)
+    assert isinstance(curve, PeanoCurve)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PeanoCurve(0, 2)
+    with pytest.raises(ValueError):
+        PeanoCurve(2, 0)
+    with pytest.raises(ValueError):
+        PeanoCurve(4, 10)  # exceeds int64
+    curve = PeanoCurve(2, 2)
+    with pytest.raises(ValueError):
+        curve.encode(np.array([[9, 0]]))  # side is 9
+    with pytest.raises(ValueError):
+        curve.decode(np.array([curve.size]))
+
+
+def test_empty_input():
+    curve = PeanoCurve(2, 2)
+    assert curve.encode(np.zeros((0, 2), dtype=np.int64)).shape == (0,)
+    assert curve.decode(np.zeros(0, dtype=np.int64)).shape == (0, 2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(1, 3),
+    st.integers(1, 3),
+    st.integers(0, 10**6),
+)
+def test_roundtrip_property(ndim, levels, raw):
+    curve = PeanoCurve(ndim, levels)
+    idx = raw % curve.size
+    assert curve.encode_point(curve.decode_point(idx)) == idx
+
+
+def test_aggregation_pipeline_with_peano():
+    """Peano slots into the aggregation config like any curve."""
+    from repro.mapreduce import LocalJobRunner
+    from repro.queries import SlidingMedianQuery
+    from repro.scidata import integer_grid
+
+    grid = integer_grid((7, 7), seed=11)
+    query = SlidingMedianQuery(grid, "values", window=3)
+    # side 7 needs 3^2 = 9 >= 7: 2 levels
+    job = query.build_job("aggregate", agg_overrides={"curve": "peano",
+                                                      "bits": 2})
+    agg_result = LocalJobRunner().run(job, grid)
+    plain = LocalJobRunner().run(query.build_job("plain"), grid)
+    as_map = lambda r: {k.coords: v for k, v in r.output}
+    assert as_map(agg_result) == as_map(plain)

@@ -1,0 +1,89 @@
+"""Tests for curve clustering statistics (ablation A1 support)."""
+
+import numpy as np
+import pytest
+
+from repro.sfc import (
+    HilbertCurve,
+    RowMajorCurve,
+    ZOrderCurve,
+    box_range_count,
+    clustering_report,
+)
+
+
+def test_full_grid_is_one_range():
+    for cls in (ZOrderCurve, HilbertCurve, RowMajorCurve):
+        curve = cls(2, 3)
+        assert box_range_count(curve, (0, 0), (8, 8)) == 1
+
+
+def test_single_cell_is_one_range():
+    curve = ZOrderCurve(3, 4)
+    assert box_range_count(curve, (5, 6, 7), (1, 1, 1)) == 1
+
+
+def test_rowmajor_row_box():
+    # A box spanning k rows with partial columns gives exactly k runs in
+    # row-major order.
+    curve = RowMajorCurve(2, 4)
+    assert box_range_count(curve, (2, 3), (5, 4)) == 5
+    # A full-width slab of k rows is contiguous: 1 run.
+    assert box_range_count(curve, (2, 0), (5, 16)) == 1
+
+
+def test_zorder_aligned_block_is_one_range():
+    # Power-of-two blocks aligned on their own size are single Z-order runs.
+    curve = ZOrderCurve(2, 4)
+    assert box_range_count(curve, (4, 4), (4, 4)) == 1
+    assert box_range_count(curve, (8, 0), (8, 8)) == 1
+
+
+def test_hilbert_clusters_no_worse_than_zorder_on_average():
+    """Moon et al.'s claim, measured: Hilbert mean run count <= Z-order's."""
+    z = ZOrderCurve(2, 5)
+    h = HilbertCurve(2, 5)
+    rng = np.random.default_rng(42)
+    boxes = []
+    for _ in range(40):
+        w, hgt = rng.integers(2, 9, size=2)
+        x = rng.integers(0, 32 - w)
+        y = rng.integers(0, 32 - hgt)
+        boxes.append(((int(x), int(y)), (int(w), int(hgt))))
+    z_mean = np.mean([box_range_count(z, c, s) for c, s in boxes])
+    h_mean = np.mean([box_range_count(h, c, s) for c, s in boxes])
+    assert h_mean <= z_mean
+
+
+def test_clustering_report_shape():
+    curves = [ZOrderCurve(2, 4), HilbertCurve(2, 4), RowMajorCurve(2, 4)]
+    boxes = [((0, 0), (3, 3)), ((5, 5), (4, 2))]
+    rows = clustering_report(curves, boxes)
+    assert [r.curve_name for r in rows] == ["zorder", "hilbert", "rowmajor"]
+    for row in rows:
+        assert row.boxes == 2
+        assert row.mean_ranges >= 1.0
+        assert row.max_ranges >= 1
+        assert 0.0 < row.mean_ranges_per_cell <= 1.0
+
+
+def test_clustering_report_rejects_mixed_ndim():
+    with pytest.raises(ValueError):
+        clustering_report([ZOrderCurve(2, 4), HilbertCurve(3, 4)], [((0, 0), (2, 2))])
+
+
+def test_clustering_report_rejects_oversized_box():
+    with pytest.raises(ValueError):
+        clustering_report([ZOrderCurve(2, 2)], [((0, 0), (8, 8))])
+
+
+def test_box_range_count_validation():
+    curve = ZOrderCurve(2, 4)
+    with pytest.raises(ValueError):
+        box_range_count(curve, (0,), (2, 2))
+    with pytest.raises(ValueError):
+        box_range_count(curve, (0, 0), (0, 2))
+
+
+def test_empty_report():
+    assert clustering_report([], []) == []

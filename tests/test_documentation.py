@@ -1,0 +1,50 @@
+"""Documentation hygiene: every public module/class/function is documented.
+
+Deliverable (e) requires doc comments on every public item; this test
+keeps that true as the codebase evolves.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def test_every_module_has_a_docstring():
+    missing = [m.__name__ for m in iter_modules() if not (m.__doc__ or "").strip()]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_every_public_class_and_function_has_a_docstring():
+    missing = []
+    for module in iter_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue  # re-exports documented at their home
+            if not (obj.__doc__ or "").strip():
+                missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"public items without docstrings: {missing}"
+
+
+def test_public_methods_documented_on_key_apis():
+    """Spot-check the surfaces a downstream user programs against."""
+    from repro.mapreduce.api import MapContext, Mapper, Reducer
+    from repro.mapreduce.engine import LocalJobRunner
+    from repro.sfc.base import Curve
+
+    for cls in [Mapper, Reducer, MapContext, LocalJobRunner, Curve]:
+        for name, member in inspect.getmembers(cls, inspect.isfunction):
+            if name.startswith("_"):
+                continue
+            assert (member.__doc__ or "").strip(), f"{cls.__name__}.{name}"

@@ -1,0 +1,117 @@
+"""Tests for byte buffers, chunk readers, timing, and RNG helpers."""
+
+import io
+
+import pytest
+
+from repro.util import ByteBuffer, ChunkReader, CostClock, Stopwatch, make_rng
+
+
+class TestByteBuffer:
+    def test_write_and_len(self):
+        buf = ByteBuffer()
+        assert len(buf) == 0
+        assert buf.write(b"abc") == 3
+        buf.write_byte(0xFF)
+        assert len(buf) == 4
+        assert buf.getvalue() == b"abc\xff"
+
+    def test_initial_contents(self):
+        buf = ByteBuffer(b"xy")
+        buf.write(b"z")
+        assert buf.getvalue() == b"xyz"
+
+    def test_clear_retains_usability(self):
+        buf = ByteBuffer(b"abc")
+        buf.clear()
+        assert len(buf) == 0
+        buf.write(b"d")
+        assert buf.getvalue() == b"d"
+
+    def test_view_is_zero_copy(self):
+        buf = ByteBuffer(b"abc")
+        view = buf.view()
+        assert bytes(view) == b"abc"
+        assert view.readonly
+
+
+class TestChunkReader:
+    def test_bytes_source_chunking(self):
+        chunks = list(ChunkReader(b"abcdefg", chunk_size=3))
+        assert chunks == [b"abc", b"def", b"g"]
+
+    def test_file_source_chunking(self):
+        chunks = list(ChunkReader(io.BytesIO(b"abcdefg"), chunk_size=2))
+        assert b"".join(chunks) == b"abcdefg"
+        assert all(len(c) <= 2 for c in chunks)
+
+    def test_empty_source(self):
+        assert list(ChunkReader(b"", chunk_size=4)) == []
+        assert list(ChunkReader(io.BytesIO(b""), chunk_size=4)) == []
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            ChunkReader(b"abc", chunk_size=0)
+
+
+class TestTiming:
+    def test_stopwatch_accumulates(self):
+        sw = Stopwatch()
+        with sw.running():
+            pass
+        first = sw.elapsed
+        with sw.running():
+            pass
+        assert sw.elapsed >= first >= 0.0
+
+    def test_stopwatch_misuse_raises(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError):
+            sw.stop()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_cost_clock_categories(self):
+        clock = CostClock()
+        clock.add("codec", 1.5)
+        clock.add("codec", 0.5)
+        clock.add("sort", 1.0)
+        assert clock.get("codec") == pytest.approx(2.0)
+        assert clock.total() == pytest.approx(3.0)
+        assert clock.get("missing") == 0.0
+
+    def test_cost_clock_merge(self):
+        a, b = CostClock(), CostClock()
+        a.add("map", 1.0)
+        b.add("map", 2.0)
+        b.add("reduce", 3.0)
+        a.merge(b)
+        assert a.as_dict() == {"map": 3.0, "reduce": 3.0}
+
+    def test_cost_clock_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CostClock().add("x", -1.0)
+
+    def test_measure_context(self):
+        clock = CostClock()
+        with clock.measure("work"):
+            sum(range(100))
+        assert clock.get("work") > 0.0
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(7).integers(0, 1000, size=10)
+        b = make_rng(7).integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_default_seed_is_deterministic(self):
+        a = make_rng().integers(0, 1000, size=10)
+        b = make_rng().integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 2**31, size=20)
+        b = make_rng(2).integers(0, 2**31, size=20)
+        assert (a != b).any()

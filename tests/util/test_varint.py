@@ -1,0 +1,98 @@
+"""Unit and property tests for Hadoop-compatible varints."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.varint import read_vlong, vint_size, write_vlong
+
+
+def roundtrip(value: int) -> int:
+    buf = bytearray()
+    write_vlong(value, buf)
+    decoded, end = read_vlong(buf)
+    assert end == len(buf)
+    return decoded
+
+
+@pytest.mark.parametrize("value", [0, 1, -1, 127, -112, 128, -113, 255, 256,
+                                   2**31 - 1, -(2**31), 2**63 - 1, -(2**63)])
+def test_roundtrip_known_values(value):
+    assert roundtrip(value) == value
+
+
+def test_single_byte_range_is_one_byte():
+    # Hadoop stores [-112, 127] in a single byte; this is what makes the
+    # IFile per-record overhead exactly 2 bytes for small keys/values.
+    for value in range(-112, 128):
+        buf = bytearray()
+        assert write_vlong(value, buf) == 1
+        assert len(buf) == 1
+
+
+def test_known_hadoop_encodings():
+    # Values cross-checked against org.apache.hadoop.io.WritableUtils.
+    cases = {
+        128: bytes([0x8F, 0x80]),
+        255: bytes([0x8F, 0xFF]),
+        256: bytes([0x8E, 0x01, 0x00]),
+        -113: bytes([0x87, 0x70]),
+        65536: bytes([0x8D, 0x01, 0x00, 0x00]),
+    }
+    for value, expected in cases.items():
+        buf = bytearray()
+        write_vlong(value, buf)
+        assert bytes(buf) == expected, f"encoding of {value}"
+
+
+def test_vint_size_matches_encoding():
+    for value in [0, 127, -112, 128, -113, 2**20, -(2**20), 2**62]:
+        buf = bytearray()
+        write_vlong(value, buf)
+        assert vint_size(value) == len(buf)
+
+
+def test_read_with_offset():
+    buf = bytearray(b"\x00\x00")
+    write_vlong(300, buf)
+    value, end = read_vlong(buf, offset=2)
+    assert value == 300
+    assert end == len(buf)
+
+
+def test_truncated_varint_raises():
+    buf = bytearray()
+    write_vlong(2**40, buf)
+    with pytest.raises(ValueError):
+        read_vlong(buf[:-1])
+    with pytest.raises(ValueError):
+        read_vlong(b"", 0)
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+def test_roundtrip_property(value):
+    assert roundtrip(value) == value
+
+
+@given(st.lists(st.integers(min_value=-(2**63), max_value=2**63 - 1), max_size=50))
+def test_concatenated_stream_roundtrips(values):
+    buf = bytearray()
+    for v in values:
+        write_vlong(v, buf)
+    out = []
+    off = 0
+    while off < len(buf):
+        v, off = read_vlong(buf, off)
+        out.append(v)
+    assert out == values
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+def test_encoding_is_prefix_free_in_stream(value):
+    # Appending arbitrary bytes after a varint must not change its decode.
+    buf = bytearray()
+    write_vlong(value, buf)
+    end_clean = len(buf)
+    buf.extend(b"\xff\x00\x7f")
+    decoded, end = read_vlong(buf)
+    assert decoded == value
+    assert end == end_clean
