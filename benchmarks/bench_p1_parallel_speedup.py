@@ -1,0 +1,34 @@
+"""P1 -- serial vs parallel runtime on the Fig 8 aggregation workload.
+
+Two claims pinned here.  First, the parallel runner is a correct
+drop-in: every row of the speedup table is byte-identical to the serial
+baseline (the harness flags any drift).  Second, the scheduler buys
+real concurrency: on the blocking variant (map tasks stalled on a
+simulated input fetch) 4 workers beat serial by >1.5x regardless of
+core count.  The same bound on the cpu-bound variant needs >=4 physical
+cores, so that assertion is gated on the host -- a single-core box
+cannot speed up compute by adding processes, and the table reports the
+honest numbers either way.
+"""
+
+import os
+
+from repro.experiments.parallel_speedup import run
+
+
+def _speedup(result, workload: str, workers: int) -> float:
+    for row in result.rows:
+        if (row["workload"] == workload and row["runner"] == "parallel"
+                and row["workers"] == workers):
+            return float(row["speedup"].rstrip("x"))
+    raise KeyError(f"no parallel row for {workload} at {workers} workers")
+
+
+def test_p1_parallel_speedup(tabulate):
+    result = tabulate(run, filename="p1")
+
+    assert all(c in ("baseline", "identical")
+               for c in result.column("counters"))
+    assert _speedup(result, "blocking", 4) > 1.5
+    if (os.cpu_count() or 1) >= 4:
+        assert _speedup(result, "cpu", 4) > 1.5

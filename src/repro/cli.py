@@ -27,7 +27,7 @@ def _registry() -> dict[str, tuple[str, Callable]]:
     from repro.experiments import ablations, cluster_runs, density, \
         e1_motivation, fig2_stream, fig3_table, fig4_scaling, \
         fig8_aggregation, figures_5_6_7, key_splitting, levers, locality, \
-        multivar
+        multivar, parallel_speedup
 
     return {
         "E1": ("§I motivation: per-cell-key file sizes (paper-exact)",
@@ -72,6 +72,8 @@ def _registry() -> dict[str, tuple[str, Callable]]:
                lambda: multivar.run()),
         "A10": ("ablation: combiner vs key aggregation levers",
                 lambda: levers.run()),
+        "P1": ("perf: serial vs parallel runtime on the Fig 8 job",
+               lambda: parallel_speedup.run()),
     }
 
 
@@ -94,6 +96,13 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("experiment", help="experiment id from 'list', or 'all'")
     run_p.add_argument("--scale", type=float, default=None,
                        help="REPRO_SCALE override (1.0 = paper scale)")
+    run_p.add_argument("--runner", choices=["serial", "parallel"], default=None,
+                       help="execution backend for the jobs the harnesses "
+                            "run (parallel = multiprocess task runtime; "
+                            "counters are byte-identical either way)")
+    run_p.add_argument("--workers", type=int, default=None,
+                       help="worker processes for --runner parallel "
+                            "(default: CPU count)")
     args = parser.parse_args(argv)
 
     registry = _registry()
@@ -107,6 +116,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.scale <= 0:
             parser.error("--scale must be positive")
         os.environ["REPRO_SCALE"] = str(args.scale)
+    if args.runner is not None:
+        os.environ["REPRO_RUNNER"] = args.runner
+    if args.workers is not None:
+        if args.workers < 1:
+            parser.error("--workers must be >= 1")
+        os.environ["REPRO_WORKERS"] = str(args.workers)
 
     ids = list(registry) if args.experiment.lower() == "all" else [
         args.experiment.upper()

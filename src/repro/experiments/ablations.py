@@ -22,7 +22,7 @@ from repro.core.stride import (
     forward_transform,
 )
 from repro.experiments.common import ExperimentResult, fmt_bytes, scaled
-from repro.mapreduce.engine import LocalJobRunner
+from repro.experiments.common import make_runner
 from repro.mapreduce.metrics import C
 from repro.queries.sliding_median import SlidingMedianQuery
 from repro.scidata.generator import integer_grid, walk_grid_int32_triples
@@ -98,7 +98,7 @@ def run_flush_threshold(side: int | None = None,
     for cells in thresholds:
         job = query.build_job("aggregate",
                               agg_overrides={"buffer_cells": cells})
-        res = LocalJobRunner().run(job, grid)
+        res = make_runner().run(job, grid)
         result.add(
             buffer_cells=cells,
             materialized=fmt_bytes(res.materialized_bytes),
@@ -127,7 +127,7 @@ def run_alignment(side: int | None = None,
         job = query.build_job(
             "aggregate", num_map_tasks=4, num_reducers=2,
             agg_overrides={"alignment": align})
-        res = LocalJobRunner().run(job, grid)
+        res = make_runner().run(job, grid)
         result.add(
             alignment=align,
             materialized=fmt_bytes(res.materialized_bytes),

@@ -29,7 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.experiments.common import ExperimentResult, fmt_bytes, pct, scaled
-from repro.mapreduce.engine import JobResult, LocalJobRunner
+from repro.experiments.common import make_runner
+from repro.mapreduce.engine import JobResult
 from repro.mapreduce.metrics import TaskProfile
 from repro.mapreduce.simcluster import ClusterSimulator, ClusterSpec
 from repro.queries.sliding_median import SlidingMedianQuery
@@ -137,7 +138,7 @@ def run(side: int | None = None, window: int = 3,
             num_map_tasks=spec.map_slots,
             num_reducers=spec.reduce_slots,
         )
-        res = LocalJobRunner().run(job, grid)
+        res = make_runner().run(job, grid)
         if len(res.output) != query.expected_output_cells():
             raise AssertionError(
                 f"{config.label}: wrong output size {len(res.output)}"

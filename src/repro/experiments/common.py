@@ -6,7 +6,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
-__all__ = ["get_scale", "scaled", "ExperimentResult", "fmt_bytes", "pct"]
+__all__ = ["get_scale", "scaled", "make_runner", "ExperimentResult",
+           "fmt_bytes", "pct"]
 
 
 def get_scale(default: float = 1.0) -> float:
@@ -30,6 +31,35 @@ def get_scale(default: float = 1.0) -> float:
 def scaled(paper_value: int, default_scale: float, minimum: int = 1) -> int:
     """A linear dimension scaled from its paper value by REPRO_SCALE."""
     return max(minimum, round(paper_value * get_scale(default_scale)))
+
+
+def make_runner(**runner_kwargs):
+    """The execution backend every harness runs its jobs through.
+
+    Selected by ``REPRO_RUNNER`` (``serial``/``local`` -> in-process
+    loop, ``parallel`` -> multiprocess runtime; the CLI's ``--runner``
+    flag sets it) with worker count from ``REPRO_WORKERS``.  Both
+    backends produce byte-identical counters, so paper measurements are
+    runner-independent -- only wall-clock changes.
+    """
+    name = os.environ.get("REPRO_RUNNER", "serial").lower()
+    if name in ("serial", "local"):
+        from repro.mapreduce.engine import LocalJobRunner
+
+        return LocalJobRunner(**runner_kwargs)
+    if name == "parallel":
+        from repro.mapreduce.runtime import ParallelJobRunner
+
+        raw_workers = os.environ.get("REPRO_WORKERS")
+        if raw_workers is not None:
+            workers = int(raw_workers)
+            if workers < 1:
+                raise ValueError(
+                    f"REPRO_WORKERS must be >= 1, got {workers}")
+            runner_kwargs.setdefault("max_workers", workers)
+        return ParallelJobRunner(**runner_kwargs)
+    raise ValueError(
+        f"REPRO_RUNNER must be 'serial' or 'parallel', got {name!r}")
 
 
 def fmt_bytes(n: int | float) -> str:

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.common import ExperimentResult, fmt_bytes, scaled
-from repro.mapreduce.engine import LocalJobRunner
+from repro.experiments.common import make_runner
 from repro.mapreduce.job import Job
 from repro.mapreduce.keys import CellKeySerde
 from repro.mapreduce.api import Mapper
@@ -94,7 +94,7 @@ def run(side: int | None = None,
             key_serde=CellKeySerde(2, "name"),
             value_serde=value_serde_for(dtype),
         )
-        plain = LocalJobRunner().run(plain_job, grid)
+        plain = make_runner().run(plain_job, grid)
 
         config = query.aggregation_config()
         agg_job = Job(
@@ -106,7 +106,7 @@ def run(side: int | None = None,
             value_serde=config.block_serde(),
             shuffle_plugin=AggregateShufflePlugin(config),
         )
-        agg = LocalJobRunner().run(agg_job, grid)
+        agg = make_runner().run(agg_job, grid)
 
         if len(plain.output) != len(agg.output):
             raise AssertionError("filter modes disagree on output size")

@@ -15,8 +15,8 @@ output, i.e. the Fig 8 bars.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, fmt_bytes, scaled
-from repro.mapreduce.engine import LocalJobRunner
+from repro.experiments.common import ExperimentResult, fmt_bytes, make_runner, scaled
+
 from repro.queries.subset import BoxSubsetQuery
 from repro.scidata.generator import integer_grid
 
@@ -56,7 +56,7 @@ def run(side: int | None = None, num_map_tasks: int = 1,
             num_reducers=num_reducers,
             agg_overrides={"curve": curve} if mode == "aggregate" else None,
         )
-        res = LocalJobRunner().run(job, grid)
+        res = make_runner().run(job, grid)
         stats = res.map_output_stats
         totals[mode] = stats.materialized_bytes
         result.add(

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.core.aggregation.plugin import AggregateShufflePlugin
 from repro.experiments.common import ExperimentResult, scaled
-from repro.mapreduce.engine import LocalJobRunner
+from repro.experiments.common import make_runner
 from repro.mapreduce.metrics import C
 from repro.queries.sliding_median import SlidingMedianQuery
 from repro.scidata.generator import integer_grid
@@ -47,7 +47,7 @@ def run(side: int | None = None, num_map_tasks: int = 8,
             reaggregate=reagg,
         )
         plugin: AggregateShufflePlugin = job.shuffle_plugin
-        res = LocalJobRunner().run(job, grid)
+        res = make_runner().run(job, grid)
         runs[reagg] = {
             "mapper_keys": res.counters[C.MAP_OUTPUT_RECORDS]
             - plugin.routing_splits,

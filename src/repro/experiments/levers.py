@@ -13,7 +13,7 @@ median) the combiner lever does not exist at all.
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult, fmt_bytes, scaled
-from repro.mapreduce.engine import LocalJobRunner
+from repro.experiments.common import make_runner
 from repro.mapreduce.metrics import C
 from repro.queries.sliding_mean import SlidingMeanQuery
 from repro.queries.sliding_median import SlidingMedianQuery
@@ -53,7 +53,7 @@ def run(side: int | None = None, num_map_tasks: int = 4,
     ]
     outputs: dict[tuple[str, str], dict] = {}
     for query_name, lever, job in cases:
-        res = LocalJobRunner().run(job, grid)
+        res = make_runner().run(job, grid)
         outputs[(query_name, lever)] = {
             k.coords: v for k, v in res.output
         }

@@ -16,6 +16,10 @@ the paper's primary metric -- are *measured*, not modeled:
 * :mod:`~repro.mapreduce.api`, :mod:`~repro.mapreduce.job`,
   :mod:`~repro.mapreduce.engine` -- mapper/reducer APIs and a local job
   runner with real spills, combiners, external merge sort and counters;
+* :mod:`~repro.mapreduce.runtime` -- the multiprocess task runtime
+  (scheduler, retries, speculative execution, fault injection) whose
+  :class:`ParallelJobRunner` is a drop-in for the local runner with
+  byte-identical counters;
 * :mod:`~repro.mapreduce.simcluster` -- the discrete-event cluster
   simulator that turns measured task profiles into wall-clock estimates.
 """
@@ -36,6 +40,12 @@ from repro.mapreduce.api import Combiner, MapContext, Mapper, ReduceContext, Red
 from repro.mapreduce.job import Job
 from repro.mapreduce.engine import JobResult, LocalJobRunner
 from repro.mapreduce.metrics import Counters, TaskProfile
+from repro.mapreduce.runtime import (
+    FaultInjector,
+    ParallelJobRunner,
+    RuntimeTrace,
+    TaskScheduler,
+)
 
 __all__ = [
     "CellKey",
@@ -61,7 +71,11 @@ __all__ = [
     "ReduceContext",
     "Job",
     "LocalJobRunner",
+    "ParallelJobRunner",
     "JobResult",
     "Counters",
     "TaskProfile",
+    "FaultInjector",
+    "RuntimeTrace",
+    "TaskScheduler",
 ]

@@ -14,8 +14,12 @@ Executes every phase of the paper's Fig 1 data flow in-process, through
 6. records are grouped by key and reduced,
 7. output is collected.
 
-Wall-clock on a real cluster is then *simulated* from the per-task
-profiles this engine measures -- see :mod:`repro.mapreduce.simcluster`.
+The task bodies -- :func:`run_map_task` and :func:`run_reduce_task` --
+are standalone top-level functions so they are picklable and shared by
+both execution backends: the serial :class:`LocalJobRunner` here and the
+multiprocess :class:`~repro.mapreduce.runtime.ParallelJobRunner`.
+Wall-clock on a real cluster can also be *simulated* from the per-task
+profiles these tasks measure -- see :mod:`repro.mapreduce.simcluster`.
 """
 
 from __future__ import annotations
@@ -41,7 +45,14 @@ from repro.scidata.dataset import Dataset
 from repro.scidata.splits import ArraySplitter, InputSplit
 from repro.util.timing import CostClock
 
-__all__ = ["LocalJobRunner", "JobResult"]
+__all__ = [
+    "LocalJobRunner",
+    "JobResult",
+    "MapTaskOutput",
+    "ReduceTaskResult",
+    "run_map_task",
+    "run_reduce_task",
+]
 
 Record = tuple[bytes, bytes]
 
@@ -57,6 +68,10 @@ class JobResult:
     map_output_stats: IFileStats
     num_map_tasks: int = 0
     num_reduce_tasks: int = 0
+    #: execution timeline, populated by runners that record one (the
+    #: parallel runtime attaches a ``RuntimeTrace``; the serial runner
+    #: leaves it ``None``)
+    trace: Any = None
 
     @property
     def materialized_bytes(self) -> int:
@@ -65,7 +80,7 @@ class JobResult:
 
 
 @dataclass
-class _MapTaskOutput:
+class MapTaskOutput:
     """Final per-partition segments of one map task."""
 
     task_id: str
@@ -75,8 +90,282 @@ class _MapTaskOutput:
     segments: dict[int, tuple[str, IFileStats]] = field(default_factory=dict)
 
 
+@dataclass
+class ReduceTaskResult:
+    """Output and measurements of one reduce task."""
+
+    task_id: str
+    output: list[tuple[Any, Any]]
+    counters: Counters
+    profile: TaskProfile
+
+
+# --------------------------------------------------------------------- tasks
+#
+# The functions below are the single source of truth for what a map or
+# reduce task *does*.  They take every dependency as an argument (no
+# runner state), so any execution backend -- serial loop, process pool,
+# or a future distributed shell -- produces byte-identical counters.
+
+
+def _spill(
+    job: Job,
+    workdir: str,
+    task_id: str,
+    spill_idx: int,
+    buffer: dict[int, list[Record]],
+    codec,
+    counters: Counters,
+    profile: TaskProfile,
+    clock: CostClock,
+) -> dict[int, tuple[str, IFileStats]]:
+    """Sort + (combine) + write one spill; returns per-partition files."""
+    out: dict[int, tuple[str, IFileStats]] = {}
+    for part, records in buffer.items():
+        if not records:
+            continue
+        with clock.measure("sort"):
+            records = sort_records(records)
+        if job.combiner is not None:
+            with clock.measure("combine"):
+                records = _combine(job, records, counters)
+        path = os.path.join(workdir, f"{task_id}-spill{spill_idx}-p{part}")
+        writer = IFileWriter(path, codec)
+        for kb, vb in records:
+            writer.append(kb, vb)
+        stats = writer.close()
+        counters.incr(C.SPILLED_RECORDS, stats.records)
+        profile.local_write_bytes += stats.materialized_bytes
+        out[part] = (path, stats)
+    counters.incr(C.SPILL_COUNT)
+    return out
+
+
+def _combine(job: Job, records: list[Record], counters: Counters) -> list[Record]:
+    """Run the job's combiner over one sorted run."""
+    combiner = job.combiner()
+    out: list[Record] = []
+    for kb, value_blobs in group_by_key(records):
+        counters.incr(C.COMBINE_INPUT_RECORDS, len(value_blobs))
+        key = job.key_serde.from_bytes(kb)
+        values = [job.value_serde.from_bytes(v) for v in value_blobs]
+        for v in combiner.combine(key, values):
+            vout = bytearray()
+            job.value_serde.write(v, vout)
+            out.append((kb, bytes(vout)))
+            counters.incr(C.COMBINE_OUTPUT_RECORDS)
+    return out
+
+
+def run_map_task(job: Job, split: InputSplit, dataset: Dataset,
+                 workdir: str) -> MapTaskOutput:
+    """Execute one map task (Fig 1 steps 2-3) into ``workdir``.
+
+    Pure function of its arguments: reads the split's slab, runs the
+    mapper, spills sorted runs, and merges them into one final IFile
+    segment per reducer partition.  Segment files are written atomically
+    so a killed worker never leaves a truncated final segment behind.
+    """
+    task_id = f"m{split.split_id:05d}"
+    counters = Counters()
+    clock = CostClock()
+    profile = TaskProfile(task_id=task_id, kind="map")
+    codec = get_codec(job.codec, **job.codec_options)
+    partitioner = job.partitioner(job.num_reducers)
+    plugin = job.shuffle_plugin
+
+    buffer: dict[int, list[Record]] = {p: [] for p in range(job.num_reducers)}
+    buffered = 0
+    spills: list[dict[int, tuple[str, IFileStats]]] = []
+
+    def flush() -> None:
+        nonlocal buffered
+        if buffered == 0:
+            return
+        spills.append(
+            _spill(job, workdir, task_id, len(spills), buffer, codec,
+                   counters, profile, clock)
+        )
+        for records in buffer.values():
+            records.clear()
+        buffered = 0
+
+    def sink(kb: bytes, vb: bytes) -> None:
+        nonlocal buffered
+        if plugin is not None:
+            routed = plugin.route(kb, vb, job.num_reducers)
+        else:
+            routed = [(partitioner.partition(kb), kb, vb)]
+        for part, k2, v2 in routed:
+            buffer[part].append((k2, v2))
+            buffered += len(k2) + len(v2) + 8
+        if buffered >= job.sort_buffer_bytes:
+            flush()
+
+    ctx = MapContext(job.key_serde, job.value_serde, sink, counters)
+    variable = dataset[split.variable]
+    with clock.measure("read"):
+        values = variable.read(split.slab)
+    profile.input_bytes = values.nbytes
+    counters.incr(C.MAP_INPUT_RECORDS, values.size)
+
+    mapper = job.mapper()
+    if getattr(mapper, "wants_dataset", False):
+        # Multi-variable mappers (e.g. derived-variable queries) need
+        # to read slabs of other variables alongside their split.
+        mapper.dataset = dataset
+    mapper.setup(split)
+    with clock.measure("map"):
+        mapper.map(split, values, ctx)
+        mapper.cleanup(ctx)
+    flush()
+
+    # Merge spills into the final per-partition map output segments.
+    out = MapTaskOutput(task_id=task_id, profile=profile, counters=counters)
+    for part in range(job.num_reducers):
+        part_spills = [s[part] for s in spills if part in s]
+        final_path = os.path.join(workdir, f"{task_id}-out-p{part}")
+        if len(part_spills) == 1:
+            path, stats = part_spills[0]
+            os.replace(path, final_path)
+        else:
+            with clock.measure("merge"):
+                runs = []
+                for path, stats in part_spills:
+                    profile.local_read_bytes += stats.materialized_bytes
+                    runs.append(IFileReader(path, codec).read_all())
+                    os.unlink(path)
+                writer = IFileWriter(final_path, codec, atomic=True)
+                for kb, vb in merge_runs(runs):
+                    writer.append(kb, vb)
+                stats = writer.close()
+            profile.local_write_bytes += stats.materialized_bytes
+        out.segments[part] = (final_path, stats)
+
+    counters.incr(C.MAP_OUTPUT_BYTES,
+                  sum(s.key_bytes + s.value_bytes for _, s in out.segments.values()))
+    counters.incr(C.MAP_OUTPUT_KEY_BYTES,
+                  sum(s.key_bytes for _, s in out.segments.values()))
+    counters.incr(C.MAP_OUTPUT_VALUE_BYTES,
+                  sum(s.value_bytes for _, s in out.segments.values()))
+    counters.incr(C.MAP_OUTPUT_FILE_OVERHEAD_BYTES,
+                  sum(s.overhead_bytes for _, s in out.segments.values()))
+    counters.incr(C.MAP_OUTPUT_MATERIALIZED_BYTES,
+                  sum(s.materialized_bytes for _, s in out.segments.values()))
+
+    profile.cpu_seconds = clock.as_dict()
+    for category, seconds in cost_categories(codec).items():
+        profile.cpu_seconds[category] = (
+            profile.cpu_seconds.get(category, 0.0) + seconds
+        )
+    return out
+
+
+def run_reduce_task(
+    job: Job,
+    part: int,
+    segments: Sequence[tuple[str, IFileStats]],
+    workdir: str,
+    keep_files: bool = False,
+) -> ReduceTaskResult:
+    """Execute one reduce task (Fig 1 steps 4-7).
+
+    ``segments`` is this partition's final map output segment per map
+    task, **in map task order** -- handing segments off by path is what
+    lets map and reduce tasks live in different processes while all
+    shuffle bytes still flow through the real IFile/codec path.
+    """
+    task_id = f"r{part:05d}"
+    counters = Counters()
+    clock = CostClock()
+    profile = TaskProfile(task_id=task_id, kind="reduce")
+    codec = get_codec(job.codec, **job.codec_options)
+
+    # Shuffle: fetch this partition's segment from every map task.
+    runs: list[list[Record]] = []
+    with clock.measure("shuffle"):
+        for path, stats in segments:
+            profile.shuffle_bytes += stats.materialized_bytes
+            records = IFileReader(path, codec).read_all()
+            if records:
+                runs.append(records)
+    counters.incr(C.SHUFFLE_BYTES, profile.shuffle_bytes)
+
+    # Multi-pass on-disk merge when we hold too many runs (step 5).
+    passes = plan_merge_passes(len(runs), job.merge_factor)
+    for pass_idx, take in enumerate(passes):
+        runs.sort(key=lambda r: sum(len(k) + len(v) for k, v in r))
+        victims, runs = runs[:take], runs[take:]
+        path = os.path.join(workdir, f"{task_id}-merge{pass_idx}")
+        with clock.measure("merge"):
+            writer = IFileWriter(path, codec)
+            for kb, vb in merge_runs(victims):
+                writer.append(kb, vb)
+            stats = writer.close()
+            profile.local_write_bytes += stats.materialized_bytes
+            counters.incr(C.MERGE_PASS_BYTES, stats.materialized_bytes)
+            merged_back = IFileReader(path, codec).read_all()
+            profile.local_read_bytes += stats.materialized_bytes
+        os.unlink(path)
+        runs.append(merged_back)
+
+    with clock.measure("merge"):
+        merged = list(merge_runs(runs))
+
+    if job.shuffle_plugin is not None:
+        with clock.measure("split"):
+            before = len(merged)
+            merged = job.shuffle_plugin.prepare_reduce(merged)
+            counters.incr(C.KEY_SPLITS, max(0, len(merged) - before))
+
+    reducer = job.reducer()
+    ctx = ReduceContext(counters)
+    with clock.measure("reduce"):
+        for kb, value_blobs in group_by_key(merged):
+            counters.incr(C.REDUCE_INPUT_GROUPS)
+            counters.incr(C.REDUCE_INPUT_RECORDS, len(value_blobs))
+            key = job.key_serde.from_bytes(kb)
+            values = [job.value_serde.from_bytes(v) for v in value_blobs]
+            reducer.reduce(key, values, ctx)
+
+    profile.cpu_seconds = clock.as_dict()
+    for category, seconds in cost_categories(codec).items():
+        profile.cpu_seconds[category] = (
+            profile.cpu_seconds.get(category, 0.0) + seconds
+        )
+    if job.output_key_serde is not None and job.output_value_serde is not None:
+        # Write a real part file (Fig 1 step 7) so output bytes are
+        # measured, not estimated.
+        part_path = os.path.join(workdir, f"{task_id}-part")
+        writer = IFileWriter(part_path, codec)
+        for k, v in ctx.output:
+            kout = bytearray()
+            job.output_key_serde.write(k, kout)
+            vout = bytearray()
+            job.output_value_serde.write(v, vout)
+            writer.append(bytes(kout), bytes(vout))
+        part_stats = writer.close()
+        profile.output_bytes = part_stats.materialized_bytes
+        if not keep_files:
+            os.unlink(part_path)
+    else:
+        profile.output_bytes = sum(
+            len(repr(k)) + len(repr(v)) for k, v in ctx.output
+        )
+    return ReduceTaskResult(task_id=task_id, output=ctx.output,
+                            counters=counters, profile=profile)
+
+
+# -------------------------------------------------------------------- runner
+
+
 class LocalJobRunner:
-    """Run :class:`~repro.mapreduce.job.Job` objects against a dataset."""
+    """Run :class:`~repro.mapreduce.job.Job` objects against a dataset.
+
+    Executes every task serially in-process.  Usable as a context
+    manager: leaving the ``with`` block removes an owned (auto-created)
+    workdir even when files were kept or a task failed.
+    """
 
     def __init__(self, workdir: str | None = None, keep_files: bool = False) -> None:
         self._own_workdir = workdir is None
@@ -84,241 +373,16 @@ class LocalJobRunner:
         self.keep_files = keep_files
         os.makedirs(self.workdir, exist_ok=True)
 
-    # ------------------------------------------------------------------ map
+    def __enter__(self) -> "LocalJobRunner":
+        return self
 
-    def _spill(
-        self,
-        job: Job,
-        task_id: str,
-        spill_idx: int,
-        buffer: dict[int, list[Record]],
-        codec,
-        counters: Counters,
-        profile: TaskProfile,
-        clock: CostClock,
-    ) -> dict[int, tuple[str, IFileStats]]:
-        """Sort + (combine) + write one spill; returns per-partition files."""
-        out: dict[int, tuple[str, IFileStats]] = {}
-        for part, records in buffer.items():
-            if not records:
-                continue
-            with clock.measure("sort"):
-                records = sort_records(records)
-            if job.combiner is not None:
-                with clock.measure("combine"):
-                    records = self._combine(job, records, counters)
-            path = os.path.join(self.workdir, f"{task_id}-spill{spill_idx}-p{part}")
-            writer = IFileWriter(path, codec)
-            for kb, vb in records:
-                writer.append(kb, vb)
-            stats = writer.close()
-            counters.incr(C.SPILLED_RECORDS, stats.records)
-            profile.local_write_bytes += stats.materialized_bytes
-            out[part] = (path, stats)
-        counters.incr(C.SPILL_COUNT)
-        return out
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
-    def _combine(self, job: Job, records: list[Record], counters: Counters) -> list[Record]:
-        """Run the job's combiner over one sorted run."""
-        combiner = job.combiner()
-        out: list[Record] = []
-        for kb, value_blobs in group_by_key(records):
-            counters.incr(C.COMBINE_INPUT_RECORDS, len(value_blobs))
-            key = job.key_serde.from_bytes(kb)
-            values = [job.value_serde.from_bytes(v) for v in value_blobs]
-            for v in combiner.combine(key, values):
-                vout = bytearray()
-                job.value_serde.write(v, vout)
-                out.append((kb, bytes(vout)))
-                counters.incr(C.COMBINE_OUTPUT_RECORDS)
-        return out
-
-    def _run_map_task(
-        self, job: Job, split: InputSplit, dataset: Dataset
-    ) -> _MapTaskOutput:
-        task_id = f"m{split.split_id:05d}"
-        counters = Counters()
-        clock = CostClock()
-        profile = TaskProfile(task_id=task_id, kind="map")
-        codec = get_codec(job.codec, **job.codec_options)
-        partitioner = job.partitioner(job.num_reducers)
-        plugin = job.shuffle_plugin
-
-        buffer: dict[int, list[Record]] = {p: [] for p in range(job.num_reducers)}
-        buffered = 0
-        spills: list[dict[int, tuple[str, IFileStats]]] = []
-
-        def flush() -> None:
-            nonlocal buffered
-            if buffered == 0:
-                return
-            spills.append(
-                self._spill(job, task_id, len(spills), buffer, codec,
-                            counters, profile, clock)
-            )
-            for records in buffer.values():
-                records.clear()
-            buffered = 0
-
-        def sink(kb: bytes, vb: bytes) -> None:
-            nonlocal buffered
-            if plugin is not None:
-                routed = plugin.route(kb, vb, job.num_reducers)
-            else:
-                routed = [(partitioner.partition(kb), kb, vb)]
-            for part, k2, v2 in routed:
-                buffer[part].append((k2, v2))
-                buffered += len(k2) + len(v2) + 8
-            if buffered >= job.sort_buffer_bytes:
-                flush()
-
-        ctx = MapContext(job.key_serde, job.value_serde, sink, counters)
-        variable = dataset[split.variable]
-        with clock.measure("read"):
-            values = variable.read(split.slab)
-        profile.input_bytes = values.nbytes
-        counters.incr(C.MAP_INPUT_RECORDS, values.size)
-
-        mapper = job.mapper()
-        if getattr(mapper, "wants_dataset", False):
-            # Multi-variable mappers (e.g. derived-variable queries) need
-            # to read slabs of other variables alongside their split.
-            mapper.dataset = dataset
-        mapper.setup(split)
-        with clock.measure("map"):
-            mapper.map(split, values, ctx)
-            mapper.cleanup(ctx)
-        flush()
-
-        # Merge spills into the final per-partition map output segments.
-        out = _MapTaskOutput(task_id=task_id, profile=profile, counters=counters)
-        for part in range(job.num_reducers):
-            part_spills = [s[part] for s in spills if part in s]
-            final_path = os.path.join(self.workdir, f"{task_id}-out-p{part}")
-            if len(part_spills) == 1:
-                path, stats = part_spills[0]
-                os.replace(path, final_path)
-            else:
-                with clock.measure("merge"):
-                    runs = []
-                    for path, stats in part_spills:
-                        profile.local_read_bytes += stats.materialized_bytes
-                        runs.append(IFileReader(path, codec).read_all())
-                        os.unlink(path)
-                    writer = IFileWriter(final_path, codec)
-                    for kb, vb in merge_runs(runs):
-                        writer.append(kb, vb)
-                    stats = writer.close()
-                profile.local_write_bytes += stats.materialized_bytes
-            out.segments[part] = (final_path, stats)
-
-        counters.incr(C.MAP_OUTPUT_BYTES,
-                      sum(s.key_bytes + s.value_bytes for _, s in out.segments.values()))
-        counters.incr(C.MAP_OUTPUT_KEY_BYTES,
-                      sum(s.key_bytes for _, s in out.segments.values()))
-        counters.incr(C.MAP_OUTPUT_VALUE_BYTES,
-                      sum(s.value_bytes for _, s in out.segments.values()))
-        counters.incr(C.MAP_OUTPUT_FILE_OVERHEAD_BYTES,
-                      sum(s.overhead_bytes for _, s in out.segments.values()))
-        counters.incr(C.MAP_OUTPUT_MATERIALIZED_BYTES,
-                      sum(s.materialized_bytes for _, s in out.segments.values()))
-
-        profile.cpu_seconds = clock.as_dict()
-        for category, seconds in cost_categories(codec).items():
-            profile.cpu_seconds[category] = (
-                profile.cpu_seconds.get(category, 0.0) + seconds
-            )
-        return out
-
-    # --------------------------------------------------------------- reduce
-
-    def _run_reduce_task(
-        self,
-        job: Job,
-        part: int,
-        map_outputs: Sequence[_MapTaskOutput],
-    ) -> tuple[list[tuple[Any, Any]], Counters, TaskProfile]:
-        task_id = f"r{part:05d}"
-        counters = Counters()
-        clock = CostClock()
-        profile = TaskProfile(task_id=task_id, kind="reduce")
-        codec = get_codec(job.codec, **job.codec_options)
-
-        # Shuffle: fetch this partition's segment from every map task.
-        runs: list[list[Record]] = []
-        with clock.measure("shuffle"):
-            for mo in map_outputs:
-                path, stats = mo.segments[part]
-                profile.shuffle_bytes += stats.materialized_bytes
-                records = IFileReader(path, codec).read_all()
-                if records:
-                    runs.append(records)
-        counters.incr(C.SHUFFLE_BYTES, profile.shuffle_bytes)
-
-        # Multi-pass on-disk merge when we hold too many runs (step 5).
-        passes = plan_merge_passes(len(runs), job.merge_factor)
-        for pass_idx, take in enumerate(passes):
-            runs.sort(key=lambda r: sum(len(k) + len(v) for k, v in r))
-            victims, runs = runs[:take], runs[take:]
-            path = os.path.join(self.workdir, f"{task_id}-merge{pass_idx}")
-            with clock.measure("merge"):
-                writer = IFileWriter(path, codec)
-                for kb, vb in merge_runs(victims):
-                    writer.append(kb, vb)
-                stats = writer.close()
-                profile.local_write_bytes += stats.materialized_bytes
-                counters.incr(C.MERGE_PASS_BYTES, stats.materialized_bytes)
-                merged_back = IFileReader(path, codec).read_all()
-                profile.local_read_bytes += stats.materialized_bytes
-            os.unlink(path)
-            runs.append(merged_back)
-
-        with clock.measure("merge"):
-            merged = list(merge_runs(runs))
-
-        if job.shuffle_plugin is not None:
-            with clock.measure("split"):
-                before = len(merged)
-                merged = job.shuffle_plugin.prepare_reduce(merged)
-                counters.incr(C.KEY_SPLITS, max(0, len(merged) - before))
-
-        reducer = job.reducer()
-        ctx = ReduceContext(counters)
-        with clock.measure("reduce"):
-            for kb, value_blobs in group_by_key(merged):
-                counters.incr(C.REDUCE_INPUT_GROUPS)
-                counters.incr(C.REDUCE_INPUT_RECORDS, len(value_blobs))
-                key = job.key_serde.from_bytes(kb)
-                values = [job.value_serde.from_bytes(v) for v in value_blobs]
-                reducer.reduce(key, values, ctx)
-
-        profile.cpu_seconds = clock.as_dict()
-        for category, seconds in cost_categories(codec).items():
-            profile.cpu_seconds[category] = (
-                profile.cpu_seconds.get(category, 0.0) + seconds
-            )
-        if job.output_key_serde is not None and job.output_value_serde is not None:
-            # Write a real part file (Fig 1 step 7) so output bytes are
-            # measured, not estimated.
-            part_path = os.path.join(self.workdir, f"{task_id}-part")
-            writer = IFileWriter(part_path, codec)
-            for k, v in ctx.output:
-                kout = bytearray()
-                job.output_key_serde.write(k, kout)
-                vout = bytearray()
-                job.output_value_serde.write(v, vout)
-                writer.append(bytes(kout), bytes(vout))
-            part_stats = writer.close()
-            profile.output_bytes = part_stats.materialized_bytes
-            if not self.keep_files:
-                os.unlink(part_path)
-        else:
-            profile.output_bytes = sum(
-                len(repr(k)) + len(repr(v)) for k, v in ctx.output
-            )
-        return ctx.output, counters, profile
-
-    # ------------------------------------------------------------------ run
+    def close(self) -> None:
+        """Remove an owned workdir (no-op for caller-supplied dirs)."""
+        if self._own_workdir and os.path.isdir(self.workdir):
+            shutil.rmtree(self.workdir, ignore_errors=True)
 
     def run(
         self,
@@ -337,13 +401,24 @@ class LocalJobRunner:
         if not splits:
             raise ValueError("job has no input splits")
 
+        # Snapshot the workdir so a failing task can be cleaned up without
+        # disturbing pre-existing (caller-owned) files.
+        preexisting = set(os.listdir(self.workdir))
+        try:
+            return self._run_all(job, dataset, splits)
+        except BaseException:
+            self._remove_new_files(preexisting)
+            raise
+
+    def _run_all(self, job: Job, dataset: Dataset,
+                 splits: Sequence[InputSplit]) -> JobResult:
         counters = Counters()
         profiles: list[TaskProfile] = []
         map_stats = IFileStats()
 
-        map_outputs: list[_MapTaskOutput] = []
+        map_outputs: list[MapTaskOutput] = []
         for split in splits:
-            mo = self._run_map_task(job, split, dataset)
+            mo = run_map_task(job, split, dataset, self.workdir)
             map_outputs.append(mo)
             counters.merge(mo.counters)
             profiles.append(mo.profile)
@@ -352,12 +427,12 @@ class LocalJobRunner:
 
         output: list[tuple[Any, Any]] = []
         for part in range(job.num_reducers):
-            part_out, part_counters, part_profile = self._run_reduce_task(
-                job, part, map_outputs
-            )
-            output.extend(part_out)
-            counters.merge(part_counters)
-            profiles.append(part_profile)
+            segments = [mo.segments[part] for mo in map_outputs]
+            rr = run_reduce_task(job, part, segments, self.workdir,
+                                 keep_files=self.keep_files)
+            output.extend(rr.output)
+            counters.merge(rr.counters)
+            profiles.append(rr.profile)
 
         if not self.keep_files:
             self._cleanup(map_outputs)
@@ -371,7 +446,23 @@ class LocalJobRunner:
             num_reduce_tasks=job.num_reducers,
         )
 
-    def _cleanup(self, map_outputs: Sequence[_MapTaskOutput]) -> None:
+    def _remove_new_files(self, preexisting: set[str]) -> None:
+        """Delete everything a failed run left behind in the workdir."""
+        if not os.path.isdir(self.workdir):
+            return
+        for name in set(os.listdir(self.workdir)) - preexisting:
+            path = os.path.join(self.workdir, name)
+            if os.path.isdir(path):
+                shutil.rmtree(path, ignore_errors=True)
+            else:
+                try:
+                    os.unlink(path)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+        if self._own_workdir and not os.listdir(self.workdir):
+            shutil.rmtree(self.workdir, ignore_errors=True)
+
+    def _cleanup(self, map_outputs: Sequence[MapTaskOutput]) -> None:
         for mo in map_outputs:
             for path, _ in mo.segments.values():
                 if os.path.exists(path):

@@ -25,7 +25,27 @@ from repro.mapreduce.codecs import Codec, NullCodec
 from repro.util.bytebuf import ByteBuffer
 from repro.util.varint import read_vlong, write_vlong
 
-__all__ = ["IFileStats", "IFileWriter", "IFileReader", "EOF_MARKER_BYTES", "TRAILER_BYTES"]
+__all__ = [
+    "IFileStats",
+    "IFileWriter",
+    "IFileReader",
+    "IFileCorruptError",
+    "EOF_MARKER_BYTES",
+    "TRAILER_BYTES",
+]
+
+
+class IFileCorruptError(ValueError):
+    """A segment failed its integrity checks (checksum, framing, EOF).
+
+    Carries the offending ``path`` (when the segment was read from a
+    file) so a task runtime can identify *which* map output to
+    re-execute -- Hadoop's fetch-failure -> re-run-the-mapper protocol.
+    """
+
+    def __init__(self, message: str, path: str | None = None) -> None:
+        super().__init__(message if path is None else f"{message}: {path}")
+        self.path = path
 
 #: two vint(-1) bytes
 EOF_MARKER_BYTES = 2
@@ -68,9 +88,13 @@ class IFileWriter:
         stats = writer.close()
     """
 
-    def __init__(self, path: str | os.PathLike | None, codec: Codec | None = None) -> None:
+    def __init__(self, path: str | os.PathLike | None, codec: Codec | None = None,
+                 atomic: bool = False) -> None:
         self.path = os.fspath(path) if path is not None else None
         self.codec = codec if codec is not None else NullCodec()
+        #: write to a temp file and rename into place on close, so a
+        #: reader (or a crashed writer) never observes a partial segment
+        self.atomic = atomic
         self._buf = ByteBuffer()
         self.stats = IFileStats()
         self._closed = False
@@ -108,8 +132,14 @@ class IFileWriter:
         self.stats.overhead_bytes += TRAILER_BYTES
         self.stats.materialized_bytes = len(blob)
         if self.path is not None:
-            with open(self.path, "wb") as fh:
-                fh.write(blob)
+            if self.atomic:
+                tmp = f"{self.path}.tmp"
+                with open(tmp, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, self.path)
+            else:
+                with open(self.path, "wb") as fh:
+                    fh.write(blob)
         else:
             self._blob = blob
         self._buf.clear()
@@ -134,15 +164,18 @@ class IFileReader:
         verify_checksum: bool = True,
     ) -> None:
         if isinstance(source, (str, os.PathLike)):
+            self.path: str | None = os.fspath(source)
             with open(source, "rb") as fh:
                 blob = fh.read()
         else:
+            self.path = None
             blob = bytes(source)
         if len(blob) < TRAILER_BYTES:
-            raise ValueError(f"segment too short ({len(blob)} bytes)")
+            raise IFileCorruptError(
+                f"segment too short ({len(blob)} bytes)", self.path)
         body, crc_bytes = blob[:-4], blob[-4:]
         if verify_checksum and zlib.crc32(body) != int.from_bytes(crc_bytes, "big"):
-            raise ValueError("IFile checksum mismatch")
+            raise IFileCorruptError("IFile checksum mismatch", self.path)
         codec = codec if codec is not None else NullCodec()
         self._payload = codec.decompress(body)
         if len(self._payload) < EOF_MARKER_BYTES:

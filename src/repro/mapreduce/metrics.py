@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Iterable
 
 __all__ = ["Counters", "TaskProfile", "C"]
 
@@ -38,7 +39,13 @@ class C:
 
 
 class Counters:
-    """A named-counter multiset with merge, mirroring Hadoop counters."""
+    """A named-counter multiset with merge, mirroring Hadoop counters.
+
+    Merging is commutative and associative, so counters accumulated by
+    tasks running in different processes and merged in *any* order are
+    byte-identical to a serial accumulation -- the guarantee the
+    parallel runtime's equivalence tests pin down.
+    """
 
     def __init__(self) -> None:
         self._values: dict[str, int] = defaultdict(int)
@@ -56,8 +63,35 @@ class Counters:
         for name, value in other._values.items():
             self._values[name] += value
 
+    @classmethod
+    def merged(cls, parts: "Iterable[Counters]") -> "Counters":
+        """A fresh counter set folding every element of ``parts``."""
+        out = cls()
+        for part in parts:
+            out.merge(part)
+        return out
+
     def as_dict(self) -> dict[str, int]:
         return dict(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        """Equal iff every counter matches (zero == absent)."""
+        if not isinstance(other, Counters):
+            return NotImplemented
+        names = set(self._values) | set(other._values)
+        return all(self.get(n) == other.get(n) for n in names)
+
+    def __hash__(self) -> None:  # type: ignore[assignment]
+        raise TypeError("Counters are mutable and unhashable")
+
+    def diff(self, other: "Counters") -> dict[str, tuple[int, int]]:
+        """``name -> (self, other)`` for every counter that differs."""
+        names = set(self._values) | set(other._values)
+        return {
+            n: (self.get(n), other.get(n))
+            for n in sorted(names)
+            if self.get(n) != other.get(n)
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         rows = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))

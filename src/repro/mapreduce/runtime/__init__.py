@@ -1,0 +1,39 @@
+"""Parallel task runtime: a multiprocess execution layer for the engine.
+
+The serial :class:`~repro.mapreduce.engine.LocalJobRunner` executes
+tasks one at a time and leaves cluster wall-clock to the simulator;
+this package actually *uses* the hardware.  It decomposes a job into
+the same map -> shuffle -> reduce task DAG, runs the identical task
+functions in worker processes over IFile segments on shared disk, and
+layers on the robustness a real cluster runtime needs:
+
+* :mod:`~repro.mapreduce.runtime.scheduler` -- bounded worker pool,
+  per-task retry with exponential backoff, speculative re-execution of
+  stragglers;
+* :mod:`~repro.mapreduce.runtime.fault` -- deterministic fault
+  injection (kill / crash / hang / corrupt) for tests;
+* :mod:`~repro.mapreduce.runtime.trace` -- per-task timeline events and
+  measured profiles, consumable by the cluster simulator;
+* :mod:`~repro.mapreduce.runtime.runner` -- the drop-in
+  :class:`ParallelJobRunner` with byte-identical counters.
+"""
+
+from repro.mapreduce.runtime.fault import Fault, FaultInjector
+from repro.mapreduce.runtime.runner import ParallelJobRunner
+from repro.mapreduce.runtime.scheduler import (
+    TaskFailedError,
+    TaskScheduler,
+    TaskSpec,
+)
+from repro.mapreduce.runtime.trace import RuntimeTrace, TaskEvent
+
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "ParallelJobRunner",
+    "RuntimeTrace",
+    "TaskEvent",
+    "TaskFailedError",
+    "TaskScheduler",
+    "TaskSpec",
+]

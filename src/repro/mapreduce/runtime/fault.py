@@ -1,0 +1,93 @@
+"""Deterministic fault injection for the parallel task runtime.
+
+A :class:`FaultInjector` is a picklable plan mapping ``(task_id,
+attempt)`` to one :class:`Fault`.  The plan rides into every worker
+process; the worker consults it at well-defined points so tests can
+exercise the scheduler's whole failure surface deterministically:
+
+* ``kill``    -- the worker process exits abruptly (no result, no
+  traceback), like a machine loss or an OOM kill;
+* ``crash``   -- the task raises mid-flight, like a user-code bug that
+  happens to be transient;
+* ``hang``    -- the task sleeps before doing any work, turning it into
+  a straggler for the speculative-execution path;
+* ``corrupt`` -- a map task completes *successfully* but one of its
+  output segments is silently bit-flipped on disk, which only surfaces
+  when a reducer fails the segment checksum (Hadoop's fetch-failure
+  scenario).
+
+Faults target a specific attempt (default: the first), so the retried
+attempt runs clean and the job completes -- which is exactly what the
+robustness tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Fault", "FaultInjector"]
+
+MODES = ("kill", "crash", "hang", "corrupt")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure, bound to a task attempt."""
+
+    mode: str
+    attempt: int = 0
+    #: sleep length for ``hang`` faults
+    seconds: float = 30.0
+    #: process exit status for ``kill`` faults
+    exit_code: int = 13
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}; have {MODES}")
+        if self.attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {self.attempt}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+
+class FaultInjector:
+    """A plan of faults keyed by task id and attempt number."""
+
+    def __init__(self) -> None:
+        self._plan: dict[tuple[str, int], Fault] = {}
+
+    # Builder-style helpers; all return self for chaining.
+
+    def add(self, task_id: str, fault: Fault) -> "FaultInjector":
+        key = (task_id, fault.attempt)
+        if key in self._plan:
+            raise ValueError(f"duplicate fault for {task_id} attempt {fault.attempt}")
+        self._plan[key] = fault
+        return self
+
+    def kill(self, task_id: str, attempt: int = 0,
+             exit_code: int = 13) -> "FaultInjector":
+        return self.add(task_id, Fault("kill", attempt, exit_code=exit_code))
+
+    def crash(self, task_id: str, attempt: int = 0) -> "FaultInjector":
+        return self.add(task_id, Fault("crash", attempt))
+
+    def hang(self, task_id: str, seconds: float,
+             attempt: int = 0) -> "FaultInjector":
+        return self.add(task_id, Fault("hang", attempt, seconds=seconds))
+
+    def corrupt(self, task_id: str, attempt: int = 0) -> "FaultInjector":
+        return self.add(task_id, Fault("corrupt", attempt))
+
+    def fault_for(self, task_id: str, attempt: int) -> Fault | None:
+        """The fault planned for this attempt, if any."""
+        return self._plan.get((task_id, attempt))
+
+    def __len__(self) -> int:
+        return len(self._plan)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rows = ", ".join(
+            f"{tid}.{att}={f.mode}" for (tid, att), f in sorted(self._plan.items())
+        )
+        return f"FaultInjector({rows})"

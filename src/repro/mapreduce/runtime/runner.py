@@ -1,0 +1,221 @@
+"""Multiprocess drop-in replacement for the serial job runner.
+
+``ParallelJobRunner.run(job, dataset, splits)`` has the same signature
+and returns the same :class:`~repro.mapreduce.engine.JobResult` as
+:class:`~repro.mapreduce.engine.LocalJobRunner.run` -- with
+byte-identical :class:`~repro.mapreduce.metrics.Counters`, because both
+runners execute the *same* top-level task functions over the *same*
+IFile/codec data path; only the execution vehicle changes (a
+:class:`~repro.mapreduce.runtime.scheduler.TaskScheduler` driving
+worker processes over segments on shared disk, instead of a loop).
+
+The job DAG is two waves with a shuffle barrier: every map task runs
+first, writing one final IFile segment per reducer partition into its
+attempt directory; reduce tasks then receive their partition's segment
+*paths* and fetch the bytes themselves.  Retries, speculative
+execution, and corrupt-segment repair are the scheduler's department;
+the resulting :class:`~repro.mapreduce.runtime.trace.RuntimeTrace` is
+attached to the job result as ``result.trace``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from typing import Any, Sequence
+
+from repro.mapreduce.engine import (
+    JobResult,
+    MapTaskOutput,
+    run_map_task,
+)
+from repro.mapreduce.ifile import IFileStats
+from repro.mapreduce.job import Job
+from repro.mapreduce.metrics import Counters, TaskProfile
+from repro.mapreduce.runtime.fault import FaultInjector
+from repro.mapreduce.runtime.scheduler import TaskScheduler, TaskSpec
+from repro.mapreduce.runtime.trace import RuntimeTrace
+from repro.scidata.dataset import Dataset
+from repro.scidata.splits import ArraySplitter, InputSplit
+
+__all__ = ["ParallelJobRunner"]
+
+
+class ParallelJobRunner:
+    """Run jobs on a bounded pool of worker processes.
+
+    Constructor keywords mirror :class:`TaskScheduler`'s knobs; runner
+    lifecycle (workdir ownership, ``keep_files``, context-manager
+    cleanup) mirrors :class:`~repro.mapreduce.engine.LocalJobRunner`.
+    """
+
+    def __init__(
+        self,
+        workdir: str | None = None,
+        keep_files: bool = False,
+        *,
+        max_workers: int | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        speculation: bool = True,
+        straggler_factor: float = 3.0,
+        min_straggler_seconds: float = 1.0,
+        speculation_min_completed: int = 2,
+        start_method: str | None = None,
+        fault_injector: FaultInjector | None = None,
+    ) -> None:
+        self._own_workdir = workdir is None
+        self.workdir = workdir or tempfile.mkdtemp(prefix="repro-mrp-")
+        self.keep_files = keep_files
+        os.makedirs(self.workdir, exist_ok=True)
+        self.max_workers = max_workers
+        self._scheduler_kwargs = dict(
+            max_workers=max_workers,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            speculation=speculation,
+            straggler_factor=straggler_factor,
+            min_straggler_seconds=min_straggler_seconds,
+            speculation_min_completed=speculation_min_completed,
+            start_method=start_method,
+            fault_injector=fault_injector,
+        )
+        #: trace of the most recent run (also on ``JobResult.trace``)
+        self.last_trace: RuntimeTrace | None = None
+
+    def __enter__(self) -> "ParallelJobRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Remove an owned workdir (no-op for caller-supplied dirs)."""
+        if self._own_workdir and os.path.isdir(self.workdir):
+            shutil.rmtree(self.workdir, ignore_errors=True)
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self,
+        job: Job,
+        dataset: Dataset,
+        splits: Sequence[InputSplit] | None = None,
+    ) -> JobResult:
+        """Execute ``job`` over ``dataset``; returns outputs and metrics."""
+        os.makedirs(self.workdir, exist_ok=True)
+        if splits is None:
+            variables = (list(job.input_variables)
+                         if job.input_variables is not None else None)
+            splits = ArraySplitter(job.num_map_tasks).split(dataset, variables)
+        if not splits:
+            raise ValueError("job has no input splits")
+
+        trace = RuntimeTrace()
+        scheduler = TaskScheduler(trace=trace, **self._scheduler_kwargs)
+        run_dir = tempfile.mkdtemp(prefix="run-", dir=self.workdir)
+        try:
+            result = self._run_waves(job, dataset, splits, scheduler,
+                                     trace, run_dir)
+        finally:
+            if not self.keep_files:
+                shutil.rmtree(run_dir, ignore_errors=True)
+            if (self._own_workdir and os.path.isdir(self.workdir)
+                    and not os.listdir(self.workdir)):
+                shutil.rmtree(self.workdir, ignore_errors=True)
+        self.last_trace = trace
+        return result
+
+    def _run_waves(
+        self,
+        job: Job,
+        dataset: Dataset,
+        splits: Sequence[InputSplit],
+        scheduler: TaskScheduler,
+        trace: RuntimeTrace,
+        run_dir: str,
+    ) -> JobResult:
+        # Wave 1: map tasks.
+        map_specs = [TaskSpec(f"m{s.split_id:05d}", "map", s) for s in splits]
+        map_results: dict[str, MapTaskOutput] = scheduler.run_wave(
+            map_specs, job, dataset, run_dir)
+
+        # Shuffle barrier: hand each reducer its partition's segment
+        # paths, in map-task order (matching the serial runner exactly).
+        reduce_specs = []
+        for part in range(job.num_reducers):
+            segments = [map_results[spec.task_id].segments[part]
+                        for spec in map_specs]
+            reduce_specs.append(
+                TaskSpec(f"r{part:05d}", "reduce", (part, segments)))
+
+        def repair(corrupt_path: str) -> None:
+            self._repair_segment(corrupt_path, job, dataset, map_specs,
+                                 map_results, trace)
+
+        # Wave 2: reduce tasks (dataset not needed in reduce workers).
+        reduce_results = scheduler.run_wave(
+            reduce_specs, job, None, run_dir, repair=repair)
+
+        # Assemble the JobResult exactly like the serial runner: map
+        # counters/profiles in split order, then reduces in partition
+        # order.  Counter merging commutes, so the bytes are identical.
+        counters = Counters()
+        profiles: list[TaskProfile] = []
+        map_stats = IFileStats()
+        for spec in map_specs:
+            mo = map_results[spec.task_id]
+            counters.merge(mo.counters)
+            profiles.append(mo.profile)
+            trace.set_profile(mo.task_id, mo.profile)
+            for _, stats in mo.segments.values():
+                map_stats.merge(stats)
+
+        output: list[tuple[Any, Any]] = []
+        for part in range(job.num_reducers):
+            rr = reduce_results[f"r{part:05d}"]
+            output.extend(rr.output)
+            counters.merge(rr.counters)
+            profiles.append(rr.profile)
+            trace.set_profile(rr.task_id, rr.profile)
+
+        return JobResult(
+            output=output,
+            counters=counters,
+            task_profiles=profiles,
+            map_output_stats=map_stats,
+            num_map_tasks=len(splits),
+            num_reduce_tasks=job.num_reducers,
+            trace=trace,
+        )
+
+    def _repair_segment(
+        self,
+        corrupt_path: str,
+        job: Job,
+        dataset: Dataset,
+        map_specs: Sequence[TaskSpec],
+        map_results: dict[str, MapTaskOutput],
+        trace: RuntimeTrace,
+    ) -> None:
+        """Re-generate a corrupt map output segment in place.
+
+        Map tasks are deterministic, so re-running the producer into its
+        original attempt directory recreates every segment at the same
+        path with the same bytes -- the waiting reduce retry picks them
+        up without re-routing.  Runs inline in the scheduler process
+        (fault injection only applies inside workers, so a repair can
+        never be re-corrupted by the plan that broke it).
+        """
+        name = os.path.basename(corrupt_path)
+        task_id = name.split("-out-")[0]
+        spec = next((s for s in map_specs if s.task_id == task_id), None)
+        if spec is None:
+            raise RuntimeError(
+                f"corrupt segment {corrupt_path} matches no map task")
+        attempt_dir = os.path.dirname(corrupt_path)
+        mo = run_map_task(job, spec.payload, dataset, attempt_dir)
+        map_results[task_id] = mo
+        trace.set_profile(task_id, mo.profile)
+        trace.record(task_id, 0, "map", "repaired", corrupt_path)

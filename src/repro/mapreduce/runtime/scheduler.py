@@ -1,0 +1,317 @@
+"""Bounded multiprocess task scheduler: retries, backoff, speculation.
+
+The scheduler executes one *wave* of independent tasks (all maps, then
+all reduces -- the shuffle barrier between them is the job DAG) on a
+bounded pool of worker processes.  It owns the whole robustness story:
+
+* **Retry with backoff** -- an attempt that dies (no result file) or
+  returns an error is re-queued with exponential backoff, up to
+  ``max_retries`` extra attempts; the job fails only when a task
+  exhausts its budget with no rival attempt still in flight.
+* **Speculative execution** -- once enough tasks have finished to
+  estimate a typical duration, a running attempt that exceeds
+  ``straggler_factor`` x the median is duplicated.  First finisher
+  wins; the loser is terminated and its output directory discarded.
+* **Corrupt-segment repair** -- a reduce attempt failing a segment
+  checksum reports the offending path; the caller-supplied ``repair``
+  hook re-generates that map output in place and the reduce retries
+  (Hadoop's fetch-failure -> re-execute-the-mapper protocol).
+
+Tasks are deterministic functions of the job configuration, so *which*
+attempt wins never changes the result -- the property the equivalence
+tests pin down against the serial runner.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import statistics
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.mapreduce.runtime.fault import FaultInjector
+from repro.mapreduce.runtime.trace import RuntimeTrace
+from repro.mapreduce.runtime.worker import load_result, worker_entry
+
+__all__ = ["TaskSpec", "TaskFailedError", "TaskScheduler"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One schedulable task: identity, kind, and its input payload."""
+
+    task_id: str
+    kind: str   # "map" or "reduce"
+    payload: Any  # InputSplit for maps, (partition, segments) for reduces
+
+
+class TaskFailedError(RuntimeError):
+    """A task exhausted its retry budget."""
+
+    def __init__(self, task_id: str, attempts: int, detail: str) -> None:
+        super().__init__(
+            f"task {task_id} failed after {attempts} attempt(s): {detail}")
+        self.task_id = task_id
+        self.attempts = attempts
+        self.detail = detail
+
+
+class _Attempt:
+    """Book-keeping for one in-flight worker process."""
+
+    __slots__ = ("spec", "number", "process", "dir", "result_path",
+                 "started", "speculative")
+
+    def __init__(self, spec: TaskSpec, number: int, process, attempt_dir: str,
+                 result_path: str, speculative: bool) -> None:
+        self.spec = spec
+        self.number = number
+        self.process = process
+        self.dir = attempt_dir
+        self.result_path = result_path
+        self.started = time.monotonic()
+        self.speculative = speculative
+
+
+class TaskScheduler:
+    """Run waves of tasks on a bounded pool of worker processes.
+
+    Parameters
+    ----------
+    max_workers:
+        Concurrent worker processes (default: CPU count).
+    max_retries:
+        Extra attempts a task may use after its first failure.
+    retry_backoff:
+        Base delay before a retry launches; doubles per failure.
+    speculation / straggler_factor / min_straggler_seconds /
+    speculation_min_completed:
+        A non-speculative attempt running longer than
+        ``max(straggler_factor * median(done), min_straggler_seconds)``
+        is duplicated, once at least ``speculation_min_completed`` tasks
+        have finished.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (cheap, no pickling of job/dataset on launch).
+    fault_injector:
+        Optional :class:`FaultInjector`, forwarded to workers.
+    trace:
+        The :class:`RuntimeTrace` events are recorded into.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: int | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        speculation: bool = True,
+        straggler_factor: float = 3.0,
+        min_straggler_seconds: float = 1.0,
+        speculation_min_completed: int = 2,
+        poll_interval: float = 0.005,
+        start_method: str | None = None,
+        fault_injector: FaultInjector | None = None,
+        trace: RuntimeTrace | None = None,
+    ) -> None:
+        self.max_workers = max(1, max_workers or os.cpu_count() or 1)
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
+        if straggler_factor <= 1.0:
+            raise ValueError(
+                f"straggler_factor must be > 1, got {straggler_factor}")
+        if speculation_min_completed < 1:
+            raise ValueError("speculation_min_completed must be >= 1")
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.speculation = speculation
+        self.straggler_factor = straggler_factor
+        self.min_straggler_seconds = min_straggler_seconds
+        self.speculation_min_completed = speculation_min_completed
+        self.poll_interval = poll_interval
+        self.fault_injector = fault_injector
+        self.trace = trace if trace is not None else RuntimeTrace()
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = multiprocessing.get_context(start_method)
+
+    # ------------------------------------------------------------------ wave
+
+    def run_wave(
+        self,
+        specs: Sequence[TaskSpec],
+        job: Any,
+        dataset: Any,
+        wave_dir: str,
+        repair: Callable[[str], None] | None = None,
+    ) -> dict[str, Any]:
+        """Run every task in ``specs`` to completion; returns results by id.
+
+        Raises :class:`TaskFailedError` when any task exhausts its retry
+        budget.  ``repair`` is invoked with the corrupt segment path when
+        an attempt fails integrity verification, before that task's
+        retry is queued.
+        """
+        specs = list(specs)
+        by_id = {s.task_id: s for s in specs}
+        if len(by_id) != len(specs):
+            raise ValueError("duplicate task ids in wave")
+        os.makedirs(wave_dir, exist_ok=True)
+
+        trace = self.trace
+        results: dict[str, Any] = {}
+        #: (spec, not-before monotonic time), FIFO with backoff gates
+        pending: list[tuple[TaskSpec, float]] = [(s, 0.0) for s in specs]
+        running: list[_Attempt] = []
+        failures: dict[str, int] = defaultdict(int)
+        next_attempt: dict[str, int] = defaultdict(int)
+        durations: list[float] = []
+
+        for s in specs:
+            trace.record(s.task_id, 0, s.kind, "queued")
+
+        def launch(spec: TaskSpec, speculative: bool) -> None:
+            number = next_attempt[spec.task_id]
+            next_attempt[spec.task_id] += 1
+            attempt_dir = os.path.join(wave_dir, f"{spec.task_id}.{number}")
+            os.makedirs(attempt_dir, exist_ok=True)
+            result_path = os.path.join(attempt_dir, "_result.pkl")
+            fault = (self.fault_injector.fault_for(spec.task_id, number)
+                     if self.fault_injector is not None else None)
+            process = self._ctx.Process(
+                target=worker_entry,
+                args=(spec.task_id, spec.kind, number, attempt_dir,
+                      result_path, job,
+                      dataset if spec.kind == "map" else None,
+                      spec.payload, fault),
+                daemon=True,
+            )
+            process.start()
+            running.append(_Attempt(spec, number, process, attempt_dir,
+                                    result_path, speculative))
+            if speculative:
+                trace.record(spec.task_id, number, spec.kind, "speculated")
+            trace.record(spec.task_id, number, spec.kind, "started")
+
+        def kill_rivals(task_id: str, winner: _Attempt) -> None:
+            for rival in [a for a in running
+                          if a.spec.task_id == task_id and a is not winner]:
+                rival.process.terminate()
+                rival.process.join(timeout=5)
+                if rival.process.is_alive():  # pragma: no cover - stubborn
+                    rival.process.kill()
+                    rival.process.join(timeout=5)
+                running.remove(rival)
+                trace.record(task_id, rival.number, rival.spec.kind,
+                             "killed", "rival attempt won")
+                trace.record(task_id, rival.number, rival.spec.kind,
+                             "discarded")
+                shutil.rmtree(rival.dir, ignore_errors=True)
+
+        def handle_exit(attempt: _Attempt) -> None:
+            spec = attempt.spec
+            task_id = spec.task_id
+            if task_id in results:
+                # A rival attempt already won while this one was finishing.
+                trace.record(task_id, attempt.number, spec.kind,
+                             "discarded", "lost to rival attempt")
+                shutil.rmtree(attempt.dir, ignore_errors=True)
+                return
+            result = load_result(attempt.result_path)
+            if result is not None and result["status"] == "ok":
+                results[task_id] = result["value"]
+                durations.append(time.monotonic() - attempt.started)
+                trace.record(task_id, attempt.number, spec.kind, "finished")
+                try:
+                    os.unlink(attempt.result_path)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+                kill_rivals(task_id, attempt)
+                return
+            # Failure: worker died without a result, or reported an error.
+            if result is None:
+                detail = (f"worker exited with code "
+                          f"{attempt.process.exitcode} and no result")
+                corrupt_path = None
+            else:
+                detail = f"{result['error_type']}: {result['message']}"
+                corrupt_path = result.get("corrupt_path")
+            trace.record(task_id, attempt.number, spec.kind, "failed", detail)
+            shutil.rmtree(attempt.dir, ignore_errors=True)
+            if corrupt_path is not None and repair is not None:
+                repair(corrupt_path)
+            failures[task_id] += 1
+            rival_running = any(a.spec.task_id == task_id for a in running)
+            if failures[task_id] > self.max_retries:
+                if rival_running:
+                    return  # a speculative rival may still win
+                raise TaskFailedError(task_id, failures[task_id] + 1, detail)
+            if rival_running:
+                return  # the rival attempt *is* the retry
+            delay = self.retry_backoff * (2 ** (failures[task_id] - 1))
+            pending.append((spec, time.monotonic() + delay))
+            trace.record(task_id, attempt.number, spec.kind, "retried",
+                         f"backoff {delay:.3f}s")
+
+        def maybe_speculate(now: float) -> None:
+            if (not self.speculation
+                    or len(durations) < self.speculation_min_completed):
+                return
+            threshold = max(self.straggler_factor * statistics.median(durations),
+                            self.min_straggler_seconds)
+            in_flight = defaultdict(int)
+            for a in running:
+                in_flight[a.spec.task_id] += 1
+            queued = {s.task_id for s, _ in pending}
+            for a in list(running):
+                if len(running) >= self.max_workers:
+                    return
+                if (a.speculative or in_flight[a.spec.task_id] > 1
+                        or a.spec.task_id in results
+                        or a.spec.task_id in queued):
+                    continue
+                if now - a.started > threshold:
+                    launch(a.spec, speculative=True)
+                    in_flight[a.spec.task_id] += 1
+
+        try:
+            while len(results) < len(by_id):
+                now = time.monotonic()
+                # Launch work while slots are free.
+                i = 0
+                while i < len(pending) and len(running) < self.max_workers:
+                    spec, not_before = pending[i]
+                    if spec.task_id in results:
+                        pending.pop(i)
+                        continue
+                    if not_before > now:
+                        i += 1
+                        continue
+                    pending.pop(i)
+                    launch(spec, speculative=False)
+                maybe_speculate(now)
+                # Reap finished workers.
+                progressed = False
+                for attempt in list(running):
+                    if attempt not in running or attempt.process.is_alive():
+                        continue
+                    attempt.process.join()
+                    running.remove(attempt)
+                    progressed = True
+                    handle_exit(attempt)
+                if not progressed:
+                    time.sleep(self.poll_interval)
+        finally:
+            # Error-path safety net: never leak worker processes.
+            for attempt in running:
+                attempt.process.terminate()
+            for attempt in running:
+                attempt.process.join(timeout=5)
+        return results

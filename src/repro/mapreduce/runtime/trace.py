@@ -1,0 +1,126 @@
+"""Per-task timeline events and measured profiles of one parallel run.
+
+Every scheduling decision the runtime makes -- queueing, launching,
+finishing, retrying, speculating, killing a loser -- is recorded as a
+:class:`TaskEvent` in a :class:`RuntimeTrace`.  The trace doubles as the
+bridge to the cluster simulator: :meth:`RuntimeTrace.task_profiles`
+returns the winning attempts' :class:`~repro.mapreduce.metrics.
+TaskProfile` objects in task order, directly consumable by
+:meth:`~repro.mapreduce.simcluster.model.ClusterSimulator.simulate` --
+so a *measured* parallel execution can be re-priced onto a described
+cluster exactly like a serial one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.mapreduce.metrics import TaskProfile
+
+__all__ = ["TaskEvent", "RuntimeTrace"]
+
+#: event vocabulary, in rough lifecycle order
+EVENT_KINDS = (
+    "queued",      # task admitted to the wave
+    "started",     # an attempt's worker process launched
+    "finished",    # an attempt produced the winning result
+    "failed",      # an attempt died or returned an error
+    "retried",     # a fresh attempt was queued after a failure
+    "speculated",  # a duplicate attempt launched for a straggler
+    "killed",      # a still-running rival attempt was terminated
+    "discarded",   # a losing attempt's output was thrown away
+    "repaired",    # a corrupt map segment was re-generated in place
+)
+
+
+@dataclass(frozen=True)
+class TaskEvent:
+    """One point on the runtime timeline."""
+
+    task_id: str
+    attempt: int
+    kind: str       # "map" or "reduce"
+    event: str      # one of EVENT_KINDS
+    timestamp: float  # seconds since the trace was created
+    detail: str = ""
+
+
+class RuntimeTrace:
+    """Ordered event log plus the winning profile per task."""
+
+    def __init__(self) -> None:
+        self._t0 = time.monotonic()
+        self.events: list[TaskEvent] = []
+        self._profiles: dict[str, TaskProfile] = {}
+
+    # ------------------------------------------------------------ recording
+
+    def record(self, task_id: str, attempt: int, kind: str, event: str,
+               detail: str = "") -> None:
+        if event not in EVENT_KINDS:
+            raise ValueError(f"unknown event {event!r}")
+        self.events.append(TaskEvent(
+            task_id=task_id,
+            attempt=attempt,
+            kind=kind,
+            event=event,
+            timestamp=time.monotonic() - self._t0,
+            detail=detail,
+        ))
+
+    def set_profile(self, task_id: str, profile: TaskProfile) -> None:
+        """Install the winning attempt's measured profile for a task."""
+        self._profiles[task_id] = profile
+
+    # ------------------------------------------------------------ queries
+
+    def events_for(self, task_id: str) -> list[TaskEvent]:
+        return [e for e in self.events if e.task_id == task_id]
+
+    def count(self, event: str) -> int:
+        """How many times ``event`` occurred across all tasks."""
+        if event not in EVENT_KINDS:
+            raise ValueError(f"unknown event {event!r}")
+        return sum(1 for e in self.events if e.event == event)
+
+    def attempts(self, task_id: str) -> int:
+        """Number of distinct attempts launched for ``task_id``."""
+        return len({e.attempt for e in self.events_for(task_id)
+                    if e.event in ("started", "speculated")})
+
+    def task_profiles(self, kind: str | None = None) -> list[TaskProfile]:
+        """Winning profiles in task-id order (maps sort before reduces).
+
+        The returned list is what the cluster simulator consumes:
+        ``ClusterSimulator().simulate(trace.task_profiles())``.
+        """
+        profiles = [self._profiles[t] for t in sorted(self._profiles)]
+        if kind is not None:
+            profiles = [p for p in profiles if p.kind == kind]
+        return profiles
+
+    @property
+    def wall_clock(self) -> float:
+        """Seconds from trace start to the last recorded event."""
+        return max((e.timestamp for e in self.events), default=0.0)
+
+    def task_wall_clock(self, task_id: str) -> float:
+        """First-start to winning-finish span of one task."""
+        events = self.events_for(task_id)
+        starts = [e.timestamp for e in events if e.event == "started"]
+        ends = [e.timestamp for e in events if e.event == "finished"]
+        if not starts or not ends:
+            return 0.0
+        return max(ends) - min(starts)
+
+    def format_timeline(self) -> str:
+        """Human-readable event log (debugging / bench reports)."""
+        lines = []
+        for e in self.events:
+            detail = f"  [{e.detail}]" if e.detail else ""
+            lines.append(
+                f"{e.timestamp:9.4f}s  {e.task_id}.{e.attempt:<2d} "
+                f"{e.event:<10s}{detail}"
+            )
+        return "\n".join(lines)

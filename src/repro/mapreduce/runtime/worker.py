@@ -1,0 +1,115 @@
+"""What runs inside one task worker process.
+
+The worker executes exactly the same top-level task functions as the
+serial runner (:func:`repro.mapreduce.engine.run_map_task` /
+:func:`~repro.mapreduce.engine.run_reduce_task`) inside its own attempt
+directory, then hands the pickled result back to the scheduler through
+a file on shared disk.  The result file is written atomically
+(tmp + rename), so the scheduler observes either a complete result or
+none at all -- a worker killed mid-task simply leaves no result, which
+is the retry signal.
+
+Faults from a :class:`~repro.mapreduce.runtime.fault.FaultInjector` are
+applied *only* here, in the child process, so an injected ``kill`` can
+never take down the scheduler.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import traceback
+from typing import Any
+
+from repro.mapreduce.engine import run_map_task, run_reduce_task
+from repro.mapreduce.ifile import IFileCorruptError
+from repro.mapreduce.runtime.fault import Fault
+
+__all__ = ["worker_entry", "load_result"]
+
+
+def _corrupt_segment(path: str) -> None:
+    """Flip one byte in the middle of a segment file (silent bit rot)."""
+    size = os.path.getsize(path)
+    offset = size // 2
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)
+        fh.seek(offset)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+
+
+def _write_result(result_path: str, result: dict[str, Any]) -> None:
+    tmp = f"{result_path}.tmp"
+    with open(tmp, "wb") as fh:
+        pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, result_path)
+
+
+def load_result(result_path: str) -> dict[str, Any] | None:
+    """Read a worker's result file; ``None`` if it was never written."""
+    if not os.path.exists(result_path):
+        return None
+    with open(result_path, "rb") as fh:
+        return pickle.load(fh)
+
+
+def worker_entry(
+    task_id: str,
+    kind: str,
+    attempt: int,
+    attempt_dir: str,
+    result_path: str,
+    job: Any,
+    dataset: Any,
+    payload: Any,
+    fault: Fault | None,
+) -> None:
+    """Process target: run one task attempt and persist its result.
+
+    ``payload`` is the task input: an ``InputSplit`` for map tasks, a
+    ``(partition, segments)`` pair for reduce tasks.
+    """
+    try:
+        if fault is not None:
+            if fault.mode == "kill":
+                # Abrupt death: no result file, no cleanup, no goodbye.
+                os._exit(fault.exit_code)
+            if fault.mode == "crash":
+                raise RuntimeError(
+                    f"injected crash in {task_id} attempt {attempt}")
+            if fault.mode == "hang":
+                time.sleep(fault.seconds)
+
+        if kind == "map":
+            value: Any = run_map_task(job, payload, dataset, attempt_dir)
+            if fault is not None and fault.mode == "corrupt":
+                # The task *believes* it succeeded; the damage is only
+                # discoverable by a reducer's checksum verification.
+                path, _ = value.segments[min(value.segments)]
+                _corrupt_segment(path)
+        elif kind == "reduce":
+            part, segments = payload
+            value = run_reduce_task(job, part, segments, attempt_dir)
+        else:
+            raise ValueError(f"unknown task kind {kind!r}")
+        result = {"status": "ok", "value": value}
+    except BaseException as exc:
+        result = {
+            "status": "error",
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+            "corrupt_path": exc.path if isinstance(exc, IFileCorruptError) else None,
+        }
+    try:
+        _write_result(result_path, result)
+    except BaseException as exc:  # e.g. unpicklable user output
+        _write_result(result_path, {
+            "status": "error",
+            "error_type": type(exc).__name__,
+            "message": f"failed to serialize task result: {exc}",
+            "traceback": traceback.format_exc(),
+            "corrupt_path": None,
+        })

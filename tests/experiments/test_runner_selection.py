@@ -1,0 +1,54 @@
+"""Runner selection: REPRO_RUNNER / REPRO_WORKERS and the CLI flags."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.common import make_runner
+from repro.mapreduce import LocalJobRunner, ParallelJobRunner
+
+
+class TestMakeRunner:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RUNNER", raising=False)
+        assert isinstance(make_runner(), LocalJobRunner)
+
+    def test_serial_aliases(self, monkeypatch):
+        for name in ["serial", "local", "SERIAL"]:
+            monkeypatch.setenv("REPRO_RUNNER", name)
+            assert isinstance(make_runner(), LocalJobRunner)
+
+    def test_parallel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER", "parallel")
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        runner = make_runner()
+        assert isinstance(runner, ParallelJobRunner)
+        assert runner.max_workers == 3
+        runner.close()
+
+    def test_bad_runner_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER", "quantum")
+        with pytest.raises(ValueError, match="REPRO_RUNNER"):
+            make_runner()
+
+    def test_bad_worker_count_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER", "parallel")
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            make_runner()
+
+
+class TestCliFlags:
+    def test_runner_flag_sets_env(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_RUNNER", raising=False)
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setenv("REPRO_SCALE", "0.12")
+        import os
+
+        assert main(["run", "E1", "--runner", "parallel", "--workers", "2"]) == 0
+        assert os.environ["REPRO_RUNNER"] == "parallel"
+        assert os.environ["REPRO_WORKERS"] == "2"
+        assert "E1" in capsys.readouterr().out
+
+    def test_bad_workers_flag(self, monkeypatch):
+        with pytest.raises(SystemExit):
+            main(["run", "E1", "--workers", "0"])

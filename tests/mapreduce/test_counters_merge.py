@@ -1,0 +1,104 @@
+"""Counter merge algebra: the foundation of cross-process metrics.
+
+The parallel runtime accumulates counters per task in separate
+processes and folds them together in whatever order tasks finish.  That
+is only sound because merging is commutative and associative -- pinned
+here as a property, both abstractly (random counter sets) and on the
+engine (per-task counters of a seeded job merged in shuffled order
+equal the serial job total).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mapreduce import Counters, LocalJobRunner
+from repro.mapreduce.metrics import C
+from repro.scidata import integer_grid
+from tests.mapreduce.test_engine import make_job
+
+counter_names = st.sampled_from(
+    ["A", "B", "SHUFFLE_BYTES", "MAP_OUTPUT_RECORDS", "SPILL_COUNT"])
+counter_dicts = st.dictionaries(
+    counter_names, st.integers(min_value=0, max_value=10**12), max_size=5)
+
+
+def from_dict(values):
+    c = Counters()
+    for name, amount in values.items():
+        c.incr(name, amount)
+    return c
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=50, deadline=None)
+    @given(parts=st.lists(counter_dicts, max_size=6), seed=st.integers(0, 2**16))
+    def test_merge_is_order_independent(self, parts, seed):
+        counters = [from_dict(p) for p in parts]
+        shuffled = list(counters)
+        random.Random(seed).shuffle(shuffled)
+        assert Counters.merged(counters) == Counters.merged(shuffled)
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=counter_dicts, b=counter_dicts)
+    def test_merge_adds_by_name(self, a, b):
+        merged = Counters.merged([from_dict(a), from_dict(b)])
+        for name in set(a) | set(b):
+            assert merged[name] == a.get(name, 0) + b.get(name, 0)
+
+    def test_zero_equals_absent(self):
+        explicit = from_dict({"A": 0, "B": 3})
+        implicit = from_dict({"B": 3})
+        assert explicit == implicit
+        assert implicit == explicit
+
+    def test_diff_reports_only_differences(self):
+        a = from_dict({"A": 1, "B": 2})
+        b = from_dict({"A": 1, "B": 5, "C": 7})
+        assert a.diff(b) == {"B": (2, 5), "C": (0, 7)}
+        assert a.diff(a) == {}
+
+    def test_eq_other_types(self):
+        assert Counters() != "not counters"
+
+    def test_unhashable(self):
+        import pytest
+
+        with pytest.raises(TypeError):
+            hash(Counters())
+
+
+class TestEngineCounterProperty:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 2**16), maps=st.integers(1, 4),
+           reducers=st.integers(1, 3), shuffle_seed=st.integers(0, 2**16))
+    def test_shuffled_per_task_merge_equals_serial_total(
+            self, seed, maps, reducers, shuffle_seed):
+        """Per-task counters of a seeded job, merged in arbitrary order,
+        are byte-identical to the job's serially accumulated total."""
+        grid = integer_grid((6, 6), seed=seed)
+        runner = LocalJobRunner()
+        from repro.mapreduce.engine import run_map_task, run_reduce_task
+        from repro.scidata.splits import ArraySplitter
+
+        job = make_job(num_map_tasks=maps, num_reducers=reducers)
+        serial = LocalJobRunner().run(
+            make_job(num_map_tasks=maps, num_reducers=reducers), grid)
+
+        splits = ArraySplitter(maps).split(grid)
+        map_outputs = [run_map_task(job, s, grid, runner.workdir)
+                       for s in splits]
+        reduce_results = [
+            run_reduce_task(job, part,
+                            [mo.segments[part] for mo in map_outputs],
+                            runner.workdir)
+            for part in range(reducers)
+        ]
+        per_task = ([mo.counters for mo in map_outputs]
+                    + [rr.counters for rr in reduce_results])
+        random.Random(shuffle_seed).shuffle(per_task)
+        merged = Counters.merged(per_task)
+        assert merged == serial.counters
+        assert merged[C.MAP_OUTPUT_MATERIALIZED_BYTES] == \
+            serial.counters[C.MAP_OUTPUT_MATERIALIZED_BYTES]
+        runner.close()

@@ -1,0 +1,104 @@
+"""Spill/segment directory lifecycle: no debris on failure or teardown."""
+
+import glob
+import os
+
+import pytest
+
+from repro.mapreduce import LocalJobRunner, Mapper, ParallelJobRunner
+from repro.scidata import integer_grid
+from tests.mapreduce.test_engine import make_job
+
+
+class MidSpillCrashMapper(Mapper):
+    """Emits enough to spill (tiny sort buffer), then dies mid-task."""
+
+    def map(self, split, values, ctx):
+        coords = split.slab.coords()
+        ctx.emit_cells(split.variable, coords, values.ravel())
+        raise RuntimeError("simulated crash after spilling")
+
+
+@pytest.fixture
+def grid():
+    return integer_grid((8, 8), seed=7, low=0, high=100)
+
+
+class TestLocalRunnerCrashCleanup:
+    def test_mid_map_crash_leaves_no_files_in_explicit_workdir(
+            self, grid, tmp_path):
+        (tmp_path / "user-file.txt").write_text("precious")
+        runner = LocalJobRunner(workdir=str(tmp_path))
+        job = make_job(mapper=MidSpillCrashMapper, sort_buffer_bytes=1024)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            runner.run(job, grid)
+        # spills written before the crash are gone; user files survive
+        assert os.listdir(tmp_path) == ["user-file.txt"]
+
+    def test_mid_map_crash_removes_owned_workdir(self, grid):
+        runner = LocalJobRunner()
+        workdir = runner.workdir
+        job = make_job(mapper=MidSpillCrashMapper, sort_buffer_bytes=1024)
+        with pytest.raises(RuntimeError):
+            runner.run(job, grid)
+        assert not os.path.isdir(workdir) or os.listdir(workdir) == []
+
+    def test_runner_usable_again_after_crash(self, grid):
+        runner = LocalJobRunner()
+        with pytest.raises(RuntimeError):
+            runner.run(make_job(mapper=MidSpillCrashMapper,
+                                sort_buffer_bytes=1024), grid)
+        result = runner.run(make_job(), grid)
+        assert len(result.output) == 64
+
+
+class TestContextManagers:
+    def test_local_runner_context_removes_owned_workdir(self, grid):
+        with LocalJobRunner(keep_files=True) as runner:
+            runner.run(make_job(), grid)
+            workdir = runner.workdir
+            assert os.listdir(workdir)  # keep_files left segments behind
+        assert not os.path.isdir(workdir)
+
+    def test_local_runner_context_keeps_explicit_workdir(self, grid, tmp_path):
+        with LocalJobRunner(workdir=str(tmp_path)) as runner:
+            runner.run(make_job(), grid)
+        assert tmp_path.is_dir()
+
+    def test_parallel_runner_context_removes_owned_workdir(self, grid):
+        with ParallelJobRunner(max_workers=2, keep_files=True) as runner:
+            runner.run(make_job(num_map_tasks=2), grid)
+            workdir = runner.workdir
+            assert os.listdir(workdir)
+        assert not os.path.isdir(workdir)
+
+
+class TestParallelRunnerCleanup:
+    def test_successful_run_cleans_run_dir(self, grid, tmp_path):
+        runner = ParallelJobRunner(workdir=str(tmp_path), max_workers=2)
+        runner.run(make_job(num_map_tasks=3, num_reducers=2), grid)
+        assert os.listdir(tmp_path) == []
+
+    def test_mid_map_crash_cleans_run_dir(self, grid, tmp_path):
+        from repro.mapreduce.runtime import TaskFailedError
+
+        runner = ParallelJobRunner(workdir=str(tmp_path), max_workers=2,
+                                   max_retries=1, retry_backoff=0.01)
+        job = make_job(mapper=MidSpillCrashMapper, sort_buffer_bytes=1024,
+                       num_map_tasks=2)
+        with pytest.raises(TaskFailedError):
+            runner.run(job, grid)
+        assert os.listdir(tmp_path) == []
+
+    def test_owned_workdir_removed_after_run(self, grid):
+        before = set(glob.glob("/tmp/repro-mrp-*"))
+        runner = ParallelJobRunner(max_workers=2)
+        runner.run(make_job(num_map_tasks=2), grid)
+        assert set(glob.glob("/tmp/repro-mrp-*")) == before
+
+    def test_keep_files_retains_run_dir(self, grid, tmp_path):
+        runner = ParallelJobRunner(workdir=str(tmp_path), keep_files=True,
+                                   max_workers=2)
+        runner.run(make_job(num_map_tasks=2), grid)
+        segments = glob.glob(str(tmp_path / "run-*" / "m*" / "*-out-p0"))
+        assert segments
