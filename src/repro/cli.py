@@ -24,7 +24,7 @@ __all__ = ["main", "experiment_ids"]
 def _registry() -> dict[str, tuple[str, Callable]]:
     """Experiment id -> (description, runner).  Imported lazily so
     ``python -m repro list`` is instant."""
-    from repro.experiments import ablations, cluster_runs, density, \
+    from repro.experiments import ablations, chaos, cluster_runs, density, \
         e1_motivation, fig2_stream, fig3_table, fig4_scaling, \
         fig8_aggregation, figures_5_6_7, key_splitting, levers, locality, \
         multivar, parallel_speedup
@@ -74,6 +74,9 @@ def _registry() -> dict[str, tuple[str, Callable]]:
                 lambda: levers.run()),
         "P1": ("perf: serial vs parallel runtime on the Fig 8 job",
                lambda: parallel_speedup.run()),
+        "R1": ("robustness: chaos soak -- randomized fault schedules and "
+               "mid-job kill+resume vs the serial runner",
+               lambda: chaos.run()),
     }
 
 
@@ -103,6 +106,16 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--workers", type=int, default=None,
                        help="worker processes for --runner parallel "
                             "(default: CPU count)")
+    run_p.add_argument("--task-timeout", type=float, default=None,
+                       help="hard per-attempt deadline in seconds for "
+                            "--runner parallel; a breaching attempt is "
+                            "killed and retried")
+    run_p.add_argument("--recovery-dir", default=None,
+                       help="directory for durable job manifests "
+                            "(checkpoint/resume state); --runner parallel")
+    run_p.add_argument("--resume", action="store_true",
+                       help="adopt completed tasks from the manifest in "
+                            "--recovery-dir instead of re-running them")
     args = parser.parse_args(argv)
 
     registry = _registry()
@@ -122,6 +135,24 @@ def main(argv: list[str] | None = None) -> int:
         if args.workers < 1:
             parser.error("--workers must be >= 1")
         os.environ["REPRO_WORKERS"] = str(args.workers)
+    if args.resume and args.recovery_dir is None:
+        parser.error("--resume requires --recovery-dir")
+    parallel_only = [("--task-timeout", args.task_timeout is not None),
+                     ("--recovery-dir", args.recovery_dir is not None),
+                     ("--resume", args.resume)]
+    if any(given for _, given in parallel_only):
+        runner = args.runner or os.environ.get("REPRO_RUNNER", "serial")
+        if runner.lower() != "parallel":
+            flags = ", ".join(f for f, given in parallel_only if given)
+            parser.error(f"{flags} require(s) --runner parallel")
+    if args.task_timeout is not None:
+        if args.task_timeout <= 0:
+            parser.error("--task-timeout must be positive")
+        os.environ["REPRO_TASK_TIMEOUT"] = str(args.task_timeout)
+    if args.recovery_dir is not None:
+        os.environ["REPRO_RECOVERY_DIR"] = args.recovery_dir
+    if args.resume:
+        os.environ["REPRO_RESUME"] = "1"
 
     ids = list(registry) if args.experiment.lower() == "all" else [
         args.experiment.upper()

@@ -38,8 +38,13 @@ def make_runner(**runner_kwargs):
 
     Selected by ``REPRO_RUNNER`` (``serial``/``local`` -> in-process
     loop, ``parallel`` -> multiprocess runtime; the CLI's ``--runner``
-    flag sets it) with worker count from ``REPRO_WORKERS``.  Both
-    backends produce byte-identical counters, so paper measurements are
+    flag sets it) with worker count from ``REPRO_WORKERS``.  The
+    parallel runtime additionally honours ``REPRO_TASK_TIMEOUT`` (hard
+    per-attempt deadline, seconds), ``REPRO_RECOVERY_DIR`` (durable
+    checkpoint manifests there), and ``REPRO_RESUME`` (adopt a prior
+    interrupted run's completed tasks) -- the CLI's ``--task-timeout``,
+    ``--recovery-dir``, and ``--resume`` flags.  Both backends produce
+    byte-identical counters, so paper measurements are
     runner-independent -- only wall-clock changes.
     """
     name = os.environ.get("REPRO_RUNNER", "serial").lower()
@@ -57,6 +62,23 @@ def make_runner(**runner_kwargs):
                 raise ValueError(
                     f"REPRO_WORKERS must be >= 1, got {workers}")
             runner_kwargs.setdefault("max_workers", workers)
+        raw_timeout = os.environ.get("REPRO_TASK_TIMEOUT")
+        if raw_timeout is not None:
+            timeout = float(raw_timeout)
+            if timeout <= 0:
+                raise ValueError(
+                    f"REPRO_TASK_TIMEOUT must be > 0, got {timeout}")
+            runner_kwargs.setdefault("task_timeout", timeout)
+        recovery_dir = os.environ.get("REPRO_RECOVERY_DIR")
+        if recovery_dir:
+            runner_kwargs.setdefault("recovery_dir", recovery_dir)
+            resume = os.environ.get("REPRO_RESUME", "").lower()
+            runner_kwargs.setdefault(
+                "resume", resume in ("1", "true", "yes", "on"))
+        elif os.environ.get("REPRO_RESUME"):
+            raise ValueError(
+                "REPRO_RESUME requires REPRO_RECOVERY_DIR (the directory "
+                "holding the job manifest to resume from)")
         return ParallelJobRunner(**runner_kwargs)
     raise ValueError(
         f"REPRO_RUNNER must be 'serial' or 'parallel', got {name!r}")

@@ -23,6 +23,7 @@ from typing import Iterator
 
 from repro.mapreduce.codecs import Codec, NullCodec
 from repro.util.bytebuf import ByteBuffer
+from repro.util.fsio import atomic_write_bytes
 from repro.util.varint import read_vlong, write_vlong
 
 __all__ = [
@@ -133,10 +134,11 @@ class IFileWriter:
         self.stats.materialized_bytes = len(blob)
         if self.path is not None:
             if self.atomic:
-                tmp = f"{self.path}.tmp"
-                with open(tmp, "wb") as fh:
-                    fh.write(blob)
-                os.replace(tmp, self.path)
+                # Durable commit: fsync the temp file before the rename
+                # (and the directory after), so a crash can never
+                # surface an empty or truncated *committed* segment --
+                # the rename target is always a valid IFile.
+                atomic_write_bytes(self.path, blob)
             else:
                 with open(self.path, "wb") as fh:
                     fh.write(blob)

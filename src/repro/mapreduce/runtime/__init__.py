@@ -9,9 +9,13 @@ layers on the robustness a real cluster runtime needs:
 
 * :mod:`~repro.mapreduce.runtime.scheduler` -- bounded worker pool,
   per-task retry with exponential backoff, speculative re-execution of
-  stragglers;
+  stragglers, per-attempt deadlines, heartbeat-staleness kills, and a
+  wave deadline with stuck-task diagnosis;
+* :mod:`~repro.mapreduce.runtime.recovery` -- durable job manifests
+  (checkpoint + resume): completed tasks are recorded with file CRCs
+  and adopted by a re-run instead of re-executed;
 * :mod:`~repro.mapreduce.runtime.fault` -- deterministic fault
-  injection (kill / crash / hang / corrupt) for tests;
+  injection (kill / crash / hang / corrupt / stall) for tests;
 * :mod:`~repro.mapreduce.runtime.trace` -- per-task timeline events and
   measured profiles, consumable by the cluster simulator;
 * :mod:`~repro.mapreduce.runtime.runner` -- the drop-in
@@ -19,21 +23,31 @@ layers on the robustness a real cluster runtime needs:
 """
 
 from repro.mapreduce.runtime.fault import Fault, FaultInjector
+from repro.mapreduce.runtime.recovery import (
+    JobManifest,
+    TaskRecord,
+    job_fingerprint,
+)
 from repro.mapreduce.runtime.runner import ParallelJobRunner
 from repro.mapreduce.runtime.scheduler import (
     TaskFailedError,
     TaskScheduler,
     TaskSpec,
+    WaveDeadlineError,
 )
 from repro.mapreduce.runtime.trace import RuntimeTrace, TaskEvent
 
 __all__ = [
     "Fault",
     "FaultInjector",
+    "JobManifest",
     "ParallelJobRunner",
     "RuntimeTrace",
     "TaskEvent",
     "TaskFailedError",
+    "TaskRecord",
     "TaskScheduler",
     "TaskSpec",
+    "WaveDeadlineError",
+    "job_fingerprint",
 ]

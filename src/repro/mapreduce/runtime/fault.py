@@ -10,7 +10,10 @@ exercise the scheduler's whole failure surface deterministically:
 * ``crash``   -- the task raises mid-flight, like a user-code bug that
   happens to be transient;
 * ``hang``    -- the task sleeps before doing any work, turning it into
-  a straggler for the speculative-execution path;
+  a straggler for the speculative-execution or task-timeout path;
+* ``stall``   -- the worker SIGSTOPs itself: the process stays *alive*
+  but every thread (heartbeat included) freezes, which only the
+  scheduler's heartbeat-staleness check can detect;
 * ``corrupt`` -- a map task completes *successfully* but one of its
   output segments is silently bit-flipped on disk, which only surfaces
   when a reducer fails the segment checksum (Hadoop's fetch-failure
@@ -27,7 +30,7 @@ from dataclasses import dataclass
 
 __all__ = ["Fault", "FaultInjector"]
 
-MODES = ("kill", "crash", "hang", "corrupt")
+MODES = ("kill", "crash", "hang", "corrupt", "stall")
 
 
 @dataclass(frozen=True)
@@ -78,6 +81,9 @@ class FaultInjector:
 
     def corrupt(self, task_id: str, attempt: int = 0) -> "FaultInjector":
         return self.add(task_id, Fault("corrupt", attempt))
+
+    def stall(self, task_id: str, attempt: int = 0) -> "FaultInjector":
+        return self.add(task_id, Fault("stall", attempt))
 
     def fault_for(self, task_id: str, attempt: int) -> Fault | None:
         """The fault planned for this attempt, if any."""

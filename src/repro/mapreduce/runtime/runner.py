@@ -13,9 +13,22 @@ The job DAG is two waves with a shuffle barrier: every map task runs
 first, writing one final IFile segment per reducer partition into its
 attempt directory; reduce tasks then receive their partition's segment
 *paths* and fetch the bytes themselves.  Retries, speculative
-execution, and corrupt-segment repair are the scheduler's department;
-the resulting :class:`~repro.mapreduce.runtime.trace.RuntimeTrace` is
-attached to the job result as ``result.trace``.
+execution, attempt deadlines, and corrupt-segment repair are the
+scheduler's department; the resulting
+:class:`~repro.mapreduce.runtime.trace.RuntimeTrace` is attached to the
+job result as ``result.trace``.
+
+**Durable recovery.**  With ``recovery_dir`` set, the runner executes
+inside that directory instead of a throwaway temp dir and maintains a
+:class:`~repro.mapreduce.runtime.recovery.JobManifest` there: the job
+fingerprint, wave membership, and a checkpoint record (attempt dir,
+result file, per-file CRC32s) for every completed task, each committed
+atomically.  If the runner process dies mid-job, constructing the next
+runner with the same ``recovery_dir`` and ``resume=True`` validates
+the manifest and **adopts** every intact completed task -- the job
+restarts from the last durable state transition instead of from
+scratch.  Counters and output of a resumed run are byte-identical to
+an uninterrupted one (the chaos soak harness pins this down).
 """
 
 from __future__ import annotations
@@ -34,8 +47,16 @@ from repro.mapreduce.ifile import IFileStats
 from repro.mapreduce.job import Job
 from repro.mapreduce.metrics import Counters, TaskProfile
 from repro.mapreduce.runtime.fault import FaultInjector
+from repro.mapreduce.runtime.recovery import (
+    MANIFEST_NAME,
+    JobManifest,
+    TaskRecord,
+    file_crc32,
+    job_fingerprint,
+)
 from repro.mapreduce.runtime.scheduler import TaskScheduler, TaskSpec
 from repro.mapreduce.runtime.trace import RuntimeTrace
+from repro.mapreduce.runtime.worker import load_result
 from repro.scidata.dataset import Dataset
 from repro.scidata.splits import ArraySplitter, InputSplit
 
@@ -48,6 +69,11 @@ class ParallelJobRunner:
     Constructor keywords mirror :class:`TaskScheduler`'s knobs; runner
     lifecycle (workdir ownership, ``keep_files``, context-manager
     cleanup) mirrors :class:`~repro.mapreduce.engine.LocalJobRunner`.
+
+    ``recovery_dir`` enables durable checkpointing there; ``resume``
+    additionally adopts any valid completed work a previous (killed)
+    run left in that directory.  ``resume=True`` requires
+    ``recovery_dir``.
     """
 
     def __init__(
@@ -62,14 +88,24 @@ class ParallelJobRunner:
         straggler_factor: float = 3.0,
         min_straggler_seconds: float = 1.0,
         speculation_min_completed: int = 2,
+        task_timeout: float | None = None,
+        heartbeat_interval: float = 0.25,
+        heartbeat_timeout: float | None = None,
+        wave_deadline: float | None = None,
+        recovery_dir: str | None = None,
+        resume: bool = False,
         start_method: str | None = None,
         fault_injector: FaultInjector | None = None,
     ) -> None:
+        if resume and recovery_dir is None:
+            raise ValueError("resume=True requires recovery_dir")
         self._own_workdir = workdir is None
         self.workdir = workdir or tempfile.mkdtemp(prefix="repro-mrp-")
         self.keep_files = keep_files
         os.makedirs(self.workdir, exist_ok=True)
         self.max_workers = max_workers
+        self.recovery_dir = recovery_dir
+        self.resume = resume
         self._scheduler_kwargs = dict(
             max_workers=max_workers,
             max_retries=max_retries,
@@ -78,11 +114,17 @@ class ParallelJobRunner:
             straggler_factor=straggler_factor,
             min_straggler_seconds=min_straggler_seconds,
             speculation_min_completed=speculation_min_completed,
+            task_timeout=task_timeout,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_timeout=heartbeat_timeout,
+            wave_deadline=wave_deadline,
             start_method=start_method,
             fault_injector=fault_injector,
         )
         #: trace of the most recent run (also on ``JobResult.trace``)
         self.last_trace: RuntimeTrace | None = None
+        #: tasks adopted from the manifest in the most recent run
+        self.last_adopted: int = 0
 
     def __enter__(self) -> "ParallelJobRunner":
         return self
@@ -114,18 +156,126 @@ class ParallelJobRunner:
 
         trace = RuntimeTrace()
         scheduler = TaskScheduler(trace=trace, **self._scheduler_kwargs)
-        run_dir = tempfile.mkdtemp(prefix="run-", dir=self.workdir)
+        self.last_adopted = 0
+
+        if self.recovery_dir is None:
+            run_dir = tempfile.mkdtemp(prefix="run-", dir=self.workdir)
+            manifest, adopted = None, {}
+        else:
+            run_dir = self.recovery_dir
+            manifest, adopted = self._open_manifest(job, splits, run_dir)
+
+        completed = False
         try:
             result = self._run_waves(job, dataset, splits, scheduler,
-                                     trace, run_dir)
+                                     trace, run_dir, manifest, adopted)
+            completed = True
         finally:
+            # A failed recovery run keeps its directory: the manifest and
+            # checkpoints *are* the resume state.  A completed one is
+            # emptied (the caller-supplied directory itself survives,
+            # like a caller-supplied workdir).
             if not self.keep_files:
-                shutil.rmtree(run_dir, ignore_errors=True)
+                if self.recovery_dir is None:
+                    shutil.rmtree(run_dir, ignore_errors=True)
+                elif completed:
+                    self._clear_stale_attempts(run_dir)
+                    try:
+                        os.unlink(os.path.join(run_dir, MANIFEST_NAME))
+                    except OSError:  # pragma: no cover - already gone
+                        pass
             if (self._own_workdir and os.path.isdir(self.workdir)
                     and not os.listdir(self.workdir)):
                 shutil.rmtree(self.workdir, ignore_errors=True)
         self.last_trace = trace
         return result
+
+    # ------------------------------------------------------------- recovery
+
+    def _open_manifest(
+        self,
+        job: Job,
+        splits: Sequence[InputSplit],
+        run_dir: str,
+    ) -> tuple[JobManifest, dict[str, TaskRecord]]:
+        """Create or adopt the manifest for a recovery-enabled run.
+
+        Returns the live manifest plus the validated records of a prior
+        run (empty unless ``resume=True`` and the on-disk manifest
+        matches this job's fingerprint).
+        """
+        os.makedirs(run_dir, exist_ok=True)
+        fingerprint = job_fingerprint(job, splits)
+        path = os.path.join(run_dir, MANIFEST_NAME)
+        previous = JobManifest.load(path) if self.resume else None
+        if previous is not None and previous.job_hash != fingerprint:
+            previous = None  # different job: nothing is adoptable
+
+        manifest = JobManifest(path, fingerprint)
+        adopted: dict[str, TaskRecord] = {}
+        if previous is not None:
+            map_ids = previous.waves.get("map", [])
+            adopted.update(previous.adoptable("map", map_ids))
+            reduce_ids = previous.waves.get("reduce", [])
+            adopted.update(previous.adoptable("reduce", reduce_ids))
+            # Carry the validated records into the fresh manifest so a
+            # second interruption still sees them.
+            for record in adopted.values():
+                manifest.tasks[record.task_id] = record
+        if not self.resume:
+            # A deliberate fresh start invalidates any stale checkpoints.
+            self._clear_stale_attempts(run_dir)
+        manifest.save()
+        return manifest, adopted
+
+    @staticmethod
+    def _clear_stale_attempts(run_dir: str) -> None:
+        for name in os.listdir(run_dir):
+            path = os.path.join(run_dir, name)
+            if os.path.isdir(path):
+                shutil.rmtree(path, ignore_errors=True)
+            elif name != MANIFEST_NAME:
+                try:
+                    os.unlink(path)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+
+    @staticmethod
+    def _load_adopted(records: dict[str, TaskRecord],
+                      kind: str) -> dict[str, Any]:
+        """Reload checkpointed task values for one wave.
+
+        Records already passed CRC validation; a result that still fails
+        to load (e.g. deleted between validation and here) is simply
+        dropped so the scheduler re-runs the task.
+        """
+        values: dict[str, Any] = {}
+        for task_id, record in records.items():
+            if record.kind != kind:
+                continue
+            result = load_result(record.result_path)
+            if result is not None and result.get("status") == "ok":
+                values[task_id] = result["value"]
+        return values
+
+    @staticmethod
+    def _checkpoint(manifest: JobManifest, spec: TaskSpec, attempt: int,
+                    attempt_dir: str, result_path: str, value: Any) -> None:
+        """Record one freshly completed task in the manifest."""
+        files = {result_path: file_crc32(result_path)}
+        if spec.kind == "map":
+            for path, _ in value.segments.values():
+                files[path] = file_crc32(path)
+        manifest.record_task(TaskRecord(
+            task_id=spec.task_id,
+            kind=spec.kind,
+            attempt=attempt,
+            attempt_dir=attempt_dir,
+            result_path=result_path,
+            files=files,
+        ))
+
+    # ---------------------------------------------------------------- waves
 
     def _run_waves(
         self,
@@ -135,11 +285,29 @@ class ParallelJobRunner:
         scheduler: TaskScheduler,
         trace: RuntimeTrace,
         run_dir: str,
+        manifest: JobManifest | None,
+        adopted: dict[str, TaskRecord],
     ) -> JobResult:
+        recovering = manifest is not None
+
+        def on_complete(spec, attempt, attempt_dir, result_path, value):
+            self._checkpoint(manifest, spec, attempt, attempt_dir,
+                             result_path, value)
+
+        wave_kwargs: dict[str, Any] = {}
+        if recovering:
+            wave_kwargs = dict(on_complete=on_complete,
+                               keep_result_files=True)
+
         # Wave 1: map tasks.
         map_specs = [TaskSpec(f"m{s.split_id:05d}", "map", s) for s in splits]
+        if recovering:
+            manifest.record_wave("map", [s.task_id for s in map_specs])
+        adopted_maps = self._load_adopted(adopted, "map")
+        self.last_adopted += len(adopted_maps)
         map_results: dict[str, MapTaskOutput] = scheduler.run_wave(
-            map_specs, job, dataset, run_dir)
+            map_specs, job, dataset, run_dir,
+            precomputed=adopted_maps, **wave_kwargs)
 
         # Shuffle barrier: hand each reducer its partition's segment
         # paths, in map-task order (matching the serial runner exactly).
@@ -149,18 +317,25 @@ class ParallelJobRunner:
                         for spec in map_specs]
             reduce_specs.append(
                 TaskSpec(f"r{part:05d}", "reduce", (part, segments)))
+        if recovering:
+            manifest.record_wave("reduce", [s.task_id for s in reduce_specs])
 
         def repair(corrupt_path: str) -> None:
             self._repair_segment(corrupt_path, job, dataset, map_specs,
-                                 map_results, trace)
+                                 map_results, trace, manifest)
 
         # Wave 2: reduce tasks (dataset not needed in reduce workers).
+        adopted_reduces = self._load_adopted(adopted, "reduce")
+        self.last_adopted += len(adopted_reduces)
         reduce_results = scheduler.run_wave(
-            reduce_specs, job, None, run_dir, repair=repair)
+            reduce_specs, job, None, run_dir, repair=repair,
+            precomputed=adopted_reduces, **wave_kwargs)
 
         # Assemble the JobResult exactly like the serial runner: map
         # counters/profiles in split order, then reduces in partition
-        # order.  Counter merging commutes, so the bytes are identical.
+        # order.  Counter merging commutes, so the bytes are identical
+        # -- including for tasks adopted from a checkpoint, whose
+        # counters ride inside their pickled results.
         counters = Counters()
         profiles: list[TaskProfile] = []
         map_stats = IFileStats()
@@ -198,6 +373,7 @@ class ParallelJobRunner:
         map_specs: Sequence[TaskSpec],
         map_results: dict[str, MapTaskOutput],
         trace: RuntimeTrace,
+        manifest: JobManifest | None = None,
     ) -> None:
         """Re-generate a corrupt map output segment in place.
 
@@ -219,3 +395,11 @@ class ParallelJobRunner:
         map_results[task_id] = mo
         trace.set_profile(task_id, mo.profile)
         trace.record(task_id, 0, "map", "repaired", corrupt_path)
+        if manifest is not None and task_id in manifest.tasks:
+            # Refresh the checkpoint CRCs: the repaired bytes are
+            # identical for a healthy filesystem, but the record must
+            # reflect what is on disk *now*.
+            record = manifest.tasks[task_id]
+            record.files = {p: file_crc32(p) for p in record.files
+                            if os.path.exists(p)}
+            manifest.record_task(record)

@@ -1,4 +1,5 @@
-"""Bounded multiprocess task scheduler: retries, backoff, speculation.
+"""Bounded multiprocess task scheduler: retries, backoff, speculation,
+attempt deadlines, heartbeat monitoring, and checkpoint adoption.
 
 The scheduler executes one *wave* of independent tasks (all maps, then
 all reduces -- the shuffle barrier between them is the job DAG) on a
@@ -12,10 +13,26 @@ bounded pool of worker processes.  It owns the whole robustness story:
   estimate a typical duration, a running attempt that exceeds
   ``straggler_factor`` x the median is duplicated.  First finisher
   wins; the loser is terminated and its output directory discarded.
+* **Attempt deadlines** -- ``task_timeout`` is a hard per-attempt wall
+  clock: an attempt that exceeds it is killed and the kill counts as a
+  retryable failure.  This is what guarantees progress when speculation
+  is disabled: a hung worker used to stall ``run_wave`` forever.
+* **Heartbeat staleness** -- workers touch a heartbeat file on a
+  cadence; with ``heartbeat_timeout`` set, an attempt whose heartbeat
+  mtime goes stale is killed even though ``is_alive()`` still reports
+  true (a stopped or wedged process, not a dead one).
+* **Wave deadline** -- ``wave_deadline`` bounds the whole wave; on
+  breach the wave fails with a :class:`WaveDeadlineError` carrying a
+  per-task diagnosis from the :class:`~repro.mapreduce.runtime.trace.
+  RuntimeTrace` (which tasks were stuck, and what they were last doing).
 * **Corrupt-segment repair** -- a reduce attempt failing a segment
   checksum reports the offending path; the caller-supplied ``repair``
   hook re-generates that map output in place and the reduce retries
   (Hadoop's fetch-failure -> re-execute-the-mapper protocol).
+* **Checkpoint adoption** -- ``run_wave(..., precomputed=...)`` seeds
+  the wave with results recovered from a job manifest (see
+  :mod:`~repro.mapreduce.runtime.recovery`); adopted tasks are recorded
+  in the trace and never scheduled.
 
 Tasks are deterministic functions of the job configuration, so *which*
 attempt wins never changes the result -- the property the equivalence
@@ -31,13 +48,17 @@ import statistics
 import time
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.mapreduce.runtime.fault import FaultInjector
 from repro.mapreduce.runtime.trace import RuntimeTrace
-from repro.mapreduce.runtime.worker import load_result, worker_entry
+from repro.mapreduce.runtime.worker import (
+    HEARTBEAT_NAME,
+    load_result,
+    worker_entry,
+)
 
-__all__ = ["TaskSpec", "TaskFailedError", "TaskScheduler"]
+__all__ = ["TaskSpec", "TaskFailedError", "WaveDeadlineError", "TaskScheduler"]
 
 
 @dataclass(frozen=True)
@@ -60,11 +81,28 @@ class TaskFailedError(RuntimeError):
         self.detail = detail
 
 
+class WaveDeadlineError(TaskFailedError):
+    """The whole wave overran ``wave_deadline``.
+
+    ``detail`` carries :meth:`RuntimeTrace.diagnose` output for every
+    unfinished task, so the failure names the stuck work instead of
+    just reporting that time ran out.
+    """
+
+    def __init__(self, unfinished: Sequence[str], deadline: float,
+                 diagnosis: str) -> None:
+        self.unfinished = list(unfinished)
+        detail = (f"wave exceeded deadline of {deadline:.3f}s with "
+                  f"{len(self.unfinished)} unfinished task(s):\n{diagnosis}")
+        super().__init__(self.unfinished[0] if self.unfinished else "<none>",
+                         0, detail)
+
+
 class _Attempt:
     """Book-keeping for one in-flight worker process."""
 
     __slots__ = ("spec", "number", "process", "dir", "result_path",
-                 "started", "speculative")
+                 "heartbeat_path", "started", "speculative")
 
     def __init__(self, spec: TaskSpec, number: int, process, attempt_dir: str,
                  result_path: str, speculative: bool) -> None:
@@ -73,8 +111,19 @@ class _Attempt:
         self.process = process
         self.dir = attempt_dir
         self.result_path = result_path
+        self.heartbeat_path = os.path.join(attempt_dir, HEARTBEAT_NAME)
         self.started = time.monotonic()
         self.speculative = speculative
+
+
+def _kill_process(process, grace: float = 0.5) -> None:
+    """Terminate a worker, escalating to SIGKILL for stubborn or
+    stopped processes (SIGTERM never reaches a SIGSTOPped worker)."""
+    process.terminate()
+    process.join(timeout=grace)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout=5)
 
 
 class TaskScheduler:
@@ -94,6 +143,18 @@ class TaskScheduler:
         ``max(straggler_factor * median(done), min_straggler_seconds)``
         is duplicated, once at least ``speculation_min_completed`` tasks
         have finished.
+    task_timeout:
+        Hard per-attempt deadline in seconds; ``None`` disables.  A
+        breaching attempt is killed and the kill is a retryable failure.
+    heartbeat_interval:
+        Cadence (seconds) at which workers touch their heartbeat file.
+    heartbeat_timeout:
+        Kill an attempt whose heartbeat file mtime is older than this
+        many seconds (and whose age exceeds it); ``None`` disables.
+        Must be comfortably larger than ``heartbeat_interval``.
+    wave_deadline:
+        Overall wall-clock budget for one ``run_wave`` call; ``None``
+        disables.  Breach raises :class:`WaveDeadlineError`.
     start_method:
         ``multiprocessing`` start method; defaults to ``fork`` where
         available (cheap, no pickling of job/dataset on launch).
@@ -113,6 +174,10 @@ class TaskScheduler:
         straggler_factor: float = 3.0,
         min_straggler_seconds: float = 1.0,
         speculation_min_completed: int = 2,
+        task_timeout: float | None = None,
+        heartbeat_interval: float = 0.25,
+        heartbeat_timeout: float | None = None,
+        wave_deadline: float | None = None,
         poll_interval: float = 0.005,
         start_method: str | None = None,
         fault_injector: FaultInjector | None = None,
@@ -128,12 +193,28 @@ class TaskScheduler:
                 f"straggler_factor must be > 1, got {straggler_factor}")
         if speculation_min_completed < 1:
             raise ValueError("speculation_min_completed must be >= 1")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
+        if heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be > 0, got {heartbeat_interval}")
+        if heartbeat_timeout is not None:
+            if heartbeat_timeout <= heartbeat_interval:
+                raise ValueError(
+                    f"heartbeat_timeout ({heartbeat_timeout}) must exceed "
+                    f"heartbeat_interval ({heartbeat_interval})")
+        if wave_deadline is not None and wave_deadline <= 0:
+            raise ValueError(f"wave_deadline must be > 0, got {wave_deadline}")
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
         self.speculation = speculation
         self.straggler_factor = straggler_factor
         self.min_straggler_seconds = min_straggler_seconds
         self.speculation_min_completed = speculation_min_completed
+        self.task_timeout = task_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.wave_deadline = wave_deadline
         self.poll_interval = poll_interval
         self.fault_injector = fault_injector
         self.trace = trace if trace is not None else RuntimeTrace()
@@ -151,13 +232,25 @@ class TaskScheduler:
         dataset: Any,
         wave_dir: str,
         repair: Callable[[str], None] | None = None,
+        precomputed: Mapping[str, Any] | None = None,
+        on_complete: Callable[[TaskSpec, int, str, str, Any], None] | None = None,
+        keep_result_files: bool = False,
     ) -> dict[str, Any]:
         """Run every task in ``specs`` to completion; returns results by id.
 
         Raises :class:`TaskFailedError` when any task exhausts its retry
-        budget.  ``repair`` is invoked with the corrupt segment path when
-        an attempt fails integrity verification, before that task's
-        retry is queued.
+        budget, or :class:`WaveDeadlineError` on ``wave_deadline``
+        breach.  ``repair`` is invoked with the corrupt segment path
+        when an attempt fails integrity verification, before that
+        task's retry is queued.
+
+        ``precomputed`` maps task ids to already-recovered results
+        (checkpoint adoption): those tasks are marked ``adopted`` in the
+        trace and never scheduled.  ``on_complete(spec, attempt_number,
+        attempt_dir, result_path, value)`` fires once per freshly won
+        task -- the manifest-recording hook.  With ``keep_result_files``
+        the winning attempt's pickled result survives on disk so a
+        later resume can reload it.
         """
         specs = list(specs)
         by_id = {s.task_id: s for s in specs}
@@ -167,14 +260,25 @@ class TaskScheduler:
 
         trace = self.trace
         results: dict[str, Any] = {}
+        if precomputed:
+            unknown = sorted(set(precomputed) - set(by_id))
+            if unknown:
+                raise ValueError(
+                    f"precomputed results for tasks not in wave: {unknown}")
+            for task_id, value in precomputed.items():
+                results[task_id] = value
+                trace.record(task_id, 0, by_id[task_id].kind, "adopted",
+                             "validated checkpoint from manifest")
         #: (spec, not-before monotonic time), FIFO with backoff gates
-        pending: list[tuple[TaskSpec, float]] = [(s, 0.0) for s in specs]
+        pending: list[tuple[TaskSpec, float]] = [
+            (s, 0.0) for s in specs if s.task_id not in results]
         running: list[_Attempt] = []
         failures: dict[str, int] = defaultdict(int)
         next_attempt: dict[str, int] = defaultdict(int)
         durations: list[float] = []
+        wave_started = time.monotonic()
 
-        for s in specs:
+        for s, _ in pending:
             trace.record(s.task_id, 0, s.kind, "queued")
 
         def launch(spec: TaskSpec, speculative: bool) -> None:
@@ -190,7 +294,7 @@ class TaskScheduler:
                 args=(spec.task_id, spec.kind, number, attempt_dir,
                       result_path, job,
                       dataset if spec.kind == "map" else None,
-                      spec.payload, fault),
+                      spec.payload, fault, self.heartbeat_interval),
                 daemon=True,
             )
             process.start()
@@ -203,11 +307,7 @@ class TaskScheduler:
         def kill_rivals(task_id: str, winner: _Attempt) -> None:
             for rival in [a for a in running
                           if a.spec.task_id == task_id and a is not winner]:
-                rival.process.terminate()
-                rival.process.join(timeout=5)
-                if rival.process.is_alive():  # pragma: no cover - stubborn
-                    rival.process.kill()
-                    rival.process.join(timeout=5)
+                _kill_process(rival.process)
                 running.remove(rival)
                 trace.record(task_id, rival.number, rival.spec.kind,
                              "killed", "rival attempt won")
@@ -215,34 +315,11 @@ class TaskScheduler:
                              "discarded")
                 shutil.rmtree(rival.dir, ignore_errors=True)
 
-        def handle_exit(attempt: _Attempt) -> None:
+        def record_failure(attempt: _Attempt, detail: str,
+                           corrupt_path: str | None = None) -> None:
+            """Common failure path: cleanup, repair, requeue or raise."""
             spec = attempt.spec
             task_id = spec.task_id
-            if task_id in results:
-                # A rival attempt already won while this one was finishing.
-                trace.record(task_id, attempt.number, spec.kind,
-                             "discarded", "lost to rival attempt")
-                shutil.rmtree(attempt.dir, ignore_errors=True)
-                return
-            result = load_result(attempt.result_path)
-            if result is not None and result["status"] == "ok":
-                results[task_id] = result["value"]
-                durations.append(time.monotonic() - attempt.started)
-                trace.record(task_id, attempt.number, spec.kind, "finished")
-                try:
-                    os.unlink(attempt.result_path)
-                except OSError:  # pragma: no cover - already gone
-                    pass
-                kill_rivals(task_id, attempt)
-                return
-            # Failure: worker died without a result, or reported an error.
-            if result is None:
-                detail = (f"worker exited with code "
-                          f"{attempt.process.exitcode} and no result")
-                corrupt_path = None
-            else:
-                detail = f"{result['error_type']}: {result['message']}"
-                corrupt_path = result.get("corrupt_path")
             trace.record(task_id, attempt.number, spec.kind, "failed", detail)
             shutil.rmtree(attempt.dir, ignore_errors=True)
             if corrupt_path is not None and repair is not None:
@@ -259,6 +336,76 @@ class TaskScheduler:
             pending.append((spec, time.monotonic() + delay))
             trace.record(task_id, attempt.number, spec.kind, "retried",
                          f"backoff {delay:.3f}s")
+
+        def handle_exit(attempt: _Attempt) -> None:
+            spec = attempt.spec
+            task_id = spec.task_id
+            if task_id in results:
+                # A rival attempt already won while this one was finishing.
+                trace.record(task_id, attempt.number, spec.kind,
+                             "discarded", "lost to rival attempt")
+                shutil.rmtree(attempt.dir, ignore_errors=True)
+                return
+            result = load_result(attempt.result_path)
+            if result is not None and result["status"] == "ok":
+                results[task_id] = result["value"]
+                durations.append(time.monotonic() - attempt.started)
+                trace.record(task_id, attempt.number, spec.kind, "finished")
+                if on_complete is not None:
+                    on_complete(spec, attempt.number, attempt.dir,
+                                attempt.result_path, result["value"])
+                if not keep_result_files:
+                    try:
+                        os.unlink(attempt.result_path)
+                    except OSError:  # pragma: no cover - already gone
+                        pass
+                kill_rivals(task_id, attempt)
+                return
+            # Failure: worker died without a result, or reported an error.
+            if result is None:
+                detail = (f"worker exited with code "
+                          f"{attempt.process.exitcode} and no result")
+                corrupt_path = None
+            else:
+                detail = f"{result['error_type']}: {result['message']}"
+                corrupt_path = result.get("corrupt_path")
+            record_failure(attempt, detail, corrupt_path)
+
+        def deadline_breach(attempt: _Attempt, now: float) -> str | None:
+            """Why this attempt must die now, or ``None`` to let it run."""
+            age = now - attempt.started
+            if self.task_timeout is not None and age > self.task_timeout:
+                return (f"attempt exceeded task_timeout="
+                        f"{self.task_timeout:.3f}s (ran {age:.3f}s)")
+            if self.heartbeat_timeout is not None and age > self.heartbeat_timeout:
+                try:
+                    beat_age = time.time() - os.path.getmtime(
+                        attempt.heartbeat_path)
+                except OSError:
+                    # No heartbeat file at all after the grace window:
+                    # the worker never got far enough to start beating.
+                    return (f"no heartbeat after {age:.3f}s "
+                            f"(timeout {self.heartbeat_timeout:.3f}s)")
+                if beat_age > self.heartbeat_timeout:
+                    return (f"heartbeat stale for {beat_age:.3f}s "
+                            f"(timeout {self.heartbeat_timeout:.3f}s)")
+            return None
+
+        def enforce_deadlines(now: float) -> None:
+            for attempt in list(running):
+                reason = deadline_breach(attempt, now)
+                if reason is None:
+                    continue
+                _kill_process(attempt.process)
+                running.remove(attempt)
+                trace.record(attempt.spec.task_id, attempt.number,
+                             attempt.spec.kind, "timeout", reason)
+                record_failure(attempt, reason)
+            if (self.wave_deadline is not None
+                    and now - wave_started > self.wave_deadline):
+                unfinished = [t for t in by_id if t not in results]
+                raise WaveDeadlineError(unfinished, self.wave_deadline,
+                                        trace.diagnose(unfinished))
 
         def maybe_speculate(now: float) -> None:
             if (not self.speculation
@@ -297,6 +444,7 @@ class TaskScheduler:
                     pending.pop(i)
                     launch(spec, speculative=False)
                 maybe_speculate(now)
+                enforce_deadlines(now)
                 # Reap finished workers.
                 progressed = False
                 for attempt in list(running):
@@ -313,5 +461,8 @@ class TaskScheduler:
             for attempt in running:
                 attempt.process.terminate()
             for attempt in running:
-                attempt.process.join(timeout=5)
+                attempt.process.join(timeout=2)
+                if attempt.process.is_alive():
+                    attempt.process.kill()
+                    attempt.process.join(timeout=5)
         return results

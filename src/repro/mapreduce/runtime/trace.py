@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.mapreduce.metrics import TaskProfile
 
@@ -31,6 +32,8 @@ EVENT_KINDS = (
     "killed",      # a still-running rival attempt was terminated
     "discarded",   # a losing attempt's output was thrown away
     "repaired",    # a corrupt map segment was re-generated in place
+    "timeout",     # an attempt was killed for deadline/heartbeat breach
+    "adopted",     # a checkpointed result was validated and reused
 )
 
 
@@ -88,6 +91,26 @@ class RuntimeTrace:
         """Number of distinct attempts launched for ``task_id``."""
         return len({e.attempt for e in self.events_for(task_id)
                     if e.event in ("started", "speculated")})
+
+    def diagnose(self, task_ids: Sequence[str]) -> str:
+        """One line per task: its last recorded event, for error reports.
+
+        This is what a wave-deadline :class:`~repro.mapreduce.runtime.
+        scheduler.TaskFailedError` carries, so "the job timed out" always
+        names *which* tasks were stuck and what they were last seen doing.
+        """
+        lines = []
+        for tid in task_ids:
+            events = self.events_for(tid)
+            if not events:
+                lines.append(f"{tid}: never scheduled")
+                continue
+            last = events[-1]
+            detail = f" [{last.detail}]" if last.detail else ""
+            lines.append(
+                f"{tid}: attempt {last.attempt} {last.event} "
+                f"at {last.timestamp:.3f}s{detail}")
+        return "\n".join(lines)
 
     def task_profiles(self, kind: str | None = None) -> list[TaskProfile]:
         """Winning profiles in task-id order (maps sort before reduces).

@@ -4,10 +4,19 @@ The worker executes exactly the same top-level task functions as the
 serial runner (:func:`repro.mapreduce.engine.run_map_task` /
 :func:`~repro.mapreduce.engine.run_reduce_task`) inside its own attempt
 directory, then hands the pickled result back to the scheduler through
-a file on shared disk.  The result file is written atomically
-(tmp + rename), so the scheduler observes either a complete result or
-none at all -- a worker killed mid-task simply leaves no result, which
-is the retry signal.
+a file on shared disk.  The result file is committed durably
+(tmp + fsync + rename), so the scheduler observes either a complete
+result or none at all -- a worker killed mid-task simply leaves no
+result, which is the retry signal; :func:`load_result` additionally
+treats a torn or truncated pickle as "no result" rather than crashing
+the scheduler.
+
+While the task runs, a daemon **heartbeat thread** touches
+``<attempt_dir>/_heartbeat`` every ``heartbeat_interval`` seconds.  The
+scheduler uses the file's mtime to detect a worker that is *alive but
+wedged* (e.g. stopped by the kernel, or stuck in uninterruptible I/O):
+``is_alive()`` still says yes, but the heartbeat goes stale and the
+attempt is killed and retried.
 
 Faults from a :class:`~repro.mapreduce.runtime.fault.FaultInjector` are
 applied *only* here, in the child process, so an injected ``kill`` can
@@ -18,6 +27,8 @@ from __future__ import annotations
 
 import os
 import pickle
+import signal
+import threading
 import time
 import traceback
 from typing import Any
@@ -25,8 +36,12 @@ from typing import Any
 from repro.mapreduce.engine import run_map_task, run_reduce_task
 from repro.mapreduce.ifile import IFileCorruptError
 from repro.mapreduce.runtime.fault import Fault
+from repro.util.fsio import fsync_file, replace_durably
 
-__all__ = ["worker_entry", "load_result"]
+__all__ = ["worker_entry", "load_result", "HEARTBEAT_NAME"]
+
+#: heartbeat filename inside an attempt directory
+HEARTBEAT_NAME = "_heartbeat"
 
 
 def _corrupt_segment(path: str) -> None:
@@ -40,19 +55,51 @@ def _corrupt_segment(path: str) -> None:
         fh.write(bytes([byte[0] ^ 0xFF]))
 
 
+def _start_heartbeat(attempt_dir: str, interval: float) -> None:
+    """Touch the attempt's heartbeat file on a cadence, forever.
+
+    Runs as a daemon thread so it dies with the process; any OSError
+    (e.g. the scheduler already deleted the attempt directory while
+    killing us) silently ends the beat -- a missing heartbeat is the
+    *signal*, never an error.
+    """
+    path = os.path.join(attempt_dir, HEARTBEAT_NAME)
+
+    def beat() -> None:
+        while True:
+            try:
+                with open(path, "a"):
+                    os.utime(path)
+            except OSError:
+                return
+            time.sleep(interval)
+
+    threading.Thread(target=beat, daemon=True, name="heartbeat").start()
+
+
 def _write_result(result_path: str, result: dict[str, Any]) -> None:
     tmp = f"{result_path}.tmp"
     with open(tmp, "wb") as fh:
         pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
-    os.replace(tmp, result_path)
+        fsync_file(fh)
+    replace_durably(tmp, result_path)
 
 
 def load_result(result_path: str) -> dict[str, Any] | None:
-    """Read a worker's result file; ``None`` if it was never written."""
+    """Read a worker's result file; ``None`` if absent or torn.
+
+    A torn pickle cannot appear through the durable-commit path, but a
+    hostile filesystem (or a pre-durability manifest left on disk) may
+    still surface one; treating it as "no result" turns it into an
+    ordinary retry instead of a scheduler crash.
+    """
     if not os.path.exists(result_path):
         return None
-    with open(result_path, "rb") as fh:
-        return pickle.load(fh)
+    try:
+        with open(result_path, "rb") as fh:
+            return pickle.load(fh)
+    except (EOFError, pickle.UnpicklingError, ValueError):
+        return None
 
 
 def worker_entry(
@@ -65,12 +112,14 @@ def worker_entry(
     dataset: Any,
     payload: Any,
     fault: Fault | None,
+    heartbeat_interval: float = 0.25,
 ) -> None:
     """Process target: run one task attempt and persist its result.
 
     ``payload`` is the task input: an ``InputSplit`` for map tasks, a
     ``(partition, segments)`` pair for reduce tasks.
     """
+    _start_heartbeat(attempt_dir, heartbeat_interval)
     try:
         if fault is not None:
             if fault.mode == "kill":
@@ -81,6 +130,11 @@ def worker_entry(
                     f"injected crash in {task_id} attempt {attempt}")
             if fault.mode == "hang":
                 time.sleep(fault.seconds)
+            if fault.mode == "stall":
+                # Freeze every thread (heartbeat included): the process
+                # stays alive but its heartbeat goes stale -- the case
+                # only the scheduler's staleness check can catch.
+                os.kill(os.getpid(), signal.SIGSTOP)
 
         if kind == "map":
             value: Any = run_map_task(job, payload, dataset, attempt_dir)

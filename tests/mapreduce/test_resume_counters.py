@@ -1,0 +1,85 @@
+"""Checkpointed counters equal a fresh serial run's -- every query.
+
+Counters ride inside each task's pickled result, so a job whose tasks
+are *all* adopted from a manifest re-derives its merged counters purely
+from checkpoints.  For every query workload in :mod:`repro.queries`
+(both the per-cell-key baseline and, where it differs most, the
+aggregate mode) the reconstruction must be byte-identical to a fresh
+serial run -- otherwise resumed paper measurements could silently
+drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import LocalJobRunner, ParallelJobRunner
+from repro.queries import (
+    BoxSubsetQuery,
+    DerivedVariableQuery,
+    HistogramQuery,
+    SlidingAggregateQuery,
+    SlidingMeanQuery,
+    SlidingMedianQuery,
+)
+from repro.scidata import Dataset, Variable, integer_grid
+
+
+def _grid():
+    return integer_grid((8, 8), seed=11, low=0, high=100)
+
+
+def _two_vars():
+    rng = np.random.default_rng(3)
+    ds = Dataset()
+    ds.add(Variable("u", rng.integers(0, 100, (8, 8)).astype(np.int32)))
+    ds.add(Variable("v", rng.integers(0, 100, (8, 8)).astype(np.int32)))
+    return ds
+
+
+def _subset_box(ds):
+    return ds["values"].extent
+
+
+QUERIES = {
+    "median": lambda: (g := _grid(), SlidingMedianQuery(g, "values", window=3)),
+    "mean": lambda: (g := _grid(), SlidingMeanQuery(g, "values", window=3)),
+    "subset": lambda: (g := _grid(),
+                       BoxSubsetQuery(g, "values", _subset_box(g))),
+    "histogram": lambda: (g := _grid(), HistogramQuery(g, "values", bins=8)),
+    "derived": lambda: (ds := _two_vars(),
+                        DerivedVariableQuery(ds, "u", "v", op="add")),
+    "algebraic": lambda: (g := _grid(),
+                          SlidingAggregateQuery(g, "values", op="max",
+                                                window=3)),
+}
+
+# Histogram keys have no spatial structure, so only plain mode exists.
+CASES = [(name, mode) for name in QUERIES
+         for mode in (("plain",) if name == "histogram"
+                      else ("plain", "aggregate"))]
+
+
+@pytest.mark.parametrize("name,mode", CASES,
+                         ids=[f"{n}-{m}" for n, m in CASES])
+def test_adopted_counters_match_serial(name, mode, tmp_path):
+    dataset, query = QUERIES[name]()
+    kwargs = dict(num_map_tasks=3, num_reducers=2)
+
+    serial = LocalJobRunner().run(query.build_job(mode, **kwargs), dataset)
+
+    # Checkpoint every task, then resume into a run that executes
+    # nothing: its counters exist only by reconstruction.
+    first = ParallelJobRunner(max_workers=2, retry_backoff=0.01,
+                              recovery_dir=str(tmp_path), keep_files=True)
+    first.run(query.build_job(mode, **kwargs), dataset)
+
+    resumed = ParallelJobRunner(max_workers=2, retry_backoff=0.01,
+                                recovery_dir=str(tmp_path), resume=True)
+    result = resumed.run(query.build_job(mode, **kwargs), dataset)
+
+    assert resumed.last_trace.count("started") == 0
+    assert resumed.last_adopted == resumed.last_trace.count("adopted") > 0
+    assert result.counters == serial.counters, (
+        f"counter drift: {serial.counters.diff(result.counters)}")
+    assert result.counters.as_dict() == serial.counters.as_dict()
+    assert result.output == serial.output

@@ -1,0 +1,105 @@
+"""Attempt deadlines, heartbeat staleness, and wave deadlines.
+
+Before deadlines existed, a hung worker with speculation disabled hung
+the whole job forever -- the scheduler had no reason to ever give up on
+a live process.  These tests pin the three escape hatches: a hard
+per-attempt ``task_timeout``, heartbeat staleness (the only path that
+catches a SIGSTOPped worker, whose process is alive but whose beat has
+frozen), and a whole-wave ``wave_deadline`` that fails loudly with a
+stuck-task diagnosis instead of silently never returning.
+"""
+
+import time
+
+import pytest
+
+from repro.mapreduce import FaultInjector, LocalJobRunner, ParallelJobRunner
+from repro.mapreduce.runtime import TaskScheduler, WaveDeadlineError
+from repro.scidata import integer_grid
+from tests.mapreduce.test_engine import make_job
+
+
+@pytest.fixture
+def grid():
+    return integer_grid((8, 8), seed=11, low=0, high=100)
+
+
+@pytest.fixture
+def serial(grid):
+    return LocalJobRunner().run(make_job(num_map_tasks=4, num_reducers=2), grid)
+
+
+def run_parallel(grid, injector, tmp_path, **kwargs):
+    kwargs.setdefault("max_workers", 2)
+    kwargs.setdefault("retry_backoff", 0.01)
+    runner = ParallelJobRunner(workdir=str(tmp_path),
+                               fault_injector=injector, **kwargs)
+    result = runner.run(make_job(num_map_tasks=4, num_reducers=2), grid)
+    return runner, result
+
+
+class TestTaskTimeout:
+    def test_hung_worker_without_speculation_completes(
+            self, grid, serial, tmp_path):
+        """The regression the deadline path exists for: a hang with
+        speculation *disabled* used to wedge the job forever.  The hang
+        sleeps far longer than the whole test is allowed to take, so
+        completing at all proves the timeout kill did it."""
+        injector = FaultInjector().hang("m00001", seconds=120.0)
+        start = time.monotonic()
+        runner, result = run_parallel(
+            grid, injector, tmp_path, speculation=False, task_timeout=1.0)
+        assert time.monotonic() - start < 60.0
+        assert runner.last_trace.count("timeout") == 1
+        assert runner.last_trace.attempts("m00001") == 2
+        assert result.counters == serial.counters
+        assert result.output == serial.output
+
+    def test_hung_reduce_worker_times_out(self, grid, serial, tmp_path):
+        injector = FaultInjector().hang("r00000", seconds=120.0)
+        runner, result = run_parallel(
+            grid, injector, tmp_path, speculation=False, task_timeout=1.0)
+        assert runner.last_trace.count("timeout") == 1
+        assert result.counters == serial.counters
+        assert result.output == serial.output
+
+
+class TestHeartbeatStaleness:
+    def test_stalled_worker_is_reclaimed(self, grid, serial, tmp_path):
+        """A SIGSTOPped worker is still alive and holds no deadline of
+        its own making; only a stale heartbeat can out it.  (The kill
+        path must escalate to SIGKILL -- SIGTERM never reaches a
+        stopped process.)"""
+        injector = FaultInjector().stall("m00002")
+        runner, result = run_parallel(
+            grid, injector, tmp_path, speculation=False,
+            heartbeat_interval=0.1, heartbeat_timeout=0.6)
+        assert runner.last_trace.count("timeout") == 1
+        assert runner.last_trace.attempts("m00002") == 2
+        assert result.counters == serial.counters
+        assert result.output == serial.output
+
+
+class TestWaveDeadline:
+    def test_breach_raises_with_stuck_task_diagnosis(self, grid, tmp_path):
+        injector = FaultInjector().hang("m00003", seconds=120.0)
+        with pytest.raises(WaveDeadlineError) as excinfo:
+            run_parallel(grid, injector, tmp_path, speculation=False,
+                         wave_deadline=2.0)
+        assert "m00003" in excinfo.value.unfinished
+        # The message carries the RuntimeTrace diagnosis of what each
+        # unfinished task was last seen doing.
+        assert "m00003" in str(excinfo.value)
+        assert "started" in str(excinfo.value)
+
+
+class TestKnobValidation:
+    def test_rejects_bad_deadline_knobs(self):
+        with pytest.raises(ValueError, match="task_timeout"):
+            TaskScheduler(task_timeout=0)
+        with pytest.raises(ValueError, match="wave_deadline"):
+            TaskScheduler(wave_deadline=-1)
+        with pytest.raises(ValueError, match="heartbeat_interval"):
+            TaskScheduler(heartbeat_interval=0)
+        with pytest.raises(ValueError, match="must exceed"):
+            TaskScheduler(heartbeat_interval=0.5, heartbeat_timeout=0.5)
