@@ -27,7 +27,7 @@ def _registry() -> dict[str, tuple[str, Callable]]:
     from repro.experiments import ablations, chaos, cluster_runs, density, \
         e1_motivation, fig2_stream, fig3_table, fig4_scaling, \
         fig8_aggregation, figures_5_6_7, key_splitting, levers, locality, \
-        multivar, parallel_speedup
+        multivar, p2_columnar, parallel_speedup
 
     return {
         "E1": ("§I motivation: per-cell-key file sizes (paper-exact)",
@@ -74,6 +74,9 @@ def _registry() -> dict[str, tuple[str, Callable]]:
                 lambda: levers.run()),
         "P1": ("perf: serial vs parallel runtime on the Fig 8 job",
                lambda: parallel_speedup.run()),
+        "P2": ("perf: scalar vs columnar record pipeline, map-phase "
+               "throughput",
+               lambda: p2_columnar.run()),
         "R1": ("robustness: chaos soak -- randomized fault schedules and "
                "mid-job kill+resume vs the serial runner",
                lambda: chaos.run()),

@@ -29,7 +29,7 @@ import numpy as np
 from repro.core.aggregation.blocks import BlockSerde, ValueBlock
 from repro.core.aggregation.ranges import layered_runs
 from repro.mapreduce.api import MapContext
-from repro.mapreduce.keys import RangeKey, RangeKeySerde
+from repro.mapreduce.keys import RangeKeySerde
 from repro.sfc.base import Curve, get_curve
 
 __all__ = ["AggregationConfig", "Aggregator"]
@@ -140,6 +140,7 @@ class Aggregator:
         self.flushes += 1
 
         align = self.config.alignment
+        runs: list[tuple[int, int, ValueBlock]] = []
         for start, count, run_values in layered_runs(indices, values):
             block = ValueBlock(count, run_values)
             if align > 1:
@@ -148,12 +149,21 @@ class Aggregator:
                 aend = min(aend, self.curve.size)  # stay on the curve
                 block = block.expand(start - astart, aend - (start + count))
                 start, count = astart, aend - astart
-            key = RangeKey(self.variable, start, count)
-            kb = bytearray()
-            self._key_serde.write(key, kb)
+            runs.append((start, count, block))
+        if not runs:
+            return
+        # One vectorized pass for every range key of this flush instead
+        # of a serde call per run (a flush can coalesce into thousands of
+        # short runs when the buffer is fragmented).
+        key_blobs = self._key_serde.write_batch(
+            self.variable,
+            np.fromiter((r[0] for r in runs), np.int64, len(runs)),
+            np.fromiter((r[1] for r in runs), np.int64, len(runs)),
+        )
+        for kb, (_, _, block) in zip(key_blobs, runs):
             vb = bytearray()
             self._block_serde.write(block, vb)
-            self.ctx.emit_serialized(bytes(kb), bytes(vb))
+            self.ctx.emit_serialized(kb, bytes(vb))
             self.emitted_ranges += 1
             self.emitted_cells += block.valid_cells
 

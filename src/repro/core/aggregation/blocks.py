@@ -158,7 +158,9 @@ class BlockSerde(Serde):
             nmask = (count + 7) // 8
             if offset + nmask > len(buf):
                 raise ValueError("truncated block mask")
-            bits = np.frombuffer(bytes(buf[offset:offset + nmask]), dtype=np.uint8)
+            # Zero-copy view of the bitmap bytes (unpackbits allocates
+            # the expanded mask, but the packed input is not sliced out).
+            bits = np.frombuffer(buf, dtype=np.uint8, count=nmask, offset=offset)
             mask = np.unpackbits(bits, bitorder="little")[:count].astype(bool)
             valid = int(mask.sum())
             offset += nmask
@@ -167,5 +169,8 @@ class BlockSerde(Serde):
         nbytes = valid * self.dtype.itemsize
         if offset + nbytes > len(buf):
             raise ValueError("truncated block values")
-        values = np.frombuffer(bytes(buf[offset:offset + nbytes]), dtype=self.dtype)
+        # Zero-copy: the value array is a read-only view over the
+        # caller's buffer, not a slice copy -- the aggregate-key reduce
+        # path decodes millions of cells through here.
+        values = np.frombuffer(buf, dtype=self.dtype, count=valid, offset=offset)
         return ValueBlock(count, values, mask), offset + nbytes

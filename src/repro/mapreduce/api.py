@@ -33,10 +33,15 @@ class MapContext:
     would dominate runtime (see the HPC guide rule: vectorize hot loops).
     """
 
-    def __init__(self, key_serde: Serde, value_serde: Serde, sink, counters: Counters) -> None:
+    def __init__(self, key_serde: Serde, value_serde: Serde, sink,
+                 counters: Counters, batch_sink=None) -> None:
         self.key_serde = key_serde
         self.value_serde = value_serde
         self._sink = sink
+        #: engine-supplied columnar sink taking ``(keys, values)`` uint8
+        #: matrices; ``None`` when the job runs the scalar path (then the
+        #: batched emits below decay to per-record ``sink`` calls)
+        self._batch_sink = batch_sink
         self.counters = counters
 
     def emit(self, key: Any, value: Any) -> None:
@@ -53,6 +58,36 @@ class MapContext:
         self._sink(key_bytes, value_bytes)
         self.counters.incr(C.MAP_OUTPUT_RECORDS)
 
+    def emit_batch(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Emit many already-serialized fixed-width pairs at once.
+
+        ``keys`` is an ``(n, key_size)`` uint8 matrix, ``values`` an
+        ``(n, value_size)`` uint8 matrix -- the columnar record form
+        (obtained e.g. from ``CellKeySerde.pack_batch_keys`` and
+        ``Serde.pack_batch``).  On a columnar job the whole batch is
+        handed to the engine without creating per-record objects; on a
+        scalar job it decays to one ``sink`` call per record.
+        """
+        keys = np.asarray(keys, dtype=np.uint8)
+        values = np.asarray(values, dtype=np.uint8)
+        if keys.ndim != 2 or values.ndim != 2:
+            raise ValueError("emit_batch takes (n, width) uint8 matrices")
+        n = keys.shape[0]
+        if n != values.shape[0]:
+            raise ValueError(f"{n} keys vs {values.shape[0]} values")
+        if n == 0:
+            return
+        if self._batch_sink is not None:
+            self._batch_sink(keys, values)
+        else:
+            kw, vw = keys.shape[1], values.shape[1]
+            kflat = np.ascontiguousarray(keys).tobytes()
+            vflat = np.ascontiguousarray(values).tobytes()
+            sink = self._sink
+            for i in range(n):
+                sink(kflat[i * kw:(i + 1) * kw], vflat[i * vw:(i + 1) * vw])
+        self.counters.incr(C.MAP_OUTPUT_RECORDS, n)
+
     def emit_cells(
         self,
         variable: str | int,
@@ -63,7 +98,10 @@ class MapContext:
         """Vectorized emit of many per-cell pairs for one variable.
 
         Requires the job's key serde to be a :class:`CellKeySerde` and a
-        fixed-width value serde (``SIZE`` attribute).
+        fixed-width value serde (``SIZE`` attribute).  ``values`` may be
+        1-D (one scalar per cell, packed by dtype) or 2-D ``(n, nfields)``
+        (one row per cell, packed by the value serde's ``pack_batch`` --
+        for multi-field values such as running sum/count pairs).
         """
         if not isinstance(self.key_serde, CellKeySerde):
             raise TypeError("emit_cells requires a CellKeySerde key type")
@@ -71,17 +109,35 @@ class MapContext:
         if size is None:
             raise TypeError("emit_cells requires a fixed-width value serde")
         coords = np.asarray(coords)
-        values = np.asarray(values).ravel()
-        if coords.shape[0] != values.shape[0]:
+        values = np.asarray(values)
+        if values.ndim <= 1:
+            values = values.ravel()
+            if coords.shape[0] != values.shape[0]:
+                raise ValueError(
+                    f"{coords.shape[0]} coords vs {values.shape[0]} values"
+                )
+            value_blob = self._pack_values(values)
+        else:
+            if coords.shape[0] != values.shape[0]:
+                raise ValueError(
+                    f"{coords.shape[0]} coords vs {values.shape[0]} values"
+                )
+            value_blob = self.value_serde.pack_batch(values)
+        n = coords.shape[0]
+        if len(value_blob) != n * size:
             raise ValueError(
-                f"{coords.shape[0]} coords vs {values.shape[0]} values"
+                f"value column is {len(value_blob)} bytes, expected {n}x{size}"
             )
-        keys = self.key_serde.write_batch(variable, coords, slots)
-        value_blob = self._pack_values(values)
-        sink = self._sink
-        for i, kb in enumerate(keys):
-            sink(kb, value_blob[i * size:(i + 1) * size])
-        self.counters.incr(C.MAP_OUTPUT_RECORDS, len(keys))
+        if self._batch_sink is not None:
+            kmat, _ = self.key_serde.pack_batch_keys(variable, coords, slots)
+            vmat = np.frombuffer(value_blob, dtype=np.uint8).reshape(n, size)
+            self._batch_sink(kmat, vmat)
+        else:
+            keys = self.key_serde.write_batch(variable, coords, slots)
+            sink = self._sink
+            for i, kb in enumerate(keys):
+                sink(kb, value_blob[i * size:(i + 1) * size])
+        self.counters.incr(C.MAP_OUTPUT_RECORDS, n)
 
     def _pack_values(self, values: np.ndarray) -> bytes:
         """Serialize a homogeneous value column in one numpy pass."""

@@ -30,12 +30,17 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+import numpy as np
+
 from repro.mapreduce.api import MapContext, ReduceContext
 from repro.mapreduce.codecs import cost_categories, get_codec
+from repro.mapreduce.columnar import PartitionBuffer
 from repro.mapreduce.ifile import IFileReader, IFileStats, IFileWriter
 from repro.mapreduce.job import Job
 from repro.mapreduce.metrics import C, Counters, TaskProfile
 from repro.mapreduce.sort import (
+    argsort_key_matrix,
+    group_bounds,
     group_by_key,
     merge_runs,
     plan_merge_passes,
@@ -108,35 +113,65 @@ class ReduceTaskResult:
 # or a future distributed shell -- produces byte-identical counters.
 
 
+#: one spill's output for one partition: ``(path, stats, colmeta)`` where
+#: ``colmeta`` is ``(key_width, value_width)`` when the segment was
+#: written columnar (every record fixed-width) and ``None`` otherwise
+SpillSegment = tuple[str, IFileStats, "tuple[int, int] | None"]
+
+
 def _spill(
     job: Job,
     workdir: str,
     task_id: str,
     spill_idx: int,
-    buffer: dict[int, list[Record]],
+    buffer: dict[int, PartitionBuffer],
     codec,
     counters: Counters,
     profile: TaskProfile,
     clock: CostClock,
-) -> dict[int, tuple[str, IFileStats]]:
-    """Sort + (combine) + write one spill; returns per-partition files."""
-    out: dict[int, tuple[str, IFileStats]] = {}
-    for part, records in buffer.items():
-        if not records:
+) -> dict[int, SpillSegment]:
+    """Sort + (combine) + write one spill; returns per-partition files.
+
+    Each partition takes the columnar path (numpy stable argsort of the
+    key matrix, bulk IFile write) when its buffer is purely columnar, and
+    the scalar path otherwise.  Both produce identical bytes and
+    counters; only the cost differs.
+    """
+    out: dict[int, SpillSegment] = {}
+    for part, pbuf in buffer.items():
+        if pbuf.records == 0:
             continue
-        with clock.measure("sort"):
-            records = sort_records(records)
-        if job.combiner is not None:
-            with clock.measure("combine"):
-                records = _combine(job, records, counters)
+        colview = pbuf.columnar_view() if job.columnar else None
         path = os.path.join(workdir, f"{task_id}-spill{spill_idx}-p{part}")
         writer = IFileWriter(path, codec)
-        for kb, vb in records:
-            writer.append(kb, vb)
+        colmeta: tuple[int, int] | None = None
+        if colview is not None:
+            kmat, vmat = colview
+            with clock.measure("sort"):
+                order = argsort_key_matrix(kmat)
+                kmat = np.ascontiguousarray(kmat[order])
+                vmat = np.ascontiguousarray(vmat[order])
+            if job.combiner is not None:
+                with clock.measure("combine"):
+                    records = _combine_columnar(job, kmat, vmat, counters)
+                for kb, vb in records:
+                    writer.append(kb, vb)
+            else:
+                writer.append_batch(kmat, vmat)
+                colmeta = (kmat.shape[1], vmat.shape[1])
+        else:
+            records = pbuf.to_records()
+            with clock.measure("sort"):
+                records = sort_records(records)
+            if job.combiner is not None:
+                with clock.measure("combine"):
+                    records = _combine(job, records, counters)
+            for kb, vb in records:
+                writer.append(kb, vb)
         stats = writer.close()
         counters.incr(C.SPILLED_RECORDS, stats.records)
         profile.local_write_bytes += stats.materialized_bytes
-        out[part] = (path, stats)
+        out[part] = (path, stats, colmeta)
     counters.incr(C.SPILL_COUNT)
     return out
 
@@ -148,7 +183,41 @@ def _combine(job: Job, records: list[Record], counters: Counters) -> list[Record
     for kb, value_blobs in group_by_key(records):
         counters.incr(C.COMBINE_INPUT_RECORDS, len(value_blobs))
         key = job.key_serde.from_bytes(kb)
-        values = [job.value_serde.from_bytes(v) for v in value_blobs]
+        values = job.value_serde.read_batch(value_blobs)
+        for v in combiner.combine(key, values):
+            vout = bytearray()
+            job.value_serde.write(v, vout)
+            out.append((kb, bytes(vout)))
+            counters.incr(C.COMBINE_OUTPUT_RECORDS)
+    return out
+
+
+def _combine_columnar(
+    job: Job,
+    kmat: np.ndarray,
+    vmat: np.ndarray,
+    counters: Counters,
+) -> list[Record]:
+    """Run the combiner over one key-sorted columnar run.
+
+    Groups are adjacent equal key rows; each group's values decode in one
+    :meth:`~repro.mapreduce.serde.Serde.read_column` pass over the
+    contiguous value slab instead of one ``from_bytes`` call per record.
+    Output records (and counters) are identical to
+    ``_combine(job, <same run as records>)``.
+    """
+    combiner = job.combiner()
+    out: list[Record] = []
+    bounds = group_bounds(kmat)
+    vflat = memoryview(vmat).cast("B")
+    vw = vmat.shape[1]
+    for g in range(len(bounds) - 1):
+        start, end = int(bounds[g]), int(bounds[g + 1])
+        counters.incr(C.COMBINE_INPUT_RECORDS, end - start)
+        kb = kmat[start].tobytes()
+        key = job.key_serde.from_bytes(kb)
+        values = job.value_serde.read_column(
+            vflat[start * vw:end * vw], end - start)
         for v in combiner.combine(key, values):
             vout = bytearray()
             job.value_serde.write(v, vout)
@@ -174,9 +243,11 @@ def run_map_task(job: Job, split: InputSplit, dataset: Dataset,
     partitioner = job.partitioner(job.num_reducers)
     plugin = job.shuffle_plugin
 
-    buffer: dict[int, list[Record]] = {p: [] for p in range(job.num_reducers)}
+    buffer: dict[int, PartitionBuffer] = {
+        p: PartitionBuffer() for p in range(job.num_reducers)
+    }
     buffered = 0
-    spills: list[dict[int, tuple[str, IFileStats]]] = []
+    spills: list[dict[int, SpillSegment]] = []
 
     def flush() -> None:
         nonlocal buffered
@@ -186,8 +257,8 @@ def run_map_task(job: Job, split: InputSplit, dataset: Dataset,
             _spill(job, workdir, task_id, len(spills), buffer, codec,
                    counters, profile, clock)
         )
-        for records in buffer.values():
-            records.clear()
+        for pbuf in buffer.values():
+            pbuf.clear()
         buffered = 0
 
     def sink(kb: bytes, vb: bytes) -> None:
@@ -197,12 +268,45 @@ def run_map_task(job: Job, split: InputSplit, dataset: Dataset,
         else:
             routed = [(partitioner.partition(kb), kb, vb)]
         for part, k2, v2 in routed:
-            buffer[part].append((k2, v2))
+            buffer[part].append(k2, v2)
             buffered += len(k2) + len(v2) + 8
         if buffered >= job.sort_buffer_bytes:
             flush()
 
-    ctx = MapContext(job.key_serde, job.value_serde, sink, counters)
+    def batch_sink(keys: np.ndarray, values: np.ndarray) -> None:
+        # Batched form of ``sink``: route a whole fixed-width chunk.  The
+        # chunk is split at the exact record where the scalar path's
+        # running ``buffered`` count would cross the spill threshold, so
+        # spill boundaries -- and therefore every spill file and counter
+        # -- match the scalar path record for record.
+        nonlocal buffered
+        n = keys.shape[0]
+        rec = keys.shape[1] + values.shape[1] + 8
+        start = 0
+        while start < n:
+            take = min(n - start,
+                       -((buffered - job.sort_buffer_bytes) // rec))
+            kchunk = keys[start:start + take]
+            vchunk = values[start:start + take]
+            if job.num_reducers == 1:
+                buffer[0].append_chunk(kchunk, vchunk)
+            else:
+                parts = partitioner.partition_batch(kchunk)
+                for part in np.unique(parts):
+                    mask = parts == part
+                    buffer[int(part)].append_chunk(kchunk[mask], vchunk[mask])
+            buffered += take * rec
+            start += take
+            if buffered >= job.sort_buffer_bytes:
+                flush()
+
+    # The batched emit path bypasses the shuffle plugin's per-record
+    # ``route`` hook, so it is only wired up for plugin-less jobs;
+    # MapContext falls back to per-record emission otherwise.
+    ctx = MapContext(
+        job.key_serde, job.value_serde, sink, counters,
+        batch_sink=batch_sink if (job.columnar and plugin is None) else None,
+    )
     variable = dataset[split.variable]
     with clock.measure("read"):
         values = variable.read(split.slab)
@@ -226,19 +330,43 @@ def run_map_task(job: Job, split: InputSplit, dataset: Dataset,
         part_spills = [s[part] for s in spills if part in s]
         final_path = os.path.join(workdir, f"{task_id}-out-p{part}")
         if len(part_spills) == 1:
-            path, stats = part_spills[0]
+            path, stats, _ = part_spills[0]
             os.replace(path, final_path)
         else:
+            # All runs fixed-width with the same widths?  Then merge
+            # columnar: decode each segment to matrices, concatenate in
+            # spill order, one stable argsort, one bulk write.  A stable
+            # sort of concatenated sorted runs yields exactly the
+            # heapq.merge order (equal keys stay in run order).
+            metas = {m for _, _, m in part_spills}
+            colruns = None
+            if (job.columnar and len(part_spills) > 1
+                    and len(metas) == 1 and None not in metas):
+                (kw, vw), = metas
+                decoded = [IFileReader(path, codec).read_columnar(kw, vw)
+                           for path, _, _ in part_spills]
+                if all(d is not None for d in decoded):
+                    colruns = decoded
             with clock.measure("merge"):
-                runs = []
-                for path, stats in part_spills:
+                for path, stats, _ in part_spills:
                     profile.local_read_bytes += stats.materialized_bytes
-                    runs.append(IFileReader(path, codec).read_all())
-                    os.unlink(path)
                 writer = IFileWriter(final_path, codec, atomic=True)
-                for kb, vb in merge_runs(runs):
-                    writer.append(kb, vb)
+                if colruns is not None:
+                    kall = np.concatenate([k for k, _ in colruns])
+                    vall = np.concatenate([v for _, v in colruns])
+                    order = argsort_key_matrix(kall)
+                    writer.append_batch(
+                        np.ascontiguousarray(kall[order]),
+                        np.ascontiguousarray(vall[order]),
+                    )
+                else:
+                    runs = [IFileReader(path, codec).read_all()
+                            for path, _, _ in part_spills]
+                    for kb, vb in merge_runs(runs):
+                        writer.append(kb, vb)
                 stats = writer.close()
+                for path, _, _ in part_spills:
+                    os.unlink(path)
             profile.local_write_bytes += stats.materialized_bytes
         out.segments[part] = (final_path, stats)
 
@@ -281,21 +409,33 @@ def run_reduce_task(
     profile = TaskProfile(task_id=task_id, kind="reduce")
     codec = get_codec(job.codec, **job.codec_options)
 
-    # Shuffle: fetch this partition's segment from every map task.
+    # Shuffle: fetch this partition's segment from every map task.  Each
+    # run's payload size (sum of key+value bytes) is recorded once, from
+    # the segment's IFileStats, so merge-pass planning below never
+    # re-scans a run's records to size it.
     runs: list[list[Record]] = []
+    run_sizes: list[int] = []
     with clock.measure("shuffle"):
         for path, stats in segments:
             profile.shuffle_bytes += stats.materialized_bytes
             records = IFileReader(path, codec).read_all()
             if records:
                 runs.append(records)
+                run_sizes.append(stats.key_bytes + stats.value_bytes)
     counters.incr(C.SHUFFLE_BYTES, profile.shuffle_bytes)
 
     # Multi-pass on-disk merge when we hold too many runs (step 5).
     passes = plan_merge_passes(len(runs), job.merge_factor)
     for pass_idx, take in enumerate(passes):
-        runs.sort(key=lambda r: sum(len(k) + len(v) for k, v in r))
-        victims, runs = runs[:take], runs[take:]
+        # Merge the smallest runs first (Hadoop's policy).  Sorting the
+        # cached sizes is O(runs log runs); the previous implementation
+        # recomputed every run's size by walking all of its records on
+        # every pass.  Python's sort is stable, so ties keep arrival
+        # order -- the same order the re-scanning version produced.
+        paired = sorted(zip(run_sizes, runs), key=lambda t: t[0])
+        victims = [r for _, r in paired[:take]]
+        runs = [r for _, r in paired[take:]]
+        run_sizes = [s for s, _ in paired[take:]]
         path = os.path.join(workdir, f"{task_id}-merge{pass_idx}")
         with clock.measure("merge"):
             writer = IFileWriter(path, codec)
@@ -308,6 +448,7 @@ def run_reduce_task(
             profile.local_read_bytes += stats.materialized_bytes
         os.unlink(path)
         runs.append(merged_back)
+        run_sizes.append(stats.key_bytes + stats.value_bytes)
 
     with clock.measure("merge"):
         merged = list(merge_runs(runs))
@@ -325,7 +466,7 @@ def run_reduce_task(
             counters.incr(C.REDUCE_INPUT_GROUPS)
             counters.incr(C.REDUCE_INPUT_RECORDS, len(value_blobs))
             key = job.key_serde.from_bytes(kb)
-            values = [job.value_serde.from_bytes(v) for v in value_blobs]
+            values = job.value_serde.read_batch(value_blobs)
             reducer.reduce(key, values, ctx)
 
     profile.cpu_seconds = clock.as_dict()

@@ -21,6 +21,8 @@ import zlib
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 from repro.mapreduce.codecs import Codec, NullCodec
 from repro.util.bytebuf import ByteBuffer
 from repro.util.fsio import atomic_write_bytes
@@ -116,6 +118,37 @@ class IFileWriter:
         self._buf.write(key)
         self._buf.write(value)
 
+    def append_batch(self, keys: "np.ndarray", values: "np.ndarray") -> None:
+        """Append many fixed-width records in one numpy pass.
+
+        ``keys`` and ``values`` are ``(n, key_size)`` / ``(n, value_size)``
+        uint8 matrices.  The stream bytes and :class:`IFileStats` are
+        identical to calling :meth:`append` row by row -- the varint frame
+        is the same for every record because widths are fixed.
+        """
+        if self._closed:
+            raise RuntimeError("writer already closed")
+        n, kw = keys.shape
+        nv, vw = values.shape
+        if n != nv:
+            raise ValueError(f"{n} keys vs {nv} values")
+        if n == 0:
+            return
+        frame = bytearray()
+        write_vlong(kw, frame)
+        write_vlong(vw, frame)
+        flen = len(frame)
+        pitch = flen + kw + vw
+        out = np.empty((n, pitch), dtype=np.uint8)
+        out[:, :flen] = np.frombuffer(bytes(frame), dtype=np.uint8)
+        out[:, flen:flen + kw] = keys
+        out[:, flen + kw:] = values
+        self.stats.overhead_bytes += flen * n
+        self.stats.key_bytes += kw * n
+        self.stats.value_bytes += vw * n
+        self.stats.records += n
+        self._buf.write(out.tobytes())
+
     def close(self) -> IFileStats:
         """Finish the segment; returns the final byte accounting."""
         if self._closed:
@@ -207,3 +240,36 @@ class IFileReader:
     def read_all(self) -> list[tuple[bytes, bytes]]:
         """Materialize every record (convenience for tests/small segments)."""
         return list(self)
+
+    def read_columnar(
+        self, key_width: int, value_width: int
+    ) -> tuple["np.ndarray", "np.ndarray"] | None:
+        """Decode a fixed-width segment into key/value uint8 matrices.
+
+        The caller asserts (from spill metadata) that every record is
+        ``key_width`` x ``value_width``; the regular layout is verified --
+        stream length must divide evenly and every record's varint frame
+        must match -- and ``None`` is returned if it does not, so callers
+        can fall back to the record iterator.  Equivalent to
+        :meth:`read_all` without materializing per-record ``bytes``.
+        """
+        if key_width <= 0 or value_width <= 0:
+            return None
+        frame = bytearray()
+        write_vlong(key_width, frame)
+        write_vlong(value_width, frame)
+        flen = len(frame)
+        pitch = flen + key_width + value_width
+        body_len = len(self._payload) - EOF_MARKER_BYTES
+        if body_len < 0 or body_len % pitch != 0:
+            return None
+        if bytes(self._payload[body_len:]) != b"\xff\xff":
+            return None  # no clean EOF marker; let the iterator diagnose
+        n = body_len // pitch
+        if n == 0:
+            return np.empty((0, key_width), np.uint8), np.empty((0, value_width), np.uint8)
+        mat = np.frombuffer(self._payload, dtype=np.uint8, count=n * pitch)
+        mat = mat.reshape(n, pitch)
+        if not np.array_equiv(mat[:, :flen], np.frombuffer(bytes(frame), np.uint8)):
+            return None
+        return mat[:, flen:flen + key_width], mat[:, flen + key_width:]

@@ -61,6 +61,12 @@ class Job:
     merge_factor: int = 10
     #: non-atomic key support (key aggregation installs itself here)
     shuffle_plugin: ShufflePlugin | None = None
+    #: batched/columnar record pipeline (emit_batch -> columnar spill ->
+    #: vectorized sort/merge).  Byte-identical to the scalar path --
+    #: counters, spill files and reducer output do not change -- so this
+    #: flag exists for A/B benchmarking and the equivalence suite, not
+    #: for correctness.
+    columnar: bool = True
     #: restrict input splits to these dataset variables (None = all);
     #: single-variable queries over multi-variable datasets need this
     input_variables: tuple[str, ...] | None = None

@@ -10,13 +10,21 @@ so that sorting raw key bytes equals sorting semantically; Hadoop achieves
 the same with per-type raw comparators.  Sizes match Hadoop's Writables
 (int32 = 4 bytes, Text = vint length + UTF-8 bytes), which is what the
 paper's byte arithmetic depends on.
+
+Fixed-width serdes additionally support a *columnar* contract used by the
+engine's batched record pipeline: :meth:`Serde.pack_batch` serializes a
+whole value column into one contiguous blob and :meth:`Serde.read_batch` /
+:meth:`Serde.read_column` decode a run of values in one numpy pass.  Both
+are byte-for-byte (and object-for-object) equivalent to looping the scalar
+:meth:`Serde.write` / :meth:`Serde.read` -- the engine's A/B equivalence
+suite pins that down.
 """
 
 from __future__ import annotations
 
 import struct
 from abc import ABC, abstractmethod
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -61,6 +69,77 @@ class Serde(ABC):
             raise ValueError(f"{end - len(data)} trailing bytes after decode")
         return obj
 
+    # -- columnar (batched) contract ---------------------------------------
+    #
+    # The defaults below fall back to the scalar methods, so every serde
+    # supports the batched calls; fixed-width serdes override them with
+    # single-numpy-pass implementations.  All overrides MUST produce the
+    # same bytes / Python objects as the scalar loop.
+
+    def pack_batch(self, values: Any) -> bytes:
+        """Serialize a column of ``n`` objects into one contiguous blob.
+
+        ``values`` is a sequence (or array) of objects; for multi-field
+        serdes a 2-D ``(n, nfields)`` array is accepted, one row per
+        object.
+        """
+        out = bytearray()
+        for v in values:
+            self.write(v, out)
+        return bytes(out)
+
+    def read_column(self, buf: bytes | bytearray | memoryview, count: int) -> list:
+        """Decode ``count`` consecutive objects packed in ``buf``."""
+        out = []
+        offset = 0
+        for _ in range(count):
+            obj, offset = self.read(buf, offset)
+            out.append(obj)
+        if offset != len(buf):
+            raise ValueError(f"{len(buf) - offset} trailing bytes after decode")
+        return out
+
+    def read_batch(self, blobs: Sequence[bytes]) -> list:
+        """Decode one object from each blob (a reduce group's values)."""
+        size = getattr(self, "SIZE", None)
+        if size is not None and blobs:
+            cat = b"".join(blobs)
+            if len(cat) == size * len(blobs):
+                return self.read_column(cat, len(blobs))
+        return [self.from_bytes(b) for b in blobs]
+
+
+def _check_column(buf: Any, count: int, size: int) -> None:
+    """Reject a packed column whose byte length does not match ``count``."""
+    nbytes = memoryview(buf).nbytes
+    if nbytes != count * size:
+        raise ValueError(
+            f"packed column is {nbytes} bytes, expected {count}x{size}"
+        )
+
+
+def _int_column(values: Any, width: int) -> np.ndarray:
+    """Validated int64 column for an order-preserving intN pack."""
+    arr = np.asarray(values)
+    if arr.dtype.kind not in "iufb" or arr.ndim != 1:
+        raise TypeError(
+            f"expected a 1-D numeric column, got {arr.dtype} shape {arr.shape}"
+        )
+    arr = arr.astype(np.int64)  # int(obj) semantics: floats truncate to zero
+    half = 1 << (8 * width - 1)
+    if arr.size and (arr.min() < -half or arr.max() >= half):
+        raise ValueError(f"int{8 * width} out of range")
+    return arr
+
+
+def _float_column(values: Any) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.dtype.kind not in "iufb" or arr.ndim != 1:
+        raise TypeError(
+            f"expected a 1-D numeric column, got {arr.dtype} shape {arr.shape}"
+        )
+    return arr
+
 
 class Int32Serde(Serde):
     """Order-preserving big-endian signed 32-bit integer (4 bytes)."""
@@ -76,6 +155,15 @@ class Int32Serde(Serde):
     def read(self, buf: memoryview | bytes, offset: int) -> tuple[int, int]:
         raw = _I32.unpack_from(buf, offset)[0]
         return raw - (1 << 31), offset + 4
+
+    def pack_batch(self, values: Any) -> bytes:
+        arr = _int_column(values, 4)
+        return (((arr + (1 << 31)) & 0xFFFFFFFF).astype(">u4")).tobytes()
+
+    def read_column(self, buf, count: int) -> list:
+        _check_column(buf, count, self.SIZE)
+        raw = np.frombuffer(buf, dtype=">u4", count=count)
+        return (raw.astype(np.int64) - (1 << 31)).tolist()
 
 
 class Int64Serde(Serde):
@@ -93,6 +181,16 @@ class Int64Serde(Serde):
         raw = _I64.unpack_from(buf, offset)[0]
         return raw - (1 << 63), offset + 8
 
+    def pack_batch(self, values: Any) -> bytes:
+        arr = _int_column(values, 8)
+        # uint64 arithmetic wraps correctly for the 64-bit sign-bit bias
+        return (arr.astype(np.uint64) + np.uint64(1 << 63)).astype(">u8").tobytes()
+
+    def read_column(self, buf, count: int) -> list:
+        _check_column(buf, count, self.SIZE)
+        raw = np.frombuffer(buf, dtype=">u8", count=count).astype(np.uint64)
+        return (raw ^ np.uint64(1 << 63)).view(np.int64).tolist()
+
 
 class Float32Serde(Serde):
     """IEEE-754 single precision, big-endian (4 bytes, Hadoop FloatWritable)."""
@@ -105,6 +203,13 @@ class Float32Serde(Serde):
     def read(self, buf: memoryview | bytes, offset: int) -> tuple[float, int]:
         return _F32.unpack_from(buf, offset)[0], offset + 4
 
+    def pack_batch(self, values: Any) -> bytes:
+        return _float_column(values).astype(">f4").tobytes()
+
+    def read_column(self, buf, count: int) -> list:
+        _check_column(buf, count, self.SIZE)
+        return np.frombuffer(buf, dtype=">f4", count=count).astype(np.float64).tolist()
+
 
 class Float64Serde(Serde):
     """IEEE-754 double precision, big-endian (8 bytes, DoubleWritable)."""
@@ -116,6 +221,13 @@ class Float64Serde(Serde):
 
     def read(self, buf: memoryview | bytes, offset: int) -> tuple[float, int]:
         return _F64.unpack_from(buf, offset)[0], offset + 8
+
+    def pack_batch(self, values: Any) -> bytes:
+        return _float_column(values).astype(">f8").tobytes()
+
+    def read_column(self, buf, count: int) -> list:
+        _check_column(buf, count, self.SIZE)
+        return np.frombuffer(buf, dtype=">f8", count=count).tolist()
 
 
 class TextSerde(Serde):
@@ -138,7 +250,14 @@ class TextSerde(Serde):
 
 
 class BytesSerde(Serde):
-    """Length-prefixed raw bytes (Hadoop BytesWritable, vint length)."""
+    """Length-prefixed raw bytes (Hadoop BytesWritable, vint length).
+
+    Decoding is zero-copy when handed a :class:`memoryview`: the returned
+    payload is a sub-view of the input buffer (read-only views of ``bytes``
+    hash and compare like ``bytes``, so callers can use them
+    interchangeably).  ``bytes`` input still returns ``bytes`` -- slicing
+    an immutable buffer is the only way to get an independent object.
+    """
 
     def write(self, obj: Any, out: bytearray) -> None:
         data = bytes(obj)
@@ -149,6 +268,8 @@ class BytesSerde(Serde):
         length, offset = read_vlong(buf, offset)
         if length < 0 or offset + length > len(buf):
             raise ValueError(f"bad bytes length {length}")
+        if isinstance(buf, memoryview):
+            return buf[offset:offset + length], offset + length
         return bytes(buf[offset:offset + length]), offset + length
 
 
@@ -181,5 +302,7 @@ class ValueBlockSerde(Serde):
         nbytes = count * self.dtype.itemsize
         if offset + nbytes > len(buf):
             raise ValueError("truncated value block")
-        arr = np.frombuffer(bytes(buf[offset:offset + nbytes]), dtype=self.dtype)
+        # Zero-copy: the array is a view over the caller's buffer (bytes
+        # or memoryview), not a slice copy.
+        arr = np.frombuffer(buf, dtype=self.dtype, count=count, offset=offset)
         return arr, offset + nbytes

@@ -18,9 +18,46 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["sort_records", "merge_runs", "group_by_key", "plan_merge_passes"]
+__all__ = [
+    "sort_records",
+    "merge_runs",
+    "group_by_key",
+    "plan_merge_passes",
+    "argsort_key_matrix",
+    "group_bounds",
+]
 
 Record = tuple[bytes, bytes]
+
+
+def argsort_key_matrix(keys: np.ndarray) -> np.ndarray:
+    """Stable sort order of an ``(n, key_size)`` uint8 key matrix.
+
+    The columnar counterpart of :func:`sort_records`: rows are compared
+    as raw key bytes (via a fixed-width ``S`` view, the same comparator
+    the record fast path uses), and ``kind='stable'`` preserves emission
+    order among equal keys -- so gathering records by the returned order
+    yields exactly the sequence :func:`sort_records` would produce.
+    """
+    n, width = keys.shape
+    if n < 2:
+        return np.arange(n)
+    view = np.ascontiguousarray(keys).view(f"S{width}").ravel()
+    return np.argsort(view, kind="stable")
+
+
+def group_bounds(sorted_keys: np.ndarray) -> np.ndarray:
+    """Group boundaries of a key-sorted ``(n, key_size)`` uint8 matrix.
+
+    Returns indices ``b`` with ``len(b) == ngroups + 1``; group ``g``
+    spans rows ``[b[g], b[g+1])``.  Grouping is by exact row (byte)
+    equality, matching :func:`group_by_key`.
+    """
+    n = sorted_keys.shape[0]
+    if n == 0:
+        return np.zeros(1, dtype=np.int64)
+    change = np.flatnonzero(np.any(sorted_keys[1:] != sorted_keys[:-1], axis=1))
+    return np.concatenate(([0], change + 1, [n]))
 
 
 def sort_records(records: list[Record]) -> list[Record]:

@@ -30,8 +30,16 @@ class HistogramMapper(Mapper):
     def map(self, split, values, ctx):
         counts, _ = np.histogram(
             values.ravel(), bins=self.bins, range=(self.lo, self.hi))
-        for b in np.flatnonzero(counts):
-            ctx.emit(int(b), int(counts[b]))
+        occupied = np.flatnonzero(counts)
+        if occupied.size == 0:
+            return
+        keys = np.frombuffer(
+            ctx.key_serde.pack_batch(occupied), dtype=np.uint8
+        ).reshape(occupied.size, -1)
+        vals = np.frombuffer(
+            ctx.value_serde.pack_batch(counts[occupied]), dtype=np.uint8
+        ).reshape(occupied.size, -1)
+        ctx.emit_batch(keys, vals)
 
 
 class CountCombiner(Combiner):

@@ -38,6 +38,7 @@ class SumCountSerde(Serde):
     """(sum: float64, count: uint32) partial-aggregate pairs (12 bytes)."""
 
     SIZE = 12
+    _COLUMN = np.dtype([("total", ">f8"), ("count", ">u4")])
 
     def write(self, obj, out: bytearray) -> None:
         total, count = obj
@@ -48,6 +49,28 @@ class SumCountSerde(Serde):
     def read(self, buf, offset: int):
         total, count = _PAIR.unpack_from(buf, offset)
         return (total, count), offset + self.SIZE
+
+    def pack_batch(self, values) -> bytes:
+        """Vectorized column pack of an ``(n, 2)`` [total, count] array."""
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError(f"expected (n, 2) [total, count] rows, got {arr.shape}")
+        counts = arr[:, 1]
+        if counts.size and (counts.min() < 0 or counts.max() >= (1 << 32)):
+            raise ValueError("count out of uint32 range")
+        col = np.empty(arr.shape[0], dtype=self._COLUMN)
+        col["total"] = arr[:, 0]
+        col["count"] = counts.astype(np.uint32)
+        return col.tobytes()
+
+    def read_column(self, buf, count: int) -> list:
+        nbytes = memoryview(buf).nbytes
+        if nbytes != count * self.SIZE:
+            raise ValueError(
+                f"packed column is {nbytes} bytes, expected {count}x{self.SIZE}"
+            )
+        col = np.frombuffer(buf, dtype=self._COLUMN, count=count)
+        return list(zip(col["total"].tolist(), col["count"].tolist()))
 
 
 class PlainMeanMapper(Mapper):
@@ -64,11 +87,11 @@ class PlainMeanMapper(Mapper):
         flat = values.ravel()
         for offset in self.offsets:
             shifted, kept = shifted_cells(coords, flat, offset, self.extent)
-            for row, v in zip(shifted, kept):
-                ctx.emit(
-                    CellKey(self.var_ref, tuple(int(c) for c in row)),
-                    (float(v), 1),
-                )
+            if shifted.shape[0]:
+                pairs = np.empty((kept.shape[0], 2), dtype=np.float64)
+                pairs[:, 0] = kept
+                pairs[:, 1] = 1
+                ctx.emit_cells(self.var_ref, shifted, pairs)
 
 
 class SumCountCombiner(Combiner):

@@ -1,0 +1,166 @@
+"""A/B equivalence: the columnar fast path is byte-identical to scalar.
+
+``Job.columnar`` switches the engine between the batched/columnar record
+pipeline and the original record-at-a-time one.  The fast path is only
+admissible because it changes *nothing* observable: for every built-in
+query, in both key modes, these tests run the same job twice (columnar
+on/off) and require identical counters, identical reducer output, and
+byte-identical final map-output segment files -- including under the
+multiprocess runner and under tiny sort buffers that force multi-spill
+merges.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import LocalJobRunner
+from repro.mapreduce.runtime import ParallelJobRunner
+from repro.queries import (
+    BoxSubsetQuery,
+    DerivedVariableQuery,
+    HistogramQuery,
+    SlidingAggregateQuery,
+    SlidingMeanQuery,
+    SlidingMedianQuery,
+)
+from repro.scidata import Dataset, Slab, Variable, integer_grid
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return integer_grid((6, 6, 6), seed=77, low=0, high=900)
+
+
+@pytest.fixture(scope="module")
+def pair_grid():
+    rng = np.random.default_rng(78)
+    ds = Dataset()
+    ds.add(Variable("u", rng.integers(0, 100, (5, 5, 5)).astype(np.int32)))
+    ds.add(Variable("v", rng.integers(0, 100, (5, 5, 5)).astype(np.int32)))
+    return ds
+
+
+def segment_bytes(workdir: str) -> dict[str, bytes]:
+    """Map-output segment files of one finished run, keyed by file name.
+
+    Walks recursively: the parallel runtime nests segments in per-run /
+    per-attempt directories, but the segment *names* (``m00001-out-p0``)
+    are deterministic in both backends.
+    """
+    out = {}
+    for root, _, files in os.walk(workdir):
+        for name in files:
+            if "-out-p" in name:
+                assert name not in out, f"duplicate segment {name}"
+                with open(os.path.join(root, name), "rb") as fh:
+                    out[name] = fh.read()
+    return out
+
+
+def run_both(tmp_path, dataset, make_job, runner_cls=LocalJobRunner):
+    """Run a job columnar and scalar; return both results + segment maps."""
+    results, segments = {}, {}
+    for flag in (True, False):
+        label = "columnar" if flag else "scalar"
+        job = make_job()
+        job.columnar = flag
+        workdir = str(tmp_path / label)
+        with runner_cls(workdir=workdir, keep_files=True) as runner:
+            results[label] = runner.run(job, dataset)
+            segments[label] = segment_bytes(workdir)
+    return results, segments
+
+
+def assert_identical(results, segments):
+    col, sca = results["columnar"], results["scalar"]
+    assert col.counters.as_dict() == sca.counters.as_dict()
+    assert col.output == sca.output
+    assert segments["columnar"].keys() == segments["scalar"].keys()
+    assert segments["columnar"] == segments["scalar"]
+    assert len(segments["columnar"]) > 0
+
+
+QUERIES = {
+    "median": lambda g: SlidingMedianQuery(g, "values", window=3),
+    "mean": lambda g: SlidingMeanQuery(g, "values", window=3),
+    "max": lambda g: SlidingAggregateQuery(g, "values", op="max", window=3),
+    "subset": lambda g: BoxSubsetQuery(
+        g, "values", Slab((1, 1, 1), (4, 4, 4))),
+}
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+@pytest.mark.parametrize("mode", ["plain", "aggregate"])
+def test_query_equivalence(tmp_path, grid, name, mode):
+    query = QUERIES[name](grid)
+    make_job = lambda: query.build_job(
+        mode, num_map_tasks=3, num_reducers=2,
+        # tiny buffer: forces several spills per map task, so the
+        # columnar spill-merge path actually runs
+        sort_buffer_bytes=4096,
+    )
+    results, segments = run_both(tmp_path, grid, make_job)
+    assert_identical(results, segments)
+    if mode == "plain":
+        # the fast path must actually have records flowing through it
+        assert results["columnar"].counters["SPILLED_RECORDS"] > 0
+
+
+def test_histogram_equivalence(tmp_path, grid):
+    query = HistogramQuery(grid, "values", bins=16)
+    make_job = lambda: query.build_job(num_map_tasks=3, num_reducers=2)
+    results, segments = run_both(tmp_path, grid, make_job)
+    assert_identical(results, segments)
+
+
+def test_derived_equivalence(tmp_path, pair_grid):
+    query = DerivedVariableQuery(pair_grid, "u", "v", op="hypot")
+    for mode in ("plain", "aggregate"):
+        make_job = lambda: query.build_job(
+            mode, num_map_tasks=2, num_reducers=2, sort_buffer_bytes=4096)
+        results, segments = run_both(tmp_path / mode, pair_grid, make_job)
+        assert_identical(results, segments)
+
+
+def test_index_key_mode_equivalence(tmp_path, grid):
+    """variable_mode='index' (the paper's 20-byte keys) is also identical."""
+    query = SlidingMedianQuery(grid, "values", window=3)
+    make_job = lambda: query.build_job(
+        "plain", variable_mode="index", num_map_tasks=2, num_reducers=2,
+        sort_buffer_bytes=4096)
+    results, segments = run_both(tmp_path, grid, make_job)
+    assert_identical(results, segments)
+
+
+def test_multipass_merge_equivalence(tmp_path, grid):
+    """merge_factor=2 forces reducer-side on-disk merge passes."""
+    query = SlidingMeanQuery(grid, "values", window=3)
+    make_job = lambda: query.build_job(
+        "plain", use_combiner=False, num_map_tasks=4, num_reducers=1,
+        sort_buffer_bytes=4096, merge_factor=2)
+    results, segments = run_both(tmp_path, grid, make_job)
+    assert_identical(results, segments)
+    assert results["columnar"].counters["MERGE_PASS_BYTES"] > 0
+
+
+def test_parallel_runner_equivalence(tmp_path, grid):
+    """Columnar vs scalar under the multiprocess runtime."""
+    query = SlidingMedianQuery(grid, "values", window=3)
+    make_job = lambda: query.build_job(
+        "plain", num_map_tasks=3, num_reducers=2, sort_buffer_bytes=4096)
+    results, segments = run_both(
+        tmp_path, grid, make_job,
+        runner_cls=lambda **kw: ParallelJobRunner(max_workers=2, **kw))
+    assert_identical(results, segments)
+
+
+def test_parallel_runner_aggregate_equivalence(tmp_path, grid):
+    query = SlidingMeanQuery(grid, "values", window=3)
+    make_job = lambda: query.build_job(
+        "aggregate", num_map_tasks=2, num_reducers=2)
+    results, segments = run_both(
+        tmp_path, grid, make_job,
+        runner_cls=lambda **kw: ParallelJobRunner(max_workers=2, **kw))
+    assert_identical(results, segments)

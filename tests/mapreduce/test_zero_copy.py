@@ -1,0 +1,90 @@
+"""Proofs that the hot decode paths are views, not copies.
+
+The aggregate-key payload path decodes millions of cells per reduce
+group; slicing ``bytes`` out of the shuffle buffer for each block would
+double the memory traffic.  These tests demonstrate zero-copy by
+mutation: decode from a ``memoryview`` over a ``bytearray``, change the
+underlying storage, and observe the decoded object change with it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation.blocks import BlockSerde, ValueBlock
+from repro.mapreduce.serde import BytesSerde, ValueBlockSerde
+
+
+def test_value_block_serde_read_is_view():
+    serde = ValueBlockSerde("<i4")
+    values = np.arange(8, dtype="<i4")
+    storage = bytearray(serde.to_bytes(values))
+    arr, end = serde.read(memoryview(storage), 0)
+    assert end == len(storage)
+    assert np.array_equal(arr, values)
+    # mutate the underlying storage: a copy would not see this
+    storage[-4:] = (999).to_bytes(4, "little")
+    assert arr[-1] == 999
+
+
+def test_value_block_serde_read_from_bytes_is_view():
+    serde = ValueBlockSerde("<f8")
+    values = np.linspace(0, 1, 5)
+    blob = serde.to_bytes(values)
+    arr, _ = serde.read(blob, 0)
+    # zero-copy over immutable bytes: the view is read-only
+    assert arr.base is not None
+    with pytest.raises(ValueError):
+        arr[0] = 2.0
+
+
+def test_bytes_serde_memoryview_returns_subview():
+    serde = BytesSerde()
+    storage = bytearray(serde.to_bytes(b"payload"))
+    out, _ = serde.read(memoryview(storage), 0)
+    assert isinstance(out, memoryview)
+    assert out == b"payload"
+    assert bytes(out) == b"payload"
+    storage[1] = ord("X")  # first payload byte (after the vint length)
+    assert bytes(out) == b"Xayload"
+    # bytes input still yields an independent bytes object
+    blob = serde.to_bytes(b"abc")
+    out2, _ = serde.read(blob, 0)
+    assert isinstance(out2, bytes)
+
+
+def test_block_serde_dense_read_is_view():
+    """The aggregate-key payload path: block values view the shuffle buffer."""
+    serde = BlockSerde("int32")
+    block = ValueBlock(6, np.arange(6, dtype="<i4"))
+    storage = bytearray(serde.to_bytes(block))
+    decoded, end = serde.read(memoryview(storage), 0)
+    assert end == len(storage)
+    assert np.array_equal(decoded.values, np.arange(6))
+    storage[-4:] = (-7 & 0xFFFFFFFF).to_bytes(4, "little")
+    assert decoded.values[-1] == -7
+
+
+def test_block_serde_masked_read_is_view():
+    serde = BlockSerde("int32")
+    mask = np.array([True, False, True, True, False])
+    block = ValueBlock(5, np.array([10, 20, 30], dtype="<i4"), mask)
+    storage = bytearray(serde.to_bytes(block))
+    decoded, _ = serde.read(memoryview(storage), 0)
+    assert np.array_equal(decoded.values, [10, 20, 30])
+    assert np.array_equal(decoded.dense_mask(), mask)
+    storage[-4:] = (77).to_bytes(4, "little")
+    assert decoded.values[-1] == 77
+
+
+def test_block_serde_roundtrip_through_bytes_serde():
+    """Composed zero-copy: BytesSerde sub-view feeds BlockSerde.read."""
+    blocks = BlockSerde("float64")
+    wrapper = BytesSerde()
+    payload = blocks.to_bytes(ValueBlock(4, np.arange(4, dtype="<f8")))
+    storage = bytearray(wrapper.to_bytes(payload))
+    view, _ = wrapper.read(memoryview(storage), 0)
+    decoded, _ = blocks.read(view, 0)
+    assert np.array_equal(decoded.values, np.arange(4))
+    # last 8 bytes of the outer storage are the last float64
+    storage[-8:] = np.float64(42.0).tobytes()
+    assert decoded.values[-1] == 42.0
