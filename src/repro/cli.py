@@ -27,7 +27,7 @@ def _registry() -> dict[str, tuple[str, Callable]]:
     from repro.experiments import ablations, chaos, cluster_runs, density, \
         e1_motivation, fig2_stream, fig3_table, fig4_scaling, \
         fig8_aggregation, figures_5_6_7, key_splitting, levers, locality, \
-        multivar, p2_columnar, parallel_speedup
+        multivar, p2_columnar, parallel_speedup, r2_poison
 
     return {
         "E1": ("§I motivation: per-cell-key file sizes (paper-exact)",
@@ -80,6 +80,9 @@ def _registry() -> dict[str, tuple[str, Callable]]:
         "R1": ("robustness: chaos soak -- randomized fault schedules and "
                "mid-job kill+resume vs the serial runner",
                lambda: chaos.run()),
+        "R2": ("robustness: poison-safe pipeline -- record skipping, "
+               "quarantine, and corrupt-block salvage, both runners",
+               lambda: r2_poison.run()),
     }
 
 
@@ -119,6 +122,14 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--resume", action="store_true",
                        help="adopt completed tasks from the manifest in "
                             "--recovery-dir instead of re-running them")
+    run_p.add_argument("--skip-budget", type=int, default=None,
+                       help="max records a task may skip into quarantine "
+                            "in record-skipping scenarios (R2; default "
+                            "4096)")
+    run_p.add_argument("--quarantine-dir", default=None,
+                       help="keep quarantine side-files under this "
+                            "directory instead of throwaway temp dirs "
+                            "(R2)")
     args = parser.parse_args(argv)
 
     registry = _registry()
@@ -156,6 +167,12 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_RECOVERY_DIR"] = args.recovery_dir
     if args.resume:
         os.environ["REPRO_RESUME"] = "1"
+    if args.skip_budget is not None:
+        if args.skip_budget < 1:
+            parser.error("--skip-budget must be >= 1")
+        os.environ["REPRO_SKIP_BUDGET"] = str(args.skip_budget)
+    if args.quarantine_dir is not None:
+        os.environ["REPRO_QUARANTINE_DIR"] = args.quarantine_dir
 
     ids = list(registry) if args.experiment.lower() == "all" else [
         args.experiment.upper()

@@ -95,6 +95,10 @@ class _Bz2Backend:
         return bz2.compress(data, self.level)
 
     def _backend_decompress(self, data: bytes) -> bytes:
+        # bz2.decompress(b"") returns b"" instead of raising; treat a
+        # zero-length input as the truncated stream it is.
+        if not data:
+            raise EOFError("empty bz2 stream")
         return bz2.decompress(data)
 
 

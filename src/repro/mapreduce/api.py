@@ -189,6 +189,20 @@ class Mapper(ABC):
         ``split.slab.shape``); emit intermediate pairs through ``ctx``.
         """
 
+    def map_range(self, split: InputSplit, values: np.ndarray,
+                  ctx: MapContext, start: int, stop: int) -> None:
+        """Process input records ``[start, stop)`` of the split only.
+
+        Records are flat (row-major) cell indices into the split's slab.
+        Calling this over a partition of ``[0, values.size)`` in order
+        must emit exactly what one :meth:`map` call would.  Skipping
+        mode (Hadoop SkipBadRecords) requires it to bisect around poison
+        records; mappers that don't override it are not skippable and
+        fail the task as before.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support record-range mapping")
+
     def cleanup(self, ctx: MapContext) -> None:
         """Called once after :meth:`map` (flush buffered state here)."""
 

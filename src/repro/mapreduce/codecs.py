@@ -18,6 +18,7 @@ import bz2
 import zlib
 from abc import ABC, abstractmethod
 
+from repro.util.errors import CorruptRecordError, CorruptStreamError
 from repro.util.timing import CostClock
 
 __all__ = [
@@ -51,8 +52,22 @@ class Codec(ABC):
             return self._compress(data)
 
     def decompress(self, data: bytes) -> bytes:
+        """Decompress ``data``, charging CPU time to the cost clock.
+
+        Backend failures on corrupt input (``zlib.error``, bz2's
+        ``OSError``/``EOFError``, stride metadata errors) are surfaced
+        as :class:`~repro.util.errors.CorruptStreamError` so a
+        bit-flipped stream fails the same structured way everywhere.
+        """
         with self.clock.measure("decompress"):
-            return self._decompress(data)
+            try:
+                return self._decompress(data)
+            except CorruptRecordError:
+                raise
+            except Exception as exc:
+                raise CorruptStreamError(
+                    f"codec {self.name!r} failed to decompress: {exc}"
+                ) from exc
 
     @property
     def cpu_seconds(self) -> float:
@@ -105,6 +120,11 @@ class Bz2Codec(Codec):
         return bz2.compress(data, self.level)
 
     def _decompress(self, data: bytes) -> bytes:
+        # bz2.decompress(b"") returns b"" instead of raising, but no
+        # bz2 stream is ever empty -- a zero-length input is a truncated
+        # stream and must fail like one.
+        if not data:
+            raise EOFError("empty bz2 stream")
         return bz2.decompress(data)
 
 

@@ -35,7 +35,12 @@ import numpy as np
 from repro.mapreduce.api import MapContext, ReduceContext
 from repro.mapreduce.codecs import cost_categories, get_codec
 from repro.mapreduce.columnar import PartitionBuffer
-from repro.mapreduce.ifile import IFileReader, IFileStats, IFileWriter
+from repro.mapreduce.ifile import (
+    IFileCorruptError,
+    IFileReader,
+    IFileStats,
+    IFileWriter,
+)
 from repro.mapreduce.job import Job
 from repro.mapreduce.metrics import C, Counters, TaskProfile
 from repro.mapreduce.sort import (
@@ -227,13 +232,19 @@ def _combine_columnar(
 
 
 def run_map_task(job: Job, split: InputSplit, dataset: Dataset,
-                 workdir: str) -> MapTaskOutput:
+                 workdir: str, *, driver=None) -> MapTaskOutput:
     """Execute one map task (Fig 1 steps 2-3) into ``workdir``.
 
     Pure function of its arguments: reads the split's slab, runs the
     mapper, spills sorted runs, and merges them into one final IFile
     segment per reducer partition.  Segment files are written atomically
     so a killed worker never leaves a truncated final segment behind.
+
+    ``driver`` (when given) replaces the plain ``mapper.map`` +
+    ``mapper.cleanup`` call with ``driver(mapper, split, values, ctx)``
+    and owns cleanup -- the hook the skipping runtime uses to run the
+    mapper over sub-ranges of the input.  ``None`` (the default) leaves
+    the clean path byte-identical to before the hook existed.
     """
     task_id = f"m{split.split_id:05d}"
     counters = Counters()
@@ -320,8 +331,11 @@ def run_map_task(job: Job, split: InputSplit, dataset: Dataset,
         mapper.dataset = dataset
     mapper.setup(split)
     with clock.measure("map"):
-        mapper.map(split, values, ctx)
-        mapper.cleanup(ctx)
+        if driver is None:
+            mapper.map(split, values, ctx)
+            mapper.cleanup(ctx)
+        else:
+            driver(mapper, split, values, ctx)
     flush()
 
     # Merge spills into the final per-partition map output segments.
@@ -329,7 +343,7 @@ def run_map_task(job: Job, split: InputSplit, dataset: Dataset,
     for part in range(job.num_reducers):
         part_spills = [s[part] for s in spills if part in s]
         final_path = os.path.join(workdir, f"{task_id}-out-p{part}")
-        if len(part_spills) == 1:
+        if len(part_spills) == 1 and job.ifile_block_bytes is None:
             path, stats, _ = part_spills[0]
             os.replace(path, final_path)
         else:
@@ -350,7 +364,8 @@ def run_map_task(job: Job, split: InputSplit, dataset: Dataset,
             with clock.measure("merge"):
                 for path, stats, _ in part_spills:
                     profile.local_read_bytes += stats.materialized_bytes
-                writer = IFileWriter(final_path, codec, atomic=True)
+                writer = IFileWriter(final_path, codec, atomic=True,
+                                     block_bytes=job.ifile_block_bytes)
                 if colruns is not None:
                     kall = np.concatenate([k for k, _ in colruns])
                     vall = np.concatenate([v for _, v in colruns])
@@ -395,6 +410,10 @@ def run_reduce_task(
     segments: Sequence[tuple[str, IFileStats]],
     workdir: str,
     keep_files: bool = False,
+    *,
+    segment_reader=None,
+    prepare_filter=None,
+    group_driver=None,
 ) -> ReduceTaskResult:
     """Execute one reduce task (Fig 1 steps 4-7).
 
@@ -402,6 +421,13 @@ def run_reduce_task(
     task, **in map task order** -- handing segments off by path is what
     lets map and reduce tasks live in different processes while all
     shuffle bytes still flow through the real IFile/codec path.
+
+    The three keyword hooks exist for the skipping runtime and default
+    to ``None`` (clean path unchanged): ``segment_reader(path, codec)``
+    replaces the strict segment fetch (block salvage), ``prepare_filter
+    (merged)`` filters undecodable records before the shuffle plugin
+    sees them, and ``group_driver(reducer, merged, ctx)`` replaces the
+    group-and-reduce loop (per-group fault isolation).
     """
     task_id = f"r{part:05d}"
     counters = Counters()
@@ -418,7 +444,10 @@ def run_reduce_task(
     with clock.measure("shuffle"):
         for path, stats in segments:
             profile.shuffle_bytes += stats.materialized_bytes
-            records = IFileReader(path, codec).read_all()
+            if segment_reader is None:
+                records = IFileReader(path, codec).read_all()
+            else:
+                records = segment_reader(path, codec)
             if records:
                 runs.append(records)
                 run_sizes.append(stats.key_bytes + stats.value_bytes)
@@ -453,6 +482,9 @@ def run_reduce_task(
     with clock.measure("merge"):
         merged = list(merge_runs(runs))
 
+    if prepare_filter is not None:
+        merged = prepare_filter(merged)
+
     if job.shuffle_plugin is not None:
         with clock.measure("split"):
             before = len(merged)
@@ -462,12 +494,15 @@ def run_reduce_task(
     reducer = job.reducer()
     ctx = ReduceContext(counters)
     with clock.measure("reduce"):
-        for kb, value_blobs in group_by_key(merged):
-            counters.incr(C.REDUCE_INPUT_GROUPS)
-            counters.incr(C.REDUCE_INPUT_RECORDS, len(value_blobs))
-            key = job.key_serde.from_bytes(kb)
-            values = job.value_serde.read_batch(value_blobs)
-            reducer.reduce(key, values, ctx)
+        if group_driver is None:
+            for kb, value_blobs in group_by_key(merged):
+                counters.incr(C.REDUCE_INPUT_GROUPS)
+                counters.incr(C.REDUCE_INPUT_RECORDS, len(value_blobs))
+                key = job.key_serde.from_bytes(kb)
+                values = job.value_serde.read_batch(value_blobs)
+                reducer.reduce(key, values, ctx)
+        else:
+            group_driver(reducer, merged, ctx)
 
     profile.cpu_seconds = clock.as_dict()
     for category, seconds in cost_categories(codec).items():
@@ -506,12 +541,22 @@ class LocalJobRunner:
     Executes every task serially in-process.  Usable as a context
     manager: leaving the ``with`` block removes an owned (auto-created)
     workdir even when files were kept or a task failed.
+
+    ``fault_injector`` accepts the data-shaped faults that make sense
+    without worker processes -- ``poison`` and ``corrupt`` -- so the
+    same failure ladder (strict attempt -> repair segment -> skipping
+    mode -> quarantine) can be exercised and compared byte-for-byte
+    against the parallel runtime.  Process-level modes (``kill`` /
+    ``crash`` / ``hang`` / ``stall``) are rejected: there is no worker
+    process to kill.
     """
 
-    def __init__(self, workdir: str | None = None, keep_files: bool = False) -> None:
+    def __init__(self, workdir: str | None = None, keep_files: bool = False,
+                 fault_injector: Any = None) -> None:
         self._own_workdir = workdir is None
         self.workdir = workdir or tempfile.mkdtemp(prefix="repro-mr-")
         self.keep_files = keep_files
+        self.fault_injector = fault_injector
         os.makedirs(self.workdir, exist_ok=True)
 
     def __enter__(self) -> "LocalJobRunner":
@@ -559,7 +604,7 @@ class LocalJobRunner:
 
         map_outputs: list[MapTaskOutput] = []
         for split in splits:
-            mo = run_map_task(job, split, dataset, self.workdir)
+            mo = self._run_map(job, split, dataset)
             map_outputs.append(mo)
             counters.merge(mo.counters)
             profiles.append(mo.profile)
@@ -569,8 +614,7 @@ class LocalJobRunner:
         output: list[tuple[Any, Any]] = []
         for part in range(job.num_reducers):
             segments = [mo.segments[part] for mo in map_outputs]
-            rr = run_reduce_task(job, part, segments, self.workdir,
-                                 keep_files=self.keep_files)
+            rr = self._run_reduce(job, part, segments, dataset, splits)
             output.extend(rr.output)
             counters.merge(rr.counters)
             profiles.append(rr.profile)
@@ -586,6 +630,132 @@ class LocalJobRunner:
             num_map_tasks=len(splits),
             num_reduce_tasks=job.num_reducers,
         )
+
+    # ------------------------------------------------------------- ladder
+    #
+    # The serial failure ladder mirrors the parallel runtime's: a strict
+    # first attempt (zero overhead on the clean path), then -- for
+    # skip-eligible failures under a job SkipPolicy -- a retry in
+    # record-level skipping mode, and -- for whole-segment corruption --
+    # an in-place repair of the producing map task followed by a strict
+    # retry.  The runtime modules are imported lazily because they in
+    # turn import the task functions defined above.
+
+    def _serial_fault(self, task_id: str, attempt: int):
+        """The injected fault for this attempt, if the serial runner can
+        apply it (only data-shaped faults: ``poison`` and ``corrupt``)."""
+        if self.fault_injector is None:
+            return None
+        fault = self.fault_injector.fault_for(task_id, attempt)
+        if fault is not None and fault.mode not in ("poison", "corrupt"):
+            raise ValueError(
+                f"fault mode {fault.mode!r} is not supported by the "
+                f"serial runner (no worker process to fail)")
+        return fault
+
+    def _run_map(self, job: Job, split: InputSplit,
+                 dataset: Dataset) -> MapTaskOutput:
+        """One map task through the serial failure ladder."""
+        from repro.mapreduce.runtime.fault import corrupt_file, poisoned_job
+        from repro.mapreduce.runtime.skipping import (
+            is_skip_eligible,
+            run_map_task_skipping,
+        )
+        task_id = f"m{split.split_id:05d}"
+        attempt = 0
+        skip_mode = False
+        while True:
+            fault = self._serial_fault(task_id, attempt)
+            eff = (poisoned_job(job, fault, "map")
+                   if fault is not None and fault.mode == "poison" else job)
+            try:
+                if skip_mode:
+                    mo = run_map_task_skipping(eff, split, dataset,
+                                               self.workdir)
+                else:
+                    mo = run_map_task(eff, split, dataset, self.workdir)
+            except Exception as exc:
+                if (skip_mode or job.skipping is None
+                        or not is_skip_eligible(exc)):
+                    raise
+                skip_mode = True
+                attempt += 1
+                continue
+            if fault is not None and fault.mode == "corrupt" \
+                    and fault.where == "map-output":
+                target = (fault.segment if fault.segment in mo.segments
+                          else min(mo.segments))
+                corrupt_file(mo.segments[target][0], fault.offset_frac,
+                             fault.op)
+            return mo
+
+    def _run_reduce(self, job: Job, part: int,
+                    segments: list[tuple[str, IFileStats]],
+                    dataset: Dataset,
+                    splits: Sequence[InputSplit]) -> ReduceTaskResult:
+        """One reduce task through the serial failure ladder."""
+        from repro.mapreduce.runtime.fault import corrupt_file, poisoned_job
+        from repro.mapreduce.runtime.skipping import (
+            is_skip_eligible,
+            run_reduce_task_skipping,
+        )
+        task_id = f"r{part:05d}"
+        first = self._serial_fault(task_id, 0)
+        if first is not None and first.mode == "corrupt" \
+                and first.where == "reduce-input" and segments:
+            index = first.segment if first.segment is not None else 0
+            corrupt_file(segments[index % len(segments)][0],
+                         first.offset_frac, first.op)
+        attempt = 0
+        skip_mode = False
+        repairs = 0
+        while True:
+            fault = self._serial_fault(task_id, attempt)
+            eff = (poisoned_job(job, fault, "reduce")
+                   if fault is not None and fault.mode == "poison" else job)
+            try:
+                if skip_mode:
+                    return run_reduce_task_skipping(
+                        eff, part, segments, self.workdir,
+                        keep_files=self.keep_files)
+                return run_reduce_task(eff, part, segments, self.workdir,
+                                       keep_files=self.keep_files)
+            except Exception as exc:
+                skippable = (job.skipping is not None
+                             and is_skip_eligible(exc))
+                if skippable and not skip_mode:
+                    skip_mode = True
+                    attempt += 1
+                    continue
+                if (isinstance(exc, IFileCorruptError) and not skippable
+                        and exc.path is not None
+                        and repairs < len(segments)):
+                    self._repair_segment(exc.path, job, dataset, splits)
+                    repairs += 1
+                    attempt += 1
+                    continue
+                raise
+
+    def _repair_segment(self, corrupt_path: str, job: Job, dataset: Dataset,
+                        splits: Sequence[InputSplit]) -> None:
+        """Re-generate a corrupt final map segment in place.
+
+        Map tasks are deterministic and the serial runner keeps every
+        final segment at a fixed path in its workdir, so re-running the
+        producing map task recreates the damaged file (and its siblings)
+        with identical bytes -- the reduce retry picks them up as if
+        nothing happened.  Faults are never applied during a repair,
+        matching the parallel runtime (repairs run in the scheduler
+        process, outside the injection plan).
+        """
+        name = os.path.basename(corrupt_path)
+        task_id = name.split("-out-")[0]
+        split = next(
+            (s for s in splits if f"m{s.split_id:05d}" == task_id), None)
+        if split is None:
+            raise RuntimeError(
+                f"corrupt segment {corrupt_path} matches no map task")
+        run_map_task(job, split, dataset, self.workdir)
 
     def _remove_new_files(self, preexisting: set[str]) -> None:
         """Delete everything a failed run left behind in the workdir."""

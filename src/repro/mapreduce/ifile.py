@@ -12,6 +12,25 @@ pluggable :class:`~repro.mapreduce.codecs.Codec` -- the hook the paper's
 §III codec plugs into -- and reports a byte-accounting breakdown
 (:class:`IFileStats`) so experiments can print the values/keys/overhead
 split of Fig 8 directly.
+
+Chunked block format
+--------------------
+A second, opt-in layout (``block_bytes=...`` on the writer) chops the
+record stream into independently compressed blocks of roughly
+``block_bytes`` raw bytes, each with its own CRC32, plus a checksummed
+footer describing every block::
+
+    MAGIC(4) | comp_block_0 | ... | comp_block_k | footer
+             | footer_len (4B BE) | footer_crc32 (4B BE)
+
+    footer = vint nblocks, then per block:
+             vint records, vint raw_len, vint comp_len, crc32 (4B BE)
+
+Records never span blocks.  A bit-flip now localizes to one block: the
+reader raises :class:`IFileBlockCorruptError` naming the block, and
+:meth:`IFileReader.read_salvage` recovers every healthy block so the
+skipping runtime quarantines only the damaged records instead of
+re-running the producing map task (whole-segment repair).
 """
 
 from __future__ import annotations
@@ -25,6 +44,7 @@ import numpy as np
 
 from repro.mapreduce.codecs import Codec, NullCodec
 from repro.util.bytebuf import ByteBuffer
+from repro.util.errors import CorruptRecordError, MalformedRecordError
 from repro.util.fsio import atomic_write_bytes
 from repro.util.varint import read_vlong, write_vlong
 
@@ -33,12 +53,15 @@ __all__ = [
     "IFileWriter",
     "IFileReader",
     "IFileCorruptError",
+    "IFileBlockCorruptError",
+    "BadBlock",
+    "BLOCK_MAGIC",
     "EOF_MARKER_BYTES",
     "TRAILER_BYTES",
 ]
 
 
-class IFileCorruptError(ValueError):
+class IFileCorruptError(CorruptRecordError):
     """A segment failed its integrity checks (checksum, framing, EOF).
 
     Carries the offending ``path`` (when the segment was read from a
@@ -50,6 +73,44 @@ class IFileCorruptError(ValueError):
         super().__init__(message if path is None else f"{message}: {path}")
         self.path = path
 
+
+class IFileBlockCorruptError(IFileCorruptError):
+    """One block of a chunked segment failed its CRC or decode.
+
+    Unlike :class:`IFileCorruptError` this is *recoverable without the
+    producing task*: the rest of the segment is intact, so a reader can
+    salvage it via :meth:`IFileReader.read_salvage` and quarantine only
+    the ``records_lost`` records of block ``block_index``.
+    """
+
+    def __init__(self, message: str, path: str | None = None,
+                 block_index: int | None = None,
+                 records_lost: int = 0) -> None:
+        if block_index is not None:
+            message = f"{message} (block {block_index})"
+        super().__init__(message, path)
+        self.block_index = block_index
+        self.records_lost = records_lost
+
+
+@dataclass(frozen=True)
+class BadBlock:
+    """A corrupt block surfaced by :meth:`IFileReader.read_salvage`.
+
+    ``records`` is the record count the footer promised for the block
+    (what was lost); ``raw`` is the compressed block bytes as stored, for
+    quarantine side-files.
+    """
+
+    index: int
+    records: int
+    raw: bytes
+
+
+#: leading bytes of the chunked block format.  0x93 decodes as vint key
+#: length -109, which a plain segment can never legitimately start with,
+#: so the two layouts are distinguishable from the first byte.
+BLOCK_MAGIC = b"\x93IFB"
 #: two vint(-1) bytes
 EOF_MARKER_BYTES = 2
 #: EOF marker + CRC32
@@ -89,16 +150,28 @@ class IFileWriter:
         writer = IFileWriter(path, codec)
         writer.append(key_bytes, value_bytes)
         stats = writer.close()
+
+    With ``block_bytes`` set the segment uses the chunked block layout
+    (module docstring): records are sealed into independently
+    compressed, individually checksummed blocks of about ``block_bytes``
+    raw bytes each, so corruption localizes to one block.
     """
 
     def __init__(self, path: str | os.PathLike | None, codec: Codec | None = None,
-                 atomic: bool = False) -> None:
+                 atomic: bool = False, block_bytes: int | None = None) -> None:
         self.path = os.fspath(path) if path is not None else None
         self.codec = codec if codec is not None else NullCodec()
         #: write to a temp file and rename into place on close, so a
         #: reader (or a crashed writer) never observes a partial segment
         self.atomic = atomic
+        if block_bytes is not None and block_bytes < 256:
+            raise ValueError(f"block_bytes must be >= 256, got {block_bytes}")
+        self.block_bytes = block_bytes
         self._buf = ByteBuffer()
+        self._block_buf = ByteBuffer()
+        self._block_records = 0
+        #: per sealed block: (records, raw_len, comp_len, crc32)
+        self._blocks: list[tuple[int, int, int, int]] = []
         self.stats = IFileStats()
         self._closed = False
         self._blob: bytes | None = None
@@ -114,9 +187,17 @@ class IFileWriter:
         self.stats.key_bytes += len(key)
         self.stats.value_bytes += len(value)
         self.stats.records += 1
-        self._buf.write(frame)
-        self._buf.write(key)
-        self._buf.write(value)
+        if self.block_bytes is None:
+            self._buf.write(frame)
+            self._buf.write(key)
+            self._buf.write(value)
+            return
+        self._block_buf.write(frame)
+        self._block_buf.write(key)
+        self._block_buf.write(value)
+        self._block_records += 1
+        if len(self._block_buf) >= self.block_bytes:
+            self._seal_block()
 
     def append_batch(self, keys: "np.ndarray", values: "np.ndarray") -> None:
         """Append many fixed-width records in one numpy pass.
@@ -147,23 +228,66 @@ class IFileWriter:
         self.stats.key_bytes += kw * n
         self.stats.value_bytes += vw * n
         self.stats.records += n
-        self._buf.write(out.tobytes())
+        if self.block_bytes is None:
+            self._buf.write(out.tobytes())
+            return
+        flat = out.tobytes()
+        row = 0
+        while row < n:
+            room = self.block_bytes - len(self._block_buf)
+            take = min(n - row, max(1, room // pitch))
+            self._block_buf.write(flat[row * pitch:(row + take) * pitch])
+            self._block_records += take
+            row += take
+            if len(self._block_buf) >= self.block_bytes:
+                self._seal_block()
+
+    def _seal_block(self) -> None:
+        """Compress and checksum the pending block, if any."""
+        if self._block_records == 0:
+            return
+        raw = self._block_buf.getvalue()
+        comp = self.codec.compress(raw)
+        self._blocks.append(
+            (self._block_records, len(raw), len(comp), zlib.crc32(comp))
+        )
+        self._buf.write(comp)
+        self._block_buf.clear()
+        self._block_records = 0
 
     def close(self) -> IFileStats:
         """Finish the segment; returns the final byte accounting."""
         if self._closed:
             return self.stats
         self._closed = True
-        tail = bytearray()
-        write_vlong(-1, tail)
-        write_vlong(-1, tail)
-        assert len(tail) == EOF_MARKER_BYTES
-        self._buf.write(tail)
-        payload = self._buf.getvalue()
-        compressed = self.codec.compress(payload)
-        crc = zlib.crc32(compressed)
-        blob = compressed + crc.to_bytes(4, "big")
-        self.stats.overhead_bytes += TRAILER_BYTES
+        if self.block_bytes is None:
+            tail = bytearray()
+            write_vlong(-1, tail)
+            write_vlong(-1, tail)
+            assert len(tail) == EOF_MARKER_BYTES
+            self._buf.write(tail)
+            payload = self._buf.getvalue()
+            compressed = self.codec.compress(payload)
+            crc = zlib.crc32(compressed)
+            blob = compressed + crc.to_bytes(4, "big")
+            self.stats.overhead_bytes += TRAILER_BYTES
+        else:
+            self._seal_block()
+            footer = bytearray()
+            write_vlong(len(self._blocks), footer)
+            for nrec, raw_len, comp_len, crc in self._blocks:
+                write_vlong(nrec, footer)
+                write_vlong(raw_len, footer)
+                write_vlong(comp_len, footer)
+                footer.extend(crc.to_bytes(4, "big"))
+            blob = (
+                BLOCK_MAGIC
+                + self._buf.getvalue()
+                + bytes(footer)
+                + len(footer).to_bytes(4, "big")
+                + zlib.crc32(bytes(footer)).to_bytes(4, "big")
+            )
+            self.stats.overhead_bytes += len(BLOCK_MAGIC) + len(footer) + 8
         self.stats.materialized_bytes = len(blob)
         if self.path is not None:
             if self.atomic:
@@ -178,6 +302,7 @@ class IFileWriter:
         else:
             self._blob = blob
         self._buf.clear()
+        self._block_buf.clear()
         return self.stats
 
     def getvalue(self) -> bytes:
@@ -190,7 +315,15 @@ class IFileWriter:
 
 
 class IFileReader:
-    """Iterate ``(key_bytes, value_bytes)`` records of an IFile segment."""
+    """Iterate ``(key_bytes, value_bytes)`` records of an IFile segment.
+
+    Handles both the plain layout and the chunked block layout
+    transparently (dispatch on the leading :data:`BLOCK_MAGIC` bytes).
+    With ``verify_checksum=True`` a corrupt *block* raises
+    :class:`IFileBlockCorruptError` at construction -- catch it, re-open
+    with ``verify_checksum=False`` and call :meth:`read_salvage` to
+    recover the healthy remainder.
+    """
 
     def __init__(
         self,
@@ -205,41 +338,189 @@ class IFileReader:
         else:
             self.path = None
             blob = bytes(source)
+        self._codec = codec if codec is not None else NullCodec()
+        self._blocked = blob.startswith(BLOCK_MAGIC)
+        if self._blocked:
+            self._payload = b""
+            self._init_blocked(blob, verify_checksum)
+            return
+        self._blob = b""
+        self._blocks: list[tuple[int, int, int, int]] = []
+        self._block_offsets: list[int] = []
         if len(blob) < TRAILER_BYTES:
             raise IFileCorruptError(
                 f"segment too short ({len(blob)} bytes)", self.path)
         body, crc_bytes = blob[:-4], blob[-4:]
         if verify_checksum and zlib.crc32(body) != int.from_bytes(crc_bytes, "big"):
             raise IFileCorruptError("IFile checksum mismatch", self.path)
-        codec = codec if codec is not None else NullCodec()
-        self._payload = codec.decompress(body)
+        self._payload = self._codec.decompress(body)
         if len(self._payload) < EOF_MARKER_BYTES:
-            raise ValueError("decompressed payload missing EOF marker")
+            raise MalformedRecordError(
+                "decompressed payload missing EOF marker", path=self.path)
+
+    def _init_blocked(self, blob: bytes, verify_checksum: bool) -> None:
+        """Parse and (optionally) verify the chunked block layout."""
+        self._blob = blob
+        if len(blob) < len(BLOCK_MAGIC) + 9:
+            raise IFileCorruptError(
+                f"blocked segment too short ({len(blob)} bytes)", self.path)
+        footer_len = int.from_bytes(blob[-8:-4], "big")
+        footer_crc = int.from_bytes(blob[-4:], "big")
+        if footer_len < 1 or len(BLOCK_MAGIC) + footer_len + 8 > len(blob):
+            raise IFileCorruptError(
+                f"bad block footer length {footer_len}", self.path)
+        footer = blob[len(blob) - 8 - footer_len:len(blob) - 8]
+        if zlib.crc32(footer) != footer_crc:
+            raise IFileCorruptError("block footer checksum mismatch", self.path)
+        try:
+            nblocks, offset = read_vlong(footer, 0)
+            if nblocks < 0:
+                raise IFileCorruptError(
+                    f"bad block count {nblocks}", self.path)
+            blocks = []
+            for _ in range(nblocks):
+                nrec, offset = read_vlong(footer, offset)
+                raw_len, offset = read_vlong(footer, offset)
+                comp_len, offset = read_vlong(footer, offset)
+                if offset + 4 > len(footer):
+                    raise IFileCorruptError("truncated block footer", self.path)
+                crc = int.from_bytes(footer[offset:offset + 4], "big")
+                offset += 4
+                if nrec < 0 or raw_len < 0 or comp_len < 0:
+                    raise IFileCorruptError("malformed block footer", self.path)
+                blocks.append((nrec, raw_len, comp_len, crc))
+            if offset != len(footer):
+                raise IFileCorruptError(
+                    "trailing bytes in block footer", self.path)
+        except IFileCorruptError:
+            raise
+        except CorruptRecordError as exc:
+            raise IFileCorruptError(
+                f"malformed block footer: {exc}", self.path) from exc
+        body_len = len(blob) - len(BLOCK_MAGIC) - footer_len - 8
+        if sum(b[2] for b in blocks) != body_len:
+            raise IFileCorruptError(
+                "block sizes disagree with segment length", self.path)
+        offsets = []
+        pos = len(BLOCK_MAGIC)
+        for _, _, comp_len, _ in blocks:
+            offsets.append(pos)
+            pos += comp_len
+        self._blocks = blocks
+        self._block_offsets = offsets
+        if verify_checksum:
+            for i, (nrec, _, comp_len, crc) in enumerate(blocks):
+                start = offsets[i]
+                if zlib.crc32(blob[start:start + comp_len]) != crc:
+                    raise IFileBlockCorruptError(
+                        "block checksum mismatch", self.path,
+                        block_index=i, records_lost=nrec)
+
+    @property
+    def is_blocked(self) -> bool:
+        """True when the segment uses the chunked block layout."""
+        return self._blocked
+
+    def _decode_block(self, index: int) -> list[tuple[bytes, bytes]]:
+        """Decompress and decode one block into its records (strict)."""
+        nrec, raw_len, comp_len, _ = self._blocks[index]
+        start = self._block_offsets[index]
+        raw = self._codec.decompress(self._blob[start:start + comp_len])
+        if len(raw) != raw_len:
+            raise MalformedRecordError(
+                f"block {index} decompressed to {len(raw)} bytes, "
+                f"footer says {raw_len}", path=self.path)
+        buf = memoryview(raw)
+        offset = 0
+        records = []
+        for r in range(nrec):
+            key_len, offset = read_vlong(buf, offset)
+            val_len, offset = read_vlong(buf, offset)
+            if key_len < 0 or val_len < 0 or offset + key_len + val_len > len(buf):
+                raise MalformedRecordError(
+                    "malformed record frame", offset=offset,
+                    record_index=r, path=self.path)
+            key = bytes(buf[offset:offset + key_len])
+            offset += key_len
+            value = bytes(buf[offset:offset + val_len])
+            offset += val_len
+            records.append((key, value))
+        if offset != len(buf):
+            raise MalformedRecordError(
+                f"{len(buf) - offset} trailing bytes in block {index}",
+                offset=offset, path=self.path)
+        return records
 
     def __iter__(self) -> Iterator[tuple[bytes, bytes]]:
+        if self._blocked:
+            for i in range(len(self._blocks)):
+                yield from self._decode_block(i)
+            return
         buf = memoryview(self._payload)
         offset = 0
+        index = 0
         while True:
             key_len, offset = read_vlong(buf, offset)
             if key_len == -1:
                 val_len, offset = read_vlong(buf, offset)
                 if val_len != -1:
-                    raise ValueError("malformed EOF marker")
+                    raise MalformedRecordError(
+                        "malformed EOF marker", offset=offset, path=self.path)
                 if offset != len(buf):
-                    raise ValueError("trailing bytes after EOF marker")
+                    raise MalformedRecordError(
+                        "trailing bytes after EOF marker", offset=offset,
+                        path=self.path)
                 return
             val_len, offset = read_vlong(buf, offset)
             if key_len < 0 or val_len < 0 or offset + key_len + val_len > len(buf):
-                raise ValueError("malformed record frame")
+                raise MalformedRecordError(
+                    "malformed record frame", offset=offset,
+                    record_index=index, path=self.path)
             key = bytes(buf[offset:offset + key_len])
             offset += key_len
             value = bytes(buf[offset:offset + val_len])
             offset += val_len
+            index += 1
             yield key, value
 
     def read_all(self) -> list[tuple[bytes, bytes]]:
         """Materialize every record (convenience for tests/small segments)."""
         return list(self)
+
+    def read_salvage(self) -> tuple[list[tuple[bytes, bytes]], list[BadBlock]]:
+        """Recover every decodable record of a chunked segment.
+
+        Returns ``(records, bad_blocks)``: records from every block whose
+        CRC and decode succeed, in stream order, plus a :class:`BadBlock`
+        per failed block (its footer-promised record count and raw
+        compressed bytes, for quarantine).  Open the reader with
+        ``verify_checksum=False`` first, otherwise construction already
+        raised on the bad block.  Plain (non-chunked) segments have no
+        block boundaries to salvage at: an intact segment returns
+        ``(all records, [])``, a damaged one raises
+        :class:`IFileCorruptError` (whole-segment repair territory).
+        """
+        if not self._blocked:
+            # Construction already verified/decompressed; damage beyond
+            # the CRC surfaces as decode errors here.
+            try:
+                return self.read_all(), []
+            except CorruptRecordError as exc:
+                raise IFileCorruptError(
+                    f"plain segment unsalvageable: {exc}", self.path) from exc
+        records: list[tuple[bytes, bytes]] = []
+        bad: list[BadBlock] = []
+        for i, (nrec, _, comp_len, crc) in enumerate(self._blocks):
+            start = self._block_offsets[i]
+            comp = self._blob[start:start + comp_len]
+            if zlib.crc32(comp) != crc:
+                bad.append(BadBlock(i, nrec, comp))
+                continue
+            try:
+                records.extend(self._decode_block(i))
+            except CorruptRecordError:
+                bad.append(BadBlock(i, nrec, comp))
+        return records, bad
 
     def read_columnar(
         self, key_width: int, value_width: int
@@ -252,7 +533,11 @@ class IFileReader:
         must match -- and ``None`` is returned if it does not, so callers
         can fall back to the record iterator.  Equivalent to
         :meth:`read_all` without materializing per-record ``bytes``.
+        Chunked segments return ``None`` (spills, the columnar fast
+        path's input, are always plain).
         """
+        if self._blocked:
+            return None
         if key_width <= 0 or value_width <= 0:
             return None
         frame = bytearray()

@@ -19,9 +19,32 @@ from repro.mapreduce.api import Combiner, Mapper, Reducer
 from repro.mapreduce.partition import HashPartitioner, Partitioner
 from repro.mapreduce.serde import Serde
 
-__all__ = ["Job", "ShufflePlugin"]
+__all__ = ["Job", "ShufflePlugin", "SkipPolicy"]
 
 Record = tuple[bytes, bytes]
+
+
+@dataclass(frozen=True)
+class SkipPolicy:
+    """Record-level skipping configuration (Hadoop SkipBadRecords).
+
+    When set on a job, an attempt that fails inside user code or record
+    decode is re-run in skipping mode: the runtime bisects the input
+    record range to isolate the poison records, writes them to a
+    quarantine side-file, and processes the clean remainder.  The clean
+    path is untouched -- skipping only engages after a failure.
+    """
+
+    #: hard cap on records quarantined per task; exceeding it fails the
+    #: task (a fault that poisons everything should not "succeed")
+    skip_budget: int = 1024
+    #: directory for quarantine side-files (None = the task's workdir)
+    quarantine_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.skip_budget < 1:
+            raise ValueError(
+                f"skip_budget must be >= 1, got {self.skip_budget}")
 
 
 class ShufflePlugin(Protocol):
@@ -74,6 +97,13 @@ class Job:
     #: part files (Fig 1 step 7) so output bytes are measured exactly
     output_key_serde: Serde | None = None
     output_value_serde: Serde | None = None
+    #: record-level skipping mode (None = a poison record fails the task
+    #: after retries, exactly as before)
+    skipping: SkipPolicy | None = None
+    #: chunk final map-output segments into independently checksummed
+    #: blocks of about this many raw bytes (None = plain whole-segment
+    #: CRC).  Lets a reducer salvage all but the damaged block.
+    ifile_block_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_reducers < 1:
@@ -84,3 +114,6 @@ class Job:
             raise ValueError("sort_buffer_bytes unreasonably small (< 1 KiB)")
         if self.merge_factor < 2:
             raise ValueError(f"merge_factor must be >= 2, got {self.merge_factor}")
+        if self.ifile_block_bytes is not None and self.ifile_block_bytes < 256:
+            raise ValueError(
+                f"ifile_block_bytes must be >= 256, got {self.ifile_block_bytes}")

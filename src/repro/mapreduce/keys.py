@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.mapreduce.serde import Int32Serde, Int64Serde, Serde, TextSerde
+from repro.util.errors import CorruptRecordError, MalformedRecordError
 
 __all__ = ["CellKey", "CellKeySerde", "RangeKey", "RangeKeySerde"]
 
@@ -127,6 +128,7 @@ class CellKeySerde(Serde):
             _INT32.write(obj.slot, out)
 
     def read(self, buf: memoryview | bytes, offset: int) -> tuple[CellKey, int]:
+        start = offset
         variable, offset = self._var_serde.read(buf, offset)
         coords = []
         for _ in range(self.ndim):
@@ -135,7 +137,14 @@ class CellKeySerde(Serde):
         slot = 0
         if self.include_slot:
             slot, offset = _INT32.read(buf, offset)
-        return CellKey(variable, tuple(coords), slot), offset
+        try:
+            key = CellKey(variable, tuple(coords), slot)
+        except CorruptRecordError:
+            raise
+        except ValueError as exc:
+            raise MalformedRecordError(f"invalid cell key: {exc}",
+                                       offset=start) from exc
+        return key, offset
 
     # -- vectorized bulk path -------------------------------------------------
 
@@ -228,10 +237,18 @@ class RangeKeySerde(Serde):
         _INT32.write(obj.count, out)
 
     def read(self, buf: memoryview | bytes, offset: int) -> tuple[RangeKey, int]:
+        begin = offset
         variable, offset = self._var_serde.read(buf, offset)
         start, offset = _INT64.read(buf, offset)
         count, offset = _INT32.read(buf, offset)
-        return RangeKey(variable, start, count), offset
+        try:
+            key = RangeKey(variable, start, count)
+        except CorruptRecordError:
+            raise
+        except ValueError as exc:
+            raise MalformedRecordError(f"invalid range key: {exc}",
+                                       offset=begin) from exc
+        return key, offset
 
     def key_size(self, variable: str | int) -> int:
         probe = bytearray()

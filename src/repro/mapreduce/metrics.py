@@ -36,6 +36,11 @@ class C:
     REDUCE_INPUT_GROUPS = "REDUCE_INPUT_GROUPS"
     REDUCE_INPUT_RECORDS = "REDUCE_INPUT_RECORDS"
     REDUCE_OUTPUT_RECORDS = "REDUCE_OUTPUT_RECORDS"
+    # skipping mode (Hadoop SkipBadRecords): poison/corrupt records the
+    # task isolated and routed to quarantine side-files instead of failing
+    RECORDS_SKIPPED = "RECORDS_SKIPPED"
+    QUARANTINE_RECORDS = "QUARANTINE_RECORDS"
+    QUARANTINE_BYTES = "QUARANTINE_BYTES"
 
 
 class Counters:

@@ -15,14 +15,24 @@ layers on the robustness a real cluster runtime needs:
   (checkpoint + resume): completed tasks are recorded with file CRCs
   and adopted by a re-run instead of re-executed;
 * :mod:`~repro.mapreduce.runtime.fault` -- deterministic fault
-  injection (kill / crash / hang / corrupt / stall) for tests;
+  injection (kill / crash / hang / corrupt / stall / poison) for tests;
+* :mod:`~repro.mapreduce.runtime.skipping` -- record-level skipping
+  mode (Hadoop SkipBadRecords): bisection over the input record range
+  quarantines poison records and salvages corrupt IFile blocks so the
+  task completes over the surviving records;
 * :mod:`~repro.mapreduce.runtime.trace` -- per-task timeline events and
   measured profiles, consumable by the cluster simulator;
 * :mod:`~repro.mapreduce.runtime.runner` -- the drop-in
   :class:`ParallelJobRunner` with byte-identical counters.
 """
 
-from repro.mapreduce.runtime.fault import Fault, FaultInjector
+from repro.mapreduce.runtime.fault import (
+    Fault,
+    FaultInjector,
+    PoisonRecordError,
+    corrupt_file,
+    poisoned_job,
+)
 from repro.mapreduce.runtime.recovery import (
     JobManifest,
     TaskRecord,
@@ -35,6 +45,15 @@ from repro.mapreduce.runtime.scheduler import (
     TaskSpec,
     WaveDeadlineError,
 )
+from repro.mapreduce.runtime.skipping import (
+    QuarantineWriter,
+    SkipBudgetExceededError,
+    SkipUnsupportedError,
+    bisect_poison_records,
+    is_skip_eligible,
+    run_map_task_skipping,
+    run_reduce_task_skipping,
+)
 from repro.mapreduce.runtime.trace import RuntimeTrace, TaskEvent
 
 __all__ = [
@@ -42,12 +61,22 @@ __all__ = [
     "FaultInjector",
     "JobManifest",
     "ParallelJobRunner",
+    "PoisonRecordError",
+    "QuarantineWriter",
     "RuntimeTrace",
+    "SkipBudgetExceededError",
+    "SkipUnsupportedError",
     "TaskEvent",
     "TaskFailedError",
     "TaskRecord",
     "TaskScheduler",
     "TaskSpec",
     "WaveDeadlineError",
+    "bisect_poison_records",
+    "corrupt_file",
+    "is_skip_eligible",
     "job_fingerprint",
+    "poisoned_job",
+    "run_map_task_skipping",
+    "run_reduce_task_skipping",
 ]

@@ -1,4 +1,4 @@
-"""Deterministic fault injection for the parallel task runtime.
+"""Deterministic fault injection for the task runtimes.
 
 A :class:`FaultInjector` is a picklable plan mapping ``(task_id,
 attempt)`` to one :class:`Fault`.  The plan rides into every worker
@@ -14,23 +14,49 @@ exercise the scheduler's whole failure surface deterministically:
 * ``stall``   -- the worker SIGSTOPs itself: the process stays *alive*
   but every thread (heartbeat included) freezes, which only the
   scheduler's heartbeat-staleness check can detect;
-* ``corrupt`` -- a map task completes *successfully* but one of its
-  output segments is silently bit-flipped on disk, which only surfaces
-  when a reducer fails the segment checksum (Hadoop's fetch-failure
-  scenario).
+* ``corrupt`` -- a segment file is silently damaged on disk.  By
+  default a map task completes *successfully* but one of its output
+  segments is bit-flipped (Hadoop's fetch-failure scenario); ``where=
+  "reduce-input"`` instead damages one of a reduce task's input
+  segments before it runs, and ``offset_frac``/``op`` choose the
+  position and kind of damage (flip one byte, truncate, splice);
+* ``poison``  -- user code raises deterministically on one input
+  record (``record``), the scenario Hadoop's SkipBadRecords exists
+  for.  Poison faults are *sticky* by default: retries hit the same
+  record, so only skipping mode can get the task past it.
 
-Faults target a specific attempt (default: the first), so the retried
-attempt runs clean and the job completes -- which is exactly what the
-robustness tests assert.
+Non-sticky faults target a specific attempt (default: the first), so
+the retried attempt runs clean and the job completes -- which is
+exactly what the robustness tests assert.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, replace as dc_replace
+from typing import Any
 
-__all__ = ["Fault", "FaultInjector"]
+from repro.mapreduce.api import MapContext, Mapper, ReduceContext, Reducer
 
-MODES = ("kill", "crash", "hang", "corrupt", "stall")
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "PoisonRecordError",
+    "PoisonedMapper",
+    "PoisonedReducer",
+    "poisoned_job",
+    "corrupt_file",
+]
+
+MODES = ("kill", "crash", "hang", "corrupt", "stall", "poison")
+#: which file a ``corrupt`` fault damages
+CORRUPT_WHERE = ("map-output", "reduce-input")
+#: how a ``corrupt`` fault damages it
+CORRUPT_OPS = ("flip", "truncate", "splice")
+
+
+class PoisonRecordError(RuntimeError):
+    """The deterministic user-code failure a ``poison`` fault injects."""
 
 
 @dataclass(frozen=True)
@@ -43,6 +69,22 @@ class Fault:
     seconds: float = 30.0
     #: process exit status for ``kill`` faults
     exit_code: int = 13
+    #: target record for ``poison`` faults: a flat input cell index for
+    #: map tasks, a reduce-group ordinal for reduce tasks
+    record: int = 0
+    #: apply on every attempt >= ``attempt`` (None = mode default:
+    #: sticky for ``poison``, one-shot for everything else)
+    sticky: bool | None = None
+    #: ``corrupt`` target file: a map task's output segment or a reduce
+    #: task's input segment
+    where: str = "map-output"
+    #: ``corrupt`` segment selector: the partition (map-output) or the
+    #: input index (reduce-input); None = the first one
+    segment: int | None = None
+    #: ``corrupt`` damage position as a fraction of the file size
+    offset_frac: float = 0.5
+    #: ``corrupt`` damage kind: flip / truncate / splice
+    op: str = "flip"
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -51,6 +93,19 @@ class Fault:
             raise ValueError(f"attempt must be >= 0, got {self.attempt}")
         if self.seconds < 0:
             raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+        if self.record < 0:
+            raise ValueError(f"record must be >= 0, got {self.record}")
+        if self.where not in CORRUPT_WHERE:
+            raise ValueError(
+                f"unknown corrupt target {self.where!r}; have {CORRUPT_WHERE}")
+        if self.op not in CORRUPT_OPS:
+            raise ValueError(
+                f"unknown corrupt op {self.op!r}; have {CORRUPT_OPS}")
+        if not 0.0 <= self.offset_frac <= 1.0:
+            raise ValueError(
+                f"offset_frac must be in [0, 1], got {self.offset_frac}")
+        if self.sticky is None:
+            object.__setattr__(self, "sticky", self.mode == "poison")
 
 
 class FaultInjector:
@@ -79,15 +134,41 @@ class FaultInjector:
              attempt: int = 0) -> "FaultInjector":
         return self.add(task_id, Fault("hang", attempt, seconds=seconds))
 
-    def corrupt(self, task_id: str, attempt: int = 0) -> "FaultInjector":
-        return self.add(task_id, Fault("corrupt", attempt))
+    def corrupt(self, task_id: str, attempt: int = 0, *,
+                where: str = "map-output", segment: int | None = None,
+                offset_frac: float = 0.5, op: str = "flip") -> "FaultInjector":
+        """Plan silent disk damage: a map output (default) or, with
+        ``where="reduce-input"``, one of a reduce task's inputs."""
+        return self.add(task_id, Fault(
+            "corrupt", attempt, where=where, segment=segment,
+            offset_frac=offset_frac, op=op))
 
     def stall(self, task_id: str, attempt: int = 0) -> "FaultInjector":
         return self.add(task_id, Fault("stall", attempt))
 
+    def poison(self, task_id: str, record: int,
+               attempt: int = 0) -> "FaultInjector":
+        """Plan a deterministic user-code failure on one input record."""
+        return self.add(task_id, Fault("poison", attempt, record=record))
+
     def fault_for(self, task_id: str, attempt: int) -> Fault | None:
-        """The fault planned for this attempt, if any."""
-        return self._plan.get((task_id, attempt))
+        """The fault planned for this attempt, if any.
+
+        An exact ``(task_id, attempt)`` entry wins; otherwise the most
+        recently anchored *sticky* fault with ``fault.attempt <=
+        attempt`` applies -- a poison record does not go away because
+        the task was retried.
+        """
+        exact = self._plan.get((task_id, attempt))
+        if exact is not None:
+            return exact
+        best: Fault | None = None
+        for (tid, anchor), fault in self._plan.items():
+            if tid != task_id or not fault.sticky or anchor > attempt:
+                continue
+            if best is None or anchor > best.attempt:
+                best = fault
+        return best
 
     def __len__(self) -> int:
         return len(self._plan)
@@ -97,3 +178,126 @@ class FaultInjector:
             f"{tid}.{att}={f.mode}" for (tid, att), f in sorted(self._plan.items())
         )
         return f"FaultInjector({rows})"
+
+
+def corrupt_file(path: str, offset_frac: float = 0.5, op: str = "flip") -> None:
+    """Damage ``path`` in place the way a ``corrupt`` fault specifies.
+
+    ``flip`` XORs one byte at ``offset_frac`` of the file, ``truncate``
+    cuts the file there, ``splice`` swaps two 8-byte windows (simulating
+    a misdirected write).  A splice whose windows carry identical bytes
+    would be a no-op, so it falls back to a flip -- injected corruption
+    must actually corrupt.
+    """
+    size = os.path.getsize(path)
+    if size == 0:
+        return
+    offset = min(size - 1, int(size * offset_frac))
+    if op == "truncate":
+        os.truncate(path, offset)
+        return
+    if op == "splice":
+        a, b = offset // 2, offset
+        width = min(8, size - b, b - a)
+        if width > 0:
+            with open(path, "r+b") as fh:
+                fh.seek(a)
+                first = fh.read(width)
+                fh.seek(b)
+                second = fh.read(width)
+                if first != second:
+                    fh.seek(a)
+                    fh.write(second)
+                    fh.seek(b)
+                    fh.write(first)
+                    return
+        # degenerate window (tiny file or identical bytes): flip instead
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)
+        fh.seek(offset)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+
+
+class PoisonedMapper(Mapper):
+    """Wraps a job's mapper so one input record raises (``poison``).
+
+    The poison record is a flat (row-major) cell index into the split's
+    slab.  :meth:`map` raises before emitting anything when the record
+    is in range; :meth:`map_range` raises only when the range covers the
+    record, so skipping mode can bisect down to it.
+    """
+
+    def __init__(self, inner: Mapper, record: int) -> None:
+        self.inner = inner
+        self.record = record
+        self.wants_dataset = getattr(inner, "wants_dataset", False)
+
+    @property
+    def dataset(self) -> Any:
+        """The input dataset, forwarded to the wrapped mapper."""
+        return self.inner.dataset
+
+    @dataset.setter
+    def dataset(self, value: Any) -> None:
+        self.inner.dataset = value
+
+    def setup(self, split) -> None:
+        self.inner.setup(split)
+
+    def map(self, split, values, ctx: MapContext) -> None:
+        if 0 <= self.record < values.size:
+            raise PoisonRecordError(
+                f"injected poison record {self.record} in split "
+                f"{split.split_id}")
+        self.inner.map(split, values, ctx)
+
+    def map_range(self, split, values, ctx: MapContext,
+                  start: int, stop: int) -> None:
+        if start <= self.record < stop:
+            raise PoisonRecordError(
+                f"injected poison record {self.record} in split "
+                f"{split.split_id}")
+        self.inner.map_range(split, values, ctx, start, stop)
+
+    def cleanup(self, ctx: MapContext) -> None:
+        self.inner.cleanup(ctx)
+
+
+class PoisonedReducer(Reducer):
+    """Wraps a job's reducer so one key group raises (``poison``).
+
+    The poison record is the zero-based ordinal of the key group within
+    the reduce task's sorted input.
+    """
+
+    def __init__(self, inner: Reducer, record: int) -> None:
+        self.inner = inner
+        self.record = record
+        self._ordinal = -1
+
+    def reduce(self, key, values, ctx: ReduceContext) -> None:
+        self._ordinal += 1
+        if self._ordinal == self.record:
+            raise PoisonRecordError(
+                f"injected poison at reduce group {self.record} "
+                f"(key {key!r})")
+        self.inner.reduce(key, values, ctx)
+
+
+def poisoned_job(job: Any, fault: Fault, kind: str) -> Any:
+    """A copy of ``job`` whose mapper or reducer factory injects
+    ``fault``'s poison record.
+
+    Built *inside* the process that runs the task (the factory closure
+    is not picklable, and does not need to be).
+    """
+    if kind == "map":
+        base = job.mapper
+        return dc_replace(
+            job, mapper=lambda: PoisonedMapper(base(), fault.record))
+    if kind == "reduce":
+        base_r = job.reducer
+        return dc_replace(
+            job, reducer=lambda: PoisonedReducer(base_r(), fault.record))
+    raise ValueError(f"unknown task kind {kind!r}")

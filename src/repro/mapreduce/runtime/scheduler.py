@@ -29,6 +29,12 @@ bounded pool of worker processes.  It owns the whole robustness story:
   checksum reports the offending path; the caller-supplied ``repair``
   hook re-generates that map output in place and the reduce retries
   (Hadoop's fetch-failure -> re-execute-the-mapper protocol).
+* **Record skipping** -- when a job carries a
+  :class:`~repro.mapreduce.job.SkipPolicy` and an attempt fails with a
+  skip-eligible error (user-code or record-local corruption), every
+  later attempt of that task runs in record-level skipping mode (see
+  :mod:`~repro.mapreduce.runtime.skipping`): poison records are
+  bisected out into quarantine and the task completes over the rest.
 * **Checkpoint adoption** -- ``run_wave(..., precomputed=...)`` seeds
   the wave with results recovered from a job manifest (see
   :mod:`~repro.mapreduce.runtime.recovery`); adopted tasks are recorded
@@ -50,6 +56,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.mapreduce.metrics import C
 from repro.mapreduce.runtime.fault import FaultInjector
 from repro.mapreduce.runtime.trace import RuntimeTrace
 from repro.mapreduce.runtime.worker import (
@@ -274,6 +281,9 @@ class TaskScheduler:
             (s, 0.0) for s in specs if s.task_id not in results]
         running: list[_Attempt] = []
         failures: dict[str, int] = defaultdict(int)
+        #: tasks whose next attempts run in record-skipping mode; sticky
+        #: for the rest of the wave once a skip-eligible failure is seen
+        skip_tasks: set[str] = set()
         next_attempt: dict[str, int] = defaultdict(int)
         durations: list[float] = []
         wave_started = time.monotonic()
@@ -289,12 +299,14 @@ class TaskScheduler:
             result_path = os.path.join(attempt_dir, "_result.pkl")
             fault = (self.fault_injector.fault_for(spec.task_id, number)
                      if self.fault_injector is not None else None)
+            skip_mode = spec.task_id in skip_tasks
             process = self._ctx.Process(
                 target=worker_entry,
                 args=(spec.task_id, spec.kind, number, attempt_dir,
                       result_path, job,
                       dataset if spec.kind == "map" else None,
-                      spec.payload, fault, self.heartbeat_interval),
+                      spec.payload, fault, self.heartbeat_interval,
+                      skip_mode),
                 daemon=True,
             )
             process.start()
@@ -302,6 +314,9 @@ class TaskScheduler:
                                     result_path, speculative))
             if speculative:
                 trace.record(spec.task_id, number, spec.kind, "speculated")
+            if skip_mode:
+                trace.record(spec.task_id, number, spec.kind, "skipping",
+                             "record-level skipping after eligible failure")
             trace.record(spec.task_id, number, spec.kind, "started")
 
         def kill_rivals(task_id: str, winner: _Attempt) -> None:
@@ -316,7 +331,8 @@ class TaskScheduler:
                 shutil.rmtree(rival.dir, ignore_errors=True)
 
         def record_failure(attempt: _Attempt, detail: str,
-                           corrupt_path: str | None = None) -> None:
+                           corrupt_path: str | None = None,
+                           skip_eligible: bool = False) -> None:
             """Common failure path: cleanup, repair, requeue or raise."""
             spec = attempt.spec
             task_id = spec.task_id
@@ -324,6 +340,8 @@ class TaskScheduler:
             shutil.rmtree(attempt.dir, ignore_errors=True)
             if corrupt_path is not None and repair is not None:
                 repair(corrupt_path)
+            if skip_eligible and getattr(job, "skipping", None) is not None:
+                skip_tasks.add(task_id)
             failures[task_id] += 1
             rival_running = any(a.spec.task_id == task_id for a in running)
             if failures[task_id] > self.max_retries:
@@ -351,6 +369,13 @@ class TaskScheduler:
                 results[task_id] = result["value"]
                 durations.append(time.monotonic() - attempt.started)
                 trace.record(task_id, attempt.number, spec.kind, "finished")
+                counters = getattr(result["value"], "counters", None)
+                skipped = (counters.get(C.RECORDS_SKIPPED)
+                           if counters is not None else 0)
+                if skipped:
+                    trace.record(
+                        task_id, attempt.number, spec.kind, "quarantined",
+                        f"{skipped} record(s) skipped into quarantine")
                 if on_complete is not None:
                     on_complete(spec, attempt.number, attempt.dir,
                                 attempt.result_path, result["value"])
@@ -366,10 +391,12 @@ class TaskScheduler:
                 detail = (f"worker exited with code "
                           f"{attempt.process.exitcode} and no result")
                 corrupt_path = None
+                skip_eligible = False
             else:
                 detail = f"{result['error_type']}: {result['message']}"
                 corrupt_path = result.get("corrupt_path")
-            record_failure(attempt, detail, corrupt_path)
+                skip_eligible = result.get("skip_eligible", False)
+            record_failure(attempt, detail, corrupt_path, skip_eligible)
 
         def deadline_breach(attempt: _Attempt, now: float) -> str | None:
             """Why this attempt must die now, or ``None`` to let it run."""

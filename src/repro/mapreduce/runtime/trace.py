@@ -34,6 +34,8 @@ EVENT_KINDS = (
     "repaired",    # a corrupt map segment was re-generated in place
     "timeout",     # an attempt was killed for deadline/heartbeat breach
     "adopted",     # a checkpointed result was validated and reused
+    "skipping",    # an attempt launched in record-skipping mode
+    "quarantined", # a winning attempt skipped records into quarantine
 )
 
 

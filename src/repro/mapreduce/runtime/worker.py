@@ -35,24 +35,18 @@ from typing import Any
 
 from repro.mapreduce.engine import run_map_task, run_reduce_task
 from repro.mapreduce.ifile import IFileCorruptError
-from repro.mapreduce.runtime.fault import Fault
+from repro.mapreduce.runtime.fault import Fault, corrupt_file, poisoned_job
+from repro.mapreduce.runtime.skipping import (
+    is_skip_eligible,
+    run_map_task_skipping,
+    run_reduce_task_skipping,
+)
 from repro.util.fsio import fsync_file, replace_durably
 
 __all__ = ["worker_entry", "load_result", "HEARTBEAT_NAME"]
 
 #: heartbeat filename inside an attempt directory
 HEARTBEAT_NAME = "_heartbeat"
-
-
-def _corrupt_segment(path: str) -> None:
-    """Flip one byte in the middle of a segment file (silent bit rot)."""
-    size = os.path.getsize(path)
-    offset = size // 2
-    with open(path, "r+b") as fh:
-        fh.seek(offset)
-        byte = fh.read(1)
-        fh.seek(offset)
-        fh.write(bytes([byte[0] ^ 0xFF]))
 
 
 def _start_heartbeat(attempt_dir: str, interval: float) -> None:
@@ -113,11 +107,14 @@ def worker_entry(
     payload: Any,
     fault: Fault | None,
     heartbeat_interval: float = 0.25,
+    skip_mode: bool = False,
 ) -> None:
     """Process target: run one task attempt and persist its result.
 
     ``payload`` is the task input: an ``InputSplit`` for map tasks, a
-    ``(partition, segments)`` pair for reduce tasks.
+    ``(partition, segments)`` pair for reduce tasks.  With ``skip_mode``
+    the task body runs in record-level skipping mode (the scheduler sets
+    it after a skip-eligible failure of a previous attempt).
     """
     _start_heartbeat(attempt_dir, heartbeat_interval)
     try:
@@ -135,27 +132,52 @@ def worker_entry(
                 # stays alive but its heartbeat goes stale -- the case
                 # only the scheduler's staleness check can catch.
                 os.kill(os.getpid(), signal.SIGSTOP)
+            if fault.mode == "poison":
+                job = poisoned_job(job, fault, kind)
 
         if kind == "map":
-            value: Any = run_map_task(job, payload, dataset, attempt_dir)
-            if fault is not None and fault.mode == "corrupt":
+            if skip_mode:
+                value: Any = run_map_task_skipping(
+                    job, payload, dataset, attempt_dir)
+            else:
+                value = run_map_task(job, payload, dataset, attempt_dir)
+            if fault is not None and fault.mode == "corrupt" \
+                    and fault.where == "map-output":
                 # The task *believes* it succeeded; the damage is only
                 # discoverable by a reducer's checksum verification.
-                path, _ = value.segments[min(value.segments)]
-                _corrupt_segment(path)
+                target = (fault.segment if fault.segment in value.segments
+                          else min(value.segments))
+                path, _ = value.segments[target]
+                corrupt_file(path, fault.offset_frac, fault.op)
         elif kind == "reduce":
             part, segments = payload
-            value = run_reduce_task(job, part, segments, attempt_dir)
+            if fault is not None and fault.mode == "corrupt" \
+                    and fault.where == "reduce-input" and segments:
+                index = fault.segment if fault.segment is not None else 0
+                corrupt_file(segments[index % len(segments)][0],
+                             fault.offset_frac, fault.op)
+            if skip_mode:
+                value = run_reduce_task_skipping(job, part, segments,
+                                                 attempt_dir)
+            else:
+                value = run_reduce_task(job, part, segments, attempt_dir)
         else:
             raise ValueError(f"unknown task kind {kind!r}")
         result = {"status": "ok", "value": value}
     except BaseException as exc:
+        skippable = (isinstance(exc, Exception)
+                     and getattr(job, "skipping", None) is not None
+                     and is_skip_eligible(exc))
         result = {
             "status": "error",
             "error_type": type(exc).__name__,
             "message": str(exc),
             "traceback": traceback.format_exc(),
-            "corrupt_path": exc.path if isinstance(exc, IFileCorruptError) else None,
+            # mutually exclusive with skip_eligible: block-local damage
+            # under a skip policy is skipping's to salvage, not repair's
+            "corrupt_path": (exc.path if isinstance(exc, IFileCorruptError)
+                             and not skippable else None),
+            "skip_eligible": skippable,
         }
     try:
         _write_result(result_path, result)
@@ -166,4 +188,5 @@ def worker_entry(
             "message": f"failed to serialize task result: {exc}",
             "traceback": traceback.format_exc(),
             "corrupt_path": None,
+            "skip_eligible": False,
         })

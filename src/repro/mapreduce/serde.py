@@ -28,6 +28,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.util.errors import MalformedRecordError, TruncatedRecordError
 from repro.util.varint import read_vlong, write_vlong
 
 __all__ = [
@@ -45,6 +46,22 @@ _I32 = struct.Struct(">I")
 _I64 = struct.Struct(">Q")
 _F32 = struct.Struct(">f")
 _F64 = struct.Struct(">d")
+
+
+def _unpack_fixed(st: struct.Struct, buf: memoryview | bytes, offset: int) -> Any:
+    """Unpack one fixed-width field; structured error on short buffers.
+
+    ``struct.unpack_from`` raises a raw ``struct.error`` when the buffer
+    ends mid-field -- surface it as
+    :class:`~repro.util.errors.TruncatedRecordError` with the offset so
+    hostile bytes fail the same way everywhere.
+    """
+    try:
+        return st.unpack_from(buf, offset)[0]
+    except struct.error as exc:
+        raise TruncatedRecordError(
+            f"truncated {st.size}-byte field", offset=offset
+        ) from exc
 
 
 class Serde(ABC):
@@ -66,7 +83,9 @@ class Serde(ABC):
     def from_bytes(self, data: bytes | memoryview) -> Any:
         obj, end = self.read(data, 0)
         if end != len(data):
-            raise ValueError(f"{end - len(data)} trailing bytes after decode")
+            raise MalformedRecordError(
+                f"{end - len(data)} trailing bytes after decode", offset=end
+            )
         return obj
 
     # -- columnar (batched) contract ---------------------------------------
@@ -92,11 +111,23 @@ class Serde(ABC):
         """Decode ``count`` consecutive objects packed in ``buf``."""
         out = []
         offset = 0
-        for _ in range(count):
-            obj, offset = self.read(buf, offset)
+        for index in range(count):
+            try:
+                obj, offset = self.read(buf, offset)
+            except MalformedRecordError:
+                raise
+            except TruncatedRecordError as exc:
+                raise TruncatedRecordError(
+                    "truncated packed column",
+                    offset=exc.offset if exc.offset is not None else offset,
+                    record_index=index,
+                ) from exc
             out.append(obj)
         if offset != len(buf):
-            raise ValueError(f"{len(buf) - offset} trailing bytes after decode")
+            raise MalformedRecordError(
+                f"{len(buf) - offset} trailing bytes after decode",
+                offset=offset,
+            )
         return out
 
     def read_batch(self, blobs: Sequence[bytes]) -> list:
@@ -113,7 +144,7 @@ def _check_column(buf: Any, count: int, size: int) -> None:
     """Reject a packed column whose byte length does not match ``count``."""
     nbytes = memoryview(buf).nbytes
     if nbytes != count * size:
-        raise ValueError(
+        raise MalformedRecordError(
             f"packed column is {nbytes} bytes, expected {count}x{size}"
         )
 
@@ -153,7 +184,7 @@ class Int32Serde(Serde):
         out.extend(_I32.pack((value + (1 << 31)) & 0xFFFFFFFF))
 
     def read(self, buf: memoryview | bytes, offset: int) -> tuple[int, int]:
-        raw = _I32.unpack_from(buf, offset)[0]
+        raw = _unpack_fixed(_I32, buf, offset)
         return raw - (1 << 31), offset + 4
 
     def pack_batch(self, values: Any) -> bytes:
@@ -178,7 +209,7 @@ class Int64Serde(Serde):
         out.extend(_I64.pack((value + (1 << 63)) & 0xFFFFFFFFFFFFFFFF))
 
     def read(self, buf: memoryview | bytes, offset: int) -> tuple[int, int]:
-        raw = _I64.unpack_from(buf, offset)[0]
+        raw = _unpack_fixed(_I64, buf, offset)
         return raw - (1 << 63), offset + 8
 
     def pack_batch(self, values: Any) -> bytes:
@@ -201,7 +232,7 @@ class Float32Serde(Serde):
         out.extend(_F32.pack(float(obj)))
 
     def read(self, buf: memoryview | bytes, offset: int) -> tuple[float, int]:
-        return _F32.unpack_from(buf, offset)[0], offset + 4
+        return _unpack_fixed(_F32, buf, offset), offset + 4
 
     def pack_batch(self, values: Any) -> bytes:
         return _float_column(values).astype(">f4").tobytes()
@@ -220,7 +251,7 @@ class Float64Serde(Serde):
         out.extend(_F64.pack(float(obj)))
 
     def read(self, buf: memoryview | bytes, offset: int) -> tuple[float, int]:
-        return _F64.unpack_from(buf, offset)[0], offset + 8
+        return _unpack_fixed(_F64, buf, offset), offset + 8
 
     def pack_batch(self, values: Any) -> bytes:
         return _float_column(values).astype(">f8").tobytes()
@@ -244,9 +275,18 @@ class TextSerde(Serde):
 
     def read(self, buf: memoryview | bytes, offset: int) -> tuple[str, int]:
         length, offset = read_vlong(buf, offset)
-        if length < 0 or offset + length > len(buf):
-            raise ValueError(f"bad Text length {length}")
-        return bytes(buf[offset:offset + length]).decode("utf-8"), offset + length
+        if length < 0:
+            raise MalformedRecordError(f"bad Text length {length}",
+                                       offset=offset)
+        if offset + length > len(buf):
+            raise TruncatedRecordError(f"bad Text length {length}",
+                                       offset=offset)
+        try:
+            text = bytes(buf[offset:offset + length]).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise MalformedRecordError(f"invalid UTF-8 in Text: {exc}",
+                                       offset=offset) from exc
+        return text, offset + length
 
 
 class BytesSerde(Serde):
@@ -266,8 +306,12 @@ class BytesSerde(Serde):
 
     def read(self, buf: memoryview | bytes, offset: int) -> tuple[bytes, int]:
         length, offset = read_vlong(buf, offset)
-        if length < 0 or offset + length > len(buf):
-            raise ValueError(f"bad bytes length {length}")
+        if length < 0:
+            raise MalformedRecordError(f"bad bytes length {length}",
+                                       offset=offset)
+        if offset + length > len(buf):
+            raise TruncatedRecordError(f"bad bytes length {length}",
+                                       offset=offset)
         if isinstance(buf, memoryview):
             return buf[offset:offset + length], offset + length
         return bytes(buf[offset:offset + length]), offset + length
@@ -298,10 +342,11 @@ class ValueBlockSerde(Serde):
     def read(self, buf: memoryview | bytes, offset: int) -> tuple[np.ndarray, int]:
         count, offset = read_vlong(buf, offset)
         if count < 0:
-            raise ValueError(f"bad block count {count}")
+            raise MalformedRecordError(f"bad block count {count}",
+                                       offset=offset)
         nbytes = count * self.dtype.itemsize
         if offset + nbytes > len(buf):
-            raise ValueError("truncated value block")
+            raise TruncatedRecordError("truncated value block", offset=offset)
         # Zero-copy: the array is a view over the caller's buffer (bytes
         # or memoryview), not a slice copy.
         arr = np.frombuffer(buf, dtype=self.dtype, count=count, offset=offset)

@@ -29,6 +29,24 @@ from repro.scidata.slab import Slab
 __all__ = ["BoxSubsetQuery"]
 
 
+def _range_selection(split, box: Slab, start: int, stop: int):
+    """In-box cells among the split's flat records ``[start, stop)``.
+
+    Returns ``(flat_indices, coords)`` of the selected cells -- the
+    record-range counterpart of ``split.slab.intersect(box).coords()``.
+    Flat indices are row-major over the split's slab, so walking ranges
+    in order visits the box cells in exactly the order one whole-split
+    ``map`` call emits them (lexicographic coordinate order).
+    """
+    flat = np.arange(start, stop, dtype=np.int64)
+    coords = np.stack(np.unravel_index(flat, split.slab.shape), axis=1)
+    coords = coords + np.asarray(split.slab.corner, dtype=np.int64)
+    lo = np.asarray(box.corner, dtype=np.int64)
+    hi = lo + np.asarray(box.shape, dtype=np.int64)
+    mask = np.all((coords >= lo) & (coords < hi), axis=1)
+    return flat[mask], coords[mask]
+
+
 class PlainSubsetMapper(Mapper):
     """Emit the cells of the split that fall inside the query box."""
 
@@ -46,6 +64,13 @@ class PlainSubsetMapper(Mapper):
         )
         idx = tuple(slice(c, c + s) for c, s in zip(local.corner, local.shape))
         ctx.emit_cells(self.var_ref, selected.coords(), values[idx].ravel())
+
+    def map_range(self, split, values, ctx, start, stop):
+        """Record-range form of :meth:`map` (skipping-mode support)."""
+        flat, coords = _range_selection(split, self.box, start, stop)
+        if flat.size == 0:
+            return
+        ctx.emit_cells(self.var_ref, coords, values.reshape(-1)[flat])
 
 
 class IdentityReducer(Reducer):
@@ -78,6 +103,20 @@ class AggregateSubsetMapper(Mapper):
         )
         idx = tuple(slice(c, c + s) for c, s in zip(local.corner, local.shape))
         self._agg.add(selected.coords() - self.origin, values[idx].ravel())
+
+    def map_range(self, split, values, ctx, start, stop):
+        """Record-range form of :meth:`map` (skipping-mode support).
+
+        The aggregator is created lazily on the first range and closed
+        by :meth:`cleanup` as usual; partial ranges accumulate into the
+        same buffer one whole-split :meth:`map` call fills.
+        """
+        if self._agg is None:
+            self._agg = Aggregator(self.config, self.var_ref, ctx)
+        flat, coords = _range_selection(split, self.box, start, stop)
+        if flat.size == 0:
+            return
+        self._agg.add(coords - self.origin, values.reshape(-1)[flat])
 
     def cleanup(self, ctx):
         if self._agg is not None:

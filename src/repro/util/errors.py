@@ -1,0 +1,73 @@
+"""Structured decode-failure hierarchy for the whole byte pipeline.
+
+Every hand-rolled decoder in this repo -- varints, Writable serdes, key
+serdes, IFile framing, the stride codec backends -- parses hostile
+bytes: a truncated spill, a bit-flipped shuffle segment, a fuzzed
+stream.  Before this module they leaked whatever the underlying
+primitive happened to raise (``struct.error``, ``IndexError``,
+``zlib.error``) or, worse, returned garbage silently.  Now they raise
+one common :class:`CorruptRecordError` family that carries *where* the
+decode failed (stream offset, record index, file path), which is what
+lets the skipping runtime (:mod:`repro.mapreduce.runtime.skipping`)
+quarantine exactly the poisoned bytes instead of failing the task.
+
+All classes subclass :class:`ValueError`, so pre-existing callers that
+caught ``ValueError`` keep working unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CorruptRecordError",
+    "TruncatedRecordError",
+    "MalformedRecordError",
+    "CorruptStreamError",
+]
+
+
+class CorruptRecordError(ValueError):
+    """A record (or stream) failed to decode from its byte form.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the failure.
+    offset:
+        Byte offset into the stream being decoded, when known.
+    record_index:
+        Zero-based index of the record being decoded, when known.
+    path:
+        File the stream was read from, when it came from disk.
+    """
+
+    def __init__(self, message: str, *, offset: int | None = None,
+                 record_index: int | None = None,
+                 path: str | None = None) -> None:
+        context = []
+        if record_index is not None:
+            context.append(f"record {record_index}")
+        if offset is not None:
+            context.append(f"offset {offset}")
+        if path is not None:
+            context.append(path)
+        if context:
+            message = f"{message} ({', '.join(context)})"
+        super().__init__(message)
+        self.offset = offset
+        self.record_index = record_index
+        self.path = path
+
+
+class TruncatedRecordError(CorruptRecordError):
+    """The stream ended mid-record: a length field points past EOF, a
+    varint is cut short, or a fixed-width field has too few bytes."""
+
+
+class MalformedRecordError(CorruptRecordError):
+    """The bytes are structurally invalid (negative length, bad frame,
+    impossible field value) rather than merely cut short."""
+
+
+class CorruptStreamError(CorruptRecordError):
+    """A whole compressed stream failed to decode (codec backend error
+    such as ``zlib.error``), so no record boundary can be attributed."""

@@ -15,6 +15,8 @@ rather than using a simpler LEB128 scheme.
 
 from __future__ import annotations
 
+from repro.util.errors import TruncatedRecordError
+
 __all__ = ["write_vlong", "write_vint", "read_vlong", "read_vint", "vint_size"]
 
 
@@ -60,11 +62,13 @@ def _decode_first(first: int) -> tuple[bool, int]:
 def read_vlong(buf: bytes | bytearray | memoryview, offset: int = 0) -> tuple[int, int]:
     """Decode a varint starting at ``offset``.
 
-    Returns ``(value, next_offset)``.  Raises :class:`ValueError` if the
-    buffer is truncated mid-varint.
+    Returns ``(value, next_offset)``.  Raises
+    :class:`~repro.util.errors.TruncatedRecordError` (a ``ValueError``)
+    carrying the failing offset if the buffer is truncated mid-varint.
     """
     if offset >= len(buf):
-        raise ValueError("varint read past end of buffer")
+        raise TruncatedRecordError("varint read past end of buffer",
+                                   offset=offset)
     first = buf[offset]
     negative, nbytes = _decode_first(first)
     if nbytes == 0:
@@ -72,7 +76,7 @@ def read_vlong(buf: bytes | bytearray | memoryview, offset: int = 0) -> tuple[in
         return value, offset + 1
     end = offset + 1 + nbytes
     if end > len(buf):
-        raise ValueError("truncated varint")
+        raise TruncatedRecordError("truncated varint", offset=offset)
     value = 0
     for i in range(offset + 1, end):
         value = (value << 8) | buf[i]

@@ -1,0 +1,93 @@
+"""Adversarial byte streams through the stride codec stack.
+
+The stride codecs sit directly in the shuffle read path, so they see
+whatever a corrupt segment hands them: truncated zlib/bz2 streams,
+bit-flipped payloads, plain garbage.  Decompression must fail with a
+structured :class:`~repro.util.errors.CorruptStreamError` (a
+``ValueError``) -- never a raw backend exception, never a hang, and
+never silently returning a stream that differs from what was
+compressed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.stride.codec import (
+    FastPredBz2Codec,
+    FastPredZlibCodec,
+    StrideBz2Codec,
+    StrideZlibCodec,
+)
+from repro.util.errors import CorruptRecordError, CorruptStreamError
+
+ALL_CODECS = [StrideZlibCodec, StrideBz2Codec, FastPredZlibCodec,
+              FastPredBz2Codec]
+
+
+def sample_stream(n=4096, stride=16, seed=5):
+    """A strided byte stream the detector locks onto (compresses well)."""
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, 256, size=stride, dtype=np.uint8)
+    reps = np.tile(base, n // stride + 1)[:n]
+    drift = (np.arange(n, dtype=np.int64) // stride).astype(np.uint8)
+    return ((reps + drift) & 0xFF).astype(np.uint8).tobytes()
+
+
+@pytest.fixture(params=ALL_CODECS, ids=lambda c: c.__name__)
+def codec(request):
+    return request.param()
+
+
+class TestRoundTrip:
+    def test_lossless(self, codec):
+        data = sample_stream()
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_empty_stream(self, codec):
+        assert codec.decompress(codec.compress(b"")) == b""
+
+
+class TestAdversarialStreams:
+    def test_garbage_bytes_raise_structured_error(self, codec):
+        rng = np.random.default_rng(99)
+        for size in (1, 7, 64, 1024):
+            blob = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+            with pytest.raises(CorruptStreamError):
+                codec.decompress(blob)
+
+    def test_empty_input_raises(self, codec):
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(b"")
+
+    def test_every_truncation_point_raises(self, codec):
+        comp = codec.compress(sample_stream(512))
+        for cut in range(len(comp)):
+            with pytest.raises(CorruptStreamError):
+                codec.decompress(comp[:cut])
+
+    def test_bitflips_never_decode_to_different_bytes(self, codec):
+        """A flipped stream must either raise the structured error or
+        (if the flip lands in a backend don't-care bit) decode to the
+        original bytes -- never to silently different output."""
+        data = sample_stream(1024)
+        comp = bytearray(codec.compress(data))
+        for i in range(0, len(comp), max(1, len(comp) // 64)):
+            flipped = bytearray(comp)
+            flipped[i] ^= 0x10
+            try:
+                out = codec.decompress(bytes(flipped))
+            except CorruptStreamError:
+                continue
+            assert out == data
+
+    def test_error_is_a_valueerror_with_codec_name(self, codec):
+        with pytest.raises(CorruptStreamError) as exc:
+            codec.decompress(b"\x00\x01\x02\x03")
+        assert isinstance(exc.value, ValueError)
+        assert codec.name in str(exc.value)
+
+    def test_error_family_is_corrupt_record(self, codec):
+        # reduce-side callers catch CorruptRecordError; the codec layer
+        # must stay inside that family
+        with pytest.raises(CorruptRecordError):
+            codec.decompress(b"not a stream")

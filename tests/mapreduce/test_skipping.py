@@ -1,0 +1,294 @@
+"""Record-level skipping mode: bisection, quarantine, and the ladder.
+
+Unit coverage for :mod:`repro.mapreduce.runtime.skipping` (bisection
+probe counts, quarantine side-files, eligibility), then end-to-end runs
+through the serial engine and the parallel runtime proving the three
+acceptance properties: a clean run with a :class:`SkipPolicy` attached
+is byte-identical to one without, every skipped record lands in
+quarantine (counted exactly once), and serial/parallel agree
+byte-for-byte on output, counters, and quarantine contents.
+"""
+
+import dataclasses
+import glob
+import os
+
+import pytest
+
+from repro.mapreduce import FaultInjector, LocalJobRunner, ParallelJobRunner
+from repro.mapreduce.codecs import NullCodec
+from repro.mapreduce.ifile import (
+    IFileBlockCorruptError,
+    IFileCorruptError,
+    IFileReader,
+)
+from repro.mapreduce.job import SkipPolicy
+from repro.mapreduce.metrics import C, Counters
+from repro.mapreduce.runtime.fault import PoisonRecordError
+from repro.mapreduce.runtime.skipping import (
+    QuarantineWriter,
+    SkipBudgetExceededError,
+    SkipUnsupportedError,
+    bisect_poison_records,
+    is_skip_eligible,
+)
+from repro.queries.subset import BoxSubsetQuery
+from repro.scidata import integer_grid
+from repro.scidata.slab import Slab
+from tests.mapreduce.test_engine import make_job
+
+SIDE = 12
+#: flat cell index (1, 1) of the 12x12 grid: inside the query box and
+#: owned by map task m00000
+POISON_CELL = SIDE + 1
+
+
+@pytest.fixture
+def grid():
+    return integer_grid((SIDE, SIDE), seed=7, low=0, high=500)
+
+
+def subset_job(grid, mode="plain", **overrides):
+    query = BoxSubsetQuery(grid, "values", Slab((1, 1), (SIDE - 2, SIDE - 2)))
+    job = query.build_job(mode, num_map_tasks=4, num_reducers=2,
+                          variable_mode="index" if mode == "aggregate" else "name")
+    return dataclasses.replace(job, **overrides)
+
+
+def quarantine_records(directory):
+    """All records across the quarantine side-files under ``directory``."""
+    records = []
+    for path in sorted(glob.glob(os.path.join(directory, "*-quarantine"))):
+        records.extend(IFileReader(path, NullCodec()).read_all())
+    return records
+
+
+class TestBisection:
+    def probe_for(self, poison):
+        calls = []
+
+        def probe(lo, hi):
+            calls.append((lo, hi))
+            return not any(lo <= p < hi for p in poison)
+
+        return probe, calls
+
+    def test_single_poison_record(self):
+        probe, calls = self.probe_for({5})
+        assert bisect_poison_records(16, probe, budget=16) == [5]
+        # Hadoop's shrinking window: O(log n) probes, not O(n)
+        assert len(calls) <= 2 * 4 + 1
+
+    def test_multiple_poison_records_sorted(self):
+        probe, _ = self.probe_for({11, 3})
+        assert bisect_poison_records(16, probe, budget=16) == [3, 11]
+
+    def test_poison_at_boundaries(self):
+        probe, _ = self.probe_for({0, 15})
+        assert bisect_poison_records(16, probe, budget=16) == [0, 15]
+
+    def test_budget_exceeded_raises_early(self):
+        probe, _ = self.probe_for(set(range(16)))
+        with pytest.raises(SkipBudgetExceededError) as exc:
+            bisect_poison_records(16, probe, budget=2, task_id="m00000")
+        assert exc.value.task_id == "m00000"
+        assert exc.value.budget == 2
+
+    def test_empty_range(self):
+        probe, calls = self.probe_for({0})
+        assert bisect_poison_records(0, probe, budget=1) == []
+        assert calls == []
+
+    def test_clean_range_is_one_probe(self):
+        probe, calls = self.probe_for(set())
+        assert bisect_poison_records(1024, probe, budget=1) == []
+        assert len(calls) == 1
+
+
+class TestEligibility:
+    def test_user_exceptions_are_eligible(self):
+        assert is_skip_eligible(PoisonRecordError("x"))
+        assert is_skip_eligible(ValueError("bad record"))
+
+    def test_block_local_corruption_is_eligible(self):
+        assert is_skip_eligible(IFileBlockCorruptError("crc", block_index=2))
+
+    def test_whole_segment_corruption_is_not(self):
+        # that is the repair rung's job (re-run the producing mapper)
+        assert not is_skip_eligible(IFileCorruptError("checksum mismatch"))
+
+    def test_skippings_own_terminal_errors_are_not(self):
+        assert not is_skip_eligible(SkipBudgetExceededError("t", 2, 1))
+        assert not is_skip_eligible(SkipUnsupportedError("no map_range"))
+
+    def test_non_exception_baseexceptions_are_not(self):
+        assert not is_skip_eligible(KeyboardInterrupt())
+
+
+class TestQuarantineWriter:
+    def test_commit_writes_readable_ifile_and_counters(self, tmp_path):
+        writer = QuarantineWriter("m00000", str(tmp_path), SkipPolicy())
+        writer.add(b"key", b"value")
+        writer.add_tagged("m00000/map-input/13", b"\x01\x02")
+        assert writer.quarantine_bytes == len(b"key" + b"value") + \
+            len(b"m00000/map-input/13") + 2
+        counters = Counters()
+        path = writer.commit(counters)
+        assert path is not None
+        assert IFileReader(path, NullCodec()).read_all() == [
+            (b"key", b"value"), (b"m00000/map-input/13", b"\x01\x02")]
+        assert counters.get(C.RECORDS_SKIPPED) == 2
+        assert counters.get(C.QUARANTINE_RECORDS) == 2
+        assert counters.get(C.QUARANTINE_BYTES) == writer.quarantine_bytes
+
+    def test_empty_commit_writes_nothing(self, tmp_path):
+        writer = QuarantineWriter("m00001", str(tmp_path), SkipPolicy())
+        counters = Counters()
+        assert writer.commit(counters) is None
+        assert not os.path.exists(writer.path)
+        assert counters.get(C.RECORDS_SKIPPED) == 0
+
+    def test_budget_enforced_on_add(self, tmp_path):
+        writer = QuarantineWriter(
+            "m00002", str(tmp_path), SkipPolicy(skip_budget=1))
+        writer.add(b"a", b"1")
+        with pytest.raises(SkipBudgetExceededError):
+            writer.add(b"b", b"2")
+
+    def test_weighted_skip_counts(self, tmp_path):
+        # a quarantined corrupt block is one record but many lost inputs
+        writer = QuarantineWriter("r00000", str(tmp_path), SkipPolicy())
+        writer.add_tagged("r00000/block/seg/0", b"raw", skipped=17)
+        assert writer.skipped == 17
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            SkipPolicy(skip_budget=0)
+
+
+class TestSerialLadder:
+    def test_clean_run_with_policy_is_byte_identical(self, grid, tmp_path):
+        baseline = LocalJobRunner().run(subset_job(grid), grid)
+        result = LocalJobRunner().run(
+            subset_job(grid, skipping=SkipPolicy(
+                quarantine_dir=str(tmp_path))), grid)
+        assert result.output == baseline.output
+        assert result.counters == baseline.counters
+        assert quarantine_records(str(tmp_path)) == []
+
+    def test_poison_record_is_skipped_and_quarantined(self, grid, tmp_path):
+        baseline = LocalJobRunner().run(subset_job(grid), grid)
+        qdir = str(tmp_path / "q")
+        injector = FaultInjector().poison("m00000", record=POISON_CELL)
+        result = LocalJobRunner(fault_injector=injector).run(
+            subset_job(grid, skipping=SkipPolicy(quarantine_dir=qdir)), grid)
+        assert result.counters.get(C.RECORDS_SKIPPED) == 1
+        assert len(result.output) == len(baseline.output) - 1
+        # the surviving records are exactly the baseline minus the cell
+        lost = set(baseline.output) - set(result.output)
+        assert len(lost) == 1
+        (key, _), = lost
+        assert key.coords == (1, 1)
+        quarantined = quarantine_records(qdir)
+        assert quarantined == [(f"m00000/map-input/{POISON_CELL}".encode(),
+                                quarantined[0][1])]
+
+    def test_poison_without_policy_fails_the_job(self, grid):
+        injector = FaultInjector().poison("m00000", record=POISON_CELL)
+        with pytest.raises(PoisonRecordError):
+            LocalJobRunner(fault_injector=injector).run(subset_job(grid), grid)
+
+    def test_corrupt_block_is_salvaged(self, grid, tmp_path):
+        baseline = LocalJobRunner().run(
+            subset_job(grid, ifile_block_bytes=512), grid)
+        qdir = str(tmp_path / "q")
+        injector = FaultInjector().corrupt("m00001", op="flip", offset_frac=0.4)
+        result = LocalJobRunner(fault_injector=injector).run(
+            subset_job(grid, ifile_block_bytes=512,
+                       skipping=SkipPolicy(quarantine_dir=qdir)), grid)
+        skipped = result.counters.get(C.RECORDS_SKIPPED)
+        assert skipped >= 1
+        assert len(result.output) == len(baseline.output) - skipped
+        assert set(result.output) < set(baseline.output)
+        assert len(quarantine_records(qdir)) >= 1
+
+    def test_whole_segment_corruption_repairs_exactly(self, grid):
+        # non-blocked segment + truncation: unsalvageable, so the ladder
+        # climbs to segment repair and loses nothing
+        baseline = LocalJobRunner().run(subset_job(grid), grid)
+        injector = FaultInjector().corrupt("m00001", op="truncate",
+                                           offset_frac=0.5)
+        result = LocalJobRunner(fault_injector=injector).run(
+            subset_job(grid, skipping=SkipPolicy()), grid)
+        assert result.output == baseline.output
+        assert result.counters.get(C.RECORDS_SKIPPED) == 0
+
+    def test_budget_exhaustion_fails_the_job(self, grid, tmp_path):
+        injector = FaultInjector().corrupt("m00001", op="flip", offset_frac=0.4)
+        with pytest.raises(SkipBudgetExceededError):
+            LocalJobRunner(fault_injector=injector).run(
+                subset_job(grid, ifile_block_bytes=512,
+                           skipping=SkipPolicy(skip_budget=1)), grid)
+
+    def test_mapper_without_map_range_cannot_skip(self, grid8):
+        # EmitCellsMapper has no map_range: skipping degrades to a plain
+        # retry, and the sticky poison record fails the job
+        injector = FaultInjector().poison("m00000", record=0)
+        with pytest.raises(PoisonRecordError):
+            LocalJobRunner(fault_injector=injector).run(
+                dataclasses.replace(
+                    make_job(num_map_tasks=2, num_reducers=1),
+                    skipping=SkipPolicy()),
+                grid8)
+
+    def test_aggregate_mode_skips_too(self, grid, tmp_path):
+        baseline = LocalJobRunner().run(subset_job(grid, mode="aggregate"), grid)
+        injector = FaultInjector().poison("m00000", record=POISON_CELL)
+        result = LocalJobRunner(fault_injector=injector).run(
+            subset_job(grid, mode="aggregate",
+                       skipping=SkipPolicy(
+                           quarantine_dir=str(tmp_path))), grid)
+        assert result.counters.get(C.RECORDS_SKIPPED) == 1
+        assert len(result.output) == len(baseline.output) - 1
+
+
+@pytest.fixture
+def grid8():
+    return integer_grid((8, 8), seed=11, low=0, high=100)
+
+
+class TestSerialParallelParity:
+    def run_both(self, grid, job_factory, injector_factory, tmp_path):
+        serial_q = tmp_path / "serial-q"
+        parallel_q = tmp_path / "parallel-q"
+        serial = LocalJobRunner(fault_injector=injector_factory()).run(
+            job_factory(str(serial_q)), grid)
+        runner = ParallelJobRunner(workdir=str(tmp_path / "work"),
+                                   fault_injector=injector_factory(),
+                                   max_workers=2, retry_backoff=0.01)
+        parallel = runner.run(job_factory(str(parallel_q)), grid)
+        return serial, parallel, str(serial_q), str(parallel_q)
+
+    def test_poison_parity(self, grid, tmp_path):
+        serial, parallel, sq, pq = self.run_both(
+            grid,
+            lambda q: subset_job(grid, skipping=SkipPolicy(quarantine_dir=q)),
+            lambda: FaultInjector().poison("m00000", record=POISON_CELL),
+            tmp_path)
+        assert serial.output == parallel.output
+        assert serial.counters == parallel.counters
+        assert quarantine_records(sq) == quarantine_records(pq)
+        assert parallel.trace.count("skipping") >= 1
+        assert parallel.trace.count("quarantined") >= 1
+
+    def test_corrupt_block_parity(self, grid, tmp_path):
+        serial, parallel, sq, pq = self.run_both(
+            grid,
+            lambda q: subset_job(grid, ifile_block_bytes=512,
+                                 skipping=SkipPolicy(quarantine_dir=q)),
+            lambda: FaultInjector().corrupt("m00001", op="flip",
+                                            offset_frac=0.4),
+            tmp_path)
+        assert serial.output == parallel.output
+        assert serial.counters == parallel.counters
+        assert quarantine_records(sq) == quarantine_records(pq)
