@@ -1,0 +1,52 @@
+"""R3 -- shuffle transport: fetch retries and map re-execution.
+
+Pins the transfer-level half of the robustness story.  The harness
+fetches every map segment through the fault-injectable channel
+transport, damages the stream in flight (flips, drops, truncations,
+delays, stalls), and escalates permanently unfetchable segments into
+re-execution of the completed source map.  The assertions here are the
+PR's acceptance criteria:
+
+* no scenario row reads DRIFT -- serial and parallel runners agree
+  byte-for-byte on output and counters, and every successful run
+  matches the serial/direct baseline exactly;
+* the clean matrix covers all queries x both runners x both transports
+  with *full* counter equality (the channel clean path costs nothing);
+* transient wire damage is absorbed by retries (``SHUFFLE_RETRIES``
+  nonzero, output identical);
+* at least one scenario escalates to map re-execution
+  (``MAPS_REEXECUTED`` nonzero) and still produces identical output;
+* a fault no re-execution can out-run fails the job in *both* runners
+  (bounded escalation, never a hang or a silent wrong answer).
+
+``REPRO_R3_FUZZ`` / ``REPRO_R3_SECONDS`` bound the seeded fuzz tail
+(CI's shuffle-chaos job runs a small slice through both runners).
+"""
+
+from repro.experiments.r3_shuffle import run
+
+
+def test_r3_shuffle_transport(tabulate):
+    result = tabulate(run, filename="r3")
+
+    outcomes = result.column("outcome")
+    assert all(v != "DRIFT" for v in outcomes)
+
+    # Clean equivalence: every query over both transports, no damage.
+    clean = [r for r in result.rows if r["scenario"].startswith("clean-")]
+    assert len(clean) >= 6
+    assert all(r["outcome"] == "identical" for r in clean)
+    assert all(r["retries"] == 0 for r in clean)
+
+    # Transient wire damage must be absorbed by retries.
+    retried = [r for r in result.rows
+               if r["outcome"] == "identical" and r["retries"] > 0]
+    assert len(retried) >= 4
+
+    # The escalation rung: a completed map re-executed, output intact.
+    assert any(r["outcome"] == "reexecuted" and r["reexecs"] >= 1
+               for r in result.rows)
+
+    # Bounded escalation: the hopeless case fails (in both runners --
+    # disagreement would read DRIFT).
+    assert any(r["outcome"] == "failed" for r in result.rows)

@@ -27,7 +27,7 @@ def _registry() -> dict[str, tuple[str, Callable]]:
     from repro.experiments import ablations, chaos, cluster_runs, density, \
         e1_motivation, fig2_stream, fig3_table, fig4_scaling, \
         fig8_aggregation, figures_5_6_7, key_splitting, levers, locality, \
-        multivar, p2_columnar, parallel_speedup, r2_poison
+        multivar, p2_columnar, parallel_speedup, r2_poison, r3_shuffle
 
     return {
         "E1": ("§I motivation: per-cell-key file sizes (paper-exact)",
@@ -83,6 +83,9 @@ def _registry() -> dict[str, tuple[str, Callable]]:
         "R2": ("robustness: poison-safe pipeline -- record skipping, "
                "quarantine, and corrupt-block salvage, both runners",
                lambda: r2_poison.run()),
+        "R3": ("robustness: shuffle transport -- fetch retries, failure "
+               "accounting, and map re-execution, both runners",
+               lambda: r3_shuffle.run()),
     }
 
 
@@ -130,6 +133,18 @@ def main(argv: list[str] | None = None) -> int:
                        help="keep quarantine side-files under this "
                             "directory instead of throwaway temp dirs "
                             "(R2)")
+    run_p.add_argument("--transport", choices=["direct", "channel"],
+                       default=None,
+                       help="shuffle transport reducers fetch map "
+                            "segments through (either runner; channel "
+                            "adds CRC-framed streaming, byte-identical "
+                            "output)")
+    run_p.add_argument("--fetch-retries", type=int, default=None,
+                       help="extra fetch attempts per segment after the "
+                            "first failure (default 3)")
+    run_p.add_argument("--fetch-timeout", type=float, default=None,
+                       help="per-fetch-attempt deadline in seconds "
+                            "(default: none)")
     args = parser.parse_args(argv)
 
     registry = _registry()
@@ -173,6 +188,16 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_SKIP_BUDGET"] = str(args.skip_budget)
     if args.quarantine_dir is not None:
         os.environ["REPRO_QUARANTINE_DIR"] = args.quarantine_dir
+    if args.transport is not None:
+        os.environ["REPRO_TRANSPORT"] = args.transport
+    if args.fetch_retries is not None:
+        if args.fetch_retries < 0:
+            parser.error("--fetch-retries must be >= 0")
+        os.environ["REPRO_FETCH_RETRIES"] = str(args.fetch_retries)
+    if args.fetch_timeout is not None:
+        if args.fetch_timeout <= 0:
+            parser.error("--fetch-timeout must be positive")
+        os.environ["REPRO_FETCH_TIMEOUT"] = str(args.fetch_timeout)
 
     ids = list(registry) if args.experiment.lower() == "all" else [
         args.experiment.upper()

@@ -39,6 +39,7 @@ from repro.mapreduce.runtime.recovery import MANIFEST_NAME, JobManifest
 from repro.queries.subset import BoxSubsetQuery
 from repro.scidata.generator import integer_grid
 from repro.util.rng import make_rng
+from repro.util.timing import wait_until
 
 __all__ = ["run", "random_fault_plan"]
 
@@ -163,12 +164,13 @@ def _kill_resume_scenario(seed: int, side: int, num_map_tasks: int,
     child.start()
     # Kill once the manifest proves at least one task checkpointed --
     # mid-job by construction, never before the first durable record.
-    deadline = time.monotonic() + 60.0
-    while time.monotonic() < deadline and child.is_alive():
+    def checkpointed_or_dead() -> bool:
+        if not child.is_alive():
+            return True
         manifest = JobManifest.load(manifest_path)
-        if manifest is not None and len(manifest) >= 1:
-            break
-        time.sleep(0.02)
+        return manifest is not None and len(manifest) >= 1
+
+    wait_until(checkpointed_or_dead, timeout=60.0, interval=0.02)
     os.kill(child.pid, signal.SIGKILL)
     child.join()
     time.sleep(0.5)  # let orphaned workers drain their current attempt

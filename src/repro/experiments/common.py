@@ -43,10 +43,18 @@ def make_runner(**runner_kwargs):
     per-attempt deadline, seconds), ``REPRO_RECOVERY_DIR`` (durable
     checkpoint manifests there), and ``REPRO_RESUME`` (adopt a prior
     interrupted run's completed tasks) -- the CLI's ``--task-timeout``,
-    ``--recovery-dir``, and ``--resume`` flags.  Both backends produce
-    byte-identical counters, so paper measurements are
+    ``--recovery-dir``, and ``--resume`` flags.  Both backends honour
+    the shuffle-transport knobs ``REPRO_TRANSPORT`` /
+    ``REPRO_FETCH_RETRIES`` / ``REPRO_FETCH_TIMEOUT`` (the CLI's
+    ``--transport`` / ``--fetch-retries`` / ``--fetch-timeout``).  Both
+    backends produce byte-identical counters, so paper measurements are
     runner-independent -- only wall-clock changes.
     """
+    from repro.mapreduce.runtime.shuffle import shuffle_config_from_env
+
+    shuffle = shuffle_config_from_env()
+    if shuffle is not None:
+        runner_kwargs.setdefault("shuffle", shuffle)
     name = os.environ.get("REPRO_RUNNER", "serial").lower()
     if name in ("serial", "local"):
         from repro.mapreduce.engine import LocalJobRunner

@@ -407,50 +407,70 @@ def run_map_task(job: Job, split: InputSplit, dataset: Dataset,
 def run_reduce_task(
     job: Job,
     part: int,
-    segments: Sequence[tuple[str, IFileStats]],
+    segments: Sequence[Any],
     workdir: str,
     keep_files: bool = False,
     *,
     segment_reader=None,
     prepare_filter=None,
     group_driver=None,
+    shuffle=None,
+    fetch_faults=None,
 ) -> ReduceTaskResult:
     """Execute one reduce task (Fig 1 steps 4-7).
 
     ``segments`` is this partition's final map output segment per map
-    task, **in map task order** -- handing segments off by path is what
-    lets map and reduce tasks live in different processes while all
-    shuffle bytes still flow through the real IFile/codec path.
+    task, **in map task order** -- each a :class:`~repro.mapreduce.
+    runtime.shuffle.SegmentRef` (legacy ``(path, stats)`` tuples are
+    adopted).  Segment bytes arrive through a shuffle transport
+    (``shuffle`` is a :class:`~repro.mapreduce.runtime.shuffle.
+    ShuffleConfig`; ``None`` = the default direct transport, byte-
+    identical to reading the files), so the map->reduce hop is a real,
+    failable transfer in every runner.  ``fetch_faults`` is this reduce
+    task's slice of a fault injector's fetch plan.
 
     The three keyword hooks exist for the skipping runtime and default
-    to ``None`` (clean path unchanged): ``segment_reader(path, codec)``
-    replaces the strict segment fetch (block salvage), ``prepare_filter
-    (merged)`` filters undecodable records before the shuffle plugin
-    sees them, and ``group_driver(reducer, merged, ctx)`` replaces the
-    group-and-reduce loop (per-group fault isolation).
+    to ``None`` (clean path unchanged): ``segment_reader(path, codec,
+    blob)`` replaces the strict segment decode (block salvage),
+    ``prepare_filter(merged)`` filters undecodable records before the
+    shuffle plugin sees them, and ``group_driver(reducer, merged, ctx)``
+    replaces the group-and-reduce loop (per-group fault isolation).
     """
+    # Lazy import: the runtime package imports this module's task
+    # functions, so the engine cannot import runtime modules at the top.
+    from repro.mapreduce.runtime.shuffle import (
+        SegmentRef,
+        ShuffleConfig,
+        ShuffleFetcher,
+    )
     task_id = f"r{part:05d}"
     counters = Counters()
     clock = CostClock()
     profile = TaskProfile(task_id=task_id, kind="reduce")
     codec = get_codec(job.codec, **job.codec_options)
 
-    # Shuffle: fetch this partition's segment from every map task.  Each
-    # run's payload size (sum of key+value bytes) is recorded once, from
-    # the segment's IFileStats, so merge-pass planning below never
-    # re-scans a run's records to size it.
+    # Shuffle: fetch this partition's segment from every map task
+    # through the transport, then decode.  Each run's payload size (sum
+    # of key+value bytes) is recorded once, from the segment's
+    # IFileStats, so merge-pass planning below never re-scans a run's
+    # records to size it.
+    refs = [SegmentRef.from_pair(s) for s in segments]
+    fetcher = ShuffleFetcher(
+        shuffle if shuffle is not None else ShuffleConfig(),
+        counters, task_id, fetch_faults)
     runs: list[list[Record]] = []
     run_sizes: list[int] = []
     with clock.measure("shuffle"):
-        for path, stats in segments:
-            profile.shuffle_bytes += stats.materialized_bytes
+        blobs = fetcher.fetch_all(refs)
+        for ref, blob in zip(refs, blobs):
+            profile.shuffle_bytes += ref.stats.materialized_bytes
             if segment_reader is None:
-                records = IFileReader(path, codec).read_all()
+                records = IFileReader(blob, codec, path=ref.path).read_all()
             else:
-                records = segment_reader(path, codec)
+                records = segment_reader(ref.path, codec, blob)
             if records:
                 runs.append(records)
-                run_sizes.append(stats.key_bytes + stats.value_bytes)
+                run_sizes.append(ref.stats.key_bytes + ref.stats.value_bytes)
     counters.incr(C.SHUFFLE_BYTES, profile.shuffle_bytes)
 
     # Multi-pass on-disk merge when we hold too many runs (step 5).
@@ -543,20 +563,41 @@ class LocalJobRunner:
     workdir even when files were kept or a task failed.
 
     ``fault_injector`` accepts the data-shaped faults that make sense
-    without worker processes -- ``poison`` and ``corrupt`` -- so the
-    same failure ladder (strict attempt -> repair segment -> skipping
-    mode -> quarantine) can be exercised and compared byte-for-byte
-    against the parallel runtime.  Process-level modes (``kill`` /
-    ``crash`` / ``hang`` / ``stall``) are rejected: there is no worker
-    process to kill.
+    without worker processes -- ``poison``, ``corrupt``, and ``fetch``
+    -- so the same failure ladder (strict attempt -> repair segment ->
+    skipping mode -> quarantine) can be exercised and compared
+    byte-for-byte against the parallel runtime.  Process-level modes
+    (``kill`` / ``crash`` / ``hang`` / ``stall``) are rejected: there
+    is no worker process to kill.
+
+    ``shuffle`` selects the transport reducers fetch map segments
+    through (default: direct reads).  A reduce whose fetch retries are
+    exhausted charges the producing map a strike; at
+    ``fetch_failure_threshold`` strikes the map is re-executed in place
+    (bumping its fetch *epoch*, which is how epoch-pinned fetch faults
+    stop applying), at most ``max_map_reexecs`` times per map -- the
+    same escalation the parallel scheduler performs across processes.
     """
 
     def __init__(self, workdir: str | None = None, keep_files: bool = False,
-                 fault_injector: Any = None) -> None:
+                 fault_injector: Any = None, *,
+                 shuffle: Any = None,
+                 fetch_failure_threshold: int = 2,
+                 max_map_reexecs: int = 2) -> None:
+        if fetch_failure_threshold < 1:
+            raise ValueError(
+                f"fetch_failure_threshold must be >= 1, "
+                f"got {fetch_failure_threshold}")
+        if max_map_reexecs < 0:
+            raise ValueError(
+                f"max_map_reexecs must be >= 0, got {max_map_reexecs}")
         self._own_workdir = workdir is None
         self.workdir = workdir or tempfile.mkdtemp(prefix="repro-mr-")
         self.keep_files = keep_files
         self.fault_injector = fault_injector
+        self.shuffle = shuffle
+        self.fetch_failure_threshold = fetch_failure_threshold
+        self.max_map_reexecs = max_map_reexecs
         os.makedirs(self.workdir, exist_ok=True)
 
     def __enter__(self) -> "LocalJobRunner":
@@ -611,13 +652,26 @@ class LocalJobRunner:
             for _, stats in mo.segments.values():
                 map_stats.merge(stats)
 
+        # Fetch-failure escalation state shared across partitions: one
+        # map's strikes accumulate over every reduce that fails to fetch
+        # it, and an epoch bump is visible to all later partitions.
+        shuffle_state = {
+            "strikes": {mo.task_id: 0 for mo in map_outputs},
+            "epochs": {mo.task_id: 0 for mo in map_outputs},
+            "reexecs": {mo.task_id: 0 for mo in map_outputs},
+            "total_reexecs": 0,
+        }
         output: list[tuple[Any, Any]] = []
         for part in range(job.num_reducers):
-            segments = [mo.segments[part] for mo in map_outputs]
-            rr = self._run_reduce(job, part, segments, dataset, splits)
+            rr = self._run_reduce(job, part, map_outputs, dataset, splits,
+                                  shuffle_state)
             output.extend(rr.output)
             counters.merge(rr.counters)
             profiles.append(rr.profile)
+        if shuffle_state["total_reexecs"]:
+            # Job-level event, like the parallel runner: task counters of
+            # a re-executed map are identical by determinism.
+            counters.incr(C.MAPS_REEXECUTED, shuffle_state["total_reexecs"])
 
         if not self.keep_files:
             self._cleanup(map_outputs)
@@ -690,21 +744,35 @@ class LocalJobRunner:
             return mo
 
     def _run_reduce(self, job: Job, part: int,
-                    segments: list[tuple[str, IFileStats]],
+                    map_outputs: Sequence[MapTaskOutput],
                     dataset: Dataset,
-                    splits: Sequence[InputSplit]) -> ReduceTaskResult:
+                    splits: Sequence[InputSplit],
+                    shuffle_state: dict[str, Any]) -> ReduceTaskResult:
         """One reduce task through the serial failure ladder."""
         from repro.mapreduce.runtime.fault import corrupt_file, poisoned_job
+        from repro.mapreduce.runtime.shuffle import FetchFailedError, SegmentRef
         from repro.mapreduce.runtime.skipping import (
             is_skip_eligible,
             run_reduce_task_skipping,
         )
         task_id = f"r{part:05d}"
+
+        def build_refs() -> list[SegmentRef]:
+            epochs = shuffle_state["epochs"]
+            return [SegmentRef(map_id=mo.task_id,
+                               path=mo.segments[part][0],
+                               stats=mo.segments[part][1],
+                               epoch=epochs[mo.task_id])
+                    for mo in map_outputs]
+
+        segments = build_refs()
+        fetch_faults = (self.fault_injector.fetch_plan_for(task_id) or None
+                        if self.fault_injector is not None else None)
         first = self._serial_fault(task_id, 0)
         if first is not None and first.mode == "corrupt" \
                 and first.where == "reduce-input" and segments:
             index = first.segment if first.segment is not None else 0
-            corrupt_file(segments[index % len(segments)][0],
+            corrupt_file(segments[index % len(segments)].path,
                          first.offset_frac, first.op)
         attempt = 0
         skip_mode = False
@@ -717,10 +785,23 @@ class LocalJobRunner:
                 if skip_mode:
                     return run_reduce_task_skipping(
                         eff, part, segments, self.workdir,
-                        keep_files=self.keep_files)
+                        keep_files=self.keep_files,
+                        shuffle=self.shuffle, fetch_faults=fetch_faults)
                 return run_reduce_task(eff, part, segments, self.workdir,
-                                       keep_files=self.keep_files)
+                                       keep_files=self.keep_files,
+                                       shuffle=self.shuffle,
+                                       fetch_faults=fetch_faults)
             except Exception as exc:
+                if isinstance(exc, FetchFailedError):
+                    # Charge the producing map a strike; at the
+                    # threshold re-execute it (bumping its epoch), then
+                    # retry this reduce against rebuilt references --
+                    # the serial mirror of the scheduler's escalation.
+                    self._handle_fetch_failure(exc, job, dataset, splits,
+                                               shuffle_state)
+                    segments = build_refs()
+                    attempt += 1
+                    continue
                 skippable = (job.skipping is not None
                              and is_skip_eligible(exc))
                 if skippable and not skip_mode:
@@ -735,6 +816,36 @@ class LocalJobRunner:
                     attempt += 1
                     continue
                 raise
+
+    def _handle_fetch_failure(self, exc: Any, job: Job, dataset: Dataset,
+                              splits: Sequence[InputSplit],
+                              shuffle_state: dict[str, Any]) -> None:
+        """Strike accounting and in-place map re-execution.
+
+        Re-raises the fetch failure once the map has been re-executed
+        ``max_map_reexecs`` times and its segments still cannot be
+        fetched -- the serial analogue of the scheduler's
+        :class:`~repro.mapreduce.runtime.scheduler.TaskFailedError`.
+        """
+        map_id = exc.map_id
+        strikes = shuffle_state["strikes"]
+        strikes[map_id] = strikes.get(map_id, 0) + 1
+        if strikes[map_id] < self.fetch_failure_threshold:
+            return  # retry the fetch before escalating
+        if shuffle_state["reexecs"][map_id] >= self.max_map_reexecs:
+            raise exc
+        strikes[map_id] = 0
+        shuffle_state["reexecs"][map_id] += 1
+        shuffle_state["epochs"][map_id] += 1
+        shuffle_state["total_reexecs"] += 1
+        split = next(
+            (s for s in splits if f"m{s.split_id:05d}" == map_id), None)
+        if split is None:
+            raise RuntimeError(f"fetch failure names unknown map {map_id}")
+        # Deterministic re-run into the workdir recreates every segment
+        # at its fixed path with identical bytes (faults are not applied
+        # during re-execution, matching the parallel runtime).
+        run_map_task(job, split, dataset, self.workdir)
 
     def _repair_segment(self, corrupt_path: str, job: Job, dataset: Dataset,
                         splits: Sequence[InputSplit]) -> None:

@@ -55,6 +55,8 @@ __all__ = [
     "IFileCorruptError",
     "IFileBlockCorruptError",
     "BadBlock",
+    "SegmentDigest",
+    "segment_digest",
     "BLOCK_MAGIC",
     "EOF_MARKER_BYTES",
     "TRAILER_BYTES",
@@ -105,6 +107,56 @@ class BadBlock:
     index: int
     records: int
     raw: bytes
+
+
+@dataclass(frozen=True)
+class SegmentDigest:
+    """Cheap transfer-verification metadata for one segment.
+
+    Both IFile layouts end in a big-endian CRC32 (the stream checksum
+    for the plain layout, the footer checksum for the chunked layout),
+    so ``(length, trailing CRC)`` identifies a segment's bytes without
+    decompressing or decoding anything.  The shuffle transport sends
+    this ahead of the chunk stream; the receiver re-derives it from the
+    assembled bytes to detect truncated or spliced transfers.
+    """
+
+    length: int
+    crc: int
+
+    def matches(self, blob: bytes) -> bool:
+        """Whether ``blob`` is plausibly the digested segment."""
+        return (len(blob) == self.length and self.length >= 4
+                and int.from_bytes(blob[-4:], "big") == self.crc)
+
+
+def segment_digest(source: str | os.PathLike | bytes) -> SegmentDigest:
+    """Digest a segment file (or its bytes) without a full decode.
+
+    For a path this is one ``stat`` plus a 4-byte read at the tail --
+    the fetcher-side cost of transfer verification is O(1) regardless
+    of segment size.  A segment too short to even carry its trailer
+    raises :class:`IFileCorruptError` (a truncated footer must never
+    surface as a raw ``struct.error`` or silent garbage).
+    """
+    if isinstance(source, (str, os.PathLike)):
+        path: str | None = os.fspath(source)
+        size = os.path.getsize(path)
+        if size < TRAILER_BYTES:
+            raise IFileCorruptError(
+                f"segment too short to digest ({size} bytes)", path)
+        with open(path, "rb") as fh:
+            fh.seek(size - 4)
+            tail = fh.read(4)
+    else:
+        path = None
+        blob = bytes(source)
+        size = len(blob)
+        if size < TRAILER_BYTES:
+            raise IFileCorruptError(
+                f"segment too short to digest ({size} bytes)", path)
+        tail = blob[-4:]
+    return SegmentDigest(length=size, crc=int.from_bytes(tail, "big"))
 
 
 #: leading bytes of the chunked block format.  0x93 decodes as vint key
@@ -330,13 +382,17 @@ class IFileReader:
         source: str | os.PathLike | bytes,
         codec: Codec | None = None,
         verify_checksum: bool = True,
+        path: str | None = None,
     ) -> None:
+        """``path`` attaches provenance to a reader over in-memory bytes
+        (e.g. a fetched shuffle transfer), so integrity errors still name
+        the on-disk segment the repair/re-execution ladder must target."""
         if isinstance(source, (str, os.PathLike)):
             self.path: str | None = os.fspath(source)
             with open(source, "rb") as fh:
                 blob = fh.read()
         else:
-            self.path = None
+            self.path = path
             blob = bytes(source)
         self._codec = codec if codec is not None else NullCodec()
         self._blocked = blob.startswith(BLOCK_MAGIC)

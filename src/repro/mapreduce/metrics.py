@@ -41,6 +41,17 @@ class C:
     RECORDS_SKIPPED = "RECORDS_SKIPPED"
     QUARANTINE_RECORDS = "QUARANTINE_RECORDS"
     QUARANTINE_BYTES = "QUARANTINE_BYTES"
+    # shuffle transport (fetch) accounting.  SHUFFLE_BYTES above is the
+    # logical partition payload; SHUFFLE_BYTES_TRANSFERRED is what the
+    # transport actually moved (re-fetches and truncated transfers make
+    # them diverge under faults).
+    SHUFFLE_FETCHES = "SHUFFLE_FETCHES"
+    SHUFFLE_RETRIES = "SHUFFLE_RETRIES"
+    SHUFFLE_FAILED_FETCHES = "SHUFFLE_FAILED_FETCHES"
+    SHUFFLE_BYTES_TRANSFERRED = "SHUFFLE_BYTES_TRANSFERRED"
+    # completed map tasks re-executed after a reducer exceeded its
+    # fetch-failure threshold (Hadoop's "too many fetch failures")
+    MAPS_REEXECUTED = "MAPS_REEXECUTED"
 
 
 class Counters:

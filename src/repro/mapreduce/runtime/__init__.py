@@ -20,6 +20,11 @@ layers on the robustness a real cluster runtime needs:
   mode (Hadoop SkipBadRecords): bisection over the input record range
   quarantines poison records and salvages corrupt IFile blocks so the
   task completes over the surviving records;
+* :mod:`~repro.mapreduce.runtime.shuffle` -- the pluggable transport
+  reducers fetch map segments through (direct reads, or a
+  fault-injectable framed channel), with bounded-concurrency fetching,
+  capped-backoff retries, integrity digests, and fetch-failure
+  accounting that escalates to map re-execution;
 * :mod:`~repro.mapreduce.runtime.trace` -- per-task timeline events and
   measured profiles, consumable by the cluster simulator;
 * :mod:`~repro.mapreduce.runtime.runner` -- the drop-in
@@ -45,6 +50,16 @@ from repro.mapreduce.runtime.scheduler import (
     TaskSpec,
     WaveDeadlineError,
 )
+from repro.mapreduce.runtime.shuffle import (
+    ChannelTransport,
+    DirectTransport,
+    FetchFailedError,
+    SegmentRef,
+    ShuffleConfig,
+    ShuffleFetcher,
+    TransientFetchError,
+    shuffle_config_from_env,
+)
 from repro.mapreduce.runtime.skipping import (
     QuarantineWriter,
     SkipBudgetExceededError,
@@ -57,13 +72,19 @@ from repro.mapreduce.runtime.skipping import (
 from repro.mapreduce.runtime.trace import RuntimeTrace, TaskEvent
 
 __all__ = [
+    "ChannelTransport",
+    "DirectTransport",
     "Fault",
     "FaultInjector",
+    "FetchFailedError",
     "JobManifest",
     "ParallelJobRunner",
     "PoisonRecordError",
     "QuarantineWriter",
     "RuntimeTrace",
+    "SegmentRef",
+    "ShuffleConfig",
+    "ShuffleFetcher",
     "SkipBudgetExceededError",
     "SkipUnsupportedError",
     "TaskEvent",
@@ -71,6 +92,7 @@ __all__ = [
     "TaskRecord",
     "TaskScheduler",
     "TaskSpec",
+    "TransientFetchError",
     "WaveDeadlineError",
     "bisect_poison_records",
     "corrupt_file",
@@ -79,4 +101,5 @@ __all__ = [
     "poisoned_job",
     "run_map_task_skipping",
     "run_reduce_task_skipping",
+    "shuffle_config_from_env",
 ]

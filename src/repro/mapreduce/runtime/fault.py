@@ -24,6 +24,16 @@ exercise the scheduler's whole failure surface deterministically:
   record (``record``), the scenario Hadoop's SkipBadRecords exists
   for.  Poison faults are *sticky* by default: retries hit the same
   record, so only skipping mode can get the task past it.
+* ``fetch``   -- a shuffle *transfer* fails in flight.  Fetch faults
+  are keyed by the ``"<map_id>-><reduce_id>"`` pair instead of a task
+  id, ``attempt`` is the fetch-attempt ordinal within one reduce
+  attempt, and ``op`` picks the damage: ``drop`` (stream dies
+  mid-transfer), ``delay`` (late but intact), ``stall`` (stream hangs
+  until the fetch deadline), ``truncate`` (short transfer), ``flip``
+  (bit-flip in flight).  ``epoch`` scopes the fault to one segment
+  generation: a sticky epoch-0 fault makes a segment *permanently*
+  unfetchable until the scheduler re-executes the producing map --
+  whose epoch-1 replacement then fetches cleanly.
 
 Non-sticky faults target a specific attempt (default: the first), so
 the retried attempt runs clean and the job completes -- which is
@@ -46,13 +56,22 @@ __all__ = [
     "PoisonedReducer",
     "poisoned_job",
     "corrupt_file",
+    "fetch_pair_id",
+    "FETCH_OPS",
 ]
 
-MODES = ("kill", "crash", "hang", "corrupt", "stall", "poison")
+MODES = ("kill", "crash", "hang", "corrupt", "stall", "poison", "fetch")
 #: which file a ``corrupt`` fault damages
 CORRUPT_WHERE = ("map-output", "reduce-input")
 #: how a ``corrupt`` fault damages it
 CORRUPT_OPS = ("flip", "truncate", "splice")
+#: how a ``fetch`` fault damages a shuffle transfer in flight
+FETCH_OPS = ("drop", "delay", "stall", "truncate", "flip")
+
+
+def fetch_pair_id(map_id: str, reduce_id: str) -> str:
+    """The plan key for a fetch fault on one (map, reduce) link."""
+    return f"{map_id}->{reduce_id}"
 
 
 class PoisonRecordError(RuntimeError):
@@ -83,8 +102,12 @@ class Fault:
     segment: int | None = None
     #: ``corrupt`` damage position as a fraction of the file size
     offset_frac: float = 0.5
-    #: ``corrupt`` damage kind: flip / truncate / splice
+    #: ``corrupt`` damage kind (flip / truncate / splice) or ``fetch``
+    #: damage kind (drop / delay / stall / truncate / flip)
     op: str = "flip"
+    #: ``fetch`` only: the segment generation the fault applies to
+    #: (``None`` = every generation, surviving even map re-execution)
+    epoch: int | None = 0
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -98,12 +121,15 @@ class Fault:
         if self.where not in CORRUPT_WHERE:
             raise ValueError(
                 f"unknown corrupt target {self.where!r}; have {CORRUPT_WHERE}")
-        if self.op not in CORRUPT_OPS:
+        ops = FETCH_OPS if self.mode == "fetch" else CORRUPT_OPS
+        if self.op not in ops:
             raise ValueError(
-                f"unknown corrupt op {self.op!r}; have {CORRUPT_OPS}")
+                f"unknown {self.mode} op {self.op!r}; have {ops}")
         if not 0.0 <= self.offset_frac <= 1.0:
             raise ValueError(
                 f"offset_frac must be in [0, 1], got {self.offset_frac}")
+        if self.epoch is not None and self.epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {self.epoch}")
         if self.sticky is None:
             object.__setattr__(self, "sticky", self.mode == "poison")
 
@@ -150,6 +176,36 @@ class FaultInjector:
                attempt: int = 0) -> "FaultInjector":
         """Plan a deterministic user-code failure on one input record."""
         return self.add(task_id, Fault("poison", attempt, record=record))
+
+    def fetch(self, map_id: str, reduce_id: str, *, op: str = "flip",
+              attempt: int = 0, sticky: bool = False,
+              seconds: float = 30.0, offset_frac: float = 0.5,
+              epoch: int | None = 0) -> "FaultInjector":
+        """Plan an in-flight shuffle transfer failure on one link.
+
+        ``attempt`` is the fetch-attempt ordinal within a reduce attempt
+        (0 = the first try); a *sticky* fault hits every fetch attempt
+        from that ordinal on, within the scoped ``epoch`` -- the
+        "permanently unfetchable segment" that must escalate to map
+        re-execution rather than fail the job.
+        """
+        return self.add(fetch_pair_id(map_id, reduce_id), Fault(
+            "fetch", attempt, sticky=sticky, seconds=seconds,
+            offset_frac=offset_frac, op=op, epoch=epoch))
+
+    def fetch_plan_for(self, reduce_id: str) -> dict[str, tuple[Fault, ...]]:
+        """Every fetch fault aimed at one reduce task, keyed by map id.
+
+        The returned mapping is plain data (picklable), so it can ride
+        into the reduce worker process the way task faults do.
+        """
+        suffix = f"->{reduce_id}"
+        plan: dict[str, list[Fault]] = {}
+        for (tid, _), fault in sorted(self._plan.items()):
+            if fault.mode == "fetch" and tid.endswith(suffix):
+                map_id = tid[:-len(suffix)]
+                plan.setdefault(map_id, []).append(fault)
+        return {m: tuple(fs) for m, fs in plan.items()}
 
     def fault_for(self, task_id: str, attempt: int) -> Fault | None:
         """The fault planned for this attempt, if any.

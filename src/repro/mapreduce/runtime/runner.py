@@ -45,7 +45,7 @@ from repro.mapreduce.engine import (
 )
 from repro.mapreduce.ifile import IFileStats
 from repro.mapreduce.job import Job
-from repro.mapreduce.metrics import Counters, TaskProfile
+from repro.mapreduce.metrics import C, Counters, TaskProfile
 from repro.mapreduce.runtime.fault import FaultInjector
 from repro.mapreduce.runtime.recovery import (
     MANIFEST_NAME,
@@ -55,6 +55,7 @@ from repro.mapreduce.runtime.recovery import (
     job_fingerprint,
 )
 from repro.mapreduce.runtime.scheduler import TaskScheduler, TaskSpec
+from repro.mapreduce.runtime.shuffle import SegmentRef, ShuffleConfig
 from repro.mapreduce.runtime.trace import RuntimeTrace
 from repro.mapreduce.runtime.worker import load_result
 from repro.scidata.dataset import Dataset
@@ -84,6 +85,10 @@ class ParallelJobRunner:
         max_workers: int | None = None,
         max_retries: int = 2,
         retry_backoff: float = 0.05,
+        retry_backoff_max: float = 2.0,
+        fetch_failure_threshold: int = 2,
+        max_map_reexecs: int = 2,
+        shuffle: ShuffleConfig | None = None,
         speculation: bool = True,
         straggler_factor: float = 3.0,
         min_straggler_seconds: float = 1.0,
@@ -110,6 +115,10 @@ class ParallelJobRunner:
             max_workers=max_workers,
             max_retries=max_retries,
             retry_backoff=retry_backoff,
+            retry_backoff_max=retry_backoff_max,
+            fetch_failure_threshold=fetch_failure_threshold,
+            max_map_reexecs=max_map_reexecs,
+            shuffle=shuffle,
             speculation=speculation,
             straggler_factor=straggler_factor,
             min_straggler_seconds=min_straggler_seconds,
@@ -125,6 +134,8 @@ class ParallelJobRunner:
         self.last_trace: RuntimeTrace | None = None
         #: tasks adopted from the manifest in the most recent run
         self.last_adopted: int = 0
+        #: completed maps re-executed for fetch failures, most recent run
+        self.last_map_reexecs: int = 0
 
     def __enter__(self) -> "ParallelJobRunner":
         return self
@@ -157,6 +168,7 @@ class ParallelJobRunner:
         trace = RuntimeTrace()
         scheduler = TaskScheduler(trace=trace, **self._scheduler_kwargs)
         self.last_adopted = 0
+        self.last_map_reexecs = 0
 
         if self.recovery_dir is None:
             run_dir = tempfile.mkdtemp(prefix="run-", dir=self.workdir)
@@ -310,13 +322,23 @@ class ParallelJobRunner:
             precomputed=adopted_maps, **wave_kwargs)
 
         # Shuffle barrier: hand each reducer its partition's segment
-        # paths, in map-task order (matching the serial runner exactly).
-        reduce_specs = []
-        for part in range(job.num_reducers):
-            segments = [map_results[spec.task_id].segments[part]
-                        for spec in map_specs]
-            reduce_specs.append(
-                TaskSpec(f"r{part:05d}", "reduce", (part, segments)))
+        # references, in map-task order (matching the serial runner
+        # exactly).  ``epoch`` tracks per-map re-executions so a fetch
+        # fault pinned to epoch 0 stops matching the replacement bytes.
+        reexec_epochs: dict[str, int] = {s.task_id: 0 for s in map_specs}
+
+        def reduce_payload(part: int) -> tuple[int, list[SegmentRef]]:
+            refs = []
+            for spec in map_specs:
+                path, stats = map_results[spec.task_id].segments[part]
+                refs.append(SegmentRef(map_id=spec.task_id, path=path,
+                                       stats=stats,
+                                       epoch=reexec_epochs[spec.task_id]))
+            return (part, refs)
+
+        reduce_specs = [
+            TaskSpec(f"r{part:05d}", "reduce", reduce_payload(part))
+            for part in range(job.num_reducers)]
         if recovering:
             manifest.record_wave("reduce", [s.task_id for s in reduce_specs])
 
@@ -324,12 +346,46 @@ class ParallelJobRunner:
             self._repair_segment(corrupt_path, job, dataset, map_specs,
                                  map_results, trace, manifest)
 
+        def reexec(map_id: str) -> dict[str, Any]:
+            """Re-run a completed map whose segments proved unfetchable.
+
+            Runs inline in the scheduler process (like segment repair,
+            so the fault plan that broke the segments cannot re-break
+            the replacement), into a *fresh* epoch directory -- the old
+            paths are deleted, so a straggling reader fails fast rather
+            than reading half-invalidated bytes.  Returns the re-pointed
+            payload for every reduce task.
+            """
+            spec = next(s for s in map_specs if s.task_id == map_id)
+            reexec_epochs[map_id] += 1
+            old = map_results[map_id]
+            fresh_dir = os.path.join(
+                run_dir, f"{map_id}.reexec{reexec_epochs[map_id]}")
+            os.makedirs(fresh_dir, exist_ok=True)
+            mo = run_map_task(job, spec.payload, dataset, fresh_dir)
+            for path, _ in old.segments.values():
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass  # e.g. the missing segment that started this
+            map_results[map_id] = mo
+            trace.set_profile(map_id, mo.profile)
+            self.last_map_reexecs += 1
+            if manifest is not None and map_id in manifest.tasks:
+                # The checkpointed result pickle now points at deleted
+                # segment paths; drop the record so a resume re-runs the
+                # map instead of adopting a dangling checkpoint.
+                del manifest.tasks[map_id]
+                manifest.save()
+            return {f"r{part:05d}": reduce_payload(part)
+                    for part in range(job.num_reducers)}
+
         # Wave 2: reduce tasks (dataset not needed in reduce workers).
         adopted_reduces = self._load_adopted(adopted, "reduce")
         self.last_adopted += len(adopted_reduces)
         reduce_results = scheduler.run_wave(
             reduce_specs, job, None, run_dir, repair=repair,
-            precomputed=adopted_reduces, **wave_kwargs)
+            precomputed=adopted_reduces, reexec=reexec, **wave_kwargs)
 
         # Assemble the JobResult exactly like the serial runner: map
         # counters/profiles in split order, then reduces in partition
@@ -354,6 +410,11 @@ class ParallelJobRunner:
             counters.merge(rr.counters)
             profiles.append(rr.profile)
             trace.set_profile(rr.task_id, rr.profile)
+
+        # Map re-executions are a job-level event (the winning task
+        # counters stay identical to a fault-free run by design).
+        if self.last_map_reexecs:
+            counters.incr(C.MAPS_REEXECUTED, self.last_map_reexecs)
 
         return JobResult(
             output=output,

@@ -48,6 +48,7 @@ tests pin down against the serial runner.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import os
 import shutil
 import statistics
@@ -64,6 +65,7 @@ from repro.mapreduce.runtime.worker import (
     load_result,
     worker_entry,
 )
+from repro.util.backoff import backoff_delay
 
 __all__ = ["TaskSpec", "TaskFailedError", "WaveDeadlineError", "TaskScheduler"]
 
@@ -142,8 +144,21 @@ class TaskScheduler:
         Concurrent worker processes (default: CPU count).
     max_retries:
         Extra attempts a task may use after its first failure.
-    retry_backoff:
-        Base delay before a retry launches; doubles per failure.
+    retry_backoff / retry_backoff_max:
+        Base delay before a retry launches; doubles per failure, capped
+        at ``retry_backoff_max``, with deterministic per-task jitter
+        (:func:`~repro.util.backoff.backoff_delay`).
+    fetch_failure_threshold / max_map_reexecs:
+        A reduce attempt that cannot fetch a map's segments charges that
+        map one *strike* (without spending the reduce's retry budget).
+        At ``fetch_failure_threshold`` strikes the scheduler invokes the
+        caller's ``reexec`` hook to re-execute the completed map and
+        re-points waiting reducers at the fresh segments; one map may be
+        re-executed at most ``max_map_reexecs`` times before the wave
+        fails (a permanently unfetchable segment must not loop forever).
+    shuffle:
+        Optional :class:`~repro.mapreduce.runtime.shuffle.ShuffleConfig`
+        forwarded to reduce workers (transport choice + fetch knobs).
     speculation / straggler_factor / min_straggler_seconds /
     speculation_min_completed:
         A non-speculative attempt running longer than
@@ -177,6 +192,10 @@ class TaskScheduler:
         max_workers: int | None = None,
         max_retries: int = 2,
         retry_backoff: float = 0.05,
+        retry_backoff_max: float = 2.0,
+        fetch_failure_threshold: int = 2,
+        max_map_reexecs: int = 2,
+        shuffle: Any = None,
         speculation: bool = True,
         straggler_factor: float = 3.0,
         min_straggler_seconds: float = 1.0,
@@ -195,6 +214,16 @@ class TaskScheduler:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if retry_backoff < 0:
             raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
+        if retry_backoff_max < 0:
+            raise ValueError(
+                f"retry_backoff_max must be >= 0, got {retry_backoff_max}")
+        if fetch_failure_threshold < 1:
+            raise ValueError(
+                f"fetch_failure_threshold must be >= 1, "
+                f"got {fetch_failure_threshold}")
+        if max_map_reexecs < 0:
+            raise ValueError(
+                f"max_map_reexecs must be >= 0, got {max_map_reexecs}")
         if straggler_factor <= 1.0:
             raise ValueError(
                 f"straggler_factor must be > 1, got {straggler_factor}")
@@ -214,6 +243,10 @@ class TaskScheduler:
             raise ValueError(f"wave_deadline must be > 0, got {wave_deadline}")
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        self.retry_backoff_max = retry_backoff_max
+        self.fetch_failure_threshold = fetch_failure_threshold
+        self.max_map_reexecs = max_map_reexecs
+        self.shuffle = shuffle
         self.speculation = speculation
         self.straggler_factor = straggler_factor
         self.min_straggler_seconds = min_straggler_seconds
@@ -242,6 +275,7 @@ class TaskScheduler:
         precomputed: Mapping[str, Any] | None = None,
         on_complete: Callable[[TaskSpec, int, str, str, Any], None] | None = None,
         keep_result_files: bool = False,
+        reexec: Callable[[str], Mapping[str, Any]] | None = None,
     ) -> dict[str, Any]:
         """Run every task in ``specs`` to completion; returns results by id.
 
@@ -258,6 +292,15 @@ class TaskScheduler:
         task -- the manifest-recording hook.  With ``keep_result_files``
         the winning attempt's pickled result survives on disk so a
         later resume can reload it.
+
+        ``reexec`` is the map re-execution hook for reduce waves: called
+        with a map task id whose segments have accumulated
+        ``fetch_failure_threshold`` fetch-failure strikes, it must
+        re-run that completed map and return ``{reduce_id: new_payload}``
+        for every reduce task in this wave.  The scheduler re-points
+        queued reduces at the new payloads, kills and requeues running
+        attempts that were reading the invalidated segments, and resets
+        the map's strike count.
         """
         specs = list(specs)
         by_id = {s.task_id: s for s in specs}
@@ -281,6 +324,14 @@ class TaskScheduler:
             (s, 0.0) for s in specs if s.task_id not in results]
         running: list[_Attempt] = []
         failures: dict[str, int] = defaultdict(int)
+        #: fetch-failure strikes per *map* task (reduce waves only);
+        #: cleared when the map is re-executed
+        fetch_strikes: dict[str, int] = defaultdict(int)
+        #: how many times each map has been re-executed this wave
+        map_reexecs: dict[str, int] = defaultdict(int)
+        #: fetch-failure requeues per reduce -- paces the retry backoff
+        #: without charging the reduce's ``max_retries`` budget
+        fetch_requeues: dict[str, int] = defaultdict(int)
         #: tasks whose next attempts run in record-skipping mode; sticky
         #: for the rest of the wave once a skip-eligible failure is seen
         skip_tasks: set[str] = set()
@@ -292,6 +343,10 @@ class TaskScheduler:
             trace.record(s.task_id, 0, s.kind, "queued")
 
         def launch(spec: TaskSpec, speculative: bool) -> None:
+            # Always launch the *current* spec for this task id: a map
+            # re-execution may have re-pointed the payload since this
+            # spec object was queued.
+            spec = by_id[spec.task_id]
             number = next_attempt[spec.task_id]
             next_attempt[spec.task_id] += 1
             attempt_dir = os.path.join(wave_dir, f"{spec.task_id}.{number}")
@@ -299,6 +354,10 @@ class TaskScheduler:
             result_path = os.path.join(attempt_dir, "_result.pkl")
             fault = (self.fault_injector.fault_for(spec.task_id, number)
                      if self.fault_injector is not None else None)
+            fetch_faults = (
+                self.fault_injector.fetch_plan_for(spec.task_id)
+                if self.fault_injector is not None and spec.kind == "reduce"
+                else None) or None
             skip_mode = spec.task_id in skip_tasks
             process = self._ctx.Process(
                 target=worker_entry,
@@ -306,7 +365,7 @@ class TaskScheduler:
                       result_path, job,
                       dataset if spec.kind == "map" else None,
                       spec.payload, fault, self.heartbeat_interval,
-                      skip_mode),
+                      skip_mode, self.shuffle, fetch_faults),
                 daemon=True,
             )
             process.start()
@@ -350,10 +409,83 @@ class TaskScheduler:
                 raise TaskFailedError(task_id, failures[task_id] + 1, detail)
             if rival_running:
                 return  # the rival attempt *is* the retry
-            delay = self.retry_backoff * (2 ** (failures[task_id] - 1))
-            pending.append((spec, time.monotonic() + delay))
+            delay = backoff_delay(self.retry_backoff, failures[task_id],
+                                  self.retry_backoff_max, key=task_id)
+            pending.append((by_id[task_id], time.monotonic() + delay))
             trace.record(task_id, attempt.number, spec.kind, "retried",
                          f"backoff {delay:.3f}s")
+
+        def reexec_map(map_id: str, detail: str) -> None:
+            """Re-execute a completed map and re-point its consumers."""
+            map_reexecs[map_id] += 1
+            if map_reexecs[map_id] > self.max_map_reexecs:
+                raise TaskFailedError(
+                    map_id, map_reexecs[map_id],
+                    f"map re-executed {self.max_map_reexecs} time(s) and "
+                    f"its segments remain unfetchable: {detail}")
+            fetch_strikes[map_id] = 0
+            new_payloads = reexec(map_id)
+            trace.record(map_id, map_reexecs[map_id], "map", "map_reexec",
+                         f"fetch-failure threshold "
+                         f"({self.fetch_failure_threshold}) reached: {detail}")
+            for reduce_id, payload in new_payloads.items():
+                if reduce_id not in by_id or reduce_id in results:
+                    continue
+                new_spec = TaskSpec(reduce_id, "reduce", payload)
+                by_id[reduce_id] = new_spec
+                for i, (queued_spec, not_before) in enumerate(pending):
+                    if queued_spec.task_id == reduce_id:
+                        pending[i] = (new_spec, not_before)
+                # Running attempts are reading segments that no longer
+                # exist: kill them and requeue the task immediately.
+                stale = [a for a in running if a.spec.task_id == reduce_id]
+                for a in stale:
+                    _kill_process(a.process)
+                    running.remove(a)
+                    trace.record(reduce_id, a.number, "reduce", "killed",
+                                 f"segments of {map_id} invalidated by "
+                                 f"re-execution")
+                    shutil.rmtree(a.dir, ignore_errors=True)
+                if stale and not any(s.task_id == reduce_id
+                                     for s, _ in pending):
+                    pending.append((new_spec, 0.0))
+
+        def handle_fetch_failure(attempt: _Attempt, map_id: str,
+                                 detail: str) -> None:
+            """A reduce exhausted its fetch retries against one map.
+
+            The failure is charged to the *link* (a strike against the
+            producing map), not to the reduce's retry budget: the reduce
+            did nothing wrong and must survive as many requeues as map
+            re-execution needs.  Termination is still guaranteed --
+            strikes accumulate to ``fetch_failure_threshold``, and
+            ``max_map_reexecs`` bounds how often one map may be re-run
+            before the wave fails.
+            """
+            spec = attempt.spec
+            task_id = spec.task_id
+            trace.record(task_id, attempt.number, spec.kind, "failed", detail)
+            trace.record(task_id, attempt.number, spec.kind, "fetch_failure",
+                         f"{map_id}: {detail}")
+            shutil.rmtree(attempt.dir, ignore_errors=True)
+            fetch_strikes[map_id] += 1
+            if fetch_strikes[map_id] >= self.fetch_failure_threshold:
+                if reexec is None:
+                    raise TaskFailedError(
+                        task_id, fetch_requeues[task_id] + 1,
+                        f"{detail} (no re-execution hook installed)")
+                reexec_map(map_id, detail)
+            if any(a.spec.task_id == task_id for a in running) \
+                    or any(s.task_id == task_id for s, _ in pending):
+                return  # a rival or a reexec requeue already covers it
+            fetch_requeues[task_id] += 1
+            delay = backoff_delay(self.retry_backoff, fetch_requeues[task_id],
+                                  self.retry_backoff_max,
+                                  key=f"{task_id}:fetch")
+            pending.append((by_id[task_id], time.monotonic() + delay))
+            trace.record(task_id, attempt.number, spec.kind, "retried",
+                         f"fetch failure, backoff {delay:.3f}s "
+                         f"(retry budget uncharged)")
 
         def handle_exit(attempt: _Attempt) -> None:
             spec = attempt.spec
@@ -396,6 +528,10 @@ class TaskScheduler:
                 detail = f"{result['error_type']}: {result['message']}"
                 corrupt_path = result.get("corrupt_path")
                 skip_eligible = result.get("skip_eligible", False)
+                failed_map = result.get("failed_map")
+                if failed_map is not None:
+                    handle_fetch_failure(attempt, failed_map, detail)
+                    return
             record_failure(attempt, detail, corrupt_path, skip_eligible)
 
         def deadline_breach(attempt: _Attempt, now: float) -> str | None:
@@ -482,7 +618,20 @@ class TaskScheduler:
                     progressed = True
                     handle_exit(attempt)
                 if not progressed:
-                    time.sleep(self.poll_interval)
+                    sentinels = [a.process.sentinel for a in running]
+                    if sentinels:
+                        # Wake the instant any worker exits instead of
+                        # burning a fixed poll quantum.
+                        multiprocessing.connection.wait(
+                            sentinels, timeout=self.poll_interval)
+                    elif pending:
+                        # Nothing in flight: sleep just long enough for
+                        # the earliest backoff gate to open.
+                        gate = min(nb for _, nb in pending)
+                        time.sleep(min(max(gate - now, 0.0),
+                                       self.poll_interval))
+                    else:  # pragma: no cover - defensive
+                        time.sleep(self.poll_interval)
         finally:
             # Error-path safety net: never leak worker processes.
             for attempt in running:

@@ -1,0 +1,374 @@
+"""Pluggable shuffle transport: how reducers fetch map-output segments.
+
+Reducers used to ``open()`` map-output IFiles directly, so the
+map->reduce hop -- the link the paper compresses, and the one Hadoop
+treats as its most fragile phase -- could never fail.  This module
+makes the transfer a first-class, failable step:
+
+* :class:`SegmentRef` names one partition segment (producing map task,
+  path, byte stats, and an *epoch* that bumps when the scheduler
+  re-executes the producer);
+* a **transport** moves one segment's bytes: :class:`DirectTransport`
+  reads the file (today's behavior, byte-identical), while
+  :class:`ChannelTransport` streams it in CRC-framed chunks over an
+  in-process channel that a :class:`~repro.mapreduce.runtime.fault.
+  FaultInjector` ``fetch`` fault can drop, delay, stall, truncate, or
+  bit-flip in flight;
+* the :class:`ShuffleFetcher` drives bounded-concurrency fetches with
+  per-fetch deadlines, capped exponential backoff with deterministic
+  jitter (:mod:`repro.util.backoff`), digest verification
+  (:func:`~repro.mapreduce.ifile.segment_digest`), and ``SHUFFLE_*``
+  counter accounting.  A segment that stays unfetchable raises
+  :class:`FetchFailedError` naming the producing map task -- the signal
+  the scheduler's fetch-failure accounting turns into map re-execution
+  (Hadoop's "too many fetch failures" protocol).
+
+The failure ladder this module adds, from cheapest rung up: fetch retry
+(with backoff) -> reduce-attempt requeue (uncharged against the retry
+budget) -> re-execution of the *completed* source map task.  Transfer
+damage is the transport's to detect (chunk CRCs + digest); damage at
+rest still surfaces as decode-time :class:`~repro.mapreduce.ifile.
+IFileCorruptError` and takes the existing repair/skipping rungs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass
+from threading import Lock
+from typing import Mapping, Sequence
+
+from repro.mapreduce.ifile import IFileStats, segment_digest
+from repro.mapreduce.metrics import C, Counters
+from repro.mapreduce.runtime.fault import Fault
+from repro.util.backoff import backoff_delay
+from repro.util.timing import Deadline
+
+__all__ = [
+    "SegmentRef",
+    "ShuffleConfig",
+    "FetchFailedError",
+    "TransientFetchError",
+    "DirectTransport",
+    "ChannelTransport",
+    "ShuffleFetcher",
+    "make_transport",
+    "select_fetch_fault",
+    "shuffle_config_from_env",
+    "TRANSPORTS",
+]
+
+TRANSPORTS = ("direct", "channel")
+
+
+@dataclass(frozen=True)
+class SegmentRef:
+    """One map-output partition segment, as a reducer addresses it."""
+
+    map_id: str
+    path: str
+    stats: IFileStats
+    #: generation counter: 0 for the original map execution, bumped each
+    #: time the scheduler re-executes the producer (old epochs' faults
+    #: no longer match, which is what models "re-execution fixed it")
+    epoch: int = 0
+
+    @classmethod
+    def from_pair(cls, pair: "tuple[str, IFileStats] | SegmentRef",
+                  epoch: int = 0) -> "SegmentRef":
+        """Adopt the legacy ``(path, stats)`` segment tuple."""
+        if isinstance(pair, cls):
+            return pair
+        path, stats = pair
+        name = os.path.basename(path)
+        return cls(map_id=name.split("-out-")[0], path=path, stats=stats,
+                   epoch=epoch)
+
+
+@dataclass(frozen=True)
+class ShuffleConfig:
+    """Picklable knobs for the reduce-side shuffle (rides into workers)."""
+
+    transport: str = "direct"
+    #: extra fetch attempts per segment after the first failure
+    fetch_retries: int = 3
+    #: per-fetch-attempt deadline in seconds (None = no deadline)
+    fetch_timeout: float | None = None
+    #: base/cap for the capped, jittered inter-attempt backoff
+    backoff: float = 0.02
+    backoff_max: float = 0.25
+    #: concurrent in-flight fetches per reduce task
+    concurrency: int = 4
+    #: channel frame size (bytes of segment per CRC-framed chunk)
+    chunk_bytes: int = 64 * 1024
+
+    def __post_init__(self) -> None:
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; have {TRANSPORTS}")
+        if self.fetch_retries < 0:
+            raise ValueError(
+                f"fetch_retries must be >= 0, got {self.fetch_retries}")
+        if self.fetch_timeout is not None and self.fetch_timeout <= 0:
+            raise ValueError(
+                f"fetch_timeout must be > 0, got {self.fetch_timeout}")
+        if self.backoff < 0 or self.backoff_max < 0:
+            raise ValueError("backoff and backoff_max must be >= 0")
+        if self.concurrency < 1:
+            raise ValueError(
+                f"concurrency must be >= 1, got {self.concurrency}")
+        if self.chunk_bytes < 256:
+            raise ValueError(
+                f"chunk_bytes must be >= 256, got {self.chunk_bytes}")
+
+
+def shuffle_config_from_env() -> ShuffleConfig | None:
+    """A :class:`ShuffleConfig` from ``REPRO_TRANSPORT`` /
+    ``REPRO_FETCH_RETRIES`` / ``REPRO_FETCH_TIMEOUT``, or ``None`` when
+    none of them is set (runner default applies)."""
+    transport = os.environ.get("REPRO_TRANSPORT")
+    retries = os.environ.get("REPRO_FETCH_RETRIES")
+    timeout = os.environ.get("REPRO_FETCH_TIMEOUT")
+    if transport is None and retries is None and timeout is None:
+        return None
+    kwargs: dict = {}
+    if transport is not None:
+        kwargs["transport"] = transport
+    if retries is not None:
+        kwargs["fetch_retries"] = int(retries)
+    if timeout is not None:
+        kwargs["fetch_timeout"] = float(timeout)
+    return ShuffleConfig(**kwargs)
+
+
+class TransientFetchError(RuntimeError):
+    """One fetch attempt failed in a way a retry may fix.
+
+    ``bytes_received`` is how much crossed the channel before the error,
+    for ``SHUFFLE_BYTES_TRANSFERRED`` accounting.
+    """
+
+    def __init__(self, message: str, bytes_received: int = 0) -> None:
+        super().__init__(message)
+        self.bytes_received = bytes_received
+
+
+class FetchFailedError(RuntimeError):
+    """A segment stayed unfetchable through the whole retry budget.
+
+    Names the producing map task so the scheduler can charge the
+    (map, reduce) link and, past the threshold, re-execute the map.
+    Deliberately *not* skip-eligible: record skipping salvages damaged
+    data, but a failed transfer has no data to salvage around.
+    """
+
+    def __init__(self, map_id: str, reduce_id: str, attempts: int,
+                 detail: str) -> None:
+        super().__init__(
+            f"fetch of {map_id} -> {reduce_id} failed after "
+            f"{attempts} attempt(s): {detail}")
+        self.map_id = map_id
+        self.reduce_id = reduce_id
+        self.attempts = attempts
+        self.detail = detail
+
+
+def select_fetch_fault(faults: Sequence[Fault], attempt: int,
+                       epoch: int) -> Fault | None:
+    """The planned fault for one fetch attempt of one segment epoch.
+
+    Mirrors :meth:`FaultInjector.fault_for` semantics: an exact attempt
+    anchor wins; otherwise the most recently anchored sticky fault at or
+    before this attempt applies.  Faults scoped to another epoch never
+    match -- re-executed segments escape their predecessor's faults.
+    """
+    best: Fault | None = None
+    for fault in faults:
+        if fault.epoch is not None and fault.epoch != epoch:
+            continue
+        if fault.attempt == attempt:
+            return fault
+        if fault.sticky and fault.attempt <= attempt:
+            if best is None or fault.attempt > best.attempt:
+                best = fault
+    return best
+
+
+class DirectTransport:
+    """Read the segment file from shared disk -- today's shuffle,
+    byte-identical.  Fetch faults do not apply (there is no wire); only
+    a missing file can fail, which the fetcher treats as permanent."""
+
+    def fetch(self, ref: SegmentRef, attempt: int,
+              deadline: Deadline) -> bytes:
+        with open(ref.path, "rb") as fh:
+            return fh.read()
+
+
+class ChannelTransport:
+    """Stream segments in CRC-framed chunks over an in-process channel.
+
+    The sender reads the segment, computes its
+    :class:`~repro.mapreduce.ifile.SegmentDigest`, and streams
+    ``chunk_bytes``-sized frames, each with the CRC32 of its *true*
+    bytes.  Planned ``fetch`` faults damage the stream on the wire:
+
+    * ``delay``    -- the stream starts ``seconds`` late (intact);
+    * ``stall``    -- the stream hangs until the fetch deadline expires;
+    * ``drop``     -- the connection dies after ``offset_frac`` of the
+      frames (explicit mid-transfer error);
+    * ``truncate`` -- the stream ends early but *claims* completion, so
+      only the receiver's digest length check catches it;
+    * ``flip``     -- one byte flips in flight; the frame CRC catches it.
+
+    The receiver verifies every frame CRC, enforces the deadline between
+    frames, and verifies the assembled bytes against the sender's digest
+    -- all damage surfaces as :class:`TransientFetchError` before any
+    byte reaches the merge.
+    """
+
+    def __init__(self, chunk_bytes: int = 64 * 1024,
+                 faults: Mapping[str, Sequence[Fault]] | None = None) -> None:
+        self.chunk_bytes = chunk_bytes
+        self.faults = dict(faults) if faults else {}
+
+    def fetch(self, ref: SegmentRef, attempt: int,
+              deadline: Deadline) -> bytes:
+        fault = select_fetch_fault(self.faults.get(ref.map_id, ()),
+                                   attempt, ref.epoch)
+        with open(ref.path, "rb") as fh:
+            blob = fh.read()
+        digest = segment_digest(blob)
+        size = self.chunk_bytes
+        frames = [(blob[i:i + size], zlib.crc32(blob[i:i + size]))
+                  for i in range(0, len(blob), size)]
+
+        if fault is not None and fault.op == "delay":
+            deadline.sleep(fault.seconds)
+            if deadline.expired():
+                raise TransientFetchError(
+                    f"fetch deadline expired waiting {fault.seconds:.3f}s "
+                    f"for a delayed stream")
+        if fault is not None and fault.op == "stall":
+            remaining = deadline.remaining()
+            time.sleep(fault.seconds if remaining is None
+                       else min(fault.seconds, remaining))
+            raise TransientFetchError("transfer stalled; fetch timed out")
+
+        deliver = len(frames)
+        if fault is not None and fault.op in ("drop", "truncate"):
+            deliver = min(len(frames) - 1,
+                          int(len(frames) * fault.offset_frac))
+            deliver = max(0, deliver)
+        flip_at = (len(frames) // 2 if fault is not None
+                   and fault.op == "flip" else None)
+
+        received = bytearray()
+        for i, (data, crc) in enumerate(frames):
+            if deadline.expired():
+                raise TransientFetchError(
+                    f"fetch deadline expired after {len(received)} bytes",
+                    bytes_received=len(received))
+            if i >= deliver and fault is not None and fault.op == "drop":
+                raise TransientFetchError(
+                    f"channel dropped mid-transfer after frame {i}",
+                    bytes_received=len(received))
+            if i >= deliver and fault is not None and fault.op == "truncate":
+                break  # silent short stream: only the digest notices
+            if flip_at == i and data:
+                wire = bytearray(data)
+                wire[len(wire) // 2] ^= 0xFF
+                data = bytes(wire)
+            if zlib.crc32(data) != crc:
+                raise TransientFetchError(
+                    f"frame {i} checksum mismatch in flight",
+                    bytes_received=len(received))
+            received.extend(data)
+        assembled = bytes(received)
+        if not digest.matches(assembled):
+            raise TransientFetchError(
+                f"transfer digest mismatch: got {len(assembled)} bytes, "
+                f"sender digested {digest.length}",
+                bytes_received=len(assembled))
+        return assembled
+
+
+def make_transport(config: ShuffleConfig,
+                   fetch_faults: Mapping[str, Sequence[Fault]] | None = None):
+    """Instantiate the transport ``config`` names."""
+    if config.transport == "direct":
+        return DirectTransport()
+    return ChannelTransport(config.chunk_bytes, fetch_faults)
+
+
+class ShuffleFetcher:
+    """Reduce-side fetch loop: bounded concurrency, deadlines, retries.
+
+    ``fetch_all`` returns segment blobs **in input order** regardless of
+    completion order, so downstream merge behavior -- and therefore
+    output bytes -- never depends on scheduling.  Counter totals are
+    order-independent sums, guarded by a lock (fetches run on threads).
+    """
+
+    def __init__(
+        self,
+        config: ShuffleConfig,
+        counters: Counters,
+        reduce_id: str,
+        fetch_faults: Mapping[str, Sequence[Fault]] | None = None,
+    ) -> None:
+        self.config = config
+        self.counters = counters
+        self.reduce_id = reduce_id
+        self.transport = make_transport(config, fetch_faults)
+        self._lock = Lock()
+
+    def _incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self.counters.incr(name, amount)
+
+    def fetch_all(self, refs: Sequence[SegmentRef]) -> list[bytes]:
+        """Fetch every segment; raises :class:`FetchFailedError` on the
+        first segment that exhausts its retry budget."""
+        refs = list(refs)
+        if not refs:
+            return []
+        workers = min(self.config.concurrency, len(refs))
+        if workers == 1:
+            return [self.fetch_one(ref) for ref in refs]
+        from concurrent.futures import ThreadPoolExecutor
+        with ThreadPoolExecutor(max_workers=workers,
+                                thread_name_prefix="fetch") as pool:
+            return list(pool.map(self.fetch_one, refs))
+
+    def fetch_one(self, ref: SegmentRef) -> bytes:
+        """Fetch one segment through the full retry ladder."""
+        last = "no attempts made"
+        for attempt in range(self.config.fetch_retries + 1):
+            if attempt > 0:
+                self._incr(C.SHUFFLE_RETRIES)
+                time.sleep(backoff_delay(
+                    self.config.backoff, attempt, self.config.backoff_max,
+                    key=f"{self.reduce_id}:{ref.map_id}:{ref.epoch}"))
+            self._incr(C.SHUFFLE_FETCHES)
+            deadline = Deadline(self.config.fetch_timeout)
+            try:
+                blob = self.transport.fetch(ref, attempt, deadline)
+            except FileNotFoundError as exc:
+                # The segment is *gone* (invalidated or lost): no retry
+                # of this epoch can succeed, so escalate immediately.
+                self._incr(C.SHUFFLE_FAILED_FETCHES)
+                raise FetchFailedError(
+                    ref.map_id, self.reduce_id, attempt + 1,
+                    f"segment missing: {exc}") from exc
+            except TransientFetchError as exc:
+                self._incr(C.SHUFFLE_FAILED_FETCHES)
+                self._incr(C.SHUFFLE_BYTES_TRANSFERRED, exc.bytes_received)
+                last = str(exc)
+                continue
+            self._incr(C.SHUFFLE_BYTES_TRANSFERRED, len(blob))
+            return blob
+        raise FetchFailedError(ref.map_id, self.reduce_id,
+                               self.config.fetch_retries + 1, last)

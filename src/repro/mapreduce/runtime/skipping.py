@@ -47,7 +47,6 @@ from repro.mapreduce.ifile import (
     IFileBlockCorruptError,
     IFileCorruptError,
     IFileReader,
-    IFileStats,
     IFileWriter,
 )
 from repro.mapreduce.job import Job
@@ -87,10 +86,15 @@ def is_skip_eligible(exc: BaseException) -> bool:
     Skipping handles failures that *localize to records*: user-code
     exceptions and block-local corruption.  It explicitly does not
     handle whole-segment corruption (:class:`IFileCorruptError` other
-    than the block-local subclass -- that is the repair rung's job) or
-    skipping's own terminal errors (budget exhausted, unsupported).
+    than the block-local subclass -- that is the repair rung's job),
+    failed shuffle transfers (:class:`~repro.mapreduce.runtime.shuffle.
+    FetchFailedError` -- the fetch-failure/re-execution ladder's job;
+    there is no data to skip around), or skipping's own terminal errors
+    (budget exhausted, unsupported).
     """
-    if isinstance(exc, (SkipBudgetExceededError, SkipUnsupportedError)):
+    from repro.mapreduce.runtime.shuffle import FetchFailedError
+    if isinstance(exc, (SkipBudgetExceededError, SkipUnsupportedError,
+                        FetchFailedError)):
         return False
     if isinstance(exc, IFileCorruptError):
         return isinstance(exc, IFileBlockCorruptError)
@@ -266,9 +270,11 @@ def run_map_task_skipping(job: Job, split: Any, dataset: Any,
 def run_reduce_task_skipping(
     job: Job,
     part: int,
-    segments: Sequence[tuple[str, IFileStats]],
+    segments: Sequence[Any],
     workdir: str,
     keep_files: bool = False,
+    shuffle: Any = None,
+    fetch_faults: Any = None,
 ) -> ReduceTaskResult:
     """Re-run a failed reduce attempt in skipping mode.
 
@@ -291,12 +297,15 @@ def run_reduce_task_skipping(
     policy = _require_policy(job, task_id)
     quarantine = QuarantineWriter(task_id, workdir, policy)
 
-    def segment_reader(path: str, codec: Any) -> list[tuple[bytes, bytes]]:
-        """Strict read, falling back to block salvage on block damage."""
+    def segment_reader(path: str, codec: Any,
+                       blob: bytes) -> list[tuple[bytes, bytes]]:
+        """Strict decode of the fetched bytes, falling back to block
+        salvage on block damage (``path`` is provenance only)."""
         try:
-            return IFileReader(path, codec).read_all()
+            return IFileReader(blob, codec, path=path).read_all()
         except IFileBlockCorruptError:
-            reader = IFileReader(path, codec, verify_checksum=False)
+            reader = IFileReader(blob, codec, verify_checksum=False,
+                                 path=path)
             records, bad = reader.read_salvage()
             base = os.path.basename(path)
             for block in bad:
@@ -347,6 +356,7 @@ def run_reduce_task_skipping(
     result = run_reduce_task(
         job, part, segments, workdir, keep_files=keep_files,
         segment_reader=segment_reader, prepare_filter=prepare_filter,
-        group_driver=group_driver)
+        group_driver=group_driver, shuffle=shuffle,
+        fetch_faults=fetch_faults)
     quarantine.commit(result.counters)
     return result

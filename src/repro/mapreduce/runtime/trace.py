@@ -36,6 +36,9 @@ EVENT_KINDS = (
     "adopted",     # a checkpointed result was validated and reused
     "skipping",    # an attempt launched in record-skipping mode
     "quarantined", # a winning attempt skipped records into quarantine
+    "fetch_failure",  # a reduce attempt could not fetch a map segment
+    "map_reexec",  # a completed map task was re-executed after its
+                   # segments exceeded the fetch-failure threshold
 )
 
 

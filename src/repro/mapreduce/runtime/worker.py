@@ -36,6 +36,7 @@ from typing import Any
 from repro.mapreduce.engine import run_map_task, run_reduce_task
 from repro.mapreduce.ifile import IFileCorruptError
 from repro.mapreduce.runtime.fault import Fault, corrupt_file, poisoned_job
+from repro.mapreduce.runtime.shuffle import FetchFailedError, SegmentRef
 from repro.mapreduce.runtime.skipping import (
     is_skip_eligible,
     run_map_task_skipping,
@@ -108,13 +109,18 @@ def worker_entry(
     fault: Fault | None,
     heartbeat_interval: float = 0.25,
     skip_mode: bool = False,
+    shuffle: Any = None,
+    fetch_faults: Any = None,
 ) -> None:
     """Process target: run one task attempt and persist its result.
 
     ``payload`` is the task input: an ``InputSplit`` for map tasks, a
     ``(partition, segments)`` pair for reduce tasks.  With ``skip_mode``
     the task body runs in record-level skipping mode (the scheduler sets
-    it after a skip-eligible failure of a previous attempt).
+    it after a skip-eligible failure of a previous attempt).  ``shuffle``
+    is the job's :class:`~repro.mapreduce.runtime.shuffle.ShuffleConfig`
+    and ``fetch_faults`` the reduce task's slice of the injector's fetch
+    plan, both forwarded to the reduce task body.
     """
     _start_heartbeat(attempt_dir, heartbeat_interval)
     try:
@@ -154,13 +160,19 @@ def worker_entry(
             if fault is not None and fault.mode == "corrupt" \
                     and fault.where == "reduce-input" and segments:
                 index = fault.segment if fault.segment is not None else 0
-                corrupt_file(segments[index % len(segments)][0],
+                target = segments[index % len(segments)]
+                corrupt_file(target.path if isinstance(target, SegmentRef)
+                             else target[0],
                              fault.offset_frac, fault.op)
             if skip_mode:
                 value = run_reduce_task_skipping(job, part, segments,
-                                                 attempt_dir)
+                                                 attempt_dir,
+                                                 shuffle=shuffle,
+                                                 fetch_faults=fetch_faults)
             else:
-                value = run_reduce_task(job, part, segments, attempt_dir)
+                value = run_reduce_task(job, part, segments, attempt_dir,
+                                        shuffle=shuffle,
+                                        fetch_faults=fetch_faults)
         else:
             raise ValueError(f"unknown task kind {kind!r}")
         result = {"status": "ok", "value": value}
@@ -178,6 +190,10 @@ def worker_entry(
             "corrupt_path": (exc.path if isinstance(exc, IFileCorruptError)
                              and not skippable else None),
             "skip_eligible": skippable,
+            # an exhausted fetch names its producing map task so the
+            # scheduler can charge the link and escalate to re-execution
+            "failed_map": (exc.map_id if isinstance(exc, FetchFailedError)
+                           else None),
         }
     try:
         _write_result(result_path, result)

@@ -25,6 +25,7 @@ from repro.mapreduce.job import Job
 from repro.mapreduce.keys import CellKey, CellKeySerde
 from repro.mapreduce.serde import Serde
 from repro.queries.base import GridQuery, shifted_cells, window_offsets
+from repro.util.errors import TruncatedRecordError
 from repro.queries.sliding_median import AggregateWindowMapper
 from repro.scidata.dataset import Dataset
 from repro.scidata.slab import Slab
@@ -47,7 +48,12 @@ class SumCountSerde(Serde):
         out.extend(_PAIR.pack(float(total), int(count)))
 
     def read(self, buf, offset: int):
-        total, count = _PAIR.unpack_from(buf, offset)
+        try:
+            total, count = _PAIR.unpack_from(buf, offset)
+        except struct.error as exc:
+            raise TruncatedRecordError(
+                f"truncated {self.SIZE}-byte sum/count pair",
+                offset=offset) from exc
         return (total, count), offset + self.SIZE
 
     def pack_batch(self, values) -> bytes:

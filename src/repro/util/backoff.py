@@ -1,0 +1,50 @@
+"""Capped exponential backoff with deterministic jitter.
+
+One shared helper for every retry loop in the runtime (the scheduler's
+task retries and the shuffle fetcher's per-segment retries), so the two
+cannot drift apart in policy.  Two properties matter:
+
+* **Capped** -- ``base * 2**(failures-1)`` grows without bound; a task
+  that fails a handful of times must not sleep for minutes.  The delay
+  saturates at ``cap``.
+* **Deterministic jitter** -- naive exponential backoff synchronizes
+  retries (every failed fetch of a wave retries at the same instant,
+  re-creating the contention that failed them).  Real systems add
+  random jitter; randomness would break the byte-identical-reruns
+  guarantee the equivalence tests pin down, so the jitter here is a
+  *hash* of a caller-supplied key: uniformly spread across retriers,
+  identical across reruns.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["backoff_delay"]
+
+#: jitter multiplies the capped delay by a factor in [JITTER_FLOOR, 1.0]
+JITTER_FLOOR = 0.5
+
+
+def backoff_delay(base: float, failures: int, cap: float,
+                  key: str = "") -> float:
+    """Delay in seconds before retry number ``failures`` (1-based).
+
+    ``base * 2**(failures-1)``, saturated at ``cap``, then scaled by a
+    deterministic jitter factor in ``[0.5, 1.0]`` derived from hashing
+    ``(key, failures)``.  ``base <= 0`` or ``failures <= 0`` yields 0.0
+    (retry immediately); ``cap`` must be >= 0.
+    """
+    if base < 0:
+        raise ValueError(f"base must be >= 0, got {base}")
+    if cap < 0:
+        raise ValueError(f"cap must be >= 0, got {cap}")
+    if base == 0 or failures <= 0:
+        return 0.0
+    # min() before the jitter so the cap is a true upper bound; the
+    # exponent is clamped so huge failure counts cannot overflow floats.
+    raw = base * (2.0 ** min(failures - 1, 62))
+    capped = min(raw, cap)
+    seed = zlib.crc32(f"{key}:{failures}".encode("utf-8"))
+    factor = JITTER_FLOOR + (1.0 - JITTER_FLOOR) * (seed / 0xFFFFFFFF)
+    return capped * factor

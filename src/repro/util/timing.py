@@ -9,6 +9,10 @@ seconds and byte counts into a simulated wall clock.  Two small pieces:
   how we reproduce the paper's observation that the stride transform costs
   roughly 2.9x gzip and therefore *increases* total runtime (§III-E)
   despite shrinking the data.
+* :class:`Deadline` / :func:`wait_until` -- monotonic-clock deadline
+  arithmetic and condition polling for the runtime's wait loops, so
+  "wait for X or time out" is written once instead of as ad-hoc
+  ``time.sleep`` loops that drift under CI load.
 """
 
 from __future__ import annotations
@@ -16,9 +20,9 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator
 
-__all__ = ["Stopwatch", "CostClock"]
+__all__ = ["Stopwatch", "CostClock", "Deadline", "wait_until"]
 
 
 class Stopwatch:
@@ -94,3 +98,52 @@ class CostClock:
         """Fold another clock's categories into this one."""
         for category, seconds in other._costs.items():
             self._costs[category] += seconds
+
+
+class Deadline:
+    """A wall-clock budget anchored to ``time.monotonic``.
+
+    ``Deadline(None)`` never expires, so callers can thread an optional
+    timeout through without branching on ``None`` at every check.
+    """
+
+    def __init__(self, seconds: float | None) -> None:
+        if seconds is not None and seconds < 0:
+            raise ValueError(f"deadline must be >= 0, got {seconds}")
+        self.seconds = seconds
+        self._expires = (None if seconds is None
+                         else time.monotonic() + seconds)
+
+    def remaining(self) -> float | None:
+        """Seconds left (>= 0.0), or ``None`` for a boundless deadline."""
+        if self._expires is None:
+            return None
+        return max(0.0, self._expires - time.monotonic())
+
+    def expired(self) -> bool:
+        return self._expires is not None and time.monotonic() >= self._expires
+
+    def sleep(self, seconds: float) -> None:
+        """Sleep ``seconds``, but never past the deadline."""
+        remaining = self.remaining()
+        wait = seconds if remaining is None else min(seconds, remaining)
+        if wait > 0:
+            time.sleep(wait)
+
+
+def wait_until(predicate: Callable[[], bool], timeout: float | None,
+               interval: float = 0.01) -> bool:
+    """Poll ``predicate`` until it holds or ``timeout`` elapses.
+
+    Returns the predicate's final value, so callers distinguish "became
+    true" from "gave up".  The predicate is always evaluated at least
+    once, and once more right at expiry -- a condition that becomes true
+    during the final sleep is not missed.
+    """
+    deadline = Deadline(timeout)
+    while True:
+        if predicate():
+            return True
+        if deadline.expired():
+            return predicate()
+        deadline.sleep(interval)

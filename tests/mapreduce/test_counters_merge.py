@@ -18,7 +18,9 @@ from repro.scidata import integer_grid
 from tests.mapreduce.test_engine import make_job
 
 counter_names = st.sampled_from(
-    ["A", "B", "SHUFFLE_BYTES", "MAP_OUTPUT_RECORDS", "SPILL_COUNT"])
+    ["A", "B", "SHUFFLE_BYTES", "MAP_OUTPUT_RECORDS", "SPILL_COUNT",
+     C.SHUFFLE_FETCHES, C.SHUFFLE_RETRIES, C.SHUFFLE_FAILED_FETCHES,
+     C.SHUFFLE_BYTES_TRANSFERRED, C.MAPS_REEXECUTED])
 counter_dicts = st.dictionaries(
     counter_names, st.integers(min_value=0, max_value=10**12), max_size=5)
 
@@ -57,6 +59,30 @@ class TestMergeAlgebra:
         b = from_dict({"A": 1, "B": 5, "C": 7})
         assert a.diff(b) == {"B": (2, 5), "C": (0, 7)}
         assert a.diff(a) == {}
+
+    def test_shuffle_counters_merge_and_diff(self):
+        """The SHUFFLE_* transport counters ride the same algebra: a
+        faulted run's counters fold across tasks like any other, and
+        diff against a clean run isolates exactly the fault-measuring
+        names."""
+        clean = from_dict({C.SHUFFLE_FETCHES: 6,
+                           C.SHUFFLE_BYTES_TRANSFERRED: 4096})
+        reduce_a = from_dict({C.SHUFFLE_FETCHES: 4, C.SHUFFLE_RETRIES: 1,
+                              C.SHUFFLE_FAILED_FETCHES: 1,
+                              C.SHUFFLE_BYTES_TRANSFERRED: 3000})
+        reduce_b = from_dict({C.SHUFFLE_FETCHES: 3,
+                              C.SHUFFLE_BYTES_TRANSFERRED: 1096})
+        job_level = from_dict({C.MAPS_REEXECUTED: 1})
+        faulted = Counters.merged([reduce_a, reduce_b, job_level])
+        assert faulted == Counters.merged([job_level, reduce_b, reduce_a])
+        assert faulted[C.SHUFFLE_FETCHES] == 7
+        assert faulted[C.SHUFFLE_RETRIES] == 1
+        assert clean.diff(faulted) == {
+            C.SHUFFLE_FETCHES: (6, 7),
+            C.SHUFFLE_RETRIES: (0, 1),
+            C.SHUFFLE_FAILED_FETCHES: (0, 1),
+            C.MAPS_REEXECUTED: (0, 1),
+        }
 
     def test_eq_other_types(self):
         assert Counters() != "not counters"

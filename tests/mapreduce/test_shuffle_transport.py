@@ -1,0 +1,403 @@
+"""The shuffle transport service: fetch, verify, retry, re-execute.
+
+The map->reduce hop used to be an ``open()`` call; now it is a
+first-class transfer through a pluggable transport.  Pinned here:
+
+* the two transports are byte-identical on clean segments, and the
+  cheap :func:`~repro.mapreduce.ifile.segment_digest` actually
+  discriminates (length + trailing CRC);
+* every planned wire fault (flip / drop / truncate / delay / stall)
+  surfaces as a :class:`TransientFetchError` *before* any byte reaches
+  the merge, and a retry against a clean attempt heals it;
+* the fetcher's failure accounting: retries counted, missing files
+  escalate immediately (no pointless retries of a deleted segment),
+  an exhausted budget raises :class:`FetchFailedError` naming the
+  producing map -- and that error is deliberately not skip-eligible;
+* fetch-fault selection respects attempt anchors, stickiness, and
+  epochs (a re-executed map's segments escape their predecessor's
+  faults);
+* end to end, a sticky epoch-0 fault drives both runners through map
+  re-execution to byte-identical output, and the serial/parallel
+  runners agree on the SHUFFLE_* counters.
+"""
+
+import os
+
+import pytest
+
+from repro.mapreduce.engine import LocalJobRunner, run_map_task
+from repro.mapreduce.ifile import (
+    IFileCorruptError,
+    IFileWriter,
+    segment_digest,
+)
+from repro.mapreduce.codecs import NullCodec
+from repro.mapreduce.metrics import C, Counters
+from repro.mapreduce.runtime import (
+    FaultInjector,
+    ParallelJobRunner,
+    TaskFailedError,
+    is_skip_eligible,
+)
+from repro.mapreduce.runtime.shuffle import (
+    ChannelTransport,
+    DirectTransport,
+    FetchFailedError,
+    SegmentRef,
+    ShuffleConfig,
+    ShuffleFetcher,
+    TransientFetchError,
+    select_fetch_fault,
+    shuffle_config_from_env,
+)
+from repro.mapreduce.runtime.trace import EVENT_KINDS, RuntimeTrace
+from repro.scidata import integer_grid
+from repro.scidata.splits import ArraySplitter
+from repro.util.timing import Deadline
+from tests.mapreduce.test_engine import make_job
+
+
+@pytest.fixture
+def grid():
+    return integer_grid((8, 8), seed=11, low=0, high=100)
+
+
+@pytest.fixture
+def segment(tmp_path):
+    """One real IFile segment on disk, as a SegmentRef."""
+    path = str(tmp_path / "m00000-out-p0")
+    writer = IFileWriter(path, NullCodec())
+    for i in range(200):
+        writer.append(f"k{i:04d}".encode(), f"v{i:04d}".encode())
+    stats = writer.close()
+    return SegmentRef(map_id="m00000", path=path, stats=stats)
+
+
+def fetch_plan(*faults):
+    """Group planned faults by producing map id, like the injector."""
+    inj = FaultInjector()
+    reduce_id = faults[0]["reduce_id"]
+    for inj_args in faults:
+        inj.fetch(**inj_args)
+    return inj.fetch_plan_for(reduce_id)
+
+
+class TestSegmentDigest:
+    def test_path_and_bytes_sources_agree(self, segment):
+        with open(segment.path, "rb") as fh:
+            blob = fh.read()
+        assert segment_digest(segment.path) == segment_digest(blob)
+        assert segment_digest(blob).length == len(blob)
+
+    def test_matches_discriminates(self, segment):
+        with open(segment.path, "rb") as fh:
+            blob = fh.read()
+        digest = segment_digest(blob)
+        assert digest.matches(blob)
+        assert not digest.matches(blob[:-1])          # short
+        assert not digest.matches(blob + b"x")        # long
+        flipped = blob[:-1] + bytes([blob[-1] ^ 0xFF])
+        assert not digest.matches(flipped)            # tail CRC damaged
+
+    def test_too_short_raises_corrupt_not_struct_error(self, tmp_path):
+        stub = tmp_path / "stub"
+        stub.write_bytes(b"ab")
+        with pytest.raises(IFileCorruptError) as err:
+            segment_digest(str(stub))
+        assert err.value.path == str(stub)
+        with pytest.raises(IFileCorruptError):
+            segment_digest(b"ab")
+
+
+class TestSegmentRef:
+    def test_from_pair_adopts_legacy_tuple(self, segment):
+        ref = SegmentRef.from_pair((segment.path, segment.stats))
+        assert ref.map_id == "m00000"
+        assert ref.path == segment.path
+        assert ref.epoch == 0
+
+    def test_from_pair_passthrough(self, segment):
+        assert SegmentRef.from_pair(segment) is segment
+
+
+class TestShuffleConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShuffleConfig(transport="carrier-pigeon")
+        with pytest.raises(ValueError):
+            ShuffleConfig(fetch_retries=-1)
+        with pytest.raises(ValueError):
+            ShuffleConfig(fetch_timeout=0.0)
+        with pytest.raises(ValueError):
+            ShuffleConfig(concurrency=0)
+        with pytest.raises(ValueError):
+            ShuffleConfig(chunk_bytes=16)
+
+    def test_from_env(self, monkeypatch):
+        for name in ("REPRO_TRANSPORT", "REPRO_FETCH_RETRIES",
+                     "REPRO_FETCH_TIMEOUT"):
+            monkeypatch.delenv(name, raising=False)
+        assert shuffle_config_from_env() is None
+        monkeypatch.setenv("REPRO_TRANSPORT", "channel")
+        monkeypatch.setenv("REPRO_FETCH_RETRIES", "5")
+        monkeypatch.setenv("REPRO_FETCH_TIMEOUT", "1.5")
+        config = shuffle_config_from_env()
+        assert config.transport == "channel"
+        assert config.fetch_retries == 5
+        assert config.fetch_timeout == 1.5
+
+
+class TestFetchFaultSelection:
+    def make(self, **kw):
+        inj = FaultInjector()
+        inj.fetch("m00000", "r00000", **kw)
+        return inj.fetch_plan_for("r00000")["m00000"][0]
+
+    def test_exact_attempt_anchor(self):
+        fault = self.make(op="flip", attempt=1)
+        assert select_fetch_fault([fault], 1, 0) is fault
+        assert select_fetch_fault([fault], 0, 0) is None
+        assert select_fetch_fault([fault], 2, 0) is None
+
+    def test_sticky_applies_from_anchor_onward(self):
+        fault = self.make(op="drop", attempt=1, sticky=True)
+        assert select_fetch_fault([fault], 0, 0) is None
+        assert select_fetch_fault([fault], 1, 0) is fault
+        assert select_fetch_fault([fault], 7, 0) is fault
+
+    def test_epoch_scoping(self):
+        pinned = self.make(op="flip", attempt=0, sticky=True, epoch=0)
+        assert select_fetch_fault([pinned], 0, 0) is pinned
+        assert select_fetch_fault([pinned], 0, 1) is None  # reexec escaped
+        everywhere = self.make(op="flip", attempt=0, sticky=True, epoch=None)
+        assert select_fetch_fault([everywhere], 3, 2) is everywhere
+
+
+class TestTransports:
+    def test_transports_byte_identical(self, segment):
+        deadline = Deadline(None)
+        direct = DirectTransport().fetch(segment, 0, deadline)
+        channel = ChannelTransport(chunk_bytes=256).fetch(
+            segment, 0, deadline)
+        with open(segment.path, "rb") as fh:
+            assert direct == channel == fh.read()
+
+    @pytest.mark.parametrize("op,needs_deadline", [
+        ("flip", False), ("drop", False), ("truncate", False),
+        ("delay", True), ("stall", True),
+    ])
+    def test_each_wire_fault_is_caught(self, segment, op, needs_deadline):
+        plan = fetch_plan(dict(map_id="m00000", reduce_id="r00000",
+                               op=op, attempt=0, seconds=0.3))
+        transport = ChannelTransport(chunk_bytes=256,
+                                     faults=plan)
+        deadline = Deadline(0.05 if needs_deadline else None)
+        with pytest.raises(TransientFetchError):
+            transport.fetch(segment, 0, deadline)
+        # the next attempt (no planned fault) is clean
+        with open(segment.path, "rb") as fh:
+            assert transport.fetch(segment, 1, Deadline(None)) == fh.read()
+
+    def test_delay_without_deadline_is_late_but_intact(self, segment):
+        plan = fetch_plan(dict(map_id="m00000", reduce_id="r00000",
+                               op="delay", attempt=0, seconds=0.01))
+        transport = ChannelTransport(chunk_bytes=256, faults=plan)
+        with open(segment.path, "rb") as fh:
+            assert transport.fetch(segment, 0, Deadline(None)) == fh.read()
+
+
+class TestShuffleFetcher:
+    def make_fetcher(self, plan=None, **config):
+        config.setdefault("transport", "channel")
+        config.setdefault("backoff", 0.0)
+        counters = Counters()
+        fetcher = ShuffleFetcher(ShuffleConfig(**config), counters,
+                                 "r00000", plan)
+        return fetcher, counters
+
+    def test_retry_heals_and_counts(self, segment):
+        plan = fetch_plan(dict(map_id="m00000", reduce_id="r00000",
+                               op="flip", attempt=0))
+        fetcher, counters = self.make_fetcher(plan)
+        blobs = fetcher.fetch_all([segment])
+        with open(segment.path, "rb") as fh:
+            assert blobs == [fh.read()]
+        assert counters[C.SHUFFLE_FETCHES] == 2
+        assert counters[C.SHUFFLE_RETRIES] == 1
+        assert counters[C.SHUFFLE_FAILED_FETCHES] == 1
+        assert counters[C.SHUFFLE_BYTES_TRANSFERRED] >= len(blobs[0])
+
+    def test_exhausted_budget_names_the_map(self, segment):
+        plan = fetch_plan(dict(map_id="m00000", reduce_id="r00000",
+                               op="truncate", attempt=0, sticky=True))
+        fetcher, counters = self.make_fetcher(plan, fetch_retries=2)
+        with pytest.raises(FetchFailedError) as err:
+            fetcher.fetch_one(segment)
+        assert err.value.map_id == "m00000"
+        assert err.value.reduce_id == "r00000"
+        assert err.value.attempts == 3
+        assert counters[C.SHUFFLE_FAILED_FETCHES] == 3
+
+    def test_missing_segment_fails_immediately(self, segment):
+        os.unlink(segment.path)
+        fetcher, counters = self.make_fetcher(fetch_retries=5)
+        with pytest.raises(FetchFailedError) as err:
+            fetcher.fetch_one(segment)
+        assert err.value.attempts == 1      # no retries of a deleted file
+        assert counters[C.SHUFFLE_FETCHES] == 1
+
+    def test_concurrent_fetch_preserves_order(self, tmp_path):
+        refs = []
+        for i in range(8):
+            path = str(tmp_path / f"m{i:05d}-out-p0")
+            writer = IFileWriter(path, NullCodec())
+            writer.append(f"key{i}".encode(), b"value")
+            stats = writer.close()
+            refs.append(SegmentRef(map_id=f"m{i:05d}", path=path,
+                                   stats=stats))
+        fetcher, counters = self.make_fetcher(concurrency=4)
+        blobs = fetcher.fetch_all(refs)
+        for ref, blob in zip(refs, blobs):
+            with open(ref.path, "rb") as fh:
+                assert blob == fh.read()
+        assert counters[C.SHUFFLE_FETCHES] == 8
+
+    def test_fetch_failure_is_not_skip_eligible(self):
+        exc = FetchFailedError("m00000", "r00000", 4, "gone")
+        assert not is_skip_eligible(exc)
+
+
+class TestTruncatedValueDecode:
+    def test_sum_count_pair_truncation_is_a_record_error(self):
+        """A truncated sum/count pair must surface as the pipeline's
+        corrupt-record vocabulary (skippable/salvageable), not a raw
+        ``struct.error`` that aborts the task."""
+        from repro.queries.sliding_mean import SumCountSerde
+        from repro.util.errors import TruncatedRecordError
+
+        serde = SumCountSerde()
+        buf = bytearray()
+        serde.write((2.5, 3), buf)
+        assert serde.read(bytes(buf), 0) == ((2.5, 3), 12)
+        with pytest.raises(TruncatedRecordError):
+            serde.read(bytes(buf[:7]), 0)
+        with pytest.raises(TruncatedRecordError):
+            serde.read(bytes(buf), 5)   # tail shorter than one pair
+
+
+class TestTraceRegistry:
+    def test_shuffle_events_registered(self):
+        assert "fetch_failure" in EVENT_KINDS
+        assert "map_reexec" in EVENT_KINDS
+
+    def test_registry_has_no_duplicates(self):
+        assert len(EVENT_KINDS) == len(set(EVENT_KINDS))
+
+    def test_unregistered_event_rejected(self):
+        trace = RuntimeTrace()
+        with pytest.raises(ValueError):
+            trace.record("t1", 0, "map", "totally-new-event")
+        with pytest.raises(ValueError):
+            trace.count("totally-new-event")
+
+    def test_registry_is_stable(self):
+        """The event vocabulary is an API: simulators, benches, and the
+        experiments count on these exact names.  Additions are fine;
+        renames/removals break consumers and must show up here."""
+        expected = {"queued", "started", "finished", "failed", "retried",
+                    "speculated", "killed", "discarded", "repaired",
+                    "timeout", "adopted", "skipping", "quarantined",
+                    "fetch_failure", "map_reexec"}
+        assert expected <= set(EVENT_KINDS)
+
+
+class TestEndToEnd:
+    def run_serial(self, grid, job, injector=None, **runner_kw):
+        runner_kw.setdefault(
+            "shuffle", ShuffleConfig(transport="channel", fetch_retries=1,
+                                     backoff=0.0))
+        with LocalJobRunner(fault_injector=injector, **runner_kw) as runner:
+            return runner.run(job, grid)
+
+    def run_parallel(self, grid, job, injector=None, **runner_kw):
+        runner_kw.setdefault(
+            "shuffle", ShuffleConfig(transport="channel", fetch_retries=1,
+                                     backoff=0.0))
+        with ParallelJobRunner(max_workers=2, speculation=False,
+                               retry_backoff=0.01,
+                               fault_injector=injector,
+                               **runner_kw) as runner:
+            return runner.run(job, grid)
+
+    def sticky_epoch0(self):
+        inj = FaultInjector()
+        inj.fetch("m00000", "r00000", op="flip", attempt=0, sticky=True,
+                  epoch=0)
+        return inj
+
+    def test_reexec_restores_output_serial(self, grid):
+        job = make_job(num_map_tasks=2, num_reducers=2)
+        baseline = LocalJobRunner().run(job, grid)
+        result = self.run_serial(grid, job, self.sticky_epoch0())
+        assert result.output == baseline.output
+        assert result.counters[C.MAPS_REEXECUTED] == 1
+        # the winning attempt's fetches are clean post-reexec, so the
+        # baseline's non-shuffle counters survive untouched
+        assert result.counters[C.SHUFFLE_BYTES] == \
+            baseline.counters[C.SHUFFLE_BYTES]
+
+    def test_reexec_restores_output_parallel_and_agrees(self, grid):
+        job = make_job(num_map_tasks=2, num_reducers=2)
+        baseline = LocalJobRunner().run(job, grid)
+        serial = self.run_serial(grid, job, self.sticky_epoch0())
+        parallel = self.run_parallel(grid, job, self.sticky_epoch0())
+        assert parallel.output == baseline.output
+        assert parallel.counters == serial.counters
+        assert parallel.counters[C.MAPS_REEXECUTED] == 1
+        assert parallel.trace.count("map_reexec") == 1
+        assert parallel.trace.count("fetch_failure") >= 1
+
+    def test_all_epochs_sticky_fails_both_runners(self, grid):
+        job = make_job(num_map_tasks=2, num_reducers=1)
+        inj = FaultInjector()
+        inj.fetch("m00001", "r00000", op="drop", attempt=0, sticky=True,
+                  epoch=None)
+        with pytest.raises(FetchFailedError):
+            self.run_serial(grid, job, inj, max_map_reexecs=1)
+        inj2 = FaultInjector()
+        inj2.fetch("m00001", "r00000", op="drop", attempt=0, sticky=True,
+                   epoch=None)
+        with pytest.raises(TaskFailedError):
+            self.run_parallel(grid, job, inj2, max_map_reexecs=1)
+
+    def test_missing_segment_triggers_reexec_not_failure(self, grid,
+                                                         tmp_path):
+        """Deleting a finished map's segment mid-shuffle is survivable:
+        the fetch fails permanently, the map is re-executed, the job
+        completes with baseline output (the ISSUE's acceptance case)."""
+        job = make_job(num_map_tasks=2, num_reducers=1)
+        baseline = LocalJobRunner().run(job, grid)
+        workdir = str(tmp_path / "serial")
+        runner = LocalJobRunner(
+            workdir=workdir,
+            shuffle=ShuffleConfig(fetch_retries=1, backoff=0.0),
+            fetch_failure_threshold=1)
+        splits = ArraySplitter(2).split(grid)
+        map_outputs = [run_map_task(job, s, grid, workdir) for s in splits]
+        os.unlink(map_outputs[1].segments[0][0])
+        shuffle_state = {
+            "strikes": {mo.task_id: 0 for mo in map_outputs},
+            "epochs": {mo.task_id: 0 for mo in map_outputs},
+            "reexecs": {mo.task_id: 0 for mo in map_outputs},
+            "total_reexecs": 0,
+        }
+        rr = runner._run_reduce(job, 0, map_outputs, grid, splits,
+                                shuffle_state)
+        assert shuffle_state["total_reexecs"] == 1
+        assert rr.output == baseline.output
+
+    def test_runner_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            LocalJobRunner(fetch_failure_threshold=0)
+        with pytest.raises(ValueError):
+            LocalJobRunner(max_map_reexecs=-1)

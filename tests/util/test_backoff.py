@@ -1,0 +1,81 @@
+"""The shared retry-backoff policy: capped, jittered, deterministic.
+
+Every retry loop in the runtime (scheduler task retries, shuffle fetch
+retries) prices its delays through :func:`repro.util.backoff.
+backoff_delay`.  The properties pinned here are what make that safe to
+share: delays never exceed the cap (the scheduler's old uncapped
+``base * 2**failures`` turned a flaky task into minutes of sleep),
+never fall below half the capped target (jitter spreads retries out
+without defeating the backoff), grow monotonically until the cap, and
+are pure functions of their inputs (reproducible runs).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.backoff import JITTER_FLOOR, backoff_delay
+
+bases = st.floats(min_value=0.0, max_value=10.0,
+                  allow_nan=False, allow_infinity=False)
+caps = st.floats(min_value=0.0, max_value=100.0,
+                 allow_nan=False, allow_infinity=False)
+failure_counts = st.integers(min_value=0, max_value=200)
+keys = st.text(max_size=30)
+
+
+class TestBackoffProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(base=bases, failures=failure_counts, cap=caps, key=keys)
+    def test_bounded_by_cap(self, base, failures, cap, key):
+        delay = backoff_delay(base, failures, cap, key=key)
+        assert 0.0 <= delay <= cap
+
+    @settings(max_examples=200, deadline=None)
+    @given(base=bases, failures=failure_counts, cap=caps, key=keys)
+    def test_jitter_floor(self, base, failures, cap, key):
+        """Jitter shrinks a delay to at most half its capped target --
+        never to (near) zero, which would defeat the backoff."""
+        delay = backoff_delay(base, failures, cap, key=key)
+        if failures > 0 and base > 0:
+            target = min(base * 2 ** min(failures - 1, 62), cap)
+            assert delay >= JITTER_FLOOR * target
+
+    @settings(max_examples=100, deadline=None)
+    @given(base=bases, failures=failure_counts, cap=caps, key=keys)
+    def test_deterministic(self, base, failures, cap, key):
+        assert backoff_delay(base, failures, cap, key=key) == \
+            backoff_delay(base, failures, cap, key=key)
+
+    @settings(max_examples=100, deadline=None)
+    @given(base=st.floats(min_value=0.001, max_value=1.0),
+           failures=st.integers(min_value=1, max_value=20), key=keys)
+    def test_monotone_growth_before_cap(self, base, failures, key):
+        """With no cap in the way, each extra failure at least keeps --
+        in practice doubles -- the *uncapped target*; jitter may wiggle
+        the sample, so compare the jitter-free envelope."""
+        cap = base * 2 ** 30  # far above any target drawn here
+        lo = backoff_delay(base, failures, cap, key=key)
+        hi = backoff_delay(base, failures + 1, cap, key=key)
+        # envelope: hi >= 0.5 * 2^f*base  and  lo <= 2^(f-1)*base
+        assert hi >= JITTER_FLOOR * base * 2 ** failures
+        assert lo <= base * 2 ** (failures - 1)
+
+    def test_zero_failures_and_zero_base(self):
+        assert backoff_delay(0.5, 0, 10.0) == 0.0
+        assert backoff_delay(0.0, 7, 10.0) == 0.0
+
+    def test_huge_failure_count_does_not_overflow(self):
+        assert backoff_delay(0.01, 10_000, 2.0) <= 2.0
+
+    def test_key_varies_jitter(self):
+        """Different keys de-synchronize retries of the same failure
+        ordinal (the thundering-herd defence)."""
+        delays = {backoff_delay(1.0, 5, 1000.0, key=f"task-{i}")
+                  for i in range(32)}
+        assert len(delays) > 1
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            backoff_delay(-0.1, 1, 1.0)
+        with pytest.raises(ValueError):
+            backoff_delay(0.1, 1, -1.0)
