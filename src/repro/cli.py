@@ -27,7 +27,8 @@ def _registry() -> dict[str, tuple[str, Callable]]:
     from repro.experiments import ablations, chaos, cluster_runs, density, \
         e1_motivation, fig2_stream, fig3_table, fig4_scaling, \
         fig8_aggregation, figures_5_6_7, key_splitting, levers, locality, \
-        multivar, p2_columnar, parallel_speedup, r2_poison, r3_shuffle
+        multivar, p2_columnar, parallel_speedup, r2_poison, r3_shuffle, \
+        r4_netshuffle
 
     return {
         "E1": ("§I motivation: per-cell-key file sizes (paper-exact)",
@@ -86,6 +87,9 @@ def _registry() -> dict[str, tuple[str, Callable]]:
         "R3": ("robustness: shuffle transport -- fetch retries, failure "
                "accounting, and map re-execution, both runners",
                lambda: r3_shuffle.run()),
+        "R4": ("robustness: network shuffle -- socket segment servers, "
+               "on-the-wire codec compression, wire faults, server loss",
+               lambda: r4_netshuffle.run()),
     }
 
 
@@ -104,6 +108,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiment ids")
+    sub.add_parser("codecs",
+                   help="list registered segment codecs and their CPU "
+                        "cost categories")
     run_p = sub.add_parser("run", help="run one experiment (or 'all')")
     run_p.add_argument("experiment", help="experiment id from 'list', or 'all'")
     run_p.add_argument("--scale", type=float, default=None,
@@ -133,12 +140,23 @@ def main(argv: list[str] | None = None) -> int:
                        help="keep quarantine side-files under this "
                             "directory instead of throwaway temp dirs "
                             "(R2)")
-    run_p.add_argument("--transport", choices=["direct", "channel"],
+    run_p.add_argument("--transport",
+                       choices=["direct", "channel", "network"],
                        default=None,
                        help="shuffle transport reducers fetch map "
                             "segments through (either runner; channel "
-                            "adds CRC-framed streaming, byte-identical "
-                            "output)")
+                            "adds CRC-framed streaming, network serves "
+                            "segments over loopback TCP -- all "
+                            "byte-identical output)")
+    run_p.add_argument("--wire-codec", default=None,
+                       help="codec segment bytes are compressed with on "
+                            "the wire (--transport network; 'null' "
+                            "serves verbatim via sendfile; see 'repro "
+                            "codecs' for choices)")
+    run_p.add_argument("--shuffle-port-base", type=int, default=None,
+                       help="first TCP port for the network shuffle "
+                            "servers (--transport network; default: "
+                            "ephemeral ports)")
     run_p.add_argument("--fetch-retries", type=int, default=None,
                        help="extra fetch attempts per segment after the "
                             "first failure (default 3)")
@@ -146,6 +164,19 @@ def main(argv: list[str] | None = None) -> int:
                        help="per-fetch-attempt deadline in seconds "
                             "(default: none)")
     args = parser.parse_args(argv)
+
+    if args.command == "codecs":
+        from repro.mapreduce.codecs import (
+            available_codecs,
+            cost_categories,
+            get_codec,
+        )
+        names = available_codecs()
+        width = max(len(n) for n in names)
+        for name in names:
+            cats = "+".join(cost_categories(get_codec(name)))
+            print(f"{name:<{width}}  cost: {cats}")
+        return 0
 
     registry = _registry()
     if args.command == "list":
@@ -188,8 +219,26 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_SKIP_BUDGET"] = str(args.skip_budget)
     if args.quarantine_dir is not None:
         os.environ["REPRO_QUARANTINE_DIR"] = args.quarantine_dir
+    network_only = [("--wire-codec", args.wire_codec is not None),
+                    ("--shuffle-port-base",
+                     args.shuffle_port_base is not None)]
+    if any(given for _, given in network_only):
+        transport = args.transport or os.environ.get("REPRO_TRANSPORT", "")
+        if transport != "network":
+            flags = ", ".join(f for f, given in network_only if given)
+            parser.error(f"{flags} require(s) --transport network")
     if args.transport is not None:
         os.environ["REPRO_TRANSPORT"] = args.transport
+    if args.wire_codec is not None:
+        from repro.mapreduce.codecs import available_codecs
+        if args.wire_codec not in available_codecs():
+            parser.error(f"unknown --wire-codec {args.wire_codec!r}; "
+                         f"try 'repro codecs'")
+        os.environ["REPRO_WIRE_CODEC"] = args.wire_codec
+    if args.shuffle_port_base is not None:
+        if not 1024 <= args.shuffle_port_base <= 65535:
+            parser.error("--shuffle-port-base must be in 1024..65535")
+        os.environ["REPRO_SHUFFLE_PORT_BASE"] = str(args.shuffle_port_base)
     if args.fetch_retries is not None:
         if args.fetch_retries < 0:
             parser.error("--fetch-retries must be >= 0")

@@ -472,6 +472,11 @@ def run_reduce_task(
                 runs.append(records)
                 run_sizes.append(ref.stats.key_bytes + ref.stats.value_bytes)
     counters.incr(C.SHUFFLE_BYTES, profile.shuffle_bytes)
+    if shuffle is not None and getattr(shuffle, "transport", "") == "network":
+        # The network transport measured what actually crossed the NIC
+        # (wire-codec compressed); the simulator prices this instead of
+        # the logical payload when present.
+        profile.wire_bytes = counters.get(C.SHUFFLE_WIRE_BYTES)
 
     # Multi-pass on-disk merge when we hold too many runs (step 5).
     passes = plan_merge_passes(len(runs), job.merge_factor)
@@ -654,20 +659,36 @@ class LocalJobRunner:
 
         # Fetch-failure escalation state shared across partitions: one
         # map's strikes accumulate over every reduce that fails to fetch
-        # it, and an epoch bump is visible to all later partitions.
+        # it, and an epoch bump is visible to all later partitions.  With
+        # the network transport, the state also carries the live shuffle
+        # service so reduce refs can be addressed and re-executions
+        # re-registered.
         shuffle_state = {
             "strikes": {mo.task_id: 0 for mo in map_outputs},
             "epochs": {mo.task_id: 0 for mo in map_outputs},
             "reexecs": {mo.task_id: 0 for mo in map_outputs},
             "total_reexecs": 0,
+            "service": None,
         }
+        service = self._make_shuffle_service()
         output: list[tuple[Any, Any]] = []
-        for part in range(job.num_reducers):
-            rr = self._run_reduce(job, part, map_outputs, dataset, splits,
-                                  shuffle_state)
-            output.extend(rr.output)
-            counters.merge(rr.counters)
-            profiles.append(rr.profile)
+        try:
+            if service is not None:
+                service.start()
+                shuffle_state["service"] = service
+                for mo in map_outputs:
+                    service.register_map_output(
+                        mo.task_id,
+                        [path for path, _ in mo.segments.values()], epoch=0)
+            for part in range(job.num_reducers):
+                rr = self._run_reduce(job, part, map_outputs, dataset, splits,
+                                      shuffle_state)
+                output.extend(rr.output)
+                counters.merge(rr.counters)
+                profiles.append(rr.profile)
+        finally:
+            if service is not None:
+                service.stop()
         if shuffle_state["total_reexecs"]:
             # Job-level event, like the parallel runner: task counters of
             # a re-executed map are identical by determinism.
@@ -694,6 +715,21 @@ class LocalJobRunner:
     # an in-place repair of the producing map task followed by a strict
     # retry.  The runtime modules are imported lazily because they in
     # turn import the task functions defined above.
+
+    def _make_shuffle_service(self):
+        """A started-on-demand network shuffle service, or ``None``.
+
+        Serial jobs over ``transport="network"`` run real loopback
+        segment servers so the wire path (and its counters) is
+        byte-comparable with the parallel runtime's.
+        """
+        if (self.shuffle is None
+                or getattr(self.shuffle, "transport", "") != "network"):
+            return None
+        from repro.mapreduce.runtime.netshuffle import ShuffleService
+        faults = (self.fault_injector.fetch_plan()
+                  if self.fault_injector is not None else None)
+        return ShuffleService.from_config(self.shuffle, faults=faults)
 
     def _serial_fault(self, task_id: str, attempt: int):
         """The injected fault for this attempt, if the serial runner can
@@ -759,10 +795,13 @@ class LocalJobRunner:
 
         def build_refs() -> list[SegmentRef]:
             epochs = shuffle_state["epochs"]
+            service = shuffle_state.get("service")
             return [SegmentRef(map_id=mo.task_id,
                                path=mo.segments[part][0],
                                stats=mo.segments[part][1],
-                               epoch=epochs[mo.task_id])
+                               epoch=epochs[mo.task_id],
+                               address=(service.address_for(mo.task_id)
+                                        if service is not None else None))
                     for mo in map_outputs]
 
         segments = build_refs()
@@ -842,10 +881,21 @@ class LocalJobRunner:
             (s for s in splits if f"m{s.split_id:05d}" == map_id), None)
         if split is None:
             raise RuntimeError(f"fetch failure names unknown map {map_id}")
+        service = shuffle_state.get("service")
+        if service is not None:
+            # Graceful drain: requests for the old epoch get a clean
+            # transient rejection while the replacement is produced.
+            service.invalidate(map_id)
         # Deterministic re-run into the workdir recreates every segment
         # at its fixed path with identical bytes (faults are not applied
         # during re-execution, matching the parallel runtime).
-        run_map_task(job, split, dataset, self.workdir)
+        mo = run_map_task(job, split, dataset, self.workdir)
+        if service is not None:
+            # Re-registration ends the drain at the new epoch and
+            # re-spawns the hosting server if it died.
+            service.register_map_output(
+                map_id, [path for path, _ in mo.segments.values()],
+                epoch=shuffle_state["epochs"][map_id])
 
     def _repair_segment(self, corrupt_path: str, job: Job, dataset: Dataset,
                         splits: Sequence[InputSplit]) -> None:

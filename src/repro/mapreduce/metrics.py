@@ -49,6 +49,13 @@ class C:
     SHUFFLE_RETRIES = "SHUFFLE_RETRIES"
     SHUFFLE_FAILED_FETCHES = "SHUFFLE_FAILED_FETCHES"
     SHUFFLE_BYTES_TRANSFERRED = "SHUFFLE_BYTES_TRANSFERRED"
+    # network shuffle: what actually crossed the wire.  WIRE_BYTES is the
+    # (possibly codec-compressed) segment payload as transmitted;
+    # WIRE_BYTES_UNCOMPRESSED is the same payload before the wire codec,
+    # so their ratio is the on-the-wire compression the paper's stride
+    # codec is after.  Both stay zero for in-process transports.
+    SHUFFLE_WIRE_BYTES = "SHUFFLE_WIRE_BYTES"
+    SHUFFLE_WIRE_BYTES_UNCOMPRESSED = "SHUFFLE_WIRE_BYTES_UNCOMPRESSED"
     # completed map tasks re-executed after a reducer exceeded its
     # fetch-failure threshold (Hadoop's "too many fetch failures")
     MAPS_REEXECUTED = "MAPS_REEXECUTED"
@@ -131,8 +138,14 @@ class TaskProfile:
     local_write_bytes: int = 0
     #: bytes read back from local disk (merges, reduce input)
     local_read_bytes: int = 0
-    #: bytes crossing the network (map->reduce fetch)
+    #: bytes crossing the network (map->reduce fetch), before any wire
+    #: codec -- the logical segment payload
     shuffle_bytes: int = 0
+    #: bytes that actually crossed the NIC when a network transport
+    #: measured them (wire-codec compressed); ``None`` = unmeasured
+    #: (in-process transports), and the simulator falls back to
+    #: ``shuffle_bytes``
+    wire_bytes: int | None = None
     output_bytes: int = 0
     cpu_seconds: dict[str, float] = field(default_factory=dict)
 

@@ -207,6 +207,19 @@ class FaultInjector:
                 plan.setdefault(map_id, []).append(fault)
         return {m: tuple(fs) for m, fs in plan.items()}
 
+    def fetch_plan(self) -> dict[str, tuple[Fault, ...]]:
+        """Every planned fetch fault, keyed by ``"<map>-><reduce>"`` pair.
+
+        The network shuffle service applies wire faults *server-side*
+        (the damage happens on a live socket, not in the client), so it
+        needs the whole plan rather than one reduce task's slice.
+        """
+        plan: dict[str, list[Fault]] = {}
+        for (tid, _), fault in sorted(self._plan.items()):
+            if fault.mode == "fetch":
+                plan.setdefault(tid, []).append(fault)
+        return {k: tuple(fs) for k, fs in plan.items()}
+
     def fault_for(self, task_id: str, attempt: int) -> Fault | None:
         """The fault planned for this attempt, if any.
 

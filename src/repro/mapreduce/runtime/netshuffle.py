@@ -1,0 +1,729 @@
+"""Network shuffle: per-worker TCP segment servers + fetch client.
+
+The ROADMAP's first open item: the paper compresses the *map->reduce*
+hop, so the stride key codec must be measurable as bytes on an actual
+wire, not just as materialized disk bytes.  This module provides both
+ends of that wire:
+
+* :class:`ShuffleService` -- owns a small fleet of :class:`SegmentServer`
+  threads (one per simulated worker host), a registry of committed map
+  outputs (``map_id -> epoch + segment paths``), and a CRC cache so the
+  verbatim path can serve a segment zero-copy (``socket.sendfile``)
+  without re-reading it.  Map re-execution drains gracefully: the
+  scheduler marks the map *draining*, requests carrying the old epoch
+  are rejected with a ``stale epoch`` error (a transient failure, so
+  the PR 5 escalation ladder -- retry, requeue, re-execute -- works
+  unchanged over the network), and the fresh registration flips the
+  entry to the new epoch.  Dead servers are re-spawned on registration,
+  which is what lets a killed server heal through the same ladder.
+
+* :class:`NetworkTransport` -- the client side, plugged into
+  :class:`~repro.mapreduce.runtime.shuffle.ShuffleFetcher` by
+  ``make_transport``.  Maintains a per-address connection pool (sockets
+  are returned after a fully-consumed response and reused), enforces
+  the fetcher's per-attempt deadline as socket timeouts, verifies every
+  frame CRC plus a whole-segment CRC32, and accounts
+  ``SHUFFLE_WIRE_BYTES`` (compressed payload actually transmitted) and
+  ``SHUFFLE_WIRE_BYTES_UNCOMPRESSED`` through the fetcher's locked
+  counter sink.
+
+Wire protocol (all integers big-endian):
+
+* request: ``b"RSH1" | u32 len | JSON`` with ``map_id``, ``path``,
+  ``epoch``, ``reduce_id``, ``attempt``, ``codec``, ``chunk``;
+* response: one status byte.  Non-OK: ``u32 len | utf-8 message``.
+  OK: ``u32 len | JSON header`` (``codec`` actually negotiated,
+  ``length``/``crc`` of the raw segment, ``framed`` flag, and --
+  framed only -- ``wire_length``, the compressed byte count), then
+  - verbatim (``framed`` false): exactly ``length`` raw bytes
+    (``sendfile`` on the server); or
+  - framed: the segment compressed *whole* (the §III stride transform
+    needs the full key stream; compressing per chunk silently degrades
+    it to its generic backend), cut into transport chunks of
+    ``u32 chunk_len | u32 crc32(chunk) | chunk``, terminated by an
+    all-zero frame head.  The client reassembles, checks
+    ``wire_length``, then decodes once.
+
+Codec negotiation: the client *requests* a wire codec; a server that
+does not know it answers with ``codec: "null"`` in the header and the
+client decodes whatever the header names -- an unknown codec degrades
+to verbatim service instead of failing the job.
+
+Fault injection happens server-side (the planned ``fetch`` faults ride
+into the service as a full :meth:`~repro.mapreduce.runtime.fault.
+FaultInjector.fetch_plan`): ``delay`` sleeps before the response,
+``stall`` hangs then closes without one, ``drop`` dies mid-stream,
+``truncate`` ends early but claims completion (only the length/CRC
+check notices), ``flip`` damages one frame after its CRC was computed.
+All five surface client-side as ``TransientFetchError`` -- exactly the
+channel transport's failure surface, so counters and escalation stay
+byte-identical across transports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import struct
+import threading
+import time
+import zlib
+from typing import Callable, Mapping, Sequence
+
+from repro.mapreduce.codecs import get_codec
+from repro.mapreduce.metrics import C
+from repro.mapreduce.runtime.fault import Fault
+from repro.mapreduce.runtime.shuffle import (
+    SegmentRef,
+    ShuffleConfig,
+    TransientFetchError,
+    select_fetch_fault,
+)
+from repro.util.errors import CorruptRecordError
+from repro.util.timing import Deadline
+
+__all__ = ["ShuffleService", "SegmentServer", "NetworkTransport"]
+
+REQUEST_MAGIC = b"RSH1"
+#: response status codes
+OK, STALE_EPOCH, UNKNOWN_SEGMENT, MISSING_FILE, BAD_REQUEST = range(5)
+#: largest request / header JSON the server or client will accept
+_MAX_META = 64 * 1024
+#: server-side idle timeout on a pooled connection between requests
+_IDLE_TIMEOUT = 30.0
+_U32 = struct.Struct(">I")
+_FRAME_HEAD = struct.Struct(">II")
+
+
+# ------------------------------------------------------------- socket I/O
+
+
+def _op_timeout(deadline: Deadline) -> float | None:
+    """Socket timeout for the next operation under ``deadline``."""
+    remaining = deadline.remaining()
+    if remaining is None:
+        return None
+    if remaining <= 0:
+        raise TransientFetchError("fetch deadline expired")
+    return remaining
+
+
+def _recv_exact(sock: socket.socket, n: int, deadline: Deadline,
+                what: str = "response") -> bytes:
+    """Read exactly ``n`` bytes or raise :class:`TransientFetchError`."""
+    buf = bytearray()
+    while len(buf) < n:
+        sock.settimeout(_op_timeout(deadline))
+        try:
+            chunk = sock.recv(min(1 << 16, n - len(buf)))
+        except socket.timeout:
+            raise TransientFetchError(
+                f"fetch deadline expired reading {what} "
+                f"({len(buf)}/{n} bytes)", bytes_received=len(buf)) from None
+        if not chunk:
+            raise TransientFetchError(
+                f"connection closed reading {what} ({len(buf)}/{n} bytes)",
+                bytes_received=len(buf))
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+def _send_all(sock: socket.socket, data: bytes, deadline: Deadline) -> None:
+    sock.settimeout(_op_timeout(deadline))
+    try:
+        sock.sendall(data)
+    except socket.timeout:
+        raise TransientFetchError("fetch deadline expired sending "
+                                  "request") from None
+
+
+# ---------------------------------------------------------------- service
+
+
+class _MapEntry:
+    """Registry state for one map task's committed segments."""
+
+    __slots__ = ("epoch", "paths", "draining")
+
+    def __init__(self, epoch: int, paths: frozenset[str]) -> None:
+        self.epoch = epoch
+        self.paths = paths
+        #: re-execution in progress: every request is epoch-stale until
+        #: the replacement registers (graceful drain)
+        self.draining = False
+
+
+class ShuffleService:
+    """A fleet of segment servers plus the registry they serve from.
+
+    One service runs inside the scheduling process per job; map outputs
+    are spread across ``num_servers`` servers by a stable hash of the
+    map id, modelling per-worker segment servers on one host.  All
+    servers share the registry, the CRC cache, and the (server-side)
+    fetch-fault plan.
+    """
+
+    def __init__(self, num_servers: int = 2, port_base: int | None = None,
+                 host: str = "127.0.0.1", server_concurrency: int = 8,
+                 wire_codec: str = "null", chunk_bytes: int = 64 * 1024,
+                 faults: Mapping[str, Sequence[Fault]] | None = None,
+                 trace=None) -> None:
+        if num_servers < 1:
+            raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+        self.host = host
+        self.port_base = port_base
+        self.num_servers = num_servers
+        self.server_concurrency = server_concurrency
+        self.wire_codec = wire_codec
+        self.chunk_bytes = chunk_bytes
+        self.faults = dict(faults) if faults else {}
+        self.trace = trace
+        self._lock = threading.Lock()
+        self._registry: dict[str, _MapEntry] = {}
+        #: path -> (size, mtime_ns, crc32) -- revalidated by stat on
+        #: every request, so damage-at-rest is served as-is (and caught
+        #: by the reader's decode, taking the repair rung) while
+        #: in-flight damage is caught by a CRC the file never had
+        self._crc_cache: dict[str, tuple[int, int, int]] = {}
+        self.servers: list[SegmentServer] = []
+        self._started = False
+
+    @classmethod
+    def from_config(cls, config: ShuffleConfig,
+                    faults: Mapping[str, Sequence[Fault]] | None = None,
+                    trace=None) -> "ShuffleService":
+        return cls(num_servers=config.num_servers,
+                   port_base=config.port_base,
+                   server_concurrency=config.server_concurrency,
+                   wire_codec=config.wire_codec,
+                   chunk_bytes=config.chunk_bytes,
+                   faults=faults, trace=trace)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> "ShuffleService":
+        if self._started:
+            return self
+        for index in range(self.num_servers):
+            self.servers.append(self._spawn(index))
+        self._started = True
+        return self
+
+    def _spawn(self, index: int) -> "SegmentServer":
+        port = 0 if self.port_base is None else self.port_base + index
+        server = SegmentServer(self, self.host, port,
+                               self.server_concurrency)
+        server.start()
+        return server
+
+    def stop(self) -> None:
+        for server in self.servers:
+            server.stop()
+        self.servers = []
+        self._started = False
+
+    def __enter__(self) -> "ShuffleService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------- registry
+
+    def server_index(self, map_id: str) -> int:
+        """Which server hosts ``map_id``'s segments (stable hash)."""
+        return zlib.crc32(map_id.encode("utf-8")) % self.num_servers
+
+    def address_for(self, map_id: str) -> tuple[str, int]:
+        """Current ``(host, port)`` serving ``map_id``'s segments."""
+        if not self._started:
+            raise RuntimeError("shuffle service is not running")
+        return self.servers[self.server_index(map_id)].address
+
+    def register_map_output(self, map_id: str, paths: Sequence[str],
+                            epoch: int = 0) -> None:
+        """Publish (or re-publish) one map task's committed segments.
+
+        Primes the CRC cache for each path and re-spawns any dead
+        server, so a registration after map re-execution both ends the
+        drain and heals a killed server.
+        """
+        self._revive_dead_servers()
+        for path in paths:
+            self._segment_crc(path)
+        with self._lock:
+            self._registry[map_id] = _MapEntry(epoch, frozenset(paths))
+
+    def invalidate(self, map_id: str) -> None:
+        """Begin draining ``map_id``: every request is now epoch-stale.
+
+        Called when map re-execution starts, *before* the old segment
+        files are deleted -- in-flight fetches get a clean transient
+        rejection instead of racing file deletion.
+        """
+        with self._lock:
+            entry = self._registry.get(map_id)
+            if entry is not None:
+                entry.draining = True
+
+    def _lookup(self, map_id: str) -> _MapEntry | None:
+        with self._lock:
+            return self._registry.get(map_id)
+
+    def _revive_dead_servers(self) -> None:
+        if not self._started:
+            return
+        for index, server in enumerate(self.servers):
+            if not server.alive:
+                self.servers[index] = self._spawn(index)
+
+    def kill_server(self, index: int) -> None:
+        """Abruptly stop one server (test/experiment hook).
+
+        Live connections die and new ones are refused until a
+        registration re-spawns the server -- the "worker host lost its
+        shuffle server" scenario the escalation ladder must absorb.
+        """
+        self.servers[index].stop()
+
+    # ------------------------------------------------------------ integrity
+
+    def _segment_crc(self, path: str) -> tuple[int, int]:
+        """``(size, crc32)`` of the file at ``path``, stat-validated.
+
+        The cache key is ``(size, mtime_ns)``: an unchanged committed
+        segment is never re-read (the verbatim path stays zero-copy),
+        while a rewritten file -- repair, or injected damage at rest --
+        is re-read so the served CRC always describes the bytes sent.
+        """
+        st = os.stat(path)
+        key = (st.st_size, st.st_mtime_ns)
+        with self._lock:
+            cached = self._crc_cache.get(path)
+            if cached is not None and cached[:2] == key:
+                return st.st_size, cached[2]
+        with open(path, "rb") as fh:
+            crc = zlib.crc32(fh.read())
+        with self._lock:
+            self._crc_cache[path] = (st.st_size, st.st_mtime_ns, crc)
+        return st.st_size, crc
+
+    def _record(self, map_id: str, attempt: int, event: str,
+                detail: str) -> None:
+        if self.trace is not None:
+            self.trace.record(map_id, attempt, "map", event, detail)
+
+
+class SegmentServer:
+    """One TCP segment server: accept loop + bounded request handlers.
+
+    Concurrency is bounded by a semaphore acquired *before* a handler
+    thread is spawned: past ``concurrency`` in-flight requests the
+    accept loop itself blocks, new connections queue in the listen
+    backlog, and TCP flow control pushes back on clients -- server-side
+    backpressure without dropping anything.
+    """
+
+    def __init__(self, service: ShuffleService, host: str, port: int,
+                 concurrency: int) -> None:
+        self.service = service
+        self._sock = socket.create_server((host, port), backlog=64)
+        self.address: tuple[str, int] = self._sock.getsockname()[:2]
+        self._sem = threading.BoundedSemaphore(concurrency)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._accept_loop, daemon=True,
+            name=f"segsrv-{self.address[1]}")
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        # shutdown() wakes a thread blocked in accept(); close() alone
+        # leaves it blocked forever on Linux.
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # never connected / already closed
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return  # listening socket closed: shutdown
+            self._sem.acquire()
+            threading.Thread(target=self._handle, args=(conn,),
+                             daemon=True).start()
+
+    # ------------------------------------------------------------ handling
+
+    def _handle(self, conn: socket.socket) -> None:
+        try:
+            conn.settimeout(_IDLE_TIMEOUT)
+            while not self._stop.is_set():
+                request = self._read_request(conn)
+                if request is None:
+                    return
+                if not self._serve(conn, request):
+                    return
+        except (OSError, ValueError):
+            pass  # client went away or spoke garbage: drop the connection
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self._sem.release()
+
+    @staticmethod
+    def _read_n(conn: socket.socket, n: int) -> bytes | None:
+        """Server-side exact read; ``None`` on clean EOF at a boundary."""
+        buf = bytearray()
+        while len(buf) < n:
+            chunk = conn.recv(n - len(buf))
+            if not chunk:
+                if buf:
+                    raise OSError("connection closed mid-request")
+                return None
+            buf.extend(chunk)
+        return bytes(buf)
+
+    def _read_request(self, conn: socket.socket) -> dict | None:
+        magic = self._read_n(conn, len(REQUEST_MAGIC))
+        if magic is None:
+            return None
+        if magic != REQUEST_MAGIC:
+            self._error(conn, BAD_REQUEST, "bad request magic")
+            raise OSError("bad magic")
+        head = self._read_n(conn, _U32.size)
+        if head is None:
+            raise OSError("connection closed mid-request")
+        (length,) = _U32.unpack(head)
+        if length > _MAX_META:
+            self._error(conn, BAD_REQUEST, "oversized request")
+            raise OSError("oversized request")
+        body = self._read_n(conn, length)
+        if body is None:
+            raise OSError("connection closed mid-request")
+        return json.loads(body)
+
+    @staticmethod
+    def _error(conn: socket.socket, status: int, message: str) -> None:
+        data = message.encode("utf-8")
+        conn.sendall(bytes([status]) + _U32.pack(len(data)) + data)
+
+    def _serve(self, conn: socket.socket, request: dict) -> bool:
+        """Serve one request; ``False`` means the connection must die
+        (abrupt-close faults and mid-stream errors)."""
+        service = self.service
+        map_id = request.get("map_id", "")
+        path = request.get("path", "")
+        epoch = int(request.get("epoch", 0))
+        reduce_id = request.get("reduce_id", "")
+        attempt = int(request.get("attempt", 0))
+
+        entry = service._lookup(map_id)
+        if entry is None:
+            self._error(conn, UNKNOWN_SEGMENT,
+                        f"unknown map {map_id!r}")
+            return True
+        if entry.draining or entry.epoch != epoch:
+            service._record(map_id, attempt, "wire_stale",
+                            f"epoch {epoch} -> {reduce_id}")
+            self._error(conn, STALE_EPOCH,
+                        f"stale epoch {epoch} for {map_id} "
+                        f"(serving epoch {entry.epoch}"
+                        f"{', draining' if entry.draining else ''})")
+            return True
+        if path not in entry.paths:
+            self._error(conn, UNKNOWN_SEGMENT,
+                        f"unregistered segment {path!r}")
+            return True
+
+        fault = select_fetch_fault(
+            service.faults.get(f"{map_id}->{reduce_id}", ()),
+            attempt, epoch)
+        if fault is not None and fault.op == "delay":
+            time.sleep(fault.seconds)
+        if fault is not None and fault.op == "stall":
+            # Hang, then die without a response: the client's fetch
+            # deadline (or the eventual EOF) turns this transient.
+            time.sleep(fault.seconds)
+            return False
+
+        try:
+            length, crc = service._segment_crc(path)
+        except OSError as exc:
+            self._error(conn, MISSING_FILE, f"segment missing: {exc}")
+            return True
+
+        codec_name = request.get("codec", "null")
+        try:
+            codec = get_codec(codec_name)
+        except KeyError:
+            # Negotiation: fall back to verbatim service and say so in
+            # the header rather than failing the fetch.
+            codec_name, codec = "null", None
+        # Faults that damage content need the framed path even for the
+        # null codec (verbatim has no frames to flip or under-count).
+        framed = codec_name != "null" or (
+            fault is not None and fault.op in ("truncate", "flip"))
+
+        comp = b""
+        if framed:
+            # Compress the segment *whole*: the stride transform needs
+            # the full key stream to detect its pattern.
+            try:
+                with open(path, "rb") as fh:
+                    comp = get_codec(codec_name).compress(fh.read())
+            except OSError as exc:
+                self._error(conn, MISSING_FILE, f"segment missing: {exc}")
+                return True
+        header = json.dumps({
+            "codec": codec_name, "length": length, "crc": crc,
+            "framed": framed, "wire_length": len(comp),
+        }).encode("utf-8")
+        try:
+            conn.sendall(bytes([OK]) + _U32.pack(len(header)) + header)
+            if framed:
+                ok = self._send_framed(conn, comp,
+                                       int(request.get("chunk", 0))
+                                       or service.chunk_bytes, fault)
+            else:
+                ok = self._send_verbatim(conn, path, length, fault)
+        except OSError:
+            return False
+        if ok:
+            service._record(map_id, attempt, "wire_served",
+                            f"{os.path.basename(path)} -> {reduce_id}"
+                            f" ({'framed' if framed else 'verbatim'})")
+        return ok
+
+    def _send_verbatim(self, conn: socket.socket, path: str, length: int,
+                       fault: Fault | None) -> bool:
+        """Zero-copy raw segment body (``sendfile``), faults aside."""
+        with open(path, "rb") as fh:
+            if fault is not None and fault.op == "drop":
+                # Die after a prefix: explicit mid-transfer loss.
+                keep = int(length * fault.offset_frac)
+                conn.sendall(fh.read(keep))
+                return False
+            conn.sendfile(fh)
+        return True
+
+    def _send_framed(self, conn: socket.socket, comp: bytes,
+                     chunk_bytes: int, fault: Fault | None) -> bool:
+        """The compressed segment body as CRC-framed transport chunks."""
+        chunk_bytes = max(256, chunk_bytes)
+        frames = [comp[i:i + chunk_bytes]
+                  for i in range(0, len(comp), chunk_bytes)]
+        deliver = len(frames)
+        if fault is not None and fault.op in ("drop", "truncate"):
+            deliver = max(0, min(len(frames) - 1,
+                                 int(len(frames) * fault.offset_frac)))
+        flip_at = (len(frames) // 2
+                   if fault is not None and fault.op == "flip" else None)
+
+        for i, chunk in enumerate(frames):
+            if i >= deliver and fault is not None:
+                if fault.op == "drop":
+                    return False  # abrupt close mid-stream
+                break  # truncate: short stream that claims completion
+            fcrc = zlib.crc32(chunk)
+            if flip_at == i and chunk:
+                wire = bytearray(chunk)
+                wire[len(wire) // 2] ^= 0xFF
+                chunk = bytes(wire)
+            conn.sendall(_FRAME_HEAD.pack(len(chunk), fcrc) + chunk)
+        conn.sendall(_FRAME_HEAD.pack(0, 0))
+        return True
+
+
+# ----------------------------------------------------------------- client
+
+
+class NetworkTransport:
+    """Fetch segments from :class:`SegmentServer` sockets.
+
+    One instance serves one reduce task's :class:`~repro.mapreduce.
+    runtime.shuffle.ShuffleFetcher`; ``fetch`` runs on the fetcher's
+    worker threads, so the connection pool is locked.  All wire damage
+    -- refused connections, timeouts, short reads, frame CRC or segment
+    CRC mismatches, codec failures -- surfaces as
+    :class:`TransientFetchError`; an explicit *unknown segment* or
+    *missing file* answer raises :class:`FileNotFoundError`, the
+    fetcher's immediate-escalation rung (no retry of this epoch can
+    succeed).
+    """
+
+    def __init__(self, config: ShuffleConfig,
+                 counter_sink: Callable[..., None] | None = None,
+                 reduce_id: str = "") -> None:
+        self.config = config
+        self.reduce_id = reduce_id
+        self._sink = counter_sink or (lambda name, amount=1: None)
+        self._pool: dict[tuple[str, int], list[socket.socket]] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- pooling
+
+    def _checkout(self, address: tuple[str, int],
+                  deadline: Deadline) -> socket.socket:
+        with self._lock:
+            idle = self._pool.get(address)
+            if idle:
+                return idle.pop()
+        try:
+            return socket.create_connection(
+                address, timeout=_op_timeout(deadline))
+        except OSError as exc:
+            raise TransientFetchError(
+                f"cannot connect to segment server {address}: {exc}"
+            ) from exc
+
+    def _checkin(self, address: tuple[str, int],
+                 sock: socket.socket) -> None:
+        with self._lock:
+            self._pool.setdefault(address, []).append(sock)
+
+    def close(self) -> None:
+        """Close every pooled connection (fetcher calls this after
+        ``fetch_all``; idempotent)."""
+        with self._lock:
+            pools, self._pool = self._pool, {}
+        for idle in pools.values():
+            for sock in idle:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+
+    # -------------------------------------------------------------- fetch
+
+    def fetch(self, ref: SegmentRef, attempt: int,
+              deadline: Deadline) -> bytes:
+        if ref.address is None:
+            raise TransientFetchError(
+                f"segment {ref.map_id} carries no server address "
+                f"(network transport needs service-built refs)")
+        address = (ref.address[0], int(ref.address[1]))
+        sock = self._checkout(address, deadline)
+        try:
+            blob = self._request(sock, ref, attempt, deadline)
+        except Exception:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            raise
+        self._checkin(address, sock)
+        return blob
+
+    def _request(self, sock: socket.socket, ref: SegmentRef, attempt: int,
+                 deadline: Deadline) -> bytes:
+        payload = json.dumps({
+            "map_id": ref.map_id,
+            "path": ref.path,
+            "epoch": ref.epoch,
+            "reduce_id": self.reduce_id,
+            "attempt": attempt,
+            "codec": self.config.wire_codec,
+            "chunk": self.config.chunk_bytes,
+        }).encode("utf-8")
+        try:
+            _send_all(sock, REQUEST_MAGIC + _U32.pack(len(payload)) + payload,
+                      deadline)
+            status = _recv_exact(sock, 1, deadline, "status")[0]
+            if status != OK:
+                (mlen,) = _U32.unpack(_recv_exact(sock, _U32.size, deadline,
+                                                  "error length"))
+                message = _recv_exact(sock, min(mlen, _MAX_META), deadline,
+                                      "error message").decode(
+                                          "utf-8", "replace")
+                if status in (UNKNOWN_SEGMENT, MISSING_FILE):
+                    raise FileNotFoundError(
+                        f"server reports segment gone: {message}")
+                raise TransientFetchError(f"server rejected fetch: {message}")
+            (hlen,) = _U32.unpack(_recv_exact(sock, _U32.size, deadline,
+                                              "header length"))
+            if hlen > _MAX_META:
+                raise TransientFetchError(f"oversized response header "
+                                          f"({hlen} bytes)")
+            header = json.loads(_recv_exact(sock, hlen, deadline, "header"))
+            if header["framed"]:
+                blob = self._read_framed(sock, header, deadline)
+            else:
+                blob = self._read_verbatim(sock, header, deadline)
+        except FileNotFoundError:
+            raise  # server's explicit "segment gone": escalate, no retry
+        except OSError as exc:
+            raise TransientFetchError(f"socket error mid-fetch: {exc}"
+                                      ) from exc
+        except ValueError as exc:  # garbled JSON header on the wire
+            raise TransientFetchError(f"undecodable response header: {exc}"
+                                      ) from exc
+        if (len(blob) != header["length"]
+                or zlib.crc32(blob) != header["crc"]):
+            raise TransientFetchError(
+                f"transfer digest mismatch: got {len(blob)} bytes "
+                f"(crc {zlib.crc32(blob):08x}), server digested "
+                f"{header['length']} (crc {header['crc']:08x})",
+                bytes_received=len(blob))
+        return blob
+
+    def _read_verbatim(self, sock: socket.socket, header: dict,
+                       deadline: Deadline) -> bytes:
+        length = int(header["length"])
+        blob = _recv_exact(sock, length, deadline, "verbatim segment")
+        self._sink(C.SHUFFLE_WIRE_BYTES, length)
+        self._sink(C.SHUFFLE_WIRE_BYTES_UNCOMPRESSED, length)
+        return blob
+
+    def _read_framed(self, sock: socket.socket, header: dict,
+                     deadline: Deadline) -> bytes:
+        codec = get_codec(header["codec"])
+        wire_length = int(header["wire_length"])
+        parts: list[bytes] = []
+        received = 0
+        while True:
+            chunk_len, fcrc = _FRAME_HEAD.unpack(
+                _recv_exact(sock, _FRAME_HEAD.size, deadline, "frame head"))
+            if chunk_len == 0:
+                break
+            chunk = _recv_exact(sock, chunk_len, deadline, "frame payload")
+            self._sink(C.SHUFFLE_WIRE_BYTES, chunk_len)
+            if zlib.crc32(chunk) != fcrc:
+                raise TransientFetchError(
+                    f"frame {len(parts)} checksum mismatch in flight",
+                    bytes_received=received)
+            received += chunk_len
+            parts.append(chunk)
+        comp = b"".join(parts)
+        if len(comp) != wire_length:
+            # Truncate faults end the stream early but claim completion;
+            # only this count (and the digest check upstream) notices.
+            raise TransientFetchError(
+                f"framed stream ended at {len(comp)}/{wire_length} "
+                f"compressed bytes", bytes_received=received)
+        try:
+            raw = codec.decompress(comp)
+        except CorruptRecordError as exc:
+            raise TransientFetchError(
+                f"wire codec failed to decode segment: {exc}",
+                bytes_received=received) from exc
+        self._sink(C.SHUFFLE_WIRE_BYTES_UNCOMPRESSED, len(raw))
+        return raw

@@ -327,13 +327,36 @@ class ParallelJobRunner:
         # fault pinned to epoch 0 stops matching the replacement bytes.
         reexec_epochs: dict[str, int] = {s.task_id: 0 for s in map_specs}
 
+        # Network transport: start the per-worker segment servers in
+        # the scheduler process and publish every committed map output.
+        # Reduce workers then fetch over real loopback sockets; the
+        # service dies with the reduce wave.
+        service = None
+        shuffle_cfg = self._scheduler_kwargs.get("shuffle")
+        if (shuffle_cfg is not None
+                and getattr(shuffle_cfg, "transport", "") == "network"):
+            from repro.mapreduce.runtime.netshuffle import ShuffleService
+            injector = self._scheduler_kwargs.get("fault_injector")
+            service = ShuffleService.from_config(
+                shuffle_cfg,
+                faults=(injector.fetch_plan() if injector is not None
+                        else None),
+                trace=trace)
+            service.start()
+            for task_id, mo in map_results.items():
+                service.register_map_output(
+                    task_id, [path for path, _ in mo.segments.values()],
+                    epoch=0)
+
         def reduce_payload(part: int) -> tuple[int, list[SegmentRef]]:
             refs = []
             for spec in map_specs:
                 path, stats = map_results[spec.task_id].segments[part]
-                refs.append(SegmentRef(map_id=spec.task_id, path=path,
-                                       stats=stats,
-                                       epoch=reexec_epochs[spec.task_id]))
+                refs.append(SegmentRef(
+                    map_id=spec.task_id, path=path, stats=stats,
+                    epoch=reexec_epochs[spec.task_id],
+                    address=(service.address_for(spec.task_id)
+                             if service is not None else None)))
             return (part, refs)
 
         reduce_specs = [
@@ -357,6 +380,11 @@ class ParallelJobRunner:
             payload for every reduce task.
             """
             spec = next(s for s in map_specs if s.task_id == map_id)
+            if service is not None:
+                # Graceful drain: in-flight requests for the doomed
+                # epoch get STALE_EPOCH (a transient) instead of racing
+                # half-deleted files.
+                service.invalidate(map_id)
             reexec_epochs[map_id] += 1
             old = map_results[map_id]
             fresh_dir = os.path.join(
@@ -369,6 +397,10 @@ class ParallelJobRunner:
                 except OSError:
                     pass  # e.g. the missing segment that started this
             map_results[map_id] = mo
+            if service is not None:
+                service.register_map_output(
+                    map_id, [path for path, _ in mo.segments.values()],
+                    epoch=reexec_epochs[map_id])
             trace.set_profile(map_id, mo.profile)
             self.last_map_reexecs += 1
             if manifest is not None and map_id in manifest.tasks:
@@ -383,9 +415,13 @@ class ParallelJobRunner:
         # Wave 2: reduce tasks (dataset not needed in reduce workers).
         adopted_reduces = self._load_adopted(adopted, "reduce")
         self.last_adopted += len(adopted_reduces)
-        reduce_results = scheduler.run_wave(
-            reduce_specs, job, None, run_dir, repair=repair,
-            precomputed=adopted_reduces, reexec=reexec, **wave_kwargs)
+        try:
+            reduce_results = scheduler.run_wave(
+                reduce_specs, job, None, run_dir, repair=repair,
+                precomputed=adopted_reduces, reexec=reexec, **wave_kwargs)
+        finally:
+            if service is not None:
+                service.stop()
 
         # Assemble the JobResult exactly like the serial runner: map
         # counters/profiles in split order, then reduces in partition

@@ -13,7 +13,10 @@ makes the transfer a first-class, failable step:
   :class:`ChannelTransport` streams it in CRC-framed chunks over an
   in-process channel that a :class:`~repro.mapreduce.runtime.fault.
   FaultInjector` ``fetch`` fault can drop, delay, stall, truncate, or
-  bit-flip in flight;
+  bit-flip in flight, and :class:`~repro.mapreduce.runtime.netshuffle.
+  NetworkTransport` fetches it from a per-worker TCP segment server
+  (with an optional on-the-wire codec -- §III's key compression
+  measured as network bytes);
 * the :class:`ShuffleFetcher` drives bounded-concurrency fetches with
   per-fetch deadlines, capped exponential backoff with deterministic
   jitter (:mod:`repro.util.backoff`), digest verification
@@ -49,6 +52,7 @@ from repro.util.timing import Deadline
 __all__ = [
     "SegmentRef",
     "ShuffleConfig",
+    "ConfigError",
     "FetchFailedError",
     "TransientFetchError",
     "DirectTransport",
@@ -60,7 +64,16 @@ __all__ = [
     "TRANSPORTS",
 ]
 
-TRANSPORTS = ("direct", "channel")
+TRANSPORTS = ("direct", "channel", "network")
+
+
+class ConfigError(ValueError):
+    """A shuffle configuration value is malformed or out of range.
+
+    Raised instead of a bare ``ValueError`` so a typo in an environment
+    variable or CLI flag surfaces as one readable sentence naming the
+    offending setting, not a traceback from ``int()``.
+    """
 
 
 @dataclass(frozen=True)
@@ -74,6 +87,12 @@ class SegmentRef:
     #: time the scheduler re-executes the producer (old epochs' faults
     #: no longer match, which is what models "re-execution fixed it")
     epoch: int = 0
+    #: ``(host, port)`` of the segment server holding this segment, for
+    #: the network transport (``None`` for in-process transports).
+    #: Addresses ride on refs rather than on the config so a map
+    #: re-execution naturally re-points waiting reducers at the
+    #: (possibly re-spawned) server.
+    address: tuple[str, int] | None = None
 
     @classmethod
     def from_pair(cls, pair: "tuple[str, IFileStats] | SegmentRef",
@@ -101,8 +120,18 @@ class ShuffleConfig:
     backoff_max: float = 0.25
     #: concurrent in-flight fetches per reduce task
     concurrency: int = 4
-    #: channel frame size (bytes of segment per CRC-framed chunk)
+    #: channel/wire frame size (bytes of segment per CRC-framed chunk)
     chunk_bytes: int = 64 * 1024
+    #: codec segment bytes are compressed with *on the wire* (network
+    #: transport only; "null" serves segments verbatim via sendfile)
+    wire_codec: str = "null"
+    #: first TCP port for the network shuffle servers (None = ephemeral)
+    port_base: int | None = None
+    #: how many segment servers the service spreads map outputs across
+    num_servers: int = 2
+    #: concurrent requests one segment server will serve; further
+    #: connections queue in the listen backlog (server-side backpressure)
+    server_concurrency: int = 8
 
     def __post_init__(self) -> None:
         if self.transport not in TRANSPORTS:
@@ -122,25 +151,66 @@ class ShuffleConfig:
         if self.chunk_bytes < 256:
             raise ValueError(
                 f"chunk_bytes must be >= 256, got {self.chunk_bytes}")
+        if not self.wire_codec:
+            raise ValueError("wire_codec must be a codec name")
+        if self.port_base is not None and not 1024 <= self.port_base <= 65535:
+            raise ValueError(
+                f"port_base must be in 1024..65535, got {self.port_base}")
+        if self.num_servers < 1:
+            raise ValueError(
+                f"num_servers must be >= 1, got {self.num_servers}")
+        if self.server_concurrency < 1:
+            raise ValueError(
+                f"server_concurrency must be >= 1, "
+                f"got {self.server_concurrency}")
+
+
+def _env_value(kwargs: dict, key: str, var: str, parse) -> None:
+    """Parse one environment variable into ``kwargs[key]``.
+
+    A malformed value raises :class:`ConfigError` naming the variable
+    and the offending text instead of leaking ``int()``'s traceback.
+    """
+    raw = os.environ.get(var)
+    if raw is None:
+        return
+    try:
+        kwargs[key] = parse(raw)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(
+            f"invalid {var}={raw!r}: expected "
+            f"{getattr(parse, '__name__', 'value')} ({exc})") from exc
 
 
 def shuffle_config_from_env() -> ShuffleConfig | None:
     """A :class:`ShuffleConfig` from ``REPRO_TRANSPORT`` /
-    ``REPRO_FETCH_RETRIES`` / ``REPRO_FETCH_TIMEOUT``, or ``None`` when
-    none of them is set (runner default applies)."""
-    transport = os.environ.get("REPRO_TRANSPORT")
-    retries = os.environ.get("REPRO_FETCH_RETRIES")
-    timeout = os.environ.get("REPRO_FETCH_TIMEOUT")
-    if transport is None and retries is None and timeout is None:
-        return None
+    ``REPRO_FETCH_RETRIES`` / ``REPRO_FETCH_TIMEOUT`` /
+    ``REPRO_WIRE_CODEC`` / ``REPRO_SHUFFLE_PORT_BASE``, or ``None`` when
+    none of them is set (runner default applies).
+
+    Malformed values -- a non-integer retry count, a negative timeout,
+    an unknown transport or codec -- raise :class:`ConfigError` with the
+    variable name, never a raw ``ValueError`` traceback.
+    """
     kwargs: dict = {}
-    if transport is not None:
+    if (transport := os.environ.get("REPRO_TRANSPORT")) is not None:
         kwargs["transport"] = transport
-    if retries is not None:
-        kwargs["fetch_retries"] = int(retries)
-    if timeout is not None:
-        kwargs["fetch_timeout"] = float(timeout)
-    return ShuffleConfig(**kwargs)
+    _env_value(kwargs, "fetch_retries", "REPRO_FETCH_RETRIES", int)
+    _env_value(kwargs, "fetch_timeout", "REPRO_FETCH_TIMEOUT", float)
+    if (wire_codec := os.environ.get("REPRO_WIRE_CODEC")) is not None:
+        from repro.mapreduce.codecs import available_codecs
+        if wire_codec not in available_codecs():
+            raise ConfigError(
+                f"invalid REPRO_WIRE_CODEC={wire_codec!r}: "
+                f"available codecs: {', '.join(available_codecs())}")
+        kwargs["wire_codec"] = wire_codec
+    _env_value(kwargs, "port_base", "REPRO_SHUFFLE_PORT_BASE", int)
+    if not kwargs:
+        return None
+    try:
+        return ShuffleConfig(**kwargs)
+    except ValueError as exc:
+        raise ConfigError(f"invalid shuffle configuration: {exc}") from exc
 
 
 class TransientFetchError(RuntimeError):
@@ -296,10 +366,25 @@ class ChannelTransport:
 
 
 def make_transport(config: ShuffleConfig,
-                   fetch_faults: Mapping[str, Sequence[Fault]] | None = None):
-    """Instantiate the transport ``config`` names."""
+                   fetch_faults: Mapping[str, Sequence[Fault]] | None = None,
+                   counter_sink=None, reduce_id: str = ""):
+    """Instantiate the transport ``config`` names.
+
+    ``counter_sink(name, amount)`` receives wire-level byte counters
+    from transports that measure them (the network transport); the
+    in-process transports ignore it.  ``reduce_id`` identifies the
+    fetching reduce task on the wire (servers key their fault plan by
+    the ``map->reduce`` pair).  The network transport ignores
+    ``fetch_faults``: wire faults are applied *server-side*, by the
+    :class:`~repro.mapreduce.runtime.netshuffle.ShuffleService`.
+    """
     if config.transport == "direct":
         return DirectTransport()
+    if config.transport == "network":
+        # Lazy import: netshuffle imports this module's ref/error types.
+        from repro.mapreduce.runtime.netshuffle import NetworkTransport
+        return NetworkTransport(config, counter_sink=counter_sink,
+                                reduce_id=reduce_id)
     return ChannelTransport(config.chunk_bytes, fetch_faults)
 
 
@@ -322,8 +407,10 @@ class ShuffleFetcher:
         self.config = config
         self.counters = counters
         self.reduce_id = reduce_id
-        self.transport = make_transport(config, fetch_faults)
         self._lock = Lock()
+        self.transport = make_transport(config, fetch_faults,
+                                        counter_sink=self._incr,
+                                        reduce_id=reduce_id)
 
     def _incr(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -331,17 +418,23 @@ class ShuffleFetcher:
 
     def fetch_all(self, refs: Sequence[SegmentRef]) -> list[bytes]:
         """Fetch every segment; raises :class:`FetchFailedError` on the
-        first segment that exhausts its retry budget."""
+        first segment that exhausts its retry budget.  Pooled transport
+        connections are closed before returning either way."""
         refs = list(refs)
         if not refs:
             return []
-        workers = min(self.config.concurrency, len(refs))
-        if workers == 1:
-            return [self.fetch_one(ref) for ref in refs]
-        from concurrent.futures import ThreadPoolExecutor
-        with ThreadPoolExecutor(max_workers=workers,
-                                thread_name_prefix="fetch") as pool:
-            return list(pool.map(self.fetch_one, refs))
+        try:
+            workers = min(self.config.concurrency, len(refs))
+            if workers == 1:
+                return [self.fetch_one(ref) for ref in refs]
+            from concurrent.futures import ThreadPoolExecutor
+            with ThreadPoolExecutor(max_workers=workers,
+                                    thread_name_prefix="fetch") as pool:
+                return list(pool.map(self.fetch_one, refs))
+        finally:
+            close = getattr(self.transport, "close", None)
+            if close is not None:
+                close()
 
     def fetch_one(self, ref: SegmentRef) -> bytes:
         """Fetch one segment through the full retry ladder."""

@@ -39,6 +39,9 @@ EVENT_KINDS = (
     "fetch_failure",  # a reduce attempt could not fetch a map segment
     "map_reexec",  # a completed map task was re-executed after its
                    # segments exceeded the fetch-failure threshold
+    "wire_served", # a network shuffle server streamed one segment
+    "wire_stale",  # a network shuffle server rejected an epoch-stale
+                   # (or draining) segment request
 )
 
 

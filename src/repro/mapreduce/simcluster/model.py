@@ -119,7 +119,11 @@ class ClusterSimulator:
     def reduce_task_duration(self, profile: TaskProfile) -> float:
         s = self.spec
         cpu = profile.total_cpu / s.cpu_scale
-        net = profile.shuffle_bytes / s.network_bandwidth
+        # Wire-compressed runs cross the NIC at the measured on-the-wire
+        # size; the decoded segments still land on local disk in full.
+        net_bytes = (profile.wire_bytes if profile.wire_bytes is not None
+                     else profile.shuffle_bytes)
+        net = net_bytes / s.network_bandwidth
         disk = (
             profile.shuffle_bytes  # fetched segments land on local disk
             + profile.local_write_bytes

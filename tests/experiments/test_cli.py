@@ -46,3 +46,54 @@ class TestRun:
     def test_no_command_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_r4_registered(self):
+        assert "R4" in experiment_ids()
+
+
+class TestCodecs:
+    def test_codecs_lists_registry_with_cost_categories(self, capsys):
+        from repro.mapreduce.codecs import available_codecs
+
+        assert main(["codecs"]) == 0
+        out = capsys.readouterr().out
+        for name in available_codecs():
+            assert name in out
+        # Plain codecs report only generic codec cost; the §III stride
+        # transforms split out their transform pass.
+        lines = {ln.split()[0]: ln for ln in out.splitlines()}
+        assert "cost: codec" in lines["zlib"]
+        assert "cost: transform+codec" in lines["fastpred+zlib"]
+
+
+class TestNetworkFlags:
+    def test_network_transport_sets_env(self, monkeypatch):
+        for var in ("REPRO_TRANSPORT", "REPRO_WIRE_CODEC",
+                    "REPRO_SHUFFLE_PORT_BASE"):
+            monkeypatch.delenv(var, raising=False)
+        assert main(["run", "F7", "--transport", "network",
+                     "--wire-codec", "fastpred+zlib",
+                     "--shuffle-port-base", "28100"]) == 0
+        assert os.environ.get("REPRO_TRANSPORT") == "network"
+        assert os.environ.get("REPRO_WIRE_CODEC") == "fastpred+zlib"
+        assert os.environ.get("REPRO_SHUFFLE_PORT_BASE") == "28100"
+
+    def test_wire_codec_requires_network_transport(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRANSPORT", raising=False)
+        with pytest.raises(SystemExit):
+            main(["run", "F7", "--wire-codec", "zlib"])
+        with pytest.raises(SystemExit):
+            main(["run", "F7", "--transport", "channel",
+                  "--wire-codec", "zlib"])
+
+    def test_unknown_wire_codec_rejected(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRANSPORT", raising=False)
+        with pytest.raises(SystemExit):
+            main(["run", "F7", "--transport", "network",
+                  "--wire-codec", "martian"])
+
+    def test_port_base_range_checked(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRANSPORT", raising=False)
+        with pytest.raises(SystemExit):
+            main(["run", "F7", "--transport", "network",
+                  "--shuffle-port-base", "80"])

@@ -1,0 +1,360 @@
+"""The network shuffle: segment servers, wire codecs, live-socket faults.
+
+The netshuffle module puts the map->reduce hop on a real loopback
+socket.  Pinned here:
+
+* round trips through every registered wire codec are byte-identical
+  to the on-disk segment, with ``SHUFFLE_WIRE_BYTES`` measuring the
+  compressed bytes that actually crossed (verbatim null service counts
+  wire == raw);
+* the protocol's rejection surface: stale epochs and draining maps are
+  *transient* (retryable -- the escalation ladder's first rung), while
+  unknown maps, unregistered paths, and deleted files are
+  ``FileNotFoundError`` (immediate escalation, no pointless retries);
+* codec negotiation degrades an unknown codec to verbatim service
+  instead of failing the fetch;
+* connections pool and are reused across fetches; a killed server
+  refuses connections (transient) until a re-registration revives it
+  on a fresh port;
+* server-side wire faults (flip / drop / truncate / delay / stall)
+  surface as ``TransientFetchError`` through the real socket, and the
+  full fetcher heals them within its retry budget;
+* the engine end to end: a serial network run is byte-identical to the
+  direct transport, and the trace carries ``wire_served`` events.
+"""
+
+import os
+import zlib
+
+import pytest
+
+from repro.mapreduce.codecs import NullCodec, available_codecs
+from repro.mapreduce.ifile import IFileWriter
+from repro.mapreduce.metrics import C, Counters
+from repro.mapreduce.runtime import FaultInjector
+from repro.mapreduce.runtime.netshuffle import (
+    NetworkTransport,
+    ShuffleService,
+)
+from repro.mapreduce.runtime.shuffle import (
+    SegmentRef,
+    ShuffleConfig,
+    ShuffleFetcher,
+    TransientFetchError,
+)
+from repro.mapreduce.runtime.trace import RuntimeTrace
+from repro.util.timing import Deadline
+
+
+def write_segment(tmp_path, name="m00000-out-p0", records=200):
+    path = str(tmp_path / name)
+    writer = IFileWriter(path, NullCodec())
+    for i in range(records):
+        writer.append(f"k{i:04d}".encode(), f"v{i:04d}".encode())
+    stats = writer.close()
+    return path, stats
+
+
+def make_ref(service, path, stats, map_id="m00000", epoch=0):
+    return SegmentRef(map_id=map_id, path=path, stats=stats, epoch=epoch,
+                      address=service.address_for(map_id))
+
+
+def net_config(**overrides):
+    base = dict(transport="network", fetch_retries=1, fetch_timeout=5.0,
+                backoff=0.005, backoff_max=0.02)
+    base.update(overrides)
+    return ShuffleConfig(**base)
+
+
+@pytest.fixture
+def segment(tmp_path):
+    return write_segment(tmp_path)
+
+
+class TestWireRoundTrip:
+    @pytest.mark.parametrize("codec", sorted(available_codecs()))
+    def test_every_codec_round_trips(self, tmp_path, codec):
+        path, stats = write_segment(tmp_path)
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        config = net_config(wire_codec=codec)
+        with ShuffleService.from_config(config) as service:
+            service.register_map_output("m00000", [path])
+            counters = Counters()
+            fetcher = ShuffleFetcher(config, counters, "r00000")
+            [got] = fetcher.fetch_all([make_ref(service, path, stats)])
+        assert got == blob
+        wire = counters.get(C.SHUFFLE_WIRE_BYTES)
+        raw = counters.get(C.SHUFFLE_WIRE_BYTES_UNCOMPRESSED)
+        assert raw == len(blob)
+        if codec == "null":
+            assert wire == raw  # verbatim sendfile: no framing overhead
+        else:
+            assert 0 < wire < raw  # this stream compresses
+
+    def test_small_chunk_framing(self, tmp_path):
+        """Many frames per segment exercise reassembly ordering."""
+        path, stats = write_segment(tmp_path, records=500)
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        config = net_config(wire_codec="zlib", chunk_bytes=256)
+        with ShuffleService.from_config(config) as service:
+            service.register_map_output("m00000", [path])
+            transport = NetworkTransport(config)
+            got = transport.fetch(make_ref(service, path, stats), 0,
+                                  Deadline(None))
+            transport.close()
+        assert got == blob
+
+    def test_zero_length_segment(self, tmp_path):
+        """A zero-byte file round-trips (framed and verbatim)."""
+        path = str(tmp_path / "m00000-out-p0")
+        with open(path, "wb"):
+            pass
+        for codec in ("null", "zlib"):
+            config = net_config(wire_codec=codec)
+            with ShuffleService.from_config(config) as service:
+                service.register_map_output("m00000", [path])
+                transport = NetworkTransport(config)
+                ref = SegmentRef(map_id="m00000", path=path, stats=None,
+                                 address=service.address_for("m00000"))
+                assert transport.fetch(ref, 0, Deadline(None)) == b""
+                transport.close()
+
+
+class TestProtocolRejections:
+    def test_stale_epoch_is_transient(self, tmp_path, segment):
+        path, stats = segment
+        config = net_config()
+        with ShuffleService.from_config(config) as service:
+            service.register_map_output("m00000", [path], epoch=1)
+            transport = NetworkTransport(config)
+            with pytest.raises(TransientFetchError, match="stale epoch"):
+                transport.fetch(make_ref(service, path, stats, epoch=0),
+                                0, Deadline(None))
+            transport.close()
+
+    def test_draining_map_is_transient(self, tmp_path, segment):
+        path, stats = segment
+        config = net_config()
+        with ShuffleService.from_config(config) as service:
+            service.register_map_output("m00000", [path])
+            service.invalidate("m00000")
+            transport = NetworkTransport(config)
+            with pytest.raises(TransientFetchError, match="draining"):
+                transport.fetch(make_ref(service, path, stats), 0,
+                                Deadline(None))
+            transport.close()
+
+    def test_unknown_map_escalates(self, tmp_path, segment):
+        path, stats = segment
+        config = net_config()
+        with ShuffleService.from_config(config) as service:
+            service.register_map_output("m00000", [path])
+            transport = NetworkTransport(config)
+            ref = SegmentRef(map_id="m99999", path=path, stats=stats,
+                             address=service.address_for("m99999"))
+            with pytest.raises(FileNotFoundError, match="unknown map"):
+                transport.fetch(ref, 0, Deadline(None))
+            transport.close()
+
+    def test_unregistered_path_escalates(self, tmp_path, segment):
+        path, stats = segment
+        config = net_config()
+        with ShuffleService.from_config(config) as service:
+            service.register_map_output("m00000", [path])
+            transport = NetworkTransport(config)
+            ref = SegmentRef(map_id="m00000", path=path + ".elsewhere",
+                             stats=stats,
+                             address=service.address_for("m00000"))
+            with pytest.raises(FileNotFoundError, match="unregistered"):
+                transport.fetch(ref, 0, Deadline(None))
+            transport.close()
+
+    def test_deleted_file_escalates(self, tmp_path, segment):
+        path, stats = segment
+        config = net_config()
+        with ShuffleService.from_config(config) as service:
+            service.register_map_output("m00000", [path])
+            ref = make_ref(service, path, stats)
+            os.unlink(path)
+            transport = NetworkTransport(config)
+            with pytest.raises(FileNotFoundError, match="missing"):
+                transport.fetch(ref, 0, Deadline(None))
+            transport.close()
+
+    def test_addressless_ref_is_transient(self, segment):
+        path, stats = segment
+        transport = NetworkTransport(net_config())
+        with pytest.raises(TransientFetchError, match="no server address"):
+            transport.fetch(SegmentRef(map_id="m00000", path=path,
+                                       stats=stats), 0, Deadline(None))
+
+    def test_fresh_epoch_registration_ends_drain(self, tmp_path, segment):
+        path, stats = segment
+        config = net_config()
+        with ShuffleService.from_config(config) as service:
+            service.register_map_output("m00000", [path])
+            service.invalidate("m00000")
+            service.register_map_output("m00000", [path], epoch=1)
+            transport = NetworkTransport(config)
+            got = transport.fetch(make_ref(service, path, stats, epoch=1),
+                                  0, Deadline(None))
+            transport.close()
+        with open(path, "rb") as fh:
+            assert got == fh.read()
+
+
+class TestCodecNegotiation:
+    def test_unknown_codec_degrades_to_verbatim(self, tmp_path, segment):
+        path, stats = segment
+        config = net_config(wire_codec="martian-arithmetic")
+        counters = Counters()
+        with ShuffleService.from_config(config) as service:
+            service.register_map_output("m00000", [path])
+            fetcher = ShuffleFetcher(config, counters, "r00000")
+            [got] = fetcher.fetch_all([make_ref(service, path, stats)])
+        with open(path, "rb") as fh:
+            assert got == fh.read()
+        # Negotiated down to null: served verbatim, wire == raw.
+        assert (counters.get(C.SHUFFLE_WIRE_BYTES)
+                == counters.get(C.SHUFFLE_WIRE_BYTES_UNCOMPRESSED)
+                == len(got))
+
+
+class TestPoolingAndServers:
+    def test_connections_are_pooled_and_reused(self, tmp_path, segment):
+        path, stats = segment
+        config = net_config()
+        with ShuffleService.from_config(config) as service:
+            service.register_map_output("m00000", [path])
+            transport = NetworkTransport(config)
+            ref = make_ref(service, path, stats)
+            transport.fetch(ref, 0, Deadline(None))
+            pooled = {addr: list(socks)
+                      for addr, socks in transport._pool.items()}
+            assert sum(len(s) for s in pooled.values()) == 1
+            [sock] = next(iter(pooled.values()))
+            transport.fetch(ref, 0, Deadline(None))
+            # Same socket object came back to the pool: it was reused.
+            assert next(iter(transport._pool.values()))[0] is sock
+            transport.close()
+            assert transport._pool == {}
+
+    def test_port_base_pins_server_ports(self, tmp_path, segment):
+        path, stats = segment
+        config = net_config(port_base=29750, num_servers=2)
+        with ShuffleService.from_config(config) as service:
+            ports = {server.address[1] for server in service.servers}
+            assert ports == {29750, 29751}
+
+    def test_killed_server_refuses_then_revives(self, tmp_path, segment):
+        path, stats = segment
+        config = net_config()
+        with ShuffleService.from_config(config) as service:
+            service.register_map_output("m00000", [path])
+            ref = make_ref(service, path, stats)
+            service.kill_server(service.server_index("m00000"))
+            transport = NetworkTransport(config)
+            with pytest.raises(TransientFetchError, match="cannot connect"):
+                transport.fetch(ref, 0, Deadline(0.5))
+            # Re-registration (what map re-execution does) revives the
+            # server on a fresh port; a re-built ref fetches cleanly.
+            service.register_map_output("m00000", [path], epoch=1)
+            assert service.servers[service.server_index("m00000")].alive
+            fresh = make_ref(service, path, stats, epoch=1)
+            got = transport.fetch(fresh, 0, Deadline(None))
+            transport.close()
+        with open(path, "rb") as fh:
+            assert got == fh.read()
+
+    def test_server_side_concurrency_is_bounded(self, tmp_path, segment):
+        path, stats = segment
+        config = net_config(server_concurrency=1)
+        with ShuffleService.from_config(config) as service:
+            service.register_map_output("m00000", [path])
+            # Two sequential fetches through a concurrency-1 server must
+            # both succeed (the accept loop blocks, not errors).
+            transport = NetworkTransport(config)
+            ref = make_ref(service, path, stats)
+            a = transport.fetch(ref, 0, Deadline(None))
+            b = transport.fetch(ref, 0, Deadline(None))
+            transport.close()
+        assert a == b
+
+
+class TestServerSideFaults:
+    @pytest.mark.parametrize("op", ["flip", "drop", "truncate", "stall"])
+    def test_fault_is_transient_then_heals(self, tmp_path, segment, op):
+        path, stats = segment
+        inj = FaultInjector()
+        inj.fetch("m00000", "r00000", op=op, attempt=0, seconds=0.05)
+        config = net_config(wire_codec="zlib", fetch_timeout=2.0)
+        with ShuffleService.from_config(
+                config, faults=inj.fetch_plan()) as service:
+            service.register_map_output("m00000", [path])
+            counters = Counters()
+            fetcher = ShuffleFetcher(config, counters, "r00000")
+            [got] = fetcher.fetch_all([make_ref(service, path, stats)])
+        with open(path, "rb") as fh:
+            assert got == fh.read()
+        assert counters.get(C.SHUFFLE_RETRIES) == 1
+
+    def test_faults_target_only_their_link(self, tmp_path, segment):
+        path, stats = segment
+        inj = FaultInjector()
+        inj.fetch("m00000", "r00001", op="flip", attempt=0)
+        config = net_config(wire_codec="zlib")
+        with ShuffleService.from_config(
+                config, faults=inj.fetch_plan()) as service:
+            service.register_map_output("m00000", [path])
+            counters = Counters()
+            fetcher = ShuffleFetcher(config, counters, "r00000")
+            fetcher.fetch_all([make_ref(service, path, stats)])
+        assert counters.get(C.SHUFFLE_RETRIES) == 0
+
+
+class TestTraceEvents:
+    def test_served_and_stale_events_recorded(self, tmp_path, segment):
+        path, stats = segment
+        config = net_config()
+        trace = RuntimeTrace()
+        with ShuffleService.from_config(config, trace=trace) as service:
+            service.register_map_output("m00000", [path])
+            transport = NetworkTransport(config)
+            transport.fetch(make_ref(service, path, stats), 0,
+                            Deadline(None))
+            with pytest.raises(TransientFetchError):
+                transport.fetch(make_ref(service, path, stats, epoch=7),
+                                0, Deadline(None))
+            transport.close()
+        assert trace.count("wire_served") == 1
+        assert trace.count("wire_stale") == 1
+
+
+class TestDamageAtRest:
+    def test_rewritten_segment_served_with_fresh_crc(self, tmp_path):
+        """The CRC cache revalidates by stat: damage at rest is served
+        as-is (matching its own CRC), so the *decode* catches it -- the
+        repair rung, not the transfer-retry rung."""
+        path, stats = write_segment(tmp_path)
+        config = net_config()
+        with ShuffleService.from_config(config) as service:
+            service.register_map_output("m00000", [path])
+            transport = NetworkTransport(config)
+            ref = make_ref(service, path, stats)
+            first = transport.fetch(ref, 0, Deadline(None))
+            # Rewrite the file on disk (what segment repair does).
+            with open(path, "rb") as fh:
+                blob = fh.read()
+            damaged = blob[: len(blob) // 2] + bytes(
+                [blob[len(blob) // 2] ^ 0xFF]) + blob[len(blob) // 2 + 1:]
+            with open(path, "wb") as fh:
+                fh.write(damaged)
+            os.utime(path, ns=(1, 1))  # force a distinct mtime_ns
+            second = transport.fetch(ref, 0, Deadline(None))
+            transport.close()
+        assert first == blob
+        assert second == damaged  # served faithfully; decode will object
+        assert zlib.crc32(second) != zlib.crc32(first)

@@ -41,6 +41,7 @@ from repro.mapreduce.runtime import (
 )
 from repro.mapreduce.runtime.shuffle import (
     ChannelTransport,
+    ConfigError,
     DirectTransport,
     FetchFailedError,
     SegmentRef,
@@ -108,6 +109,54 @@ class TestSegmentDigest:
         with pytest.raises(IFileCorruptError):
             segment_digest(b"ab")
 
+    def test_zero_length_sources_raise_corrupt(self, tmp_path):
+        """Empty file and empty bytes both fail structurally: a real
+        segment always carries at least its trailer."""
+        empty = tmp_path / "empty"
+        empty.write_bytes(b"")
+        with pytest.raises(IFileCorruptError):
+            segment_digest(str(empty))
+        with pytest.raises(IFileCorruptError):
+            segment_digest(b"")
+
+    def test_blocked_layout_digest(self, tmp_path):
+        """The chunked \\x93IFB layout digests by its trailing footer
+        CRC, and path/bytes sources agree like the plain layout."""
+        path = str(tmp_path / "blocked")
+        writer = IFileWriter(path, NullCodec(), block_bytes=256)
+        for i in range(200):
+            writer.append(f"k{i:04d}".encode(), f"v{i:04d}".encode())
+        writer.close()
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        assert blob.startswith(b"\x93IFB")
+        digest = segment_digest(path)
+        assert digest == segment_digest(blob)
+        assert digest.length == len(blob)
+        # The digest CRC is the footer checksum stored in the last 4
+        # bytes -- O(1) to read, no decode required.
+        assert digest.crc == int.from_bytes(blob[-4:], "big")
+        assert digest.matches(blob)
+        assert not digest.matches(blob[:-1])
+
+    def test_truncated_footer_still_digests_but_mismatches(self, tmp_path):
+        """Truncating a segment mid-footer yields a digest that cannot
+        match the original bytes (transfer verification catches it)."""
+        path = str(tmp_path / "blocked")
+        writer = IFileWriter(path, NullCodec(), block_bytes=256)
+        for i in range(64):
+            writer.append(f"k{i:04d}".encode(), f"v{i:04d}".encode())
+        writer.close()
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        original = segment_digest(blob)
+        truncated = blob[:-3]  # mid-CRC cut
+        assert not original.matches(truncated)
+        assert segment_digest(truncated) != original
+        # Cut below the trailer altogether: structural failure.
+        with pytest.raises(IFileCorruptError):
+            segment_digest(blob[:3])
+
 
 class TestSegmentRef:
     def test_from_pair_adopts_legacy_tuple(self, segment):
@@ -135,7 +184,8 @@ class TestShuffleConfig:
 
     def test_from_env(self, monkeypatch):
         for name in ("REPRO_TRANSPORT", "REPRO_FETCH_RETRIES",
-                     "REPRO_FETCH_TIMEOUT"):
+                     "REPRO_FETCH_TIMEOUT", "REPRO_WIRE_CODEC",
+                     "REPRO_SHUFFLE_PORT_BASE"):
             monkeypatch.delenv(name, raising=False)
         assert shuffle_config_from_env() is None
         monkeypatch.setenv("REPRO_TRANSPORT", "channel")
@@ -145,6 +195,59 @@ class TestShuffleConfig:
         assert config.transport == "channel"
         assert config.fetch_retries == 5
         assert config.fetch_timeout == 1.5
+
+    def test_from_env_network_round_trip(self, monkeypatch):
+        for name in ("REPRO_TRANSPORT", "REPRO_FETCH_RETRIES",
+                     "REPRO_FETCH_TIMEOUT", "REPRO_WIRE_CODEC",
+                     "REPRO_SHUFFLE_PORT_BASE"):
+            monkeypatch.delenv(name, raising=False)
+        monkeypatch.setenv("REPRO_TRANSPORT", "network")
+        monkeypatch.setenv("REPRO_WIRE_CODEC", "fastpred+zlib")
+        monkeypatch.setenv("REPRO_SHUFFLE_PORT_BASE", "28000")
+        config = shuffle_config_from_env()
+        assert config.transport == "network"
+        assert config.wire_codec == "fastpred+zlib"
+        assert config.port_base == 28000
+
+    @pytest.mark.parametrize("var,value,needle", [
+        ("REPRO_FETCH_RETRIES", "three", "REPRO_FETCH_RETRIES='three'"),
+        ("REPRO_FETCH_RETRIES", "1.5", "REPRO_FETCH_RETRIES='1.5'"),
+        ("REPRO_FETCH_TIMEOUT", "soon", "REPRO_FETCH_TIMEOUT='soon'"),
+        ("REPRO_SHUFFLE_PORT_BASE", "http", "REPRO_SHUFFLE_PORT_BASE"),
+        ("REPRO_WIRE_CODEC", "martian", "available codecs"),
+    ])
+    def test_from_env_malformed_value_names_variable(self, monkeypatch,
+                                                     var, value, needle):
+        """A typo'd env var reads as one sentence naming the setting,
+        never a raw int()/float() traceback."""
+        for name in ("REPRO_TRANSPORT", "REPRO_FETCH_RETRIES",
+                     "REPRO_FETCH_TIMEOUT", "REPRO_WIRE_CODEC",
+                     "REPRO_SHUFFLE_PORT_BASE"):
+            monkeypatch.delenv(name, raising=False)
+        monkeypatch.setenv(var, value)
+        with pytest.raises(ConfigError) as err:
+            shuffle_config_from_env()
+        assert needle in str(err.value)
+
+    @pytest.mark.parametrize("var,value", [
+        ("REPRO_TRANSPORT", "carrier-pigeon"),
+        ("REPRO_FETCH_RETRIES", "-2"),
+        ("REPRO_FETCH_TIMEOUT", "0"),
+        ("REPRO_SHUFFLE_PORT_BASE", "80"),   # below the unprivileged range
+    ])
+    def test_from_env_out_of_range_value(self, monkeypatch, var, value):
+        """Well-formed but invalid values also surface as ConfigError."""
+        for name in ("REPRO_TRANSPORT", "REPRO_FETCH_RETRIES",
+                     "REPRO_FETCH_TIMEOUT", "REPRO_WIRE_CODEC",
+                     "REPRO_SHUFFLE_PORT_BASE"):
+            monkeypatch.delenv(name, raising=False)
+        monkeypatch.setenv(var, value)
+        with pytest.raises(ConfigError):
+            shuffle_config_from_env()
+
+    def test_config_error_is_a_value_error(self):
+        # Callers that already catch ValueError keep working.
+        assert issubclass(ConfigError, ValueError)
 
 
 class TestFetchFaultSelection:
