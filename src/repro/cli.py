@@ -28,7 +28,7 @@ def _registry() -> dict[str, tuple[str, Callable]]:
         e1_motivation, fig2_stream, fig3_table, fig4_scaling, \
         fig8_aggregation, figures_5_6_7, key_splitting, levers, locality, \
         multivar, p2_columnar, parallel_speedup, r2_poison, r3_shuffle, \
-        r4_netshuffle
+        r4_netshuffle, r5_hostchaos
 
     return {
         "E1": ("§I motivation: per-cell-key file sizes (paper-exact)",
@@ -90,6 +90,9 @@ def _registry() -> dict[str, tuple[str, Callable]]:
         "R4": ("robustness: network shuffle -- socket segment servers, "
                "on-the-wire codec compression, wire faults, server loss",
                lambda: r4_netshuffle.run()),
+        "R5": ("robustness: host failure domains -- whole-host crashes, "
+               "network partitions, and disk-fault failover, both runners",
+               lambda: r5_hostchaos.run()),
     }
 
 
@@ -163,6 +166,12 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--fetch-timeout", type=float, default=None,
                        help="per-fetch-attempt deadline in seconds "
                             "(default: none)")
+    run_p.add_argument("--num-hosts", type=int, default=None,
+                       help="simulated hosts tasks and segment servers are "
+                            "spread over (either runner; default 2)")
+    run_p.add_argument("--max-host-reexecs", type=int, default=None,
+                       help="max completed maps re-executed per lost host "
+                            "before the job fails (default 2)")
     args = parser.parse_args(argv)
 
     if args.command == "codecs":
@@ -247,6 +256,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.fetch_timeout <= 0:
             parser.error("--fetch-timeout must be positive")
         os.environ["REPRO_FETCH_TIMEOUT"] = str(args.fetch_timeout)
+    if args.num_hosts is not None:
+        if args.num_hosts < 1:
+            parser.error("--num-hosts must be >= 1")
+        os.environ["REPRO_NUM_HOSTS"] = str(args.num_hosts)
+    if args.max_host_reexecs is not None:
+        if args.max_host_reexecs < 0:
+            parser.error("--max-host-reexecs must be >= 0")
+        os.environ["REPRO_MAX_HOST_REEXECS"] = str(args.max_host_reexecs)
 
     ids = list(registry) if args.experiment.lower() == "all" else [
         args.experiment.upper()

@@ -46,15 +46,31 @@ def make_runner(**runner_kwargs):
     ``--recovery-dir``, and ``--resume`` flags.  Both backends honour
     the shuffle-transport knobs ``REPRO_TRANSPORT`` /
     ``REPRO_FETCH_RETRIES`` / ``REPRO_FETCH_TIMEOUT`` (the CLI's
-    ``--transport`` / ``--fetch-retries`` / ``--fetch-timeout``).  Both
-    backends produce byte-identical counters, so paper measurements are
-    runner-independent -- only wall-clock changes.
+    ``--transport`` / ``--fetch-retries`` / ``--fetch-timeout``), plus
+    the host-failure-domain knobs ``REPRO_NUM_HOSTS`` /
+    ``REPRO_MAX_HOST_REEXECS`` (the CLI's ``--num-hosts`` /
+    ``--max-host-reexecs``).  Both backends produce byte-identical
+    counters, so paper measurements are runner-independent -- only
+    wall-clock changes.
     """
     from repro.mapreduce.runtime.shuffle import shuffle_config_from_env
 
     shuffle = shuffle_config_from_env()
     if shuffle is not None:
         runner_kwargs.setdefault("shuffle", shuffle)
+    raw_hosts = os.environ.get("REPRO_NUM_HOSTS")
+    if raw_hosts is not None:
+        num_hosts = int(raw_hosts)
+        if num_hosts < 1:
+            raise ValueError(f"REPRO_NUM_HOSTS must be >= 1, got {num_hosts}")
+        runner_kwargs.setdefault("num_hosts", num_hosts)
+    raw_reexecs = os.environ.get("REPRO_MAX_HOST_REEXECS")
+    if raw_reexecs is not None:
+        max_host_reexecs = int(raw_reexecs)
+        if max_host_reexecs < 0:
+            raise ValueError(f"REPRO_MAX_HOST_REEXECS must be >= 0, "
+                             f"got {max_host_reexecs}")
+        runner_kwargs.setdefault("max_host_reexecs", max_host_reexecs)
     name = os.environ.get("REPRO_RUNNER", "serial").lower()
     if name in ("serial", "local"):
         from repro.mapreduce.engine import LocalJobRunner

@@ -582,13 +582,24 @@ class LocalJobRunner:
     (bumping its fetch *epoch*, which is how epoch-pinned fetch faults
     stop applying), at most ``max_map_reexecs`` times per map -- the
     same escalation the parallel scheduler performs across processes.
+
+    Host-level faults are also honored, keyed by the stable task->host
+    hash (``num_hosts`` buckets): ``host_crash`` re-executes every
+    completed map homed on the host at the shuffle barrier (at most
+    ``max_host_reexecs`` per host), ``host_partition`` expands into
+    deterministic per-link fetch drops healed by the retry ladder, and
+    ``disk_fault`` fails the affected tasks' spills over to a spare
+    workdir, quarantining the bad one -- each byte-identical in output
+    and counters to the parallel runtime's handling.
     """
 
     def __init__(self, workdir: str | None = None, keep_files: bool = False,
                  fault_injector: Any = None, *,
                  shuffle: Any = None,
                  fetch_failure_threshold: int = 2,
-                 max_map_reexecs: int = 2) -> None:
+                 max_map_reexecs: int = 2,
+                 num_hosts: int = 2,
+                 max_host_reexecs: int = 2) -> None:
         if fetch_failure_threshold < 1:
             raise ValueError(
                 f"fetch_failure_threshold must be >= 1, "
@@ -596,6 +607,11 @@ class LocalJobRunner:
         if max_map_reexecs < 0:
             raise ValueError(
                 f"max_map_reexecs must be >= 0, got {max_map_reexecs}")
+        if num_hosts < 1:
+            raise ValueError(f"num_hosts must be >= 1, got {num_hosts}")
+        if max_host_reexecs < 0:
+            raise ValueError(
+                f"max_host_reexecs must be >= 0, got {max_host_reexecs}")
         self._own_workdir = workdir is None
         self.workdir = workdir or tempfile.mkdtemp(prefix="repro-mr-")
         self.keep_files = keep_files
@@ -603,6 +619,10 @@ class LocalJobRunner:
         self.shuffle = shuffle
         self.fetch_failure_threshold = fetch_failure_threshold
         self.max_map_reexecs = max_map_reexecs
+        self.num_hosts = num_hosts
+        self.max_host_reexecs = max_host_reexecs
+        #: planned disk faults by home host (populated per run)
+        self._disk_plan: dict[str, Any] = {}
         os.makedirs(self.workdir, exist_ok=True)
 
     def __enter__(self) -> "LocalJobRunner":
@@ -648,6 +668,8 @@ class LocalJobRunner:
         profiles: list[TaskProfile] = []
         map_stats = IFileStats()
 
+        host_plan = self._prepare_host_faults(job, splits)
+
         map_outputs: list[MapTaskOutput] = []
         for split in splits:
             mo = self._run_map(job, split, dataset)
@@ -672,6 +694,8 @@ class LocalJobRunner:
         }
         service = self._make_shuffle_service()
         output: list[tuple[Any, Any]] = []
+        hosts_lost = 0
+        host_reexecs = 0
         try:
             if service is not None:
                 service.start()
@@ -680,6 +704,12 @@ class LocalJobRunner:
                     service.register_map_output(
                         mo.task_id,
                         [path for path, _ in mo.segments.values()], epoch=0)
+            # Shuffle barrier: whole-host crashes land here, exactly
+            # where Hadoop's lost-tasktracker handling runs -- every
+            # completed map whose only segment copies lived on the dead
+            # host is re-executed before any reducer fetches.
+            hosts_lost, host_reexecs = self._apply_host_crashes(
+                job, dataset, splits, map_outputs, shuffle_state, host_plan)
             for part in range(job.num_reducers):
                 rr = self._run_reduce(job, part, map_outputs, dataset, splits,
                                       shuffle_state)
@@ -693,6 +723,21 @@ class LocalJobRunner:
             # Job-level event, like the parallel runner: task counters of
             # a re-executed map are identical by determinism.
             counters.incr(C.MAPS_REEXECUTED, shuffle_state["total_reexecs"])
+        if hosts_lost:
+            counters.incr(C.HOSTS_LOST, hosts_lost)
+        if host_reexecs:
+            counters.incr(C.MAPS_REEXECUTED_HOST, host_reexecs)
+        if self._disk_plan:
+            # One failover per task homed on a disk-faulted host -- a
+            # pure function of the plan, so the parallel runner counts
+            # the identical number without plumbing worker flags.
+            from repro.mapreduce.runtime.hosts import host_for
+            task_ids = ([mo.task_id for mo in map_outputs]
+                        + [f"r{p:05d}" for p in range(job.num_reducers)])
+            affected = sum(1 for t in task_ids
+                           if host_for(t, self.num_hosts) in self._disk_plan)
+            if affected:
+                counters.incr(C.DISK_FAILOVERS, affected)
 
         if not self.keep_files:
             self._cleanup(map_outputs)
@@ -731,6 +776,117 @@ class LocalJobRunner:
                   if self.fault_injector is not None else None)
         return ShuffleService.from_config(self.shuffle, faults=faults)
 
+    def _prepare_host_faults(self, job: Job,
+                             splits: Sequence[InputSplit]) -> dict[str, Any]:
+        """Snapshot the host-level fault plan and expand partitions.
+
+        ``host_partition`` faults are rewritten into deterministic
+        per-link fetch ``drop`` faults (clamped to the transport's retry
+        budget, so every link heals in-attempt) *before* any transport
+        or shuffle service snapshots the fetch plan -- retry counters
+        become pure functions of the plan, byte-identical to the
+        parallel runner's.  ``disk_fault`` entries populate
+        ``self._disk_plan`` so task bodies fail over to spare workdirs.
+        """
+        injector = self.fault_injector
+        if injector is None or not hasattr(injector, "host_plan"):
+            self._disk_plan = {}
+            return {}
+        host_plan = injector.host_plan()
+        self._disk_plan = {h: f for h, f in host_plan.items()
+                           if f.mode == "disk_fault"}
+        partitions = sorted((h, f) for h, f in host_plan.items()
+                            if f.mode == "host_partition")
+        if partitions:
+            from repro.mapreduce.runtime.hosts import expand_host_partition
+            retries = (getattr(self.shuffle, "fetch_retries", 3)
+                       if self.shuffle is not None else 3)
+            map_ids = [f"m{s.split_id:05d}" for s in splits]
+            reduce_ids = [f"r{p:05d}" for p in range(job.num_reducers)]
+            for host, fault in partitions:
+                expand_host_partition(
+                    injector, host, map_ids, reduce_ids, self.num_hosts,
+                    drops=min(max(1, fault.record), retries))
+        return host_plan
+
+    def _task_workdir(self, task_id: str) -> str:
+        """Where this task's files live: the runner workdir, or -- when
+        the task's home host has a planned ``disk_fault`` -- the spare
+        volume the failover provisions (marker + quarantine side-file
+        written on first use, idempotently)."""
+        if not self._disk_plan:
+            return self.workdir
+        from repro.mapreduce.runtime.hosts import (
+            host_for,
+            provision_failover_workdir,
+        )
+        host = host_for(task_id, self.num_hosts)
+        fault = self._disk_plan.get(host)
+        if fault is None:
+            return self.workdir
+        return provision_failover_workdir(self.workdir, task_id, host, fault)
+
+    def _apply_host_crashes(
+        self,
+        job: Job,
+        dataset: Dataset,
+        splits: Sequence[InputSplit],
+        map_outputs: list[MapTaskOutput],
+        shuffle_state: dict[str, Any],
+        host_plan: dict[str, Any],
+    ) -> tuple[int, int]:
+        """Serial mirror of losing whole hosts at the shuffle barrier.
+
+        For each planned ``host_crash``: the host's segment server dies
+        with it (network transport), and every completed map homed there
+        is proactively re-executed at a bumped epoch -- bounded by
+        ``max_host_reexecs`` completed maps per lost host.  Returns
+        ``(hosts_lost, maps_reexecuted)`` for the job-level counters.
+        """
+        crash_hosts = sorted(h for h, f in host_plan.items()
+                             if f.mode == "host_crash")
+        if not crash_hosts:
+            return 0, 0
+        from repro.mapreduce.runtime.hosts import HostLostError, host_for
+        service = shuffle_state.get("service")
+        by_id = {mo.task_id: i for i, mo in enumerate(map_outputs)}
+        reexecs = 0
+        for host in crash_hosts:
+            lost = [mo.task_id for mo in map_outputs
+                    if host_for(mo.task_id, self.num_hosts) == host]
+            if len(lost) > self.max_host_reexecs:
+                raise HostLostError(
+                    f"{host} lost {len(lost)} completed maps, exceeding "
+                    f"max_host_reexecs={self.max_host_reexecs}")
+            if service is not None:
+                index = int(host.removeprefix("host"))
+                if index < service.num_servers:
+                    # The host's segment server dies with it; the fresh
+                    # registrations below re-spawn it (the re-executed
+                    # maps "run elsewhere" and re-publish).
+                    service.kill_server(index)
+            for map_id in lost:
+                if service is not None:
+                    service.invalidate(map_id)
+                shuffle_state["epochs"][map_id] += 1
+                old = map_outputs[by_id[map_id]]
+                for path, _ in old.segments.values():
+                    try:
+                        os.unlink(path)
+                    except OSError:  # pragma: no cover - already gone
+                        pass
+                split = next(
+                    s for s in splits if f"m{s.split_id:05d}" == map_id)
+                mo = run_map_task(job, split, dataset,
+                                  self._task_workdir(map_id))
+                map_outputs[by_id[map_id]] = mo
+                if service is not None:
+                    service.register_map_output(
+                        map_id, [path for path, _ in mo.segments.values()],
+                        epoch=shuffle_state["epochs"][map_id])
+                reexecs += 1
+        return len(crash_hosts), reexecs
+
     def _serial_fault(self, task_id: str, attempt: int):
         """The injected fault for this attempt, if the serial runner can
         apply it (only data-shaped faults: ``poison`` and ``corrupt``)."""
@@ -752,6 +908,7 @@ class LocalJobRunner:
             run_map_task_skipping,
         )
         task_id = f"m{split.split_id:05d}"
+        workdir = self._task_workdir(task_id)
         attempt = 0
         skip_mode = False
         while True:
@@ -761,9 +918,9 @@ class LocalJobRunner:
             try:
                 if skip_mode:
                     mo = run_map_task_skipping(eff, split, dataset,
-                                               self.workdir)
+                                               workdir)
                 else:
-                    mo = run_map_task(eff, split, dataset, self.workdir)
+                    mo = run_map_task(eff, split, dataset, workdir)
             except Exception as exc:
                 if (skip_mode or job.skipping is None
                         or not is_skip_eligible(exc)):
@@ -792,6 +949,7 @@ class LocalJobRunner:
             run_reduce_task_skipping,
         )
         task_id = f"r{part:05d}"
+        workdir = self._task_workdir(task_id)
 
         def build_refs() -> list[SegmentRef]:
             epochs = shuffle_state["epochs"]
@@ -823,10 +981,10 @@ class LocalJobRunner:
             try:
                 if skip_mode:
                     return run_reduce_task_skipping(
-                        eff, part, segments, self.workdir,
+                        eff, part, segments, workdir,
                         keep_files=self.keep_files,
                         shuffle=self.shuffle, fetch_faults=fetch_faults)
-                return run_reduce_task(eff, part, segments, self.workdir,
+                return run_reduce_task(eff, part, segments, workdir,
                                        keep_files=self.keep_files,
                                        shuffle=self.shuffle,
                                        fetch_faults=fetch_faults)
@@ -886,10 +1044,11 @@ class LocalJobRunner:
             # Graceful drain: requests for the old epoch get a clean
             # transient rejection while the replacement is produced.
             service.invalidate(map_id)
-        # Deterministic re-run into the workdir recreates every segment
-        # at its fixed path with identical bytes (faults are not applied
+        # Deterministic re-run into the map's workdir (its spare volume
+        # when a disk fault failed it over) recreates every segment at
+        # its fixed path with identical bytes (faults are not applied
         # during re-execution, matching the parallel runtime).
-        mo = run_map_task(job, split, dataset, self.workdir)
+        mo = run_map_task(job, split, dataset, self._task_workdir(map_id))
         if service is not None:
             # Re-registration ends the drain at the new epoch and
             # re-spawns the hosting server if it died.
@@ -916,7 +1075,7 @@ class LocalJobRunner:
         if split is None:
             raise RuntimeError(
                 f"corrupt segment {corrupt_path} matches no map task")
-        run_map_task(job, split, dataset, self.workdir)
+        run_map_task(job, split, dataset, self._task_workdir(task_id))
 
     def _remove_new_files(self, preexisting: set[str]) -> None:
         """Delete everything a failed run left behind in the workdir."""
@@ -939,6 +1098,16 @@ class LocalJobRunner:
             for path, _ in mo.segments.values():
                 if os.path.exists(path):
                     os.unlink(path)
+        if self._disk_plan:
+            # Disk-failover artifacts are run state, not user output:
+            # the (now empty) spare volume and the quarantine marker.
+            from repro.mapreduce.runtime.hosts import DISK_MARKER
+            spare = os.path.join(self.workdir, "spare")
+            if os.path.isdir(spare):
+                shutil.rmtree(spare, ignore_errors=True)
+            marker = os.path.join(self.workdir, DISK_MARKER)
+            if os.path.exists(marker):
+                os.unlink(marker)
         if self._own_workdir and os.path.isdir(self.workdir):
             if not os.listdir(self.workdir):
                 shutil.rmtree(self.workdir, ignore_errors=True)

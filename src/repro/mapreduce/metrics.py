@@ -59,6 +59,13 @@ class C:
     # completed map tasks re-executed after a reducer exceeded its
     # fetch-failure threshold (Hadoop's "too many fetch failures")
     MAPS_REEXECUTED = "MAPS_REEXECUTED"
+    # host failure domains: whole hosts declared dead (their segment
+    # copies lost), completed maps re-executed *because* their only
+    # copies lived on a lost host, and spill-path failovers onto a
+    # secondary workdir after a disk fault
+    HOSTS_LOST = "HOSTS_LOST"
+    MAPS_REEXECUTED_HOST = "MAPS_REEXECUTED_HOST"
+    DISK_FAILOVERS = "DISK_FAILOVERS"
 
 
 class Counters:

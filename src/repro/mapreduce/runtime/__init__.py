@@ -25,6 +25,11 @@ layers on the robustness a real cluster runtime needs:
   fault-injectable framed channel), with bounded-concurrency fetching,
   capped-backoff retries, integrity digests, and fetch-failure
   accounting that escalates to map re-execution;
+* :mod:`~repro.mapreduce.runtime.hosts` -- host failure domains: a
+  registry of simulated hosts with stable task placement, a health
+  monitor escalating heartbeat/fetch/attempt evidence through
+  ALIVE -> SUSPECT -> DEAD / BLACKLISTED (with probation), and
+  disk-fault workdir failover;
 * :mod:`~repro.mapreduce.runtime.trace` -- per-task timeline events and
   measured profiles, consumable by the cluster simulator;
 * :mod:`~repro.mapreduce.runtime.runner` -- the drop-in
@@ -37,6 +42,15 @@ from repro.mapreduce.runtime.fault import (
     PoisonRecordError,
     corrupt_file,
     poisoned_job,
+)
+from repro.mapreduce.runtime.hosts import (
+    HostHealthMonitor,
+    HostLostError,
+    HostRegistry,
+    HostState,
+    expand_host_partition,
+    host_for,
+    provision_failover_workdir,
 )
 from repro.mapreduce.runtime.recovery import (
     JobManifest,
@@ -77,6 +91,10 @@ __all__ = [
     "Fault",
     "FaultInjector",
     "FetchFailedError",
+    "HostHealthMonitor",
+    "HostLostError",
+    "HostRegistry",
+    "HostState",
     "JobManifest",
     "ParallelJobRunner",
     "PoisonRecordError",
@@ -96,7 +114,10 @@ __all__ = [
     "WaveDeadlineError",
     "bisect_poison_records",
     "corrupt_file",
+    "expand_host_partition",
+    "host_for",
     "is_skip_eligible",
+    "provision_failover_workdir",
     "job_fingerprint",
     "poisoned_job",
     "run_map_task_skipping",

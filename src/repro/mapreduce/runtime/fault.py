@@ -58,20 +58,33 @@ __all__ = [
     "corrupt_file",
     "fetch_pair_id",
     "FETCH_OPS",
+    "HOST_MODES",
+    "DISK_OPS",
+    "host_fault_id",
 ]
 
-MODES = ("kill", "crash", "hang", "corrupt", "stall", "poison", "fetch")
+MODES = ("kill", "crash", "hang", "corrupt", "stall", "poison", "fetch",
+         "host_crash", "host_partition", "disk_fault")
+#: host-level failure domains (keyed by host name, not task id)
+HOST_MODES = ("host_crash", "host_partition", "disk_fault")
 #: which file a ``corrupt`` fault damages
 CORRUPT_WHERE = ("map-output", "reduce-input")
 #: how a ``corrupt`` fault damages it
 CORRUPT_OPS = ("flip", "truncate", "splice")
 #: how a ``fetch`` fault damages a shuffle transfer in flight
 FETCH_OPS = ("drop", "delay", "stall", "truncate", "flip")
+#: which errno a ``disk_fault`` raises from the failing workdir
+DISK_OPS = ("enospc", "eio")
 
 
 def fetch_pair_id(map_id: str, reduce_id: str) -> str:
     """The plan key for a fetch fault on one (map, reduce) link."""
     return f"{map_id}->{reduce_id}"
+
+
+def host_fault_id(host: str) -> str:
+    """The plan key for a host-level fault (``host_crash`` etc.)."""
+    return f"@{host}"
 
 
 class PoisonRecordError(RuntimeError):
@@ -121,7 +134,14 @@ class Fault:
         if self.where not in CORRUPT_WHERE:
             raise ValueError(
                 f"unknown corrupt target {self.where!r}; have {CORRUPT_WHERE}")
-        ops = FETCH_OPS if self.mode == "fetch" else CORRUPT_OPS
+        if self.mode == "fetch":
+            ops = FETCH_OPS
+        elif self.mode == "disk_fault":
+            ops = DISK_OPS
+        elif self.mode in ("host_crash", "host_partition"):
+            ops = ("flip",)  # op unused for these modes; default passes
+        else:
+            ops = CORRUPT_OPS
         if self.op not in ops:
             raise ValueError(
                 f"unknown {self.mode} op {self.op!r}; have {ops}")
@@ -193,6 +213,50 @@ class FaultInjector:
             "fetch", attempt, sticky=sticky, seconds=seconds,
             offset_frac=offset_frac, op=op, epoch=epoch))
 
+    def host_crash(self, host: str) -> "FaultInjector":
+        """Plan a whole-host loss: every worker on ``host`` is killed
+        and its segment server (plus every committed segment copy it
+        held) dies with it.  Applied at the shuffle barrier, the point
+        where Hadoop's lost-tasktracker handling kicks in."""
+        return self.add(host_fault_id(host), Fault("host_crash"))
+
+    def host_partition(self, host: str, *, drops: int = 2,
+                       seconds: float = 30.0) -> "FaultInjector":
+        """Plan a network partition: every shuffle link out of ``host``
+        loses its first ``drops`` fetch attempts while its workers keep
+        heartbeating, so the health monitor must *not* declare it dead.
+
+        The runners expand this into deterministic per-link ``drop``
+        fetch faults (see :func:`~repro.mapreduce.runtime.hosts.
+        expand_host_partition`), clamped to the transport's retry budget
+        so the partition heals in-attempt; ``drops`` rides in the
+        fault's ``record`` field.  ``seconds`` sizes the wall-clock
+        blackhole for the live ``ShuffleService.partition_server`` hook
+        (unit tests only -- wall-clock windows cannot give
+        runner-identical retry counts).
+        """
+        return self.add(host_fault_id(host),
+                        Fault("host_partition", record=drops,
+                              seconds=seconds))
+
+    def disk_fault(self, host: str, *, op: str = "enospc") -> "FaultInjector":
+        """Plan a workdir disk failure on ``host``: spill/commit writes
+        raise ENOSPC/EIO, forcing failover to a secondary workdir and
+        quarantine of the bad one."""
+        return self.add(host_fault_id(host), Fault("disk_fault", op=op))
+
+    def host_plan(self) -> dict[str, Fault]:
+        """Every planned host-level fault, keyed by host name.
+
+        Plain picklable data, consumed by the runners at the shuffle
+        barrier and by the scheduler when launching workers.
+        """
+        plan: dict[str, Fault] = {}
+        for (tid, _), fault in sorted(self._plan.items()):
+            if fault.mode in HOST_MODES and tid.startswith("@"):
+                plan[tid[1:]] = fault
+        return plan
+
     def fetch_plan_for(self, reduce_id: str) -> dict[str, tuple[Fault, ...]]:
         """Every fetch fault aimed at one reduce task, keyed by map id.
 
@@ -219,6 +283,10 @@ class FaultInjector:
             if fault.mode == "fetch":
                 plan.setdefault(tid, []).append(fault)
         return {k: tuple(fs) for k, fs in plan.items()}
+
+    def has(self, task_id: str, attempt: int) -> bool:
+        """Whether an exact ``(task_id, attempt)`` entry is planned."""
+        return (task_id, attempt) in self._plan
 
     def fault_for(self, task_id: str, attempt: int) -> Fault | None:
         """The fault planned for this attempt, if any.

@@ -62,6 +62,7 @@ byte-identical across transports.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import socket
@@ -80,10 +81,16 @@ from repro.mapreduce.runtime.shuffle import (
     TransientFetchError,
     select_fetch_fault,
 )
+from repro.util.backoff import backoff_delay
 from repro.util.errors import CorruptRecordError
 from repro.util.timing import Deadline
 
 __all__ = ["ShuffleService", "SegmentServer", "NetworkTransport"]
+
+#: how many times a server retries binding its port before giving up
+_BIND_ATTEMPTS = 8
+_BIND_BACKOFF = 0.02
+_BIND_BACKOFF_MAX = 0.25
 
 REQUEST_MAGIC = b"RSH1"
 #: response status codes
@@ -287,6 +294,16 @@ class ShuffleService:
         """
         self.servers[index].stop()
 
+    def partition_server(self, index: int, seconds: float) -> None:
+        """Blackhole one server for ``seconds`` (host_partition hook).
+
+        The listener keeps accepting -- the host is *alive* -- but every
+        connection is hung up before a byte is read, so clients see
+        transient connection loss and their retry ladder (not map
+        re-execution) is what heals the partition.
+        """
+        self.servers[index].refuse_until = time.monotonic() + seconds
+
     # ------------------------------------------------------------ integrity
 
     def _segment_crc(self, path: str) -> tuple[int, int]:
@@ -328,11 +345,42 @@ class SegmentServer:
     def __init__(self, service: ShuffleService, host: str, port: int,
                  concurrency: int) -> None:
         self.service = service
-        self._sock = socket.create_server((host, port), backlog=64)
+        self._sock = self._bind(host, port)
         self.address: tuple[str, int] = self._sock.getsockname()[:2]
         self._sem = threading.BoundedSemaphore(concurrency)
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        #: monotonic deadline until which every connection is refused
+        #: (host_partition injection: the listener answers, then hangs
+        #: up before reading the request -- a blackholed switch port)
+        self.refuse_until = 0.0
+
+    @staticmethod
+    def _bind(host: str, port: int) -> socket.socket:
+        """Bind the listening socket, retrying ``EADDRINUSE``.
+
+        A revived server re-binding a fixed ``port_base`` port can race
+        its predecessor's close (the old listener lingers briefly even
+        with ``SO_REUSEADDR``); failing the whole shuffle service over
+        that transient is wrong, so retry with capped backoff and only
+        re-raise once the budget is spent.
+        """
+        last: OSError | None = None
+        for attempt in range(_BIND_ATTEMPTS):
+            if attempt > 0:
+                time.sleep(backoff_delay(
+                    _BIND_BACKOFF, attempt, _BIND_BACKOFF_MAX,
+                    key=f"bind:{host}:{port}"))
+            try:
+                return socket.create_server((host, port), backlog=64)
+            except OSError as exc:
+                if exc.errno != errno.EADDRINUSE:
+                    raise
+                last = exc
+        raise OSError(
+            errno.EADDRINUSE,
+            f"port {port} still in use after {_BIND_ATTEMPTS} bind "
+            f"attempts: {last}")
 
     @property
     def alive(self) -> bool:
@@ -373,6 +421,8 @@ class SegmentServer:
 
     def _handle(self, conn: socket.socket) -> None:
         try:
+            if time.monotonic() < self.refuse_until:
+                return  # partitioned: hang up without reading anything
             conn.settimeout(_IDLE_TIMEOUT)
             while not self._stop.is_set():
                 request = self._read_request(conn)
@@ -578,6 +628,7 @@ class NetworkTransport:
         self._sink = counter_sink or (lambda name, amount=1: None)
         self._pool: dict[tuple[str, int], list[socket.socket]] = {}
         self._lock = threading.Lock()
+        self._closed = False
 
     # ------------------------------------------------------------- pooling
 
@@ -597,13 +648,38 @@ class NetworkTransport:
 
     def _checkin(self, address: tuple[str, int],
                  sock: socket.socket) -> None:
+        """Return a healthy connection to the pool -- or close it.
+
+        Two leak paths guarded here: a fetch thread finishing *after*
+        ``close()`` ran (the fetcher closes the transport in a
+        ``finally`` while pool.map results are still draining) would
+        park its socket in a pool nobody will ever close again, and
+        repeated wire faults churn connections faster than reuse drains
+        them, growing the per-address pool without bound.  Past either
+        limit the socket is closed instead of pooled.
+        """
         with self._lock:
-            self._pool.setdefault(address, []).append(sock)
+            if not self._closed:
+                idle = self._pool.setdefault(address, [])
+                if len(idle) < self.config.concurrency:
+                    idle.append(sock)
+                    return
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def pool_size(self) -> int:
+        """Idle pooled connections across every address (test hook)."""
+        with self._lock:
+            return sum(len(idle) for idle in self._pool.values())
 
     def close(self) -> None:
         """Close every pooled connection (fetcher calls this after
-        ``fetch_all``; idempotent)."""
+        ``fetch_all``; idempotent).  Later check-ins close their socket
+        instead of re-populating the pool."""
         with self._lock:
+            self._closed = True
             pools, self._pool = self._pool, {}
         for idle in pools.values():
             for sock in idle:

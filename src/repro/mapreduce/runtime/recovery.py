@@ -196,24 +196,72 @@ class JobManifest:
     # ----------------------------------------------------------- persistence
 
     def save(self) -> None:
-        blob = json.dumps({
+        body = json.dumps({
             "version": MANIFEST_VERSION,
             "job_hash": self.job_hash,
             "waves": self.waves,
             "tasks": {tid: r.to_json() for tid, r in self.tasks.items()},
         }, indent=1, sort_keys=True).encode("utf-8")
+        # Self-checksummed envelope: the body CRC distinguishes "no
+        # checkpoint" from "checkpoint damaged after commit" (torn disk
+        # write, bit rot), which resume reports as manifest corruption
+        # instead of silently starting over.
+        blob = json.dumps({
+            "crc": zlib.crc32(body),
+            "body": body.decode("utf-8"),
+        }).encode("utf-8")
         atomic_write_bytes(self.path, blob)
 
     @classmethod
     def load(cls, path: str) -> "JobManifest | None":
         """Read a manifest; ``None`` if absent, unreadable, or stale-schema."""
+        manifest, _ = cls.load_verified(path)
+        return manifest
+
+    @classmethod
+    def load_verified(cls, path: str) -> "tuple[JobManifest | None, str | None]":
+        """Read a manifest, reporting *why* it could not be used.
+
+        Returns ``(manifest, None)`` on success, ``(None, None)`` when
+        no checkpoint exists (a clean first run), and ``(None, problem)``
+        when a checkpoint exists but is truncated, garbage, CRC-damaged,
+        or schema-mismatched -- the caller logs ``manifest_corrupt`` and
+        falls back to a clean restart instead of crashing resume.
+        """
         try:
             with open(path, "rb") as fh:
-                obj = json.loads(fh.read().decode("utf-8"))
-        except (OSError, ValueError):
-            return None
-        if not isinstance(obj, dict) or obj.get("version") != MANIFEST_VERSION:
-            return None
+                raw = fh.read()
+        except FileNotFoundError:
+            return None, None
+        except OSError as exc:
+            return None, f"unreadable manifest: {exc}"
+        try:
+            envelope = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            return None, f"manifest parse error: {exc}"
+        if (isinstance(envelope, dict) and "crc" in envelope
+                and "body" in envelope):
+            body = str(envelope["body"]).encode("utf-8")
+            try:
+                expected = int(envelope["crc"])
+            except (TypeError, ValueError):
+                return None, "manifest CRC field is not an integer"
+            if zlib.crc32(body) != expected:
+                return None, (f"manifest CRC mismatch: stored "
+                              f"{expected:#010x}, computed "
+                              f"{zlib.crc32(body):#010x}")
+            try:
+                obj = json.loads(body.decode("utf-8"))
+            except ValueError as exc:
+                return None, f"manifest body parse error: {exc}"
+        else:
+            # Pre-envelope manifest (no CRC): still readable.
+            obj = envelope
+        if not isinstance(obj, dict):
+            return None, "manifest is not a JSON object"
+        if obj.get("version") != MANIFEST_VERSION:
+            return None, (f"manifest schema version "
+                          f"{obj.get('version')!r} != {MANIFEST_VERSION}")
         try:
             manifest = cls(path, obj["job_hash"])
             manifest.waves = {
@@ -224,9 +272,9 @@ class JobManifest:
                 str(tid): TaskRecord.from_json(rec)
                 for tid, rec in obj.get("tasks", {}).items()
             }
-        except (KeyError, TypeError, ValueError):
-            return None
-        return manifest
+        except (KeyError, TypeError, ValueError) as exc:
+            return None, f"manifest schema error: {exc!r}"
+        return manifest, None
 
     # -------------------------------------------------------------- mutation
 

@@ -47,6 +47,11 @@ from repro.mapreduce.ifile import IFileStats
 from repro.mapreduce.job import Job
 from repro.mapreduce.metrics import C, Counters, TaskProfile
 from repro.mapreduce.runtime.fault import FaultInjector
+from repro.mapreduce.runtime.hosts import (
+    HostHealthMonitor,
+    HostRegistry,
+    expand_host_partition,
+)
 from repro.mapreduce.runtime.recovery import (
     MANIFEST_NAME,
     JobManifest,
@@ -101,9 +106,18 @@ class ParallelJobRunner:
         resume: bool = False,
         start_method: str | None = None,
         fault_injector: FaultInjector | None = None,
+        num_hosts: int = 2,
+        max_host_reexecs: int = 2,
     ) -> None:
         if resume and recovery_dir is None:
             raise ValueError("resume=True requires recovery_dir")
+        if num_hosts < 1:
+            raise ValueError(f"num_hosts must be >= 1, got {num_hosts}")
+        if max_host_reexecs < 0:
+            raise ValueError(
+                f"max_host_reexecs must be >= 0, got {max_host_reexecs}")
+        self.num_hosts = num_hosts
+        self.max_host_reexecs = max_host_reexecs
         self._own_workdir = workdir is None
         self.workdir = workdir or tempfile.mkdtemp(prefix="repro-mrp-")
         self.keep_files = keep_files
@@ -136,6 +150,8 @@ class ParallelJobRunner:
         self.last_adopted: int = 0
         #: completed maps re-executed for fetch failures, most recent run
         self.last_map_reexecs: int = 0
+        #: host health monitor of the most recent run
+        self.last_hosts: HostHealthMonitor | None = None
 
     def __enter__(self) -> "ParallelJobRunner":
         return self
@@ -166,7 +182,12 @@ class ParallelJobRunner:
             raise ValueError("job has no input splits")
 
         trace = RuntimeTrace()
-        scheduler = TaskScheduler(trace=trace, **self._scheduler_kwargs)
+        monitor = HostHealthMonitor(
+            HostRegistry(self.num_hosts), trace=trace,
+            max_host_reexecs=self.max_host_reexecs)
+        self.last_hosts = monitor
+        scheduler = TaskScheduler(trace=trace, hosts=monitor,
+                                  **self._scheduler_kwargs)
         self.last_adopted = 0
         self.last_map_reexecs = 0
 
@@ -175,12 +196,14 @@ class ParallelJobRunner:
             manifest, adopted = None, {}
         else:
             run_dir = self.recovery_dir
-            manifest, adopted = self._open_manifest(job, splits, run_dir)
+            manifest, adopted = self._open_manifest(job, splits, run_dir,
+                                                    trace)
 
         completed = False
         try:
             result = self._run_waves(job, dataset, splits, scheduler,
-                                     trace, run_dir, manifest, adopted)
+                                     trace, run_dir, manifest, adopted,
+                                     monitor)
             completed = True
         finally:
             # A failed recovery run keeps its directory: the manifest and
@@ -209,17 +232,30 @@ class ParallelJobRunner:
         job: Job,
         splits: Sequence[InputSplit],
         run_dir: str,
+        trace: RuntimeTrace | None = None,
     ) -> tuple[JobManifest, dict[str, TaskRecord]]:
         """Create or adopt the manifest for a recovery-enabled run.
 
         Returns the live manifest plus the validated records of a prior
         run (empty unless ``resume=True`` and the on-disk manifest
-        matches this job's fingerprint).
+        matches this job's fingerprint).  A corrupt or truncated
+        manifest is *not* an error: it is traced as ``manifest_corrupt``
+        and the run falls back to a clean restart, clearing the stale
+        checkpoints it can no longer vouch for.
         """
         os.makedirs(run_dir, exist_ok=True)
         fingerprint = job_fingerprint(job, splits)
         path = os.path.join(run_dir, MANIFEST_NAME)
-        previous = JobManifest.load(path) if self.resume else None
+        previous = None
+        if self.resume:
+            previous, problem = JobManifest.load_verified(path)
+            if problem is not None:
+                if trace is not None:
+                    trace.record("manifest", 0, "job", "manifest_corrupt",
+                                 problem)
+                # The checkpoints may be fine, but without a trustworthy
+                # manifest nothing vouches for them: clean restart.
+                self._clear_stale_attempts(run_dir)
         if previous is not None and previous.job_hash != fingerprint:
             previous = None  # different job: nothing is adoptable
 
@@ -299,8 +335,29 @@ class ParallelJobRunner:
         run_dir: str,
         manifest: JobManifest | None,
         adopted: dict[str, TaskRecord],
+        monitor: HostHealthMonitor,
     ) -> JobResult:
         recovering = manifest is not None
+
+        # Host faults.  Partitions are expanded into deterministic
+        # per-link fetch drops *before* anything snapshots the fetch
+        # plan (the network shuffle service copies it at startup), with
+        # exactly the serial runner's clamp so retry counts match
+        # byte-for-byte.
+        injector = self._scheduler_kwargs.get("fault_injector")
+        shuffle_cfg = self._scheduler_kwargs.get("shuffle")
+        host_plan = (injector.host_plan()
+                     if injector is not None
+                     and hasattr(injector, "host_plan") else {})
+        map_ids = [f"m{s.split_id:05d}" for s in splits]
+        reduce_ids = [f"r{part:05d}" for part in range(job.num_reducers)]
+        retries = (getattr(shuffle_cfg, "fetch_retries", 3)
+                   if shuffle_cfg is not None else 3)
+        for host, fault in sorted(host_plan.items()):
+            if fault.mode == "host_partition":
+                drops = min(max(1, fault.record), retries)
+                expand_host_partition(injector, host, map_ids, reduce_ids,
+                                      self.num_hosts, drops)
 
         def on_complete(spec, attempt, attempt_dir, result_path, value):
             self._checkpoint(manifest, spec, attempt, attempt_dir,
@@ -332,11 +389,9 @@ class ParallelJobRunner:
         # Reduce workers then fetch over real loopback sockets; the
         # service dies with the reduce wave.
         service = None
-        shuffle_cfg = self._scheduler_kwargs.get("shuffle")
         if (shuffle_cfg is not None
                 and getattr(shuffle_cfg, "transport", "") == "network"):
             from repro.mapreduce.runtime.netshuffle import ShuffleService
-            injector = self._scheduler_kwargs.get("fault_injector")
             service = ShuffleService.from_config(
                 shuffle_cfg,
                 faults=(injector.fetch_plan() if injector is not None
@@ -359,25 +414,16 @@ class ParallelJobRunner:
                              if service is not None else None)))
             return (part, refs)
 
-        reduce_specs = [
-            TaskSpec(f"r{part:05d}", "reduce", reduce_payload(part))
-            for part in range(job.num_reducers)]
-        if recovering:
-            manifest.record_wave("reduce", [s.task_id for s in reduce_specs])
-
-        def repair(corrupt_path: str) -> None:
-            self._repair_segment(corrupt_path, job, dataset, map_specs,
-                                 map_results, trace, manifest)
-
-        def reexec(map_id: str) -> dict[str, Any]:
-            """Re-run a completed map whose segments proved unfetchable.
+        def rerun_map(map_id: str, charge: bool = True) -> None:
+            """Re-run one completed map into a fresh epoch directory.
 
             Runs inline in the scheduler process (like segment repair,
             so the fault plan that broke the segments cannot re-break
-            the replacement), into a *fresh* epoch directory -- the old
-            paths are deleted, so a straggling reader fails fast rather
-            than reading half-invalidated bytes.  Returns the re-pointed
-            payload for every reduce task.
+            the replacement).  The old paths are deleted, so a
+            straggling reader fails fast rather than reading
+            half-invalidated bytes.  ``charge`` feeds the ordinary
+            fetch-failure re-execution counter; host-crash re-runs are
+            charged separately through the health monitor.
             """
             spec = next(s for s in map_specs if s.task_id == map_id)
             if service is not None:
@@ -402,13 +448,53 @@ class ParallelJobRunner:
                     map_id, [path for path, _ in mo.segments.values()],
                     epoch=reexec_epochs[map_id])
             trace.set_profile(map_id, mo.profile)
-            self.last_map_reexecs += 1
+            if charge:
+                self.last_map_reexecs += 1
             if manifest is not None and map_id in manifest.tasks:
                 # The checkpointed result pickle now points at deleted
                 # segment paths; drop the record so a resume re-runs the
                 # map instead of adopting a dangling checkpoint.
                 del manifest.tasks[map_id]
                 manifest.save()
+
+        # Whole-host crashes apply at the shuffle barrier, exactly like
+        # the serial runner: the host's segment server dies, the only
+        # copies of its maps' segments die with it, and every completed
+        # map homed there is proactively re-executed at a bumped epoch
+        # before any reducer plans a fetch.
+        for host in sorted(h for h, f in host_plan.items()
+                           if f.mode == "host_crash"):
+            monitor.declare_dead(host, "injected host_crash at barrier")
+            if service is not None:
+                index = int(host.removeprefix("host"))
+                if index < service.num_servers:
+                    service.kill_server(index)
+            lost = sorted(t for t in map_results
+                          if monitor.host_for(t) == host)
+            monitor.charge_host_reexec(host, len(lost))
+            for map_id in lost:
+                rerun_map(map_id, charge=False)
+        # Barrier deaths are fully handled here; drain them so the
+        # scheduler's own dead-host sweep does not re-execute the maps
+        # a second time.
+        monitor.take_newly_dead()
+
+        reduce_specs = [
+            TaskSpec(f"r{part:05d}", "reduce", reduce_payload(part))
+            for part in range(job.num_reducers)]
+        if recovering:
+            manifest.record_wave("reduce", [s.task_id for s in reduce_specs])
+
+        def repair(corrupt_path: str) -> None:
+            self._repair_segment(corrupt_path, job, dataset, map_specs,
+                                 map_results, trace, manifest)
+
+        def reexec(map_id: str) -> dict[str, Any]:
+            """Re-run a completed map whose segments proved unfetchable
+            (or whose host died mid-wave); returns the re-pointed
+            payload for every reduce task.
+            """
+            rerun_map(map_id)
             return {f"r{part:05d}": reduce_payload(part)
                     for part in range(job.num_reducers)}
 
@@ -451,6 +537,22 @@ class ParallelJobRunner:
         # counters stay identical to a fault-free run by design).
         if self.last_map_reexecs:
             counters.incr(C.MAPS_REEXECUTED, self.last_map_reexecs)
+        if monitor.hosts_lost:
+            counters.incr(C.HOSTS_LOST, monitor.hosts_lost)
+        if monitor.maps_reexecuted_host:
+            counters.incr(C.MAPS_REEXECUTED_HOST,
+                          monitor.maps_reexecuted_host)
+        disk_hosts = {h for h, f in host_plan.items()
+                      if f.mode == "disk_fault"}
+        if disk_hosts:
+            # One failover per task homed on a disk-faulted host -- a
+            # pure function of the plan, matching the serial runner
+            # without plumbing per-worker failover flags.
+            from repro.mapreduce.runtime.hosts import host_for
+            affected = sum(1 for t in map_ids + reduce_ids
+                           if host_for(t, self.num_hosts) in disk_hosts)
+            if affected:
+                counters.incr(C.DISK_FAILOVERS, affected)
 
         return JobResult(
             output=output,

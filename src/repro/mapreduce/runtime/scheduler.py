@@ -58,7 +58,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.mapreduce.metrics import C
-from repro.mapreduce.runtime.fault import FaultInjector
+from repro.mapreduce.runtime.fault import Fault, FaultInjector
+from repro.mapreduce.runtime.hosts import HostHealthMonitor
 from repro.mapreduce.runtime.trace import RuntimeTrace
 from repro.mapreduce.runtime.worker import (
     HEARTBEAT_NAME,
@@ -111,10 +112,11 @@ class _Attempt:
     """Book-keeping for one in-flight worker process."""
 
     __slots__ = ("spec", "number", "process", "dir", "result_path",
-                 "heartbeat_path", "started", "speculative")
+                 "heartbeat_path", "started", "speculative", "host")
 
     def __init__(self, spec: TaskSpec, number: int, process, attempt_dir: str,
-                 result_path: str, speculative: bool) -> None:
+                 result_path: str, speculative: bool,
+                 host: str | None = None) -> None:
         self.spec = spec
         self.number = number
         self.process = process
@@ -123,6 +125,7 @@ class _Attempt:
         self.heartbeat_path = os.path.join(attempt_dir, HEARTBEAT_NAME)
         self.started = time.monotonic()
         self.speculative = speculative
+        self.host = host
 
 
 def _kill_process(process, grace: float = 0.5) -> None:
@@ -182,6 +185,15 @@ class TaskScheduler:
         available (cheap, no pickling of job/dataset on launch).
     fault_injector:
         Optional :class:`FaultInjector`, forwarded to workers.
+    hosts:
+        Optional :class:`~repro.mapreduce.runtime.hosts.
+        HostHealthMonitor`.  When present, every attempt is *placed* on
+        a simulated host (skipping blacklisted and dead ones), attempt
+        outcomes / heartbeat breaches / fetch strikes feed the host
+        state machine, and a host declared dead mid-wave has its
+        attempts killed-and-requeued and its completed maps bulk
+        re-executed through the ``reexec`` hook.  Planned ``disk_fault``
+        injections against a task's home host ride into its workers.
     trace:
         The :class:`RuntimeTrace` events are recorded into.
     """
@@ -207,6 +219,7 @@ class TaskScheduler:
         poll_interval: float = 0.005,
         start_method: str | None = None,
         fault_injector: FaultInjector | None = None,
+        hosts: HostHealthMonitor | None = None,
         trace: RuntimeTrace | None = None,
     ) -> None:
         self.max_workers = max(1, max_workers or os.cpu_count() or 1)
@@ -257,6 +270,13 @@ class TaskScheduler:
         self.wave_deadline = wave_deadline
         self.poll_interval = poll_interval
         self.fault_injector = fault_injector
+        self.hosts = hosts
+        #: planned disk faults by home host, applied inside workers
+        self._disk_faults: dict[str, Fault] = {}
+        if fault_injector is not None:
+            self._disk_faults = {
+                h: f for h, f in fault_injector.host_plan().items()
+                if f.mode == "disk_fault"}
         self.trace = trace if trace is not None else RuntimeTrace()
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
@@ -359,18 +379,33 @@ class TaskScheduler:
                 if self.fault_injector is not None and spec.kind == "reduce"
                 else None) or None
             skip_mode = spec.task_id in skip_tasks
+            host = disk_fault = None
+            if self.hosts is not None:
+                host = self.hosts.place(spec.task_id)
+                if self._disk_faults:
+                    # Disk faults follow the task's *home* host (the
+                    # serial runner has no placement, so parity demands
+                    # the stable hash decide who fails over).
+                    disk_fault = self._disk_faults.get(
+                        self.hosts.host_for(spec.task_id))
             process = self._ctx.Process(
                 target=worker_entry,
                 args=(spec.task_id, spec.kind, number, attempt_dir,
                       result_path, job,
                       dataset if spec.kind == "map" else None,
                       spec.payload, fault, self.heartbeat_interval,
-                      skip_mode, self.shuffle, fetch_faults),
+                      skip_mode, self.shuffle, fetch_faults,
+                      host, disk_fault),
                 daemon=True,
             )
             process.start()
             running.append(_Attempt(spec, number, process, attempt_dir,
-                                    result_path, speculative))
+                                    result_path, speculative, host))
+            if disk_fault is not None:
+                trace.record(spec.task_id, number, spec.kind,
+                             "disk_failover",
+                             f"workdir on {host} raises {disk_fault.op}; "
+                             f"spilling to spare volume")
             if speculative:
                 trace.record(spec.task_id, number, spec.kind, "speculated")
             if skip_mode:
@@ -397,6 +432,8 @@ class TaskScheduler:
             task_id = spec.task_id
             trace.record(task_id, attempt.number, spec.kind, "failed", detail)
             shutil.rmtree(attempt.dir, ignore_errors=True)
+            if self.hosts is not None and attempt.host is not None:
+                self.hosts.record_task_failure(attempt.host, detail)
             if corrupt_path is not None and repair is not None:
                 repair(corrupt_path)
             if skip_eligible and getattr(job, "skipping", None) is not None:
@@ -468,6 +505,11 @@ class TaskScheduler:
             trace.record(task_id, attempt.number, spec.kind, "fetch_failure",
                          f"{map_id}: {detail}")
             shutil.rmtree(attempt.dir, ignore_errors=True)
+            if self.hosts is not None:
+                # The strike lands on the host *serving* the unfetchable
+                # segments -- evidence toward DEAD only if that host has
+                # also gone silent (partition-vs-death rule).
+                self.hosts.record_fetch_strike(self.hosts.host_for(map_id))
             fetch_strikes[map_id] += 1
             if fetch_strikes[map_id] >= self.fetch_failure_threshold:
                 if reexec is None:
@@ -501,6 +543,11 @@ class TaskScheduler:
                 results[task_id] = result["value"]
                 durations.append(time.monotonic() - attempt.started)
                 trace.record(task_id, attempt.number, spec.kind, "finished")
+                if self.hosts is not None and attempt.host is not None:
+                    # A completed attempt is both liveness evidence and a
+                    # clean attempt toward probation reinstatement.
+                    self.hosts.record_heartbeat(attempt.host)
+                    self.hosts.record_task_success(attempt.host)
                 counters = getattr(result["value"], "counters", None)
                 skipped = (counters.get(C.RECORDS_SKIPPED)
                            if counters is not None else 0)
@@ -547,11 +594,17 @@ class TaskScheduler:
                 except OSError:
                     # No heartbeat file at all after the grace window:
                     # the worker never got far enough to start beating.
+                    if self.hosts is not None and attempt.host is not None:
+                        self.hosts.record_missed_heartbeat(attempt.host)
                     return (f"no heartbeat after {age:.3f}s "
                             f"(timeout {self.heartbeat_timeout:.3f}s)")
                 if beat_age > self.heartbeat_timeout:
+                    if self.hosts is not None and attempt.host is not None:
+                        self.hosts.record_missed_heartbeat(attempt.host)
                     return (f"heartbeat stale for {beat_age:.3f}s "
                             f"(timeout {self.heartbeat_timeout:.3f}s)")
+                if self.hosts is not None and attempt.host is not None:
+                    self.hosts.record_heartbeat(attempt.host)
             return None
 
         def enforce_deadlines(now: float) -> None:
@@ -569,6 +622,54 @@ class TaskScheduler:
                 unfinished = [t for t in by_id if t not in results]
                 raise WaveDeadlineError(unfinished, self.wave_deadline,
                                         trace.diagnose(unfinished))
+
+        def drain_dead_hosts() -> None:
+            """Absorb hosts the monitor declared dead since last poll.
+
+            Every in-flight attempt placed on a dead host is killed and
+            requeued *uncharged* (the task did nothing wrong), and --
+            in a reduce wave -- every completed map whose only segment
+            copies lived on the host is bulk re-executed through the
+            ``reexec`` hook, bounded by the monitor's
+            ``max_host_reexecs`` budget.
+            """
+            if self.hosts is None:
+                return
+            for host in self.hosts.take_newly_dead():
+                for a in [x for x in running if x.host == host]:
+                    _kill_process(a.process)
+                    running.remove(a)
+                    trace.record(a.spec.task_id, a.number, a.spec.kind,
+                                 "killed", f"{host} declared dead")
+                    shutil.rmtree(a.dir, ignore_errors=True)
+                    task_id = a.spec.task_id
+                    if (task_id not in results
+                            and not any(x.spec.task_id == task_id
+                                        for x in running)
+                            and not any(s.task_id == task_id
+                                        for s, _ in pending)):
+                        pending.append((by_id[task_id], 0.0))
+                        trace.record(task_id, a.number, a.spec.kind,
+                                     "retried", f"{host} died under it "
+                                     f"(retry budget uncharged)")
+                if reexec is None:
+                    continue
+                # Completed maps served from the dead host: their only
+                # segment copies are gone, so re-execute them before the
+                # reducers starve against vanished files.
+                try:
+                    lost = sorted({
+                        ref.map_id
+                        for s in by_id.values() if s.kind == "reduce"
+                        for ref in s.payload[1]
+                        if self.hosts.host_for(ref.map_id) == host})
+                except (AttributeError, IndexError, TypeError):
+                    lost = []  # payloads are not segment-ref shaped
+                if lost:
+                    self.hosts.charge_host_reexec(host, len(lost))
+                    for map_id in lost:
+                        reexec_map(map_id,
+                                   f"{host} died holding its segments")
 
         def maybe_speculate(now: float) -> None:
             if (not self.speculation
@@ -617,6 +718,7 @@ class TaskScheduler:
                     running.remove(attempt)
                     progressed = True
                     handle_exit(attempt)
+                drain_dead_hosts()
                 if not progressed:
                     sentinels = [a.process.sentinel for a in running]
                     if sentinels:

@@ -268,11 +268,39 @@ def select_fetch_fault(faults: Sequence[Fault], attempt: int,
 
 class DirectTransport:
     """Read the segment file from shared disk -- today's shuffle,
-    byte-identical.  Fetch faults do not apply (there is no wire); only
-    a missing file can fail, which the fetcher treats as permanent."""
+    byte-identical.  There is no wire, so only *connection-level* fetch
+    faults apply: ``drop`` (the read is refused outright -- how a host
+    partition looks from a shared-disk reducer), ``delay`` (late but
+    intact) and ``stall`` (hangs until the fetch deadline).  Payload
+    damage ops (``flip``/``truncate``) are meaningless without a frame
+    stream and are ignored.  With no faults planned (the default) the
+    fetch is a plain file read, zero overhead."""
+
+    def __init__(self,
+                 faults: Mapping[str, Sequence[Fault]] | None = None) -> None:
+        self.faults = dict(faults) if faults else {}
 
     def fetch(self, ref: SegmentRef, attempt: int,
               deadline: Deadline) -> bytes:
+        if self.faults:
+            fault = select_fetch_fault(self.faults.get(ref.map_id, ()),
+                                       attempt, ref.epoch)
+            if fault is not None:
+                if fault.op == "drop":
+                    raise TransientFetchError(
+                        f"connection to {ref.map_id}'s host refused")
+                if fault.op == "delay":
+                    deadline.sleep(fault.seconds)
+                    if deadline.expired():
+                        raise TransientFetchError(
+                            f"fetch deadline expired waiting "
+                            f"{fault.seconds:.3f}s for a delayed read")
+                elif fault.op == "stall":
+                    remaining = deadline.remaining()
+                    time.sleep(fault.seconds if remaining is None
+                               else min(fault.seconds, remaining))
+                    raise TransientFetchError(
+                        "read stalled; fetch timed out")
         with open(ref.path, "rb") as fh:
             return fh.read()
 
@@ -379,7 +407,7 @@ def make_transport(config: ShuffleConfig,
     :class:`~repro.mapreduce.runtime.netshuffle.ShuffleService`.
     """
     if config.transport == "direct":
-        return DirectTransport()
+        return DirectTransport(fetch_faults)
     if config.transport == "network":
         # Lazy import: netshuffle imports this module's ref/error types.
         from repro.mapreduce.runtime.netshuffle import NetworkTransport

@@ -42,6 +42,12 @@ EVENT_KINDS = (
     "wire_served", # a network shuffle server streamed one segment
     "wire_stale",  # a network shuffle server rejected an epoch-stale
                    # (or draining) segment request
+    "host_suspect",     # a host missed enough heartbeats to be suspect
+    "host_dead",        # a host was declared dead (its segments are gone)
+    "host_blacklisted", # a host was benched after repeated task failures
+    "host_reinstated",  # a blacklisted host finished probation cleanly
+    "disk_failover",    # a task's workdir failed and spilled to a spare
+    "manifest_corrupt", # a resume checkpoint failed CRC/parse validation
 )
 
 

@@ -36,6 +36,7 @@ from typing import Any
 from repro.mapreduce.engine import run_map_task, run_reduce_task
 from repro.mapreduce.ifile import IFileCorruptError
 from repro.mapreduce.runtime.fault import Fault, corrupt_file, poisoned_job
+from repro.mapreduce.runtime.hosts import provision_failover_workdir
 from repro.mapreduce.runtime.shuffle import FetchFailedError, SegmentRef
 from repro.mapreduce.runtime.skipping import (
     is_skip_eligible,
@@ -111,6 +112,8 @@ def worker_entry(
     skip_mode: bool = False,
     shuffle: Any = None,
     fetch_faults: Any = None,
+    host: str | None = None,
+    disk_fault: Fault | None = None,
 ) -> None:
     """Process target: run one task attempt and persist its result.
 
@@ -121,9 +124,20 @@ def worker_entry(
     is the job's :class:`~repro.mapreduce.runtime.shuffle.ShuffleConfig`
     and ``fetch_faults`` the reduce task's slice of the injector's fetch
     plan, both forwarded to the reduce task body.
+
+    ``host`` is the simulated host this attempt was placed on, and
+    ``disk_fault`` a planned ``disk_fault`` against that host: the task
+    body then runs in a spare workdir (the attempt directory keeps its
+    heartbeat and result file -- only spills and segments fail over).
     """
     _start_heartbeat(attempt_dir, heartbeat_interval)
     try:
+        workdir = attempt_dir
+        disk_failover = False
+        if disk_fault is not None:
+            workdir = provision_failover_workdir(
+                attempt_dir, task_id, host or "", disk_fault)
+            disk_failover = True
         if fault is not None:
             if fault.mode == "kill":
                 # Abrupt death: no result file, no cleanup, no goodbye.
@@ -144,9 +158,9 @@ def worker_entry(
         if kind == "map":
             if skip_mode:
                 value: Any = run_map_task_skipping(
-                    job, payload, dataset, attempt_dir)
+                    job, payload, dataset, workdir)
             else:
-                value = run_map_task(job, payload, dataset, attempt_dir)
+                value = run_map_task(job, payload, dataset, workdir)
             if fault is not None and fault.mode == "corrupt" \
                     and fault.where == "map-output":
                 # The task *believes* it succeeded; the damage is only
@@ -166,16 +180,17 @@ def worker_entry(
                              fault.offset_frac, fault.op)
             if skip_mode:
                 value = run_reduce_task_skipping(job, part, segments,
-                                                 attempt_dir,
+                                                 workdir,
                                                  shuffle=shuffle,
                                                  fetch_faults=fetch_faults)
             else:
-                value = run_reduce_task(job, part, segments, attempt_dir,
+                value = run_reduce_task(job, part, segments, workdir,
                                         shuffle=shuffle,
                                         fetch_faults=fetch_faults)
         else:
             raise ValueError(f"unknown task kind {kind!r}")
-        result = {"status": "ok", "value": value}
+        result = {"status": "ok", "value": value,
+                  "disk_failover": disk_failover}
     except BaseException as exc:
         skippable = (isinstance(exc, Exception)
                      and getattr(job, "skipping", None) is not None

@@ -23,7 +23,10 @@ socket.  Pinned here:
   direct transport, and the trace carries ``wire_served`` events.
 """
 
+import errno
 import os
+import socket
+import time
 import zlib
 
 import pytest
@@ -282,6 +285,116 @@ class TestPoolingAndServers:
             b = transport.fetch(ref, 0, Deadline(None))
             transport.close()
         assert a == b
+
+
+class TestBindRetry:
+    def test_bind_retries_through_transient_eaddrinuse(self, monkeypatch):
+        """A revived server racing its predecessor's close must not fail
+        the shuffle service over a transient EADDRINUSE."""
+        from repro.mapreduce.runtime import netshuffle
+
+        monkeypatch.setattr(netshuffle.time, "sleep", lambda s: None)
+        calls = {"n": 0}
+        real_create_server = netshuffle.socket.create_server
+
+        def flaky_create_server(address, **kwargs):
+            calls["n"] += 1
+            if calls["n"] <= 3:
+                raise OSError(errno.EADDRINUSE, "address in use")
+            return real_create_server(address, **kwargs)
+
+        monkeypatch.setattr(netshuffle.socket, "create_server",
+                            flaky_create_server)
+        sock = netshuffle.SegmentServer._bind("127.0.0.1", 0)
+        sock.close()
+        assert calls["n"] == 4  # three refusals, then the clean bind
+
+    def test_bind_gives_up_after_budget(self, monkeypatch):
+        from repro.mapreduce.runtime import netshuffle
+
+        monkeypatch.setattr(netshuffle.time, "sleep", lambda s: None)
+
+        def always_in_use(address, **kwargs):
+            raise OSError(errno.EADDRINUSE, "address in use")
+
+        monkeypatch.setattr(netshuffle.socket, "create_server",
+                            always_in_use)
+        with pytest.raises(OSError, match="bind"):
+            netshuffle.SegmentServer._bind("127.0.0.1", 29799)
+
+    def test_non_addrinuse_errors_raise_immediately(self, monkeypatch):
+        from repro.mapreduce.runtime import netshuffle
+
+        calls = {"n": 0}
+
+        def denied(address, **kwargs):
+            calls["n"] += 1
+            raise OSError(errno.EACCES, "permission denied")
+
+        monkeypatch.setattr(netshuffle.socket, "create_server", denied)
+        with pytest.raises(OSError, match="permission"):
+            netshuffle.SegmentServer._bind("127.0.0.1", 80)
+        assert calls["n"] == 1  # no retry budget burned on a real error
+
+
+class TestPartitionHook:
+    def test_partitioned_server_refuses_then_heals(self, tmp_path,
+                                                   segment):
+        path, stats = segment
+        config = net_config(fetch_retries=0)
+        with ShuffleService.from_config(config) as service:
+            service.register_map_output("m00000", [path])
+            index = service.server_index("m00000")
+            service.partition_server(index, 0.3)
+            assert service.servers[index].alive  # alive, just unreachable
+            transport = NetworkTransport(config)
+            ref = make_ref(service, path, stats)
+            with pytest.raises(TransientFetchError):
+                transport.fetch(ref, 0, Deadline(1.0))
+            time.sleep(0.35)  # the partition window closes on its own
+            got = transport.fetch(ref, 0, Deadline(None))
+            transport.close()
+        with open(path, "rb") as fh:
+            assert got == fh.read()
+
+
+class TestPoolBounded:
+    def test_pool_stays_bounded_across_a_faulty_run(self, tmp_path):
+        """Repeated wire faults churn connections; the pool must not
+        grow past the configured concurrency, and close() must leave
+        nothing behind even with check-ins racing it."""
+        paths = []
+        for i in range(3):
+            p, stats = write_segment(tmp_path, name=f"m{i:05d}-out-p0")
+            paths.append((f"m{i:05d}", p, stats))
+        inj = FaultInjector()
+        for map_id, _, _ in paths:
+            inj.fetch(map_id, "r00000", op="flip", attempt=0)
+        config = net_config(wire_codec="zlib", concurrency=2,
+                            fetch_retries=2)
+        with ShuffleService.from_config(
+                config, faults=inj.fetch_plan()) as service:
+            for map_id, p, _ in paths:
+                service.register_map_output(map_id, [p])
+            for round_ in range(4):
+                counters = Counters()
+                fetcher = ShuffleFetcher(config, counters, "r00000")
+                refs = [make_ref(service, p, stats, map_id=m)
+                        for m, p, stats in paths]
+                blobs = fetcher.fetch_all(refs)
+                assert len(blobs) == len(paths)
+            transport = NetworkTransport(config)
+            ref = make_ref(service, paths[0][1], paths[0][2],
+                           map_id=paths[0][0])
+            for _ in range(6):
+                transport.fetch(ref, 1, Deadline(None))  # attempt 1: clean
+            assert transport.pool_size() <= config.concurrency
+            transport.close()
+            assert transport.pool_size() == 0
+            # A fetch thread finishing after close() must not repopulate
+            # the pool -- its socket is closed instead.
+            transport._checkin(("127.0.0.1", 1), socket.socket())
+            assert transport.pool_size() == 0
 
 
 class TestServerSideFaults:

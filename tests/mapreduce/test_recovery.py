@@ -103,6 +103,64 @@ class TestManifest:
         assert problems and "missing" in problems[0]
 
 
+class TestManifestCorruption:
+    """``load_verified`` must explain *why* a checkpoint is unusable,
+    and never raise: resume falls back to a clean restart instead."""
+
+    def saved(self, tmp_path) -> str:
+        path = str(tmp_path / MANIFEST_NAME)
+        manifest = JobManifest(path, "abc123")
+        manifest.record_wave("map", ["m00000"])
+        return path
+
+    def test_missing_file_is_a_clean_first_run(self, tmp_path):
+        loaded, problem = JobManifest.load_verified(
+            str(tmp_path / MANIFEST_NAME))
+        assert loaded is None and problem is None
+
+    def test_roundtrip_reports_no_problem(self, tmp_path):
+        path = self.saved(tmp_path)
+        loaded, problem = JobManifest.load_verified(path)
+        assert problem is None
+        assert loaded is not None and loaded.job_hash == "abc123"
+
+    def test_truncated_envelope(self, tmp_path):
+        path = self.saved(tmp_path)
+        raw = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(raw[:len(raw) // 2])  # torn write / partial flush
+        loaded, problem = JobManifest.load_verified(path)
+        assert loaded is None
+        assert problem is not None and "parse" in problem
+
+    def test_garbage_bytes(self, tmp_path):
+        path = str(tmp_path / MANIFEST_NAME)
+        with open(path, "wb") as fh:
+            fh.write(b"\x00\xffnot a manifest at all\x80")
+        loaded, problem = JobManifest.load_verified(path)
+        assert loaded is None and problem is not None
+
+    def test_crc_mismatch_names_the_crc(self, tmp_path):
+        path = self.saved(tmp_path)
+        with open(path, encoding="utf-8") as fh:
+            envelope = json.load(fh)
+        envelope["body"] = envelope["body"].replace("abc123", "evil99")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(envelope, fh)
+        loaded, problem = JobManifest.load_verified(path)
+        assert loaded is None
+        assert problem is not None and "CRC" in problem
+
+    def test_pre_envelope_manifest_still_loads(self, tmp_path):
+        path = str(tmp_path / MANIFEST_NAME)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"version": 1, "job_hash": "old", "waves": {},
+                       "tasks": {}}, fh)
+        loaded, problem = JobManifest.load_verified(path)
+        assert problem is None
+        assert loaded is not None and loaded.job_hash == "old"
+
+
 # ------------------------------------------------------------ fingerprint
 
 
@@ -216,6 +274,38 @@ class TestResume:
     def test_resume_requires_recovery_dir(self):
         with pytest.raises(ValueError, match="recovery_dir"):
             ParallelJobRunner(resume=True)
+
+    def test_corrupt_manifest_falls_back_to_clean_restart(
+            self, grid, serial, tmp_path):
+        """A garbage checkpoint must not crash resume: the runner logs
+        ``manifest_corrupt``, clears the stale attempt dirs, adopts
+        nothing, and finishes byte-identically to serial."""
+        run_recovered(grid, tmp_path, keep_files=True)
+        stale = [d for d in os.listdir(tmp_path)
+                 if os.path.isdir(tmp_path / d)]
+        assert stale  # checkpointed attempt dirs exist to be cleared
+        with open(tmp_path / MANIFEST_NAME, "wb") as fh:
+            fh.write(b"\x00garbage, not a manifest\xff")
+
+        runner, result = run_recovered(grid, tmp_path, resume=True)
+        assert runner.last_trace.count("manifest_corrupt") == 1
+        assert runner.last_adopted == 0
+        assert runner.last_trace.count("adopted") == 0
+        assert result.counters == serial.counters
+        assert result.output == serial.output
+
+    def test_truncated_manifest_falls_back_to_clean_restart(
+            self, grid, serial, tmp_path):
+        run_recovered(grid, tmp_path, keep_files=True)
+        path = tmp_path / MANIFEST_NAME
+        raw = path.read_bytes()
+        path.write_bytes(raw[:len(raw) // 2])  # torn mid-write
+
+        runner, result = run_recovered(grid, tmp_path, resume=True)
+        assert runner.last_trace.count("manifest_corrupt") == 1
+        assert runner.last_adopted == 0
+        assert result.counters == serial.counters
+        assert result.output == serial.output
 
 
 # ------------------------------------------------- mid-job scheduler kill
