@@ -27,8 +27,8 @@ def _registry() -> dict[str, tuple[str, Callable]]:
     from repro.experiments import ablations, chaos, cluster_runs, density, \
         e1_motivation, fig2_stream, fig3_table, fig4_scaling, \
         fig8_aggregation, figures_5_6_7, key_splitting, levers, locality, \
-        multivar, p2_columnar, parallel_speedup, r2_poison, r3_shuffle, \
-        r4_netshuffle, r5_hostchaos
+        multivar, p2_columnar, p3_pipeline, parallel_speedup, r2_poison, \
+        r3_shuffle, r4_netshuffle, r5_hostchaos
 
     return {
         "E1": ("§I motivation: per-cell-key file sizes (paper-exact)",
@@ -78,6 +78,10 @@ def _registry() -> dict[str, tuple[str, Callable]]:
         "P2": ("perf: scalar vs columnar record pipeline, map-phase "
                "throughput",
                lambda: p2_columnar.run()),
+        "P3": ("perf: pipelined shuffle vs the barrier -- overlap map, "
+               "fetch, and reduce-side merge, with straggler speculation "
+               "and mid-pipeline host loss",
+               lambda: p3_pipeline.run()),
         "R1": ("robustness: chaos soak -- randomized fault schedules and "
                "mid-job kill+resume vs the serial runner",
                lambda: chaos.run()),
@@ -101,6 +105,83 @@ def experiment_ids() -> list[str]:
     return list(_registry())
 
 
+def _run_tune(args, parser) -> int:
+    """``repro tune``: fit, validate, and recommend.
+
+    Runs a small sample job serially, fits the cost model on its task
+    profiles against the cluster simulator (the offline oracle), prints
+    the model's per-phase error band, and recommends knob settings for
+    the target cluster.  The recommendation keeps the defaults unless
+    the model predicts a material improvement, so applying it is never
+    worse than doing nothing.
+    """
+    if args.scale is not None:
+        if args.scale <= 0:
+            parser.error("--scale must be positive")
+        os.environ["REPRO_SCALE"] = str(args.scale)
+    if args.nodes is not None and args.nodes < 1:
+        parser.error("--nodes must be >= 1")
+    if args.num_maps is not None and args.num_maps < 1:
+        parser.error("--num-maps must be >= 1")
+    if args.num_reducers is not None and args.num_reducers < 1:
+        parser.error("--num-reducers must be >= 1")
+
+    from repro.experiments.common import ExperimentResult, scaled
+    from repro.mapreduce.engine import LocalJobRunner
+    from repro.mapreduce.runtime.costmodel import CostModel, WorkloadSummary
+    from repro.mapreduce.simcluster.model import ClusterSpec
+    from repro.queries.histogram import HistogramQuery
+    from repro.scidata.generator import integer_grid
+
+    side = scaled(48, 1.0, minimum=16)
+    num_maps = args.num_maps or 8
+    num_reducers = args.num_reducers or 2
+    grid = integer_grid((side, side), seed=29)
+    job = HistogramQuery(grid, grid.names[0], bins=16).build_job(
+        "plain", num_map_tasks=num_maps, num_reducers=num_reducers)
+    result = LocalJobRunner().run(job, grid)
+
+    spec = ClusterSpec(nodes=args.nodes) if args.nodes else ClusterSpec()
+    workload = WorkloadSummary.from_result(result, job)
+    model = CostModel.fit(result.task_profiles, workload, spec)
+    errors = model.validate(result.task_profiles)
+    default = model.predict()
+    knobs = model.autotune()
+
+    table = ExperimentResult(
+        experiment="TUNE",
+        title="Fitted cost model: phase predictions and recommended knobs",
+        columns=("knob", "default", "recommended"),
+    )
+    table.add(knob="num_reducers", default=job.num_reducers,
+              recommended=knobs.num_reducers)
+    table.add(knob="wave_size", default=spec.map_slots,
+              recommended=knobs.wave_size)
+    table.add(knob="sort_buffer_bytes", default=job.sort_buffer_bytes,
+              recommended=knobs.sort_buffer_bytes)
+    table.add(knob="ifile_block_bytes", default=job.ifile_block_bytes,
+              recommended=knobs.ifile_block_bytes)
+    table.note(f"sample job: histogram over a {side}x{side} grid, "
+               f"{num_maps} maps x {num_reducers} reducers "
+               f"({workload.shuffle_bytes} shuffle bytes); "
+               f"target cluster: {spec.nodes} nodes")
+    table.note(f"predicted wall-clock: defaults "
+               f"{default.total_seconds * 1e3:.2f} ms "
+               f"(map {default.map_seconds * 1e3:.2f} + reduce "
+               f"{default.reduce_seconds * 1e3:.2f}), recommended "
+               f"{knobs.predicted_seconds * 1e3:.2f} ms")
+    table.note(f"model error vs simulator: "
+               f"map {errors['map_pct_error']:+.1f}%, "
+               f"reduce {errors['reduce_pct_error']:+.1f}%, "
+               f"mean abs {errors['mean_abs_pct_error']:.1f}% "
+               f"(per-task {errors['task_mean_abs_pct_error']:.1f}%)")
+    if not knobs.tuned:
+        table.note("defaults already within 5% of the best candidate; "
+                   "keeping them")
+    print(table.format_table())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -114,6 +195,20 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("codecs",
                    help="list registered segment codecs and their CPU "
                         "cost categories")
+    tune_p = sub.add_parser(
+        "tune",
+        help="fit the per-phase cost model on a sample run, validate it "
+             "against the cluster simulator, and recommend knob settings")
+    tune_p.add_argument("--scale", type=float, default=None,
+                        help="REPRO_SCALE override for the sample job "
+                             "(1.0 = paper scale)")
+    tune_p.add_argument("--nodes", type=int, default=None,
+                        help="cluster size the prediction targets "
+                             "(default 5, the paper's testbed)")
+    tune_p.add_argument("--num-maps", type=int, default=None,
+                        help="map tasks in the sample job (default 8)")
+    tune_p.add_argument("--num-reducers", type=int, default=None,
+                        help="reducers in the sample job (default 2)")
     run_p = sub.add_parser("run", help="run one experiment (or 'all')")
     run_p.add_argument("experiment", help="experiment id from 'list', or 'all'")
     run_p.add_argument("--scale", type=float, default=None,
@@ -166,6 +261,22 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--fetch-timeout", type=float, default=None,
                        help="per-fetch-attempt deadline in seconds "
                             "(default: none)")
+    run_p.add_argument("--pipeline", dest="pipeline", default=None,
+                       action="store_true",
+                       help="pipelined shuffle: reducers run alongside "
+                            "late maps and fetch each map's segments as "
+                            "it commits (either runner; output and "
+                            "counters stay byte-identical to the "
+                            "barrier)")
+    run_p.add_argument("--no-pipeline", dest="pipeline",
+                       action="store_false",
+                       help="force the map/reduce barrier even when "
+                            "REPRO_PIPELINE is set")
+    run_p.add_argument("--starvation-threshold", type=int, default=None,
+                       help="missing-segment count at which a starved "
+                            "pipelined reducer triggers speculative "
+                            "re-execution of the late maps (default 2; "
+                            "requires --pipeline)")
     run_p.add_argument("--num-hosts", type=int, default=None,
                        help="simulated hosts tasks and segment servers are "
                             "spread over (either runner; default 2)")
@@ -186,6 +297,9 @@ def main(argv: list[str] | None = None) -> int:
             cats = "+".join(cost_categories(get_codec(name)))
             print(f"{name:<{width}}  cost: {cats}")
         return 0
+
+    if args.command == "tune":
+        return _run_tune(args, parser)
 
     registry = _registry()
     if args.command == "list":
@@ -256,6 +370,18 @@ def main(argv: list[str] | None = None) -> int:
         if args.fetch_timeout <= 0:
             parser.error("--fetch-timeout must be positive")
         os.environ["REPRO_FETCH_TIMEOUT"] = str(args.fetch_timeout)
+    if args.pipeline is not None:
+        os.environ["REPRO_PIPELINE"] = "1" if args.pipeline else "0"
+    if args.starvation_threshold is not None:
+        if args.starvation_threshold < 1:
+            parser.error("--starvation-threshold must be >= 1")
+        pipelined = (args.pipeline if args.pipeline is not None
+                     else os.environ.get("REPRO_PIPELINE", "")
+                     .strip().lower() in ("1", "true", "yes", "on"))
+        if not pipelined:
+            parser.error("--starvation-threshold requires --pipeline")
+        os.environ["REPRO_STARVATION_THRESHOLD"] = str(
+            args.starvation_threshold)
     if args.num_hosts is not None:
         if args.num_hosts < 1:
             parser.error("--num-hosts must be >= 1")

@@ -82,6 +82,11 @@ class JobResult:
     #: parallel runtime attaches a ``RuntimeTrace``; the serial runner
     #: leaves it ``None``)
     trace: Any = None
+    #: aggregated pipelined-shuffle stats (``REDUCE_FIRST_FETCH_MS`` /
+    #: ``PIPELINE_OVERLAP`` and friends), populated only when the run
+    #: was pipelined; deliberately outside ``counters`` so pipeline
+    #: on/off compares byte-identical
+    pipeline_stats: dict | None = None
 
     @property
     def materialized_bytes(self) -> int:
@@ -108,6 +113,10 @@ class ReduceTaskResult:
     output: list[tuple[Any, Any]]
     counters: Counters
     profile: TaskProfile
+    #: pipelined-shuffle side stats (first fetch latency, overlapped
+    #: fetches, poll wait) -- kept OUT of ``counters`` so pipeline
+    #: on/off stays byte-identical; ``None`` on the barrier path
+    pipeline: dict | None = None
 
 
 # --------------------------------------------------------------------- tasks
@@ -478,6 +487,35 @@ def run_reduce_task(
         # the logical payload when present.
         profile.wire_bytes = counters.get(C.SHUFFLE_WIRE_BYTES)
 
+    return _merge_group_reduce(job, task_id, runs, run_sizes, workdir,
+                               codec, counters, clock, profile, keep_files,
+                               prepare_filter=prepare_filter,
+                               group_driver=group_driver)
+
+
+def _merge_group_reduce(
+    job: Job,
+    task_id: str,
+    runs: list[list[Record]],
+    run_sizes: list[int],
+    workdir: str,
+    codec,
+    counters: Counters,
+    clock: CostClock,
+    profile: TaskProfile,
+    keep_files: bool,
+    *,
+    prepare_filter=None,
+    group_driver=None,
+) -> ReduceTaskResult:
+    """Fig 1 steps 5-7: merge fetched runs, group, reduce, write output.
+
+    The single tail shared by the barrier reduce path above and the
+    pipelined path (:func:`~repro.mapreduce.runtime.pipeline.
+    run_reduce_task_pipelined`): given the decoded non-empty runs **in
+    the order the barrier path would hold them**, both produce
+    byte-identical merged streams, counters, and output.
+    """
     # Multi-pass on-disk merge when we hold too many runs (step 5).
     passes = plan_merge_passes(len(runs), job.merge_factor)
     for pass_idx, take in enumerate(passes):
@@ -710,12 +748,24 @@ class LocalJobRunner:
             # host is re-executed before any reducer fetches.
             hosts_lost, host_reexecs = self._apply_host_crashes(
                 job, dataset, splits, map_outputs, shuffle_state, host_plan)
+            if self.shuffle is not None and getattr(self.shuffle,
+                                                    "pipeline", False):
+                # Serial pipeline mode: publish a fully-populated commit
+                # log (maps are all done here, at their final epochs)
+                # and run reduces through the pipelined body -- the
+                # degenerate no-overlap case, byte-identical to the
+                # barrier path and counter-comparable with a pipelined
+                # parallel run.
+                self._publish_commit_log(map_outputs, shuffle_state)
+            pipeline_per_task: list[dict] = []
             for part in range(job.num_reducers):
                 rr = self._run_reduce(job, part, map_outputs, dataset, splits,
                                       shuffle_state)
                 output.extend(rr.output)
                 counters.merge(rr.counters)
                 profiles.append(rr.profile)
+                if rr.pipeline is not None:
+                    pipeline_per_task.append(rr.pipeline)
         finally:
             if service is not None:
                 service.stop()
@@ -742,6 +792,12 @@ class LocalJobRunner:
         if not self.keep_files:
             self._cleanup(map_outputs)
 
+        pipeline_stats = None
+        if pipeline_per_task:
+            from repro.mapreduce.runtime.pipeline import (
+                aggregate_pipeline_stats,
+            )
+            pipeline_stats = aggregate_pipeline_stats(pipeline_per_task)
         return JobResult(
             output=output,
             counters=counters,
@@ -749,6 +805,7 @@ class LocalJobRunner:
             map_output_stats=map_stats,
             num_map_tasks=len(splits),
             num_reduce_tasks=job.num_reducers,
+            pipeline_stats=pipeline_stats,
         )
 
     # ------------------------------------------------------------- ladder
@@ -775,6 +832,30 @@ class LocalJobRunner:
         faults = (self.fault_injector.fetch_plan()
                   if self.fault_injector is not None else None)
         return ShuffleService.from_config(self.shuffle, faults=faults)
+
+    def _publish_commit_log(self, map_outputs: Sequence[MapTaskOutput],
+                            shuffle_state: dict[str, Any]) -> None:
+        """Write every map's commit record at its final (post-host-crash)
+        epoch; reduces then consume the pipelined body against a complete
+        completion-event stream."""
+        from repro.mapreduce.runtime.pipeline import (
+            COMMITS_DIRNAME,
+            CommitLog,
+            CommitRecord,
+        )
+        commit_dir = os.path.join(self.workdir, COMMITS_DIRNAME)
+        shutil.rmtree(commit_dir, ignore_errors=True)
+        log = CommitLog(commit_dir)
+        service = shuffle_state.get("service")
+        for mo in map_outputs:
+            log.commit(CommitRecord(
+                map_id=mo.task_id,
+                epoch=shuffle_state["epochs"][mo.task_id],
+                segments=dict(mo.segments),
+                address=(service.address_for(mo.task_id)
+                         if service is not None else None)))
+        shuffle_state["commitlog"] = log
+        shuffle_state["commit_dir"] = commit_dir
 
     def _prepare_host_faults(self, job: Job,
                              splits: Sequence[InputSplit]) -> dict[str, Any]:
@@ -984,6 +1065,21 @@ class LocalJobRunner:
                         eff, part, segments, workdir,
                         keep_files=self.keep_files,
                         shuffle=self.shuffle, fetch_faults=fetch_faults)
+                if shuffle_state.get("commitlog") is not None:
+                    # Pipelined body over the (complete) commit log:
+                    # corrupt-at-rest decode errors and fetch failures
+                    # surface identically and take the same ladder.
+                    from repro.mapreduce.runtime.pipeline import (
+                        PipelinePlan,
+                        run_reduce_task_pipelined,
+                    )
+                    plan = PipelinePlan(
+                        commit_dir=shuffle_state["commit_dir"],
+                        map_ids=tuple(mo.task_id for mo in map_outputs))
+                    return run_reduce_task_pipelined(
+                        eff, part, plan, workdir,
+                        keep_files=self.keep_files,
+                        shuffle=self.shuffle, fetch_faults=fetch_faults)
                 return run_reduce_task(eff, part, segments, workdir,
                                        keep_files=self.keep_files,
                                        shuffle=self.shuffle,
@@ -1055,6 +1151,17 @@ class LocalJobRunner:
             service.register_map_output(
                 map_id, [path for path, _ in mo.segments.values()],
                 epoch=shuffle_state["epochs"][map_id])
+        log = shuffle_state.get("commitlog")
+        if log is not None:
+            # Re-publish the commit record at the bumped epoch so the
+            # pipelined retry fetches the fresh segments.
+            from repro.mapreduce.runtime.pipeline import CommitRecord
+            log.commit(CommitRecord(
+                map_id=map_id,
+                epoch=shuffle_state["epochs"][map_id],
+                segments=dict(mo.segments),
+                address=(service.address_for(map_id)
+                         if service is not None else None)))
 
     def _repair_segment(self, corrupt_path: str, job: Job, dataset: Dataset,
                         splits: Sequence[InputSplit]) -> None:
@@ -1098,6 +1205,12 @@ class LocalJobRunner:
             for path, _ in mo.segments.values():
                 if os.path.exists(path):
                     os.unlink(path)
+        for name in ("_commits", "_starved"):
+            path = os.path.join(self.workdir, name)
+            if os.path.isdir(path):
+                shutil.rmtree(path, ignore_errors=True)
+            elif os.path.exists(path):
+                os.unlink(path)
         if self._disk_plan:
             # Disk-failover artifacts are run state, not user output:
             # the (now empty) spare volume and the quarantine marker.

@@ -66,6 +66,15 @@ class C:
     HOSTS_LOST = "HOSTS_LOST"
     MAPS_REEXECUTED_HOST = "MAPS_REEXECUTED_HOST"
     DISK_FAILOVERS = "DISK_FAILOVERS"
+    # pipelined shuffle.  These are wall-clock-shaped measurements, so
+    # they live in ``JobResult.pipeline_stats`` (keyed by these names),
+    # NEVER in task/job ``Counters`` -- pipeline on/off must stay
+    # byte-identical on counters.  REDUCE_FIRST_FETCH_MS is how soon the
+    # first reducer fetch completed after the reduce attempt started;
+    # PIPELINE_OVERLAP counts fetches completed while at least one
+    # producing map was still uncommitted.
+    REDUCE_FIRST_FETCH_MS = "REDUCE_FIRST_FETCH_MS"
+    PIPELINE_OVERLAP = "PIPELINE_OVERLAP"
 
 
 class Counters:

@@ -30,6 +30,10 @@ layers on the robustness a real cluster runtime needs:
   monitor escalating heartbeat/fetch/attempt evidence through
   ALIVE -> SUSPECT -> DEAD / BLACKLISTED (with probation), and
   disk-fault workdir failover;
+* :mod:`~repro.mapreduce.runtime.pipeline` -- pipelined shuffle: a
+  commit-log completion-event stream lets reduce attempts run alongside
+  late maps, fetching and merging segments as their producers commit,
+  with byte-identical output and counters to the barrier path;
 * :mod:`~repro.mapreduce.runtime.trace` -- per-task timeline events and
   measured profiles, consumable by the cluster simulator;
 * :mod:`~repro.mapreduce.runtime.runner` -- the drop-in
@@ -51,6 +55,13 @@ from repro.mapreduce.runtime.hosts import (
     expand_host_partition,
     host_for,
     provision_failover_workdir,
+)
+from repro.mapreduce.runtime.pipeline import (
+    CommitLog,
+    CommitRecord,
+    PipelinePlan,
+    aggregate_pipeline_stats,
+    run_reduce_task_pipelined,
 )
 from repro.mapreduce.runtime.recovery import (
     JobManifest,
@@ -87,6 +98,8 @@ from repro.mapreduce.runtime.trace import RuntimeTrace, TaskEvent
 
 __all__ = [
     "ChannelTransport",
+    "CommitLog",
+    "CommitRecord",
     "DirectTransport",
     "Fault",
     "FaultInjector",
@@ -97,6 +110,7 @@ __all__ = [
     "HostState",
     "JobManifest",
     "ParallelJobRunner",
+    "PipelinePlan",
     "PoisonRecordError",
     "QuarantineWriter",
     "RuntimeTrace",
@@ -112,6 +126,7 @@ __all__ = [
     "TaskSpec",
     "TransientFetchError",
     "WaveDeadlineError",
+    "aggregate_pipeline_stats",
     "bisect_poison_records",
     "corrupt_file",
     "expand_host_partition",
@@ -121,6 +136,7 @@ __all__ = [
     "job_fingerprint",
     "poisoned_job",
     "run_map_task_skipping",
+    "run_reduce_task_pipelined",
     "run_reduce_task_skipping",
     "shuffle_config_from_env",
 ]

@@ -342,10 +342,20 @@ class HostHealthMonitor:
                 return candidate
         return home
 
-    def take_newly_dead(self) -> list[str]:
+    def take_newly_dead(self, only: set[str] | None = None) -> list[str]:
         """Drain hosts declared dead since the last call (scheduler's
-        cue to kill their attempts and bulk re-execute their maps)."""
-        dead, self._newly_dead = self._newly_dead, []
+        cue to kill their attempts and bulk re-execute their maps).
+
+        With ``only``, drains just those hosts and leaves the rest
+        queued -- the pipelined runner handles its injected crashes
+        inline mid-wave and must not swallow an organic death the
+        scheduler's sweep still has to process.
+        """
+        if only is None:
+            dead, self._newly_dead = self._newly_dead, []
+            return dead
+        dead = [h for h in self._newly_dead if h in only]
+        self._newly_dead = [h for h in self._newly_dead if h not in only]
         return dead
 
     def charge_host_reexec(self, host: str, maps: int) -> None:

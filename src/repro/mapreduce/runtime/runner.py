@@ -52,6 +52,13 @@ from repro.mapreduce.runtime.hosts import (
     HostRegistry,
     expand_host_partition,
 )
+from repro.mapreduce.runtime.pipeline import (
+    COMMITS_DIRNAME,
+    CommitLog,
+    CommitRecord,
+    PipelinePlan,
+    aggregate_pipeline_stats,
+)
 from repro.mapreduce.runtime.recovery import (
     MANIFEST_NAME,
     JobManifest,
@@ -359,6 +366,17 @@ class ParallelJobRunner:
                 expand_host_partition(injector, host, map_ids, reduce_ids,
                                       self.num_hosts, drops)
 
+        # Pipelined shuffle: one combined wave instead of two barriered
+        # ones.  All the barrier-only machinery below (eager segment-ref
+        # payloads, barrier-time host crashes) is replaced by the commit
+        # log as the completion-event stream.
+        if shuffle_cfg is not None and getattr(shuffle_cfg, "pipeline",
+                                               False):
+            return self._run_pipelined(
+                job, dataset, splits, scheduler, trace, run_dir,
+                manifest, adopted, monitor, injector, shuffle_cfg,
+                host_plan)
+
         def on_complete(spec, attempt, attempt_dir, result_path, value):
             self._checkpoint(manifest, spec, attempt, attempt_dir,
                              result_path, value)
@@ -509,11 +527,30 @@ class ParallelJobRunner:
             if service is not None:
                 service.stop()
 
-        # Assemble the JobResult exactly like the serial runner: map
-        # counters/profiles in split order, then reduces in partition
-        # order.  Counter merging commutes, so the bytes are identical
-        # -- including for tasks adopted from a checkpoint, whose
-        # counters ride inside their pickled results.
+        return self._assemble_result(job, splits, map_specs, map_results,
+                                     reduce_results, trace, monitor,
+                                     host_plan)
+
+    def _assemble_result(
+        self,
+        job: Job,
+        splits: Sequence[InputSplit],
+        map_specs: Sequence[TaskSpec],
+        map_results: dict[str, MapTaskOutput],
+        reduce_results: dict[str, Any],
+        trace: RuntimeTrace,
+        monitor: HostHealthMonitor,
+        host_plan: dict,
+        pipeline_per_task: list | None = None,
+    ) -> JobResult:
+        """Fold per-task results into a :class:`JobResult` exactly like
+        the serial runner: map counters/profiles in split order, then
+        reduces in partition order.  Counter merging commutes, so the
+        bytes are identical -- including for tasks adopted from a
+        checkpoint, whose counters ride inside their pickled results.
+        Shared by the barrier and pipelined paths, which is what makes
+        their byte-identity structural rather than coincidental.
+        """
         counters = Counters()
         profiles: list[TaskProfile] = []
         map_stats = IFileStats()
@@ -549,7 +586,9 @@ class ParallelJobRunner:
             # pure function of the plan, matching the serial runner
             # without plumbing per-worker failover flags.
             from repro.mapreduce.runtime.hosts import host_for
-            affected = sum(1 for t in map_ids + reduce_ids
+            ids = ([s.task_id for s in map_specs]
+                   + [f"r{part:05d}" for part in range(job.num_reducers)])
+            affected = sum(1 for t in ids
                            if host_for(t, self.num_hosts) in disk_hosts)
             if affected:
                 counters.incr(C.DISK_FAILOVERS, affected)
@@ -562,7 +601,230 @@ class ParallelJobRunner:
             num_map_tasks=len(splits),
             num_reduce_tasks=job.num_reducers,
             trace=trace,
+            pipeline_stats=(aggregate_pipeline_stats(pipeline_per_task)
+                            if pipeline_per_task is not None else None),
         )
+
+    # ------------------------------------------------------- pipelined wave
+
+    def _run_pipelined(
+        self,
+        job: Job,
+        dataset: Dataset,
+        splits: Sequence[InputSplit],
+        scheduler: TaskScheduler,
+        trace: RuntimeTrace,
+        run_dir: str,
+        manifest: JobManifest | None,
+        adopted: dict[str, TaskRecord],
+        monitor: HostHealthMonitor,
+        injector: FaultInjector | None,
+        shuffle_cfg: ShuffleConfig,
+        host_plan: dict,
+    ) -> JobResult:
+        """One *combined* wave: reduce attempts admitted alongside maps.
+
+        Each completed map's ``on_complete`` hook publishes a
+        :class:`CommitRecord` into the run's commit log -- the
+        completion-event stream pipelined reducers poll -- and registers
+        the segments with the network shuffle service, which starts
+        *before* the wave instead of at the barrier.  Reduce payloads
+        carry a :class:`PipelinePlan`, so each reducer fetches segments
+        as their producers commit and starts merging incrementally,
+        holding final output until its pending-set drains.
+
+        Fault semantics mirror the barrier path exactly:
+
+        * fetch-failure escalation re-runs the map at a bumped epoch;
+          re-pointing is the commit log's job (readers observe the new
+          record, or a STALE_EPOCH fetch), so the ``reexec`` hook
+          returns no payload updates;
+        * an injected ``host_crash`` fires the moment the host's last
+          homed map commits -- the pipelined analogue of the
+          barrier-time crash -- re-executing its maps uncharged against
+          the ordinary re-execution counter.
+
+        Output and counters are byte-identical to the barrier path (and
+        therefore to the serial runner); overlap measurements land in
+        ``JobResult.pipeline_stats``, never in counters.
+        """
+        recovering = manifest is not None
+        map_specs = [TaskSpec(f"m{s.split_id:05d}", "map", s) for s in splits]
+        commit_dir = os.path.join(run_dir, COMMITS_DIRNAME)
+        # Stale records from an interrupted run may point at attempt
+        # directories the manifest no longer vouches for; adopted maps
+        # are re-published below from their validated checkpoints.
+        shutil.rmtree(commit_dir, ignore_errors=True)
+        commitlog = CommitLog(commit_dir)
+        reexec_epochs: dict[str, int] = {s.task_id: 0 for s in map_specs}
+        map_results: dict[str, MapTaskOutput] = {}
+
+        service = None
+        if getattr(shuffle_cfg, "transport", "") == "network":
+            from repro.mapreduce.runtime.netshuffle import ShuffleService
+            service = ShuffleService.from_config(
+                shuffle_cfg,
+                faults=(injector.fetch_plan() if injector is not None
+                        else None),
+                trace=trace)
+            service.start()
+
+        def publish(map_id: str, mo: MapTaskOutput, attempt: int = 0,
+                    detail: str = "") -> None:
+            """Register + commit one map's output: the completion event.
+
+            Registration precedes the commit record so ``address_for``
+            reflects a server revived by the registration itself.
+            """
+            if service is not None:
+                service.register_map_output(
+                    map_id, [path for path, _ in mo.segments.values()],
+                    epoch=reexec_epochs[map_id])
+            commitlog.commit(CommitRecord(
+                map_id=map_id,
+                epoch=reexec_epochs[map_id],
+                segments=mo.segments,
+                address=(service.address_for(map_id)
+                         if service is not None else None)))
+            trace.record(map_id, attempt, "map", "pipeline_commit",
+                         detail or f"epoch {reexec_epochs[map_id]}")
+
+        def rerun_map(map_id: str, charge: bool = True) -> None:
+            """Re-run one committed map into a fresh epoch directory.
+
+            Same contract as the barrier path's ``rerun_map``, plus the
+            re-published commit record: a reducer that already consumed
+            the old epoch observes the bump in its next poll, discards
+            the stale run, and re-fetches -- no payload re-pointing.
+            """
+            spec = next(s for s in map_specs if s.task_id == map_id)
+            if service is not None:
+                service.invalidate(map_id)
+            reexec_epochs[map_id] += 1
+            old = map_results[map_id]
+            fresh_dir = os.path.join(
+                run_dir, f"{map_id}.reexec{reexec_epochs[map_id]}")
+            os.makedirs(fresh_dir, exist_ok=True)
+            mo = run_map_task(job, spec.payload, dataset, fresh_dir)
+            for path, _ in old.segments.values():
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass  # e.g. the missing segment that started this
+            map_results[map_id] = mo
+            publish(map_id, mo, attempt=reexec_epochs[map_id],
+                    detail=f"republished at epoch {reexec_epochs[map_id]}")
+            trace.set_profile(map_id, mo.profile)
+            if charge:
+                self.last_map_reexecs += 1
+            if manifest is not None and map_id in manifest.tasks:
+                del manifest.tasks[map_id]
+                manifest.save()
+
+        crash_pending = {h for h, f in host_plan.items()
+                         if f.mode == "host_crash"}
+
+        def maybe_crash_hosts() -> None:
+            """Fire injected host crashes once their last homed map has
+            committed -- the pipelined analogue of the barrier crash.
+            The host's segment server dies, the only copies of its maps'
+            segments die with it, and every map homed there is
+            re-executed at a bumped epoch; reducers mid-pipeline observe
+            the bumps through the commit log (or a STALE_EPOCH fetch).
+            """
+            crashed = []
+            for host in sorted(crash_pending):
+                homed = sorted(s.task_id for s in map_specs
+                               if monitor.host_for(s.task_id) == host)
+                if any(m not in map_results for m in homed):
+                    continue
+                crash_pending.discard(host)
+                crashed.append(host)
+                monitor.declare_dead(host,
+                                     "injected host_crash mid-pipeline")
+                if service is not None:
+                    index = int(host.removeprefix("host"))
+                    if index < service.num_servers:
+                        service.kill_server(index)
+                monitor.charge_host_reexec(host, len(homed))
+                for map_id in homed:
+                    rerun_map(map_id, charge=False)
+            if crashed:
+                # These deaths are fully handled; drain exactly them so
+                # the scheduler's sweep neither re-executes the maps a
+                # second time nor swallows an organic death queued
+                # behind them.
+                monitor.take_newly_dead(only=set(crashed))
+
+        def on_complete(spec, attempt, attempt_dir, result_path, value):
+            if recovering:
+                self._checkpoint(manifest, spec, attempt, attempt_dir,
+                                 result_path, value)
+            if spec.kind == "map":
+                map_results[spec.task_id] = value
+                trace.set_profile(spec.task_id, value.profile)
+                publish(spec.task_id, value, attempt=attempt)
+                maybe_crash_hosts()
+            else:
+                stats = getattr(value, "pipeline", None)
+                if stats:
+                    trace.record(
+                        spec.task_id, attempt, "reduce", "pipeline_drain",
+                        f"overlapped {stats.get('overlapped_fetches', 0)} "
+                        f"fetch(es), waited "
+                        f"{stats.get('wait_seconds', 0.0):.3f}s")
+
+        plan = PipelinePlan(commit_dir=commit_dir,
+                            map_ids=tuple(s.task_id for s in map_specs))
+        reduce_specs = [TaskSpec(f"r{part:05d}", "reduce", (part, plan))
+                        for part in range(job.num_reducers)]
+        if recovering:
+            manifest.record_wave("map", [s.task_id for s in map_specs])
+            manifest.record_wave("reduce",
+                                 [s.task_id for s in reduce_specs])
+
+        adopted_maps = self._load_adopted(adopted, "map")
+        adopted_reduces = self._load_adopted(adopted, "reduce")
+        self.last_adopted += len(adopted_maps) + len(adopted_reduces)
+        # Adopted tasks never fire on_complete: publish their commit
+        # records up front so pipelined reducers see them immediately,
+        # and fire any crash whose homed maps were all adopted (or which
+        # homes no maps at all).
+        for map_id in sorted(adopted_maps):
+            map_results[map_id] = adopted_maps[map_id]
+            publish(map_id, adopted_maps[map_id],
+                    detail="adopted from checkpoint")
+        maybe_crash_hosts()
+
+        def repair(corrupt_path: str) -> None:
+            self._repair_segment(corrupt_path, job, dataset, map_specs,
+                                 map_results, trace, manifest)
+
+        def reexec(map_id: str) -> dict[str, Any]:
+            """Fetch-failure escalation (and mid-wave host death): re-run
+            the map at a bumped epoch.  The commit log re-points readers,
+            so no reduce payloads change."""
+            rerun_map(map_id)
+            return {}
+
+        try:
+            results = scheduler.run_wave(
+                list(map_specs) + reduce_specs, job, dataset, run_dir,
+                repair=repair,
+                precomputed={**adopted_maps, **adopted_reduces},
+                reexec=reexec, on_complete=on_complete,
+                keep_result_files=recovering, pipeline=True)
+        finally:
+            if service is not None:
+                service.stop()
+
+        reduce_results = {s.task_id: results[s.task_id]
+                          for s in reduce_specs}
+        per_task = [getattr(reduce_results[f"r{part:05d}"], "pipeline", None)
+                    for part in range(job.num_reducers)]
+        return self._assemble_result(job, splits, map_specs, map_results,
+                                     reduce_results, trace, monitor,
+                                     host_plan, pipeline_per_task=per_task)
 
     def _repair_segment(
         self,

@@ -47,6 +47,7 @@ tests pin down against the serial runner.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import multiprocessing.connection
 import os
@@ -60,6 +61,7 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.mapreduce.metrics import C
 from repro.mapreduce.runtime.fault import Fault, FaultInjector
 from repro.mapreduce.runtime.hosts import HostHealthMonitor
+from repro.mapreduce.runtime.pipeline import STARVED_NAME
 from repro.mapreduce.runtime.trace import RuntimeTrace
 from repro.mapreduce.runtime.worker import (
     HEARTBEAT_NAME,
@@ -296,6 +298,7 @@ class TaskScheduler:
         on_complete: Callable[[TaskSpec, int, str, str, Any], None] | None = None,
         keep_result_files: bool = False,
         reexec: Callable[[str], Mapping[str, Any]] | None = None,
+        pipeline: bool = False,
     ) -> dict[str, Any]:
         """Run every task in ``specs`` to completion; returns results by id.
 
@@ -321,6 +324,17 @@ class TaskScheduler:
         queued reduces at the new payloads, kills and requeues running
         attempts that were reading the invalidated segments, and resets
         the map's strike count.
+
+        ``pipeline`` marks a *combined* wave (maps and reduces admitted
+        together; reduce payloads carry a :class:`~repro.mapreduce.
+        runtime.pipeline.PipelinePlan` instead of resolved refs).  It
+        changes two policies: median-based speculation considers only
+        map attempts (a pipelined reducer's duration is mostly waiting
+        on late maps, not work), and reducers that report starvation
+        (the ``_starved`` marker in their attempt dir naming at most
+        ``shuffle.starvation_threshold`` missing producers) trigger
+        immediate speculation of those straggling maps -- progress-based
+        rather than deadline-based straggler detection.
         """
         specs = list(specs)
         by_id = {s.task_id: s for s in specs}
@@ -356,7 +370,10 @@ class TaskScheduler:
         #: for the rest of the wave once a skip-eligible failure is seen
         skip_tasks: set[str] = set()
         next_attempt: dict[str, int] = defaultdict(int)
-        durations: list[float] = []
+        #: completed-attempt durations by task kind: a combined
+        #: (pipelined) wave must not let long wait-bound reduce attempts
+        #: skew the map straggler median, or vice versa
+        durations: dict[str, list[float]] = {"map": [], "reduce": []}
         wave_started = time.monotonic()
 
         for s, _ in pending:
@@ -541,7 +558,7 @@ class TaskScheduler:
             result = load_result(attempt.result_path)
             if result is not None and result["status"] == "ok":
                 results[task_id] = result["value"]
-                durations.append(time.monotonic() - attempt.started)
+                durations[spec.kind].append(time.monotonic() - attempt.started)
                 trace.record(task_id, attempt.number, spec.kind, "finished")
                 if self.hosts is not None and attempt.host is not None:
                     # A completed attempt is both liveness evidence and a
@@ -665,6 +682,14 @@ class TaskScheduler:
                         if self.hosts.host_for(ref.map_id) == host})
                 except (AttributeError, IndexError, TypeError):
                     lost = []  # payloads are not segment-ref shaped
+                if not lost:
+                    # Pipelined (combined) waves carry no refs in the
+                    # reduce payloads; the completed maps homed on the
+                    # dead host are exactly this wave's map results.
+                    lost = sorted(
+                        t for t, s in by_id.items()
+                        if s.kind == "map" and t in results
+                        and self.hosts.host_for(t) == host)
                 if lost:
                     self.hosts.charge_host_reexec(host, len(lost))
                     for map_id in lost:
@@ -672,11 +697,15 @@ class TaskScheduler:
                                    f"{host} died holding its segments")
 
         def maybe_speculate(now: float) -> None:
-            if (not self.speculation
-                    or len(durations) < self.speculation_min_completed):
+            if not self.speculation:
                 return
-            threshold = max(self.straggler_factor * statistics.median(durations),
-                            self.min_straggler_seconds)
+            thresholds = {
+                kind: max(self.straggler_factor * statistics.median(done),
+                          self.min_straggler_seconds)
+                for kind, done in durations.items()
+                if len(done) >= self.speculation_min_completed}
+            if not thresholds:
+                return
             in_flight = defaultdict(int)
             for a in running:
                 in_flight[a.spec.task_id] += 1
@@ -684,6 +713,15 @@ class TaskScheduler:
             for a in list(running):
                 if len(running) >= self.max_workers:
                     return
+                if pipeline and a.spec.kind == "reduce":
+                    # A pipelined reducer's age is dominated by waiting
+                    # on late maps; duplicating it burns a slot the map
+                    # stragglers (the actual bottleneck) may need.  The
+                    # starvation path below covers the pipeline.
+                    continue
+                threshold = thresholds.get(a.spec.kind)
+                if threshold is None:
+                    continue
                 if (a.speculative or in_flight[a.spec.task_id] > 1
                         or a.spec.task_id in results
                         or a.spec.task_id in queued):
@@ -692,9 +730,102 @@ class TaskScheduler:
                     launch(a.spec, speculative=True)
                     in_flight[a.spec.task_id] += 1
 
+        def check_starvation(now: float) -> None:
+            """Progress-triggered speculation for pipelined waves.
+
+            A pipelined reducer that has consumed every committed
+            segment but still waits on a small set of missing producers
+            writes a ``_starved`` marker naming them.  Those maps are
+            the measured bottleneck of the whole wave *right now* --
+            speculate them immediately (bounded by the starvation
+            threshold and the attempt-age floor) instead of waiting for
+            the duration median to notice.
+            """
+            if not pipeline or not self.speculation:
+                return
+            threshold = (getattr(self.shuffle, "starvation_threshold", 2)
+                         if self.shuffle is not None else 2)
+            in_flight: dict[str, list[_Attempt]] = defaultdict(list)
+            for a in running:
+                in_flight[a.spec.task_id].append(a)
+            queued = {s.task_id for s, _ in pending}
+            reducers = [a for a in running
+                        if a.spec.kind == "reduce" and not a.speculative]
+            for reducer in reducers:
+                try:
+                    with open(os.path.join(reducer.dir, STARVED_NAME),
+                              encoding="utf-8") as fh:
+                        missing = json.load(fh).get("missing", [])
+                except (OSError, ValueError):
+                    continue
+                missing = [m for m in missing
+                           if m in by_id and by_id[m].kind == "map"
+                           and m not in results]
+                if not missing or len(missing) > threshold:
+                    # Starved on many maps = the wave is young, not
+                    # straggling; let ordinary scheduling catch up.
+                    continue
+                for map_id in missing:
+                    if len(running) >= self.max_workers:
+                        return
+                    attempts = in_flight.get(map_id, [])
+                    if (len(attempts) != 1 or attempts[0].speculative
+                            or map_id in queued):
+                        continue
+                    if now - attempts[0].started <= self.min_straggler_seconds:
+                        continue
+                    trace.record(map_id, attempts[0].number, "map",
+                                 "pipeline_starved",
+                                 f"{reducer.spec.task_id} starved on "
+                                 f"{len(missing)} missing segment(s)")
+                    launch(by_id[map_id], speculative=True)
+                    in_flight[map_id].append(running[-1])
+
+        def preempt_for_maps(now: float) -> None:
+            """Combined-wave deadlock breaker: maps outrank reducers.
+
+            With fewer slots than tasks, every slot can end up holding a
+            pipelined reducer that waits on a map which will never get a
+            slot (e.g. a map retry queued after the reducers launched).
+            Hadoop resolves this with reduce preemption; so do we: when
+            a map is launchable and no slot is free, the youngest
+            running reduce attempt is killed and requeued *uncharged*
+            (it did nothing wrong, and its restart is byte-identical by
+            determinism).
+            """
+            if not pipeline or len(running) < self.max_workers:
+                return
+            launchable_map = any(
+                s.kind == "map" and nb <= now and s.task_id not in results
+                for s, nb in pending)
+            if not launchable_map:
+                return
+            victims = [a for a in running if a.spec.kind == "reduce"]
+            if not victims:
+                return
+            victim = max(victims, key=lambda a: a.started)
+            _kill_process(victim.process)
+            running.remove(victim)
+            task_id = victim.spec.task_id
+            trace.record(task_id, victim.number, "reduce", "killed",
+                         "preempted for pending map work")
+            shutil.rmtree(victim.dir, ignore_errors=True)
+            if (task_id not in results
+                    and not any(a.spec.task_id == task_id for a in running)
+                    and not any(s.task_id == task_id for s, _ in pending)):
+                pending.append((by_id[task_id], 0.0))
+                trace.record(task_id, victim.number, "reduce", "retried",
+                             "preempted (retry budget uncharged)")
+
         try:
             while len(results) < len(by_id):
                 now = time.monotonic()
+                if pipeline:
+                    # Maps outrank reduces for free slots (a pipelined
+                    # reduce can only drain after every map commits);
+                    # stable, so within-kind FIFO order is preserved.
+                    pending.sort(key=lambda e: e[0].kind != "map")
+                preempt_for_maps(now)
                 # Launch work while slots are free.
                 i = 0
                 while i < len(pending) and len(running) < self.max_workers:
@@ -708,6 +839,7 @@ class TaskScheduler:
                     pending.pop(i)
                     launch(spec, speculative=False)
                 maybe_speculate(now)
+                check_starvation(now)
                 enforce_deadlines(now)
                 # Reap finished workers.
                 progressed = False

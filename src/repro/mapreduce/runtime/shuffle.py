@@ -132,6 +132,13 @@ class ShuffleConfig:
     #: concurrent requests one segment server will serve; further
     #: connections queue in the listen backlog (server-side backpressure)
     server_concurrency: int = 8
+    #: pipelined shuffle: reducers start alongside maps and fetch each
+    #: segment as its producing map commits, instead of waiting at the
+    #: map->reduce barrier (output stays byte-identical either way)
+    pipeline: bool = False
+    #: with pipelining on, a reducer starved on at most this many
+    #: missing map outputs asks the scheduler to speculate them
+    starvation_threshold: int = 2
 
     def __post_init__(self) -> None:
         if self.transport not in TRANSPORTS:
@@ -163,6 +170,10 @@ class ShuffleConfig:
             raise ValueError(
                 f"server_concurrency must be >= 1, "
                 f"got {self.server_concurrency}")
+        if self.starvation_threshold < 1:
+            raise ValueError(
+                f"starvation_threshold must be >= 1, "
+                f"got {self.starvation_threshold}")
 
 
 def _env_value(kwargs: dict, key: str, var: str, parse) -> None:
@@ -182,11 +193,25 @@ def _env_value(kwargs: dict, key: str, var: str, parse) -> None:
             f"{getattr(parse, '__name__', 'value')} ({exc})") from exc
 
 
+def _parse_bool(raw: str) -> bool:
+    """Parse a boolean environment value (``1/0/true/false/yes/no/on/off``)."""
+    lowered = raw.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"not a boolean: {raw!r}")
+
+
+_parse_bool.__name__ = "boolean (1/0/true/false/yes/no/on/off)"
+
+
 def shuffle_config_from_env() -> ShuffleConfig | None:
     """A :class:`ShuffleConfig` from ``REPRO_TRANSPORT`` /
     ``REPRO_FETCH_RETRIES`` / ``REPRO_FETCH_TIMEOUT`` /
-    ``REPRO_WIRE_CODEC`` / ``REPRO_SHUFFLE_PORT_BASE``, or ``None`` when
-    none of them is set (runner default applies).
+    ``REPRO_WIRE_CODEC`` / ``REPRO_SHUFFLE_PORT_BASE`` /
+    ``REPRO_PIPELINE`` / ``REPRO_STARVATION_THRESHOLD``, or ``None``
+    when none of them is set (runner default applies).
 
     Malformed values -- a non-integer retry count, a negative timeout,
     an unknown transport or codec -- raise :class:`ConfigError` with the
@@ -205,6 +230,9 @@ def shuffle_config_from_env() -> ShuffleConfig | None:
                 f"available codecs: {', '.join(available_codecs())}")
         kwargs["wire_codec"] = wire_codec
     _env_value(kwargs, "port_base", "REPRO_SHUFFLE_PORT_BASE", int)
+    _env_value(kwargs, "pipeline", "REPRO_PIPELINE", _parse_bool)
+    _env_value(kwargs, "starvation_threshold",
+               "REPRO_STARVATION_THRESHOLD", int)
     if not kwargs:
         return None
     try:
@@ -446,23 +474,63 @@ class ShuffleFetcher:
 
     def fetch_all(self, refs: Sequence[SegmentRef]) -> list[bytes]:
         """Fetch every segment; raises :class:`FetchFailedError` on the
-        first segment that exhausts its retry budget.  Pooled transport
-        connections are closed before returning either way."""
+        first segment that exhausts its retry budget.  Blobs come back
+        **in input order** regardless of which fetch finished first.
+        Pooled transport connections are closed before returning either
+        way."""
         refs = list(refs)
         if not refs:
             return []
         try:
-            workers = min(self.config.concurrency, len(refs))
-            if workers == 1:
-                return [self.fetch_one(ref) for ref in refs]
-            from concurrent.futures import ThreadPoolExecutor
-            with ThreadPoolExecutor(max_workers=workers,
-                                    thread_name_prefix="fetch") as pool:
-                return list(pool.map(self.fetch_one, refs))
+            blobs: list[bytes | None] = [None] * len(refs)
+            for index, blob in self.fetch_iter(refs):
+                blobs[index] = blob
+            return blobs  # type: ignore[return-value]
         finally:
-            close = getattr(self.transport, "close", None)
-            if close is not None:
-                close()
+            self.close()
+
+    def fetch_iter(self, refs: Sequence[SegmentRef]):
+        """Fetch segments concurrently, yielding ``(index, blob)`` pairs
+        in *completion* order.
+
+        The index ties each blob back to its ref, so callers that need
+        deterministic downstream behavior (every caller that merges)
+        re-order by index; callers that overlap fetch with decode (the
+        pipelined reduce path) consume results as they land.  Raises
+        :class:`FetchFailedError` from the first segment that exhausts
+        its retry budget; remaining in-flight fetches are cancelled or
+        abandoned.  Does *not* close the transport -- callers that are
+        done fetching call :meth:`close`.
+        """
+        refs = list(refs)
+        if not refs:
+            return
+        workers = min(self.config.concurrency, len(refs))
+        if workers == 1:
+            for index, ref in enumerate(refs):
+                yield index, self.fetch_one(ref)
+            return
+        from concurrent.futures import (FIRST_COMPLETED, ThreadPoolExecutor,
+                                        wait)
+        with ThreadPoolExecutor(max_workers=workers,
+                                thread_name_prefix="fetch") as pool:
+            in_flight = {pool.submit(self.fetch_one, ref): index
+                         for index, ref in enumerate(refs)}
+            try:
+                while in_flight:
+                    done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = in_flight.pop(future)
+                        yield index, future.result()
+            finally:
+                for future in in_flight:
+                    future.cancel()
+
+    def close(self) -> None:
+        """Release pooled transport connections (idempotent)."""
+        close = getattr(self.transport, "close", None)
+        if close is not None:
+            close()
 
     def fetch_one(self, ref: SegmentRef) -> bytes:
         """Fetch one segment through the full retry ladder."""

@@ -48,6 +48,12 @@ EVENT_KINDS = (
     "host_reinstated",  # a blacklisted host finished probation cleanly
     "disk_failover",    # a task's workdir failed and spilled to a spare
     "manifest_corrupt", # a resume checkpoint failed CRC/parse validation
+    "pipeline_commit",  # a map's output was published to the commit log
+                        # (pipelined shuffle's completion-event stream)
+    "pipeline_starved", # a pipelined reducer named missing producers and
+                        # the scheduler speculated the stragglers
+    "pipeline_drain",   # a pipelined reducer's pending-set drained (its
+                        # detail carries the overlap stats)
 )
 
 

@@ -37,6 +37,11 @@ from repro.mapreduce.engine import run_map_task, run_reduce_task
 from repro.mapreduce.ifile import IFileCorruptError
 from repro.mapreduce.runtime.fault import Fault, corrupt_file, poisoned_job
 from repro.mapreduce.runtime.hosts import provision_failover_workdir
+from repro.mapreduce.runtime.pipeline import (
+    PipelinePlan,
+    drain_refs,
+    run_reduce_task_pipelined,
+)
 from repro.mapreduce.runtime.shuffle import FetchFailedError, SegmentRef
 from repro.mapreduce.runtime.skipping import (
     is_skip_eligible,
@@ -171,22 +176,35 @@ def worker_entry(
                 corrupt_file(path, fault.offset_frac, fault.op)
         elif kind == "reduce":
             part, segments = payload
-            if fault is not None and fault.mode == "corrupt" \
-                    and fault.where == "reduce-input" and segments:
-                index = fault.segment if fault.segment is not None else 0
-                target = segments[index % len(segments)]
-                corrupt_file(target.path if isinstance(target, SegmentRef)
-                             else target[0],
-                             fault.offset_frac, fault.op)
-            if skip_mode:
-                value = run_reduce_task_skipping(job, part, segments,
-                                                 workdir,
-                                                 shuffle=shuffle,
-                                                 fetch_faults=fetch_faults)
+            pipelined = isinstance(segments, PipelinePlan)
+            corrupt_input = (fault is not None and fault.mode == "corrupt"
+                             and fault.where == "reduce-input")
+            if pipelined and not skip_mode and not corrupt_input:
+                value = run_reduce_task_pipelined(
+                    job, part, segments, workdir,
+                    shuffle=shuffle, fetch_faults=fetch_faults)
             else:
-                value = run_reduce_task(job, part, segments, workdir,
-                                        shuffle=shuffle,
-                                        fetch_faults=fetch_faults)
+                if pipelined:
+                    # Skipping mode and corrupt-input targeting need the
+                    # full segment list up front; wait for every
+                    # producer to commit (barrier semantics for this one
+                    # attempt, byte-identical by definition).
+                    segments = drain_refs(segments, part)
+                if corrupt_input and segments:
+                    index = fault.segment if fault.segment is not None else 0
+                    target = segments[index % len(segments)]
+                    corrupt_file(target.path
+                                 if isinstance(target, SegmentRef)
+                                 else target[0],
+                                 fault.offset_frac, fault.op)
+                if skip_mode:
+                    value = run_reduce_task_skipping(
+                        job, part, segments, workdir,
+                        shuffle=shuffle, fetch_faults=fetch_faults)
+                else:
+                    value = run_reduce_task(job, part, segments, workdir,
+                                            shuffle=shuffle,
+                                            fetch_faults=fetch_faults)
         else:
             raise ValueError(f"unknown task kind {kind!r}")
         result = {"status": "ok", "value": value,

@@ -97,3 +97,70 @@ class TestNetworkFlags:
         with pytest.raises(SystemExit):
             main(["run", "F7", "--transport", "network",
                   "--shuffle-port-base", "80"])
+
+
+class TestPipelineFlags:
+    @pytest.fixture(autouse=True)
+    def _clean(self):
+        # main() writes the flags into os.environ; scrub before AND
+        # after so these tests neither see nor leak pipeline state.
+        names = ("REPRO_PIPELINE", "REPRO_STARVATION_THRESHOLD")
+        saved = {n: os.environ.pop(n, None) for n in names}
+        yield
+        for n in names:
+            os.environ.pop(n, None)
+            if saved[n] is not None:
+                os.environ[n] = saved[n]
+
+    def test_p3_registered(self):
+        assert "P3" in experiment_ids()
+
+    def test_pipeline_flag_round_trips(self):
+        assert main(["run", "F7", "--pipeline"]) == 0
+        assert os.environ.get("REPRO_PIPELINE") == "1"
+
+    def test_no_pipeline_flag_round_trips(self):
+        assert main(["run", "F7", "--no-pipeline"]) == 0
+        assert os.environ.get("REPRO_PIPELINE") == "0"
+
+    def test_starvation_threshold_round_trips(self):
+        assert main(["run", "F7", "--pipeline",
+                     "--starvation-threshold", "3"]) == 0
+        assert os.environ.get("REPRO_STARVATION_THRESHOLD") == "3"
+
+    def test_starvation_threshold_requires_pipeline(self):
+        with pytest.raises(SystemExit):
+            main(["run", "F7", "--starvation-threshold", "2"])
+        with pytest.raises(SystemExit):
+            main(["run", "F7", "--no-pipeline",
+                  "--starvation-threshold", "2"])
+
+    def test_env_pipeline_satisfies_threshold_flag(self, monkeypatch):
+        # REPRO_PIPELINE=1 already on: the threshold flag is meaningful.
+        monkeypatch.setenv("REPRO_PIPELINE", "1")
+        assert main(["run", "F7", "--starvation-threshold", "3"]) == 0
+        assert os.environ.get("REPRO_STARVATION_THRESHOLD") == "3"
+
+    def test_starvation_threshold_range_checked(self):
+        with pytest.raises(SystemExit):
+            main(["run", "F7", "--pipeline", "--starvation-threshold", "0"])
+
+
+class TestTune:
+    def test_tune_smoke(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert main(["tune", "--scale", "0.1",
+                     "--num-maps", "4", "--num-reducers", "2"]) == 0
+        out = capsys.readouterr().out
+        # The recommendation table and the validated error band.
+        for needle in ("num_reducers", "wave_size", "sort_buffer_bytes",
+                       "predicted wall-clock", "model error"):
+            assert needle in out
+
+    @pytest.mark.parametrize("flags", [
+        ["--scale", "-1"], ["--nodes", "0"],
+        ["--num-maps", "0"], ["--num-reducers", "0"],
+    ])
+    def test_tune_flag_ranges_checked(self, flags):
+        with pytest.raises(SystemExit):
+            main(["tune"] + flags)

@@ -1,0 +1,221 @@
+"""The fitted cost model: fit, predict, validate, autotune.
+
+Pinned here:
+
+* the NNLS fit reproduces the simulator oracle's *phase* times on its
+  own training run to within a tight band (the contract ``repro tune``
+  prints), with every coefficient non-negative;
+* tiny task populations (< 3 of a kind) fall back to the cluster
+  spec's own per-byte charges -- the oracle's formula -- instead of an
+  under-determined regression;
+* predictions respond to knobs the way the scaling laws say they must
+  (spills make maps dearer, more reducers never slow the reduce phase
+  makespan, smaller IFile blocks inflate shuffle bytes), and nonsense
+  knobs raise ``ValueError`` instead of predicting garbage;
+* autotune never loses: the recommendation's predicted wall-clock is
+  never above the defaults', and a tie keeps the defaults.
+"""
+
+import pytest
+
+from repro.mapreduce import LocalJobRunner
+from repro.mapreduce.metrics import C, TaskProfile
+from repro.mapreduce.runtime.costmodel import (
+    CostModel,
+    TunedKnobs,
+    WorkloadSummary,
+    _lstsq,
+    autotune_from_result,
+)
+from repro.mapreduce.simcluster.model import ClusterSimulator, ClusterSpec
+from repro.scidata import integer_grid
+from tests.mapreduce.test_engine import make_job
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """One measured run (4 maps x 3 reducers) and its fitted model."""
+    grid = integer_grid((16, 16), seed=7, low=0, high=50)
+    job = make_job(num_map_tasks=4, num_reducers=3)
+    result = LocalJobRunner().run(job, grid)
+    workload = WorkloadSummary.from_result(result, job)
+    model = CostModel.fit(result.task_profiles, workload)
+    return result, job, workload, model
+
+
+class TestFit:
+    def test_phase_error_band(self, fitted):
+        """The headline contract: phase times within a tight band of
+        the simulator oracle on the training run."""
+        result, _, _, model = fitted
+        errors = model.validate(result.task_profiles)
+        assert errors["mean_abs_pct_error"] < 10.0
+        assert abs(errors["map_pct_error"]) < 10.0
+        assert abs(errors["reduce_pct_error"]) < 10.0
+        # Per-task error is a diagnostic, not the contract, but it must
+        # at least be reported.
+        assert errors["task_mean_abs_pct_error"] >= 0.0
+
+    def test_coefficients_nonnegative(self, fitted):
+        _, _, _, model = fitted
+        assert all(c >= 0 for c in model.map_coef)
+        assert all(c >= 0 for c in model.reduce_coef)
+
+    def test_fallback_uses_spec_bandwidths(self):
+        """< 3 tasks of a kind: coefficients are the oracle's own
+        per-byte charges plus the population's mean CPU."""
+        spec = ClusterSpec()
+        profiles = [
+            TaskProfile(task_id="m00000", kind="map", input_bytes=1000),
+            TaskProfile(task_id="r00000", kind="reduce", shuffle_bytes=500),
+        ]
+        profiles[0].cpu_seconds["map"] = 0.25
+        workload = WorkloadSummary(
+            num_maps=1, num_reducers=1, input_bytes=1000,
+            raw_map_output_bytes=800, shuffle_bytes=500, output_bytes=100,
+            sort_buffer_bytes=64 << 20, merge_factor=10)
+        model = CostModel.fit(profiles, workload, spec)
+        per_disk = 1.0 / spec.disk_bandwidth
+        assert model.map_coef == (per_disk, per_disk, 0.25)
+        assert model.reduce_coef == (
+            per_disk + 1.0 / spec.network_bandwidth, per_disk, 0.0)
+
+    def test_fallback_matches_oracle_on_uniform_cpu(self):
+        """With uniform CPU the fallback *is* the oracle formula."""
+        spec = ClusterSpec()
+        sim = ClusterSimulator(spec)
+        p = TaskProfile(task_id="m00000", kind="map", input_bytes=4096,
+                        local_write_bytes=2048)
+        p.cpu_seconds["map"] = 0.1
+        workload = WorkloadSummary(
+            num_maps=1, num_reducers=1, input_bytes=4096,
+            raw_map_output_bytes=2048, shuffle_bytes=2048, output_bytes=64,
+            sort_buffer_bytes=64 << 20, merge_factor=10)
+        model = CostModel.fit([p], workload, spec)
+        a1, a2, a3 = model.map_coef
+        predicted = a1 * p.input_bytes + a2 * p.local_write_bytes + a3
+        assert predicted == pytest.approx(sim.map_task_duration(p))
+
+
+class TestLstsq:
+    def test_recovers_nonnegative_system(self):
+        rows = [[1.0, 0.0, 1.0], [0.0, 1.0, 1.0],
+                [1.0, 1.0, 1.0], [2.0, 1.0, 1.0]]
+        truth = [0.5, 1.5, 0.25]
+        y = [sum(c * f for c, f in zip(truth, r)) for r in rows]
+        coef = _lstsq(rows, y)
+        assert coef == pytest.approx(truth)
+
+    def test_never_returns_negative(self):
+        # A system whose unconstrained fit wants a negative slope.
+        rows = [[1.0, 1.0], [2.0, 1.0], [3.0, 1.0]]
+        y = [3.0, 2.0, 1.0]
+        coef = _lstsq(rows, y)
+        assert all(c >= 0 for c in coef)
+
+    def test_zero_target_fits_zero(self):
+        assert _lstsq([[1.0, 1.0], [2.0, 1.0]], [0.0, 0.0]) == [0.0, 0.0]
+
+
+class TestPredict:
+    def test_defaults_reproduce_measured_shape(self, fitted):
+        result, _, workload, model = fitted
+        p = model.predict()
+        assert p.map_seconds > 0
+        assert p.reduce_seconds > 0
+        assert p.total_seconds == pytest.approx(
+            p.map_seconds + p.reduce_seconds)
+
+    def test_tiny_sort_buffer_spills_cost_more(self, fitted):
+        """Forcing multi-spill maps triples the map-side local I/O, so
+        the predicted map phase must not get cheaper (NNLS may fit the
+        I/O coefficient to zero, so >= on the fitted model)."""
+        _, _, workload, model = fitted
+        default = model.predict()
+        spilled = model.predict(sort_buffer_bytes=64)
+        assert spilled.map_seconds >= default.map_seconds
+        # With an explicit non-zero I/O coefficient the increase is
+        # strict: spills write + re-read every run.
+        priced = CostModel(model.spec, workload,
+                           map_coef=(1e-8, 1e-8, 0.01),
+                           reduce_coef=(1e-8, 1e-8, 0.01))
+        assert (priced.predict(sort_buffer_bytes=64).map_task_seconds
+                > priced.predict().map_task_seconds)
+
+    def test_more_reducers_never_slow_reduce_tasks(self, fitted):
+        _, _, workload, model = fitted
+        one = model.predict(num_reducers=1)
+        many = model.predict(num_reducers=4)
+        assert many.reduce_task_seconds <= one.reduce_task_seconds
+
+    def test_narrow_wave_stretches_map_phase(self, fitted):
+        _, _, _, model = fitted
+        wide = model.predict()
+        narrow = model.predict(wave_size=1)
+        assert narrow.map_seconds >= wide.map_seconds
+
+    def test_small_blocks_inflate_shuffle(self, fitted):
+        _, _, workload, model = fitted
+        assert (model._shuffle_total(256)
+                > model._shuffle_total(None)
+                == float(workload.shuffle_bytes))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_reducers": 0}, {"num_reducers": -1},
+        {"sort_buffer_bytes": 0}, {"wave_size": 0},
+    ])
+    def test_bad_knobs_raise(self, fitted, kwargs):
+        _, _, _, model = fitted
+        with pytest.raises(ValueError):
+            model.predict(**kwargs)
+
+
+class TestAutotune:
+    def test_never_loses_to_defaults(self, fitted):
+        _, _, _, model = fitted
+        knobs = model.autotune()
+        assert knobs.predicted_seconds <= knobs.default_seconds
+        assert knobs.default_seconds == pytest.approx(
+            model.predict().total_seconds)
+
+    def test_recommendation_is_reachable(self, fitted):
+        """Whatever autotune recommends, predict() accepts -- and
+        agrees on the predicted wall-clock."""
+        _, _, _, model = fitted
+        knobs = model.autotune()
+        p = model.predict(
+            num_reducers=knobs.num_reducers, wave_size=knobs.wave_size,
+            sort_buffer_bytes=knobs.sort_buffer_bytes,
+            ifile_block_bytes=knobs.ifile_block_bytes)
+        assert p.total_seconds == pytest.approx(knobs.predicted_seconds)
+
+    def test_tie_keeps_defaults(self, fitted):
+        _, _, workload, model = fitted
+        knobs = model.autotune()
+        if not knobs.tuned:
+            assert knobs.num_reducers == workload.num_reducers
+            assert knobs.sort_buffer_bytes == workload.sort_buffer_bytes
+            assert knobs.ifile_block_bytes == workload.ifile_block_bytes
+            assert knobs.predicted_seconds == knobs.default_seconds
+
+    def test_programmatic_hook(self, fitted):
+        result, job, _, _ = fitted
+        knobs = autotune_from_result(result, job)
+        assert isinstance(knobs, TunedKnobs)
+        assert knobs.default_seconds > 0
+        assert knobs.predicted_seconds <= knobs.default_seconds
+
+
+class TestWorkloadSummary:
+    def test_from_result_totals(self, fitted):
+        result, job, workload, _ = fitted
+        assert workload.num_maps == result.num_map_tasks == 4
+        assert workload.num_reducers == result.num_reduce_tasks == 3
+        assert workload.input_bytes == sum(
+            p.input_bytes for p in result.task_profiles if p.kind == "map")
+        assert workload.raw_map_output_bytes == result.counters.get(
+            C.MAP_OUTPUT_BYTES)
+        assert workload.shuffle_bytes == result.counters.get(
+            C.MAP_OUTPUT_MATERIALIZED_BYTES)
+        assert workload.sort_buffer_bytes == job.sort_buffer_bytes
+        assert workload.merge_factor == job.merge_factor

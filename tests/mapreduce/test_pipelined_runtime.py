@@ -1,0 +1,163 @@
+"""Pipelined execution end to end: both runners, byte-identical output.
+
+The tentpole contract: turning ``ShuffleConfig.pipeline`` on changes
+*when* reduces run, never *what* they produce.  Pinned here:
+
+* serial and parallel pipelined runs match the serial barrier run on
+  output and **full** counters, over both transports, with and without
+  a multi-pass merge (where incremental folding is disabled);
+* pipelined runs actually report pipeline stats, and barrier runs
+  report none (the stats live outside ``Counters`` so the identity
+  holds);
+* a tight worker pool (fewer slots than maps + reduces) still
+  completes: maps outrank waiting reducers and preemption breaks the
+  slot deadlock;
+* a hung map straggler is speculated away by starved reducers with the
+  hang fully overlapped, and a whole-host crash mid-pipeline recovers
+  to identical output;
+* ``HostHealthMonitor.take_newly_dead(only=...)`` drains selectively --
+  the pipelined runner consumes its own injected crash without
+  swallowing organic deaths.
+"""
+
+import pytest
+
+from repro.mapreduce import LocalJobRunner, ParallelJobRunner
+from repro.mapreduce.metrics import C
+from repro.mapreduce.runtime import FaultInjector
+from repro.mapreduce.runtime.hosts import (
+    HostHealthMonitor,
+    HostRegistry,
+    host_for,
+)
+from repro.mapreduce.runtime.shuffle import ShuffleConfig
+from repro.scidata import integer_grid
+from tests.mapreduce.test_engine import make_job
+
+#: counters that legitimately move when a fault forces extra transfers
+#: or re-execution (same set the P3 experiment treats as volatile)
+VOLATILE = frozenset({
+    C.SHUFFLE_FETCHES, C.SHUFFLE_RETRIES, C.SHUFFLE_FAILED_FETCHES,
+    C.SHUFFLE_BYTES_TRANSFERRED, C.MAPS_REEXECUTED,
+    C.HOSTS_LOST, C.MAPS_REEXECUTED_HOST,
+})
+
+
+@pytest.fixture
+def grid():
+    return integer_grid((8, 8), seed=11, low=0, high=100)
+
+
+def pipelined(transport="direct", **kw):
+    kw.setdefault("starvation_threshold", 2)
+    return ShuffleConfig(transport=transport, pipeline=True, **kw)
+
+
+def stable(result):
+    return {k: v for k, v in result.counters.as_dict().items()
+            if k not in VOLATILE}
+
+
+class TestPipelinedEquivalence:
+    @pytest.mark.parametrize("transport", ["direct", "network"])
+    def test_both_runners_match_barrier(self, grid, transport):
+        overrides = dict(num_map_tasks=3, num_reducers=2)
+        # Same-transport barrier baseline: the wire counters exist only
+        # under the network transport, on or off the pipeline.
+        barrier = LocalJobRunner(
+            shuffle=ShuffleConfig(transport=transport)).run(
+            make_job(**overrides), grid)
+        serial = LocalJobRunner(shuffle=pipelined(transport)).run(
+            make_job(**overrides), grid)
+        parallel = ParallelJobRunner(
+            max_workers=5, shuffle=pipelined(transport)).run(
+            make_job(**overrides), grid)
+        for result in (serial, parallel):
+            assert result.output == barrier.output
+            assert result.counters.as_dict() == barrier.counters.as_dict()
+            assert result.pipeline_stats is not None
+            assert result.pipeline_stats["reduces"] == 2
+        assert barrier.pipeline_stats is None
+
+    def test_multipass_merge_disables_folding_not_identity(self):
+        """More runs than the merge factor: the pipelined path may only
+        overlap fetch + decode, and the on-disk merge passes must be
+        byte-identical to the barrier's."""
+        grid = integer_grid((12, 4), seed=3)
+        overrides = dict(num_map_tasks=12, num_reducers=2, merge_factor=2)
+        barrier = LocalJobRunner().run(make_job(**overrides), grid)
+        piped = ParallelJobRunner(max_workers=4, shuffle=pipelined()).run(
+            make_job(**overrides), grid)
+        assert piped.output == barrier.output
+        assert piped.counters.as_dict() == barrier.counters.as_dict()
+        assert piped.counters[C.MERGE_PASS_BYTES] > 0
+
+    def test_tight_pool_completes_via_preemption(self, grid):
+        """Fewer workers than maps: admitted reducers must not starve
+        the maps they wait on (maps outrank, reducers preempt)."""
+        overrides = dict(num_map_tasks=4, num_reducers=2)
+        barrier = LocalJobRunner().run(make_job(**overrides), grid)
+        piped = ParallelJobRunner(max_workers=2, shuffle=pipelined()).run(
+            make_job(**overrides), grid)
+        assert piped.output == barrier.output
+        assert piped.counters.as_dict() == barrier.counters.as_dict()
+
+
+class TestPipelinedFaults:
+    def test_hung_straggler_speculated_and_overlapped(self, grid):
+        overrides = dict(num_map_tasks=3, num_reducers=2)
+        barrier = LocalJobRunner().run(make_job(**overrides), grid)
+        injector = FaultInjector().hang("m00002", 5.0)
+        piped = ParallelJobRunner(
+            max_workers=5, shuffle=pipelined(),
+            fault_injector=injector, speculation=True,
+            min_straggler_seconds=0.2, retry_backoff=0.01).run(
+            make_job(**overrides), grid)
+        # A hang damages nothing: full-counter identity, and the healthy
+        # maps' segments were fetched while the straggler hung.
+        assert piped.output == barrier.output
+        assert piped.counters.as_dict() == barrier.counters.as_dict()
+        assert piped.pipeline_stats[C.PIPELINE_OVERLAP] > 0
+        assert piped.pipeline_stats[C.REDUCE_FIRST_FETCH_MS] < 5000
+
+    @pytest.mark.parametrize("runner_factory", [
+        lambda shuffle, injector: LocalJobRunner(
+            shuffle=shuffle, fault_injector=injector, max_host_reexecs=8),
+        lambda shuffle, injector: ParallelJobRunner(
+            max_workers=5, shuffle=shuffle, fault_injector=injector,
+            retry_backoff=0.01, max_host_reexecs=8),
+    ], ids=["serial", "parallel"])
+    def test_host_crash_mid_pipeline_recovers(self, grid, runner_factory):
+        overrides = dict(num_map_tasks=3, num_reducers=2)
+        barrier = LocalJobRunner().run(make_job(**overrides), grid)
+        injector = FaultInjector().host_crash(host_for("m00000", 2))
+        result = runner_factory(pipelined(), injector).run(
+            make_job(**overrides), grid)
+        assert result.output == barrier.output
+        assert stable(result) == stable(barrier)
+        assert result.counters[C.HOSTS_LOST] == 1
+        assert result.counters[C.MAPS_REEXECUTED_HOST] > 0
+
+
+class TestTakeNewlyDead:
+    def _monitor(self):
+        registry = HostRegistry(2)
+        monitor = HostHealthMonitor(registry,
+                                    suspect_heartbeat_misses=1,
+                                    dead_fetch_strikes=1)
+        for host in registry.names():
+            # Silent (SUSPECT) first, then a fetch strike: DEAD.
+            monitor.record_missed_heartbeat(host)
+            monitor.record_fetch_strike(host)
+        return monitor
+
+    def test_drain_all(self):
+        monitor = self._monitor()
+        assert set(monitor.take_newly_dead()) == {"host0", "host1"}
+        assert monitor.take_newly_dead() == []
+
+    def test_drain_only_leaves_rest_queued(self):
+        monitor = self._monitor()
+        assert monitor.take_newly_dead(only={"host1"}) == ["host1"]
+        # The other death is still queued for the scheduler's sweep.
+        assert monitor.take_newly_dead() == ["host0"]

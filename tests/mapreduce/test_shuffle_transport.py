@@ -169,6 +169,14 @@ class TestSegmentRef:
         assert SegmentRef.from_pair(segment) is segment
 
 
+#: every variable shuffle_config_from_env reads (cleared before each
+#: from_env test so CLI-flag tests elsewhere cannot leak into these)
+_CONFIG_ENV_VARS = ("REPRO_TRANSPORT", "REPRO_FETCH_RETRIES",
+                    "REPRO_FETCH_TIMEOUT", "REPRO_WIRE_CODEC",
+                    "REPRO_SHUFFLE_PORT_BASE", "REPRO_PIPELINE",
+                    "REPRO_STARVATION_THRESHOLD")
+
+
 class TestShuffleConfig:
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -183,9 +191,7 @@ class TestShuffleConfig:
             ShuffleConfig(chunk_bytes=16)
 
     def test_from_env(self, monkeypatch):
-        for name in ("REPRO_TRANSPORT", "REPRO_FETCH_RETRIES",
-                     "REPRO_FETCH_TIMEOUT", "REPRO_WIRE_CODEC",
-                     "REPRO_SHUFFLE_PORT_BASE"):
+        for name in _CONFIG_ENV_VARS:
             monkeypatch.delenv(name, raising=False)
         assert shuffle_config_from_env() is None
         monkeypatch.setenv("REPRO_TRANSPORT", "channel")
@@ -197,9 +203,7 @@ class TestShuffleConfig:
         assert config.fetch_timeout == 1.5
 
     def test_from_env_network_round_trip(self, monkeypatch):
-        for name in ("REPRO_TRANSPORT", "REPRO_FETCH_RETRIES",
-                     "REPRO_FETCH_TIMEOUT", "REPRO_WIRE_CODEC",
-                     "REPRO_SHUFFLE_PORT_BASE"):
+        for name in _CONFIG_ENV_VARS:
             monkeypatch.delenv(name, raising=False)
         monkeypatch.setenv("REPRO_TRANSPORT", "network")
         monkeypatch.setenv("REPRO_WIRE_CODEC", "fastpred+zlib")
@@ -220,9 +224,7 @@ class TestShuffleConfig:
                                                      var, value, needle):
         """A typo'd env var reads as one sentence naming the setting,
         never a raw int()/float() traceback."""
-        for name in ("REPRO_TRANSPORT", "REPRO_FETCH_RETRIES",
-                     "REPRO_FETCH_TIMEOUT", "REPRO_WIRE_CODEC",
-                     "REPRO_SHUFFLE_PORT_BASE"):
+        for name in _CONFIG_ENV_VARS:
             monkeypatch.delenv(name, raising=False)
         monkeypatch.setenv(var, value)
         with pytest.raises(ConfigError) as err:
@@ -237,9 +239,7 @@ class TestShuffleConfig:
     ])
     def test_from_env_out_of_range_value(self, monkeypatch, var, value):
         """Well-formed but invalid values also surface as ConfigError."""
-        for name in ("REPRO_TRANSPORT", "REPRO_FETCH_RETRIES",
-                     "REPRO_FETCH_TIMEOUT", "REPRO_WIRE_CODEC",
-                     "REPRO_SHUFFLE_PORT_BASE"):
+        for name in _CONFIG_ENV_VARS:
             monkeypatch.delenv(name, raising=False)
         monkeypatch.setenv(var, value)
         with pytest.raises(ConfigError):
