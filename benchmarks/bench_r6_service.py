@@ -1,0 +1,59 @@
+"""R6 -- multi-tenant job service: crash-safe daemon under chaos.
+
+Pins the service rung of the robustness ladder.  A real ``repro
+serve`` daemon (its own process, so the SIGKILL is real) accepts jobs
+from three tenants -- one of them carrying injected poison records and
+shuffle fetch faults -- is killed mid-flight, restarted over the same
+root, and must finish everything it accepted.  The assertions here are
+the PR's acceptance criteria:
+
+* no scenario row reads DRIFT;
+* the daemon-kill row reads ``recovered``: every job accepted before
+  the SIGKILL reaches DONE after the restart, with committed output
+  *and* counters byte-identical to a solo serial run of the same spec
+  -- including the poisoned/skipping job and the fetch-fault job;
+* every admission budget sheds with its own structured error and the
+  right HTTP status: per-tenant queue bound (``TENANT_OVERLOADED``
+  429, retry hint set), global queue bound (``OVERLOADED`` 429), and
+  the job-size cap (``JOB_TOO_LARGE`` 413, no retry hint -- waiting
+  will not help);
+* the cancel round-trip lands a queued job in ``CANCELLED`` and an
+  unknown id answers ``NOT_FOUND`` instead of raising.
+
+``REPRO_R6_SECONDS`` bounds the soak (CI's service-chaos job runs the
+default slice).
+"""
+
+from repro.experiments.r6_service import run
+
+
+def test_r6_service_chaos(tabulate):
+    result = tabulate(run, filename="r6")
+
+    outcomes = result.column("outcome")
+    assert all(v != "DRIFT" for v in outcomes)
+
+    # Every accepted job survived the SIGKILL byte-identically.
+    chaos = [r for r in result.rows if r["scenario"] == "chaos"]
+    assert len(chaos) == 6
+    assert all(r["state"] == "DONE" for r in chaos)
+    assert all(r["outcome"] == "identical" for r in chaos)
+    assert {r["tenant"] for r in chaos} == {"alice", "bob", "carol"}
+
+    assert result.row_by("scenario", "daemon-kill")["outcome"] == "recovered"
+
+    # Structured shedding at each budget.
+    tenant_shed = result.row_by("scenario", "shed-tenant")
+    assert tenant_shed["outcome"] == "shed"
+    assert "TENANT_OVERLOADED" in tenant_shed["detail"]
+    global_shed = result.row_by("scenario", "shed-global")
+    assert global_shed["outcome"] == "shed"
+    assert "OVERLOADED" in global_shed["detail"]
+    cap = result.row_by("scenario", "shed-job-cap")
+    assert cap["outcome"] == "shed"
+    assert "JOB_TOO_LARGE" in cap["detail"]
+
+    # Cancel smoke: queued -> CANCELLED, unknown id -> NOT_FOUND.
+    cancels = [r for r in result.rows if r["scenario"] == "cancel"]
+    assert any(r["state"] == "CANCELLED" for r in cancels)
+    assert all(r["outcome"] in ("cancelled", "shed") for r in cancels)

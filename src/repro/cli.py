@@ -28,7 +28,7 @@ def _registry() -> dict[str, tuple[str, Callable]]:
         e1_motivation, fig2_stream, fig3_table, fig4_scaling, \
         fig8_aggregation, figures_5_6_7, key_splitting, levers, locality, \
         multivar, p2_columnar, p3_pipeline, parallel_speedup, r2_poison, \
-        r3_shuffle, r4_netshuffle, r5_hostchaos
+        r3_shuffle, r4_netshuffle, r5_hostchaos, r6_service
 
     return {
         "E1": ("§I motivation: per-cell-key file sizes (paper-exact)",
@@ -97,6 +97,10 @@ def _registry() -> dict[str, tuple[str, Callable]]:
         "R5": ("robustness: host failure domains -- whole-host crashes, "
                "network partitions, and disk-fault failover, both runners",
                lambda: r5_hostchaos.run()),
+        "R6": ("robustness: multi-tenant job service -- daemon SIGKILL + "
+               "restart under concurrent tenants, admission shedding, "
+               "fair-share dispatch, zero accepted jobs lost",
+               lambda: r6_service.run()),
     }
 
 
@@ -182,6 +186,103 @@ def _run_tune(args, parser) -> int:
     return 0
 
 
+def _service_root(args) -> str:
+    """The daemon's root directory (``--root`` > env > ./.repro-service)."""
+    return (args.root or os.environ.get("REPRO_SERVICE_ROOT")
+            or os.path.join(os.getcwd(), ".repro-service"))
+
+
+def _run_serve(args, parser) -> int:
+    """``repro serve``: run the job daemon in the foreground.
+
+    Recovers every accepted-but-unfinished job from the registry (so a
+    restart after a crash resumes them), binds the local REST endpoint,
+    publishes its address to ``<root>/service.json``, and serves until
+    ``repro shutdown`` (or Ctrl-C, which is the same graceful path:
+    running jobs are interrupted but stay resumable).
+    """
+    from repro.mapreduce.runtime.service import JobService, ServiceConfig
+    from repro.mapreduce.runtime.service.http import ServiceEndpoint
+
+    root = _service_root(args)
+    if args.workers is not None:
+        if args.workers < 1:
+            parser.error("--workers must be >= 1")
+        os.environ["REPRO_SERVICE_WORKERS"] = str(args.workers)
+    if args.executors is not None:
+        if args.executors < 1:
+            parser.error("--executors must be >= 1")
+        os.environ["REPRO_SERVICE_EXECUTORS"] = str(args.executors)
+    if args.tenants is not None:
+        os.environ["REPRO_SERVICE_TENANTS"] = args.tenants
+    try:
+        config = ServiceConfig.from_env(root)
+    except ValueError as exc:
+        parser.error(str(exc))
+    service = JobService(config)
+    recovered = service.start()
+    endpoint = ServiceEndpoint(service)
+    path = endpoint.publish()
+    print(f"repro job service on http://{endpoint.address[0]}:"
+          f"{endpoint.address[1]} (root {root}, "
+          f"{service.pool.max_workers} worker slots, "
+          f"{recovered} job(s) recovered; advertised in {path})")
+    endpoint.serve_forever()
+    print("service stopped")
+    return 0
+
+
+def _run_client(args, parser) -> int:
+    """``repro submit/status/jobs/cancel/shutdown``: talk to the daemon."""
+    import json as _json
+
+    from repro.mapreduce.runtime.service.http import (
+        ServiceClient,
+        ServiceUnavailableError,
+    )
+    from repro.mapreduce.runtime.service.workloads import JobSpec
+
+    client = ServiceClient(_service_root(args))
+    try:
+        if args.command == "submit":
+            try:
+                shape = tuple(int(s) for s in args.shape.split(","))
+                spec = JobSpec(
+                    tenant=args.tenant,
+                    query=args.query,
+                    shape=shape,
+                    seed=args.seed,
+                    bins=args.bins,
+                    num_maps=args.num_maps,
+                    num_reducers=args.num_reducers,
+                    skip_budget=args.skip_budget,
+                    poison=tuple(
+                        (t, int(r)) for t, r in
+                        (p.split(":", 1) for p in args.poison or [])),
+                    fetch_faults=tuple(
+                        (m, r, op) for m, r, op in
+                        (f.split(":", 2) for f in args.fetch_fault or [])),
+                )
+            except ValueError as exc:
+                parser.error(str(exc))
+            reply = client.submit(spec)
+        elif args.command == "status":
+            reply = client.status(args.job_id)
+        elif args.command == "jobs":
+            reply = client.jobs()
+        elif args.command == "cancel":
+            reply = client.cancel(args.job_id)
+        else:  # shutdown
+            reply = client.shutdown()
+    except ServiceUnavailableError as exc:
+        print(str(exc), file=sys.stderr)
+        return 3
+    print(_json.dumps(reply, indent=2, sort_keys=True))
+    # Structured rejections (OVERLOADED etc.) are answers, but the exit
+    # code still signals them for scripting.
+    return 1 if isinstance(reply, dict) and reply.get("error") else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -209,6 +310,75 @@ def main(argv: list[str] | None = None) -> int:
                         help="map tasks in the sample job (default 8)")
     tune_p.add_argument("--num-reducers", type=int, default=None,
                         help="reducers in the sample job (default 2)")
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant job daemon in the foreground "
+             "(crash-safe registry, admission control, fair-share "
+             "dispatch; see also submit/status/jobs/cancel/shutdown)")
+    serve_p.add_argument("--root", default=None,
+                         help="service state directory (default: "
+                              "REPRO_SERVICE_ROOT or ./.repro-service)")
+    serve_p.add_argument("--workers", type=int, default=None,
+                         help="worker-process slots in the shared pool "
+                              "(default: CPU count)")
+    serve_p.add_argument("--executors", type=int, default=None,
+                         help="concurrently executing jobs (default 2)")
+    serve_p.add_argument("--tenants", default=None,
+                         help="per-tenant weights and quotas as "
+                              "'name:weight:quota,...' (e.g. "
+                              "'alice:2:4,bob:1:2'); unlisted tenants "
+                              "get weight 1 and no quota")
+    submit_p = sub.add_parser(
+        "submit", help="submit a job to the daemon and print its id")
+    submit_p.add_argument("--root", default=None,
+                          help="service state directory of the daemon")
+    submit_p.add_argument("--tenant", default="default",
+                          help="tenant the job is billed and scheduled "
+                               "under (default 'default')")
+    submit_p.add_argument("--query", default="histogram",
+                          choices=["histogram", "sliding_mean", "subset"],
+                          help="workload from the declarative catalog "
+                               "(subset is the range-mappable one record "
+                               "skipping needs)")
+    submit_p.add_argument("--shape", default="12,12,12",
+                          help="input grid shape, comma-separated "
+                               "(default 12,12,12)")
+    submit_p.add_argument("--seed", type=int, default=7,
+                          help="deterministic input seed (default 7)")
+    submit_p.add_argument("--bins", type=int, default=16,
+                          help="histogram bins (default 16)")
+    submit_p.add_argument("--num-maps", type=int, default=4,
+                          help="map tasks (default 4)")
+    submit_p.add_argument("--num-reducers", type=int, default=2,
+                          help="reducers (default 2)")
+    submit_p.add_argument("--skip-budget", type=int, default=None,
+                          help="enable record skipping with this "
+                               "quarantine budget")
+    submit_p.add_argument("--poison", action="append", default=None,
+                          metavar="TASK:RECORD",
+                          help="inject a poison record, e.g. m00001:3 "
+                               "(repeatable; requires --skip-budget to "
+                               "survive)")
+    submit_p.add_argument("--fetch-fault", action="append", default=None,
+                          metavar="MAP:REDUCE:OP",
+                          help="inject a transient fetch fault, e.g. "
+                               "m00001:r00000:flip (repeatable)")
+    status_p = sub.add_parser("status", help="print one job's status")
+    status_p.add_argument("job_id")
+    status_p.add_argument("--root", default=None,
+                          help="service state directory of the daemon")
+    jobs_p = sub.add_parser("jobs", help="list the daemon's jobs")
+    jobs_p.add_argument("--root", default=None,
+                        help="service state directory of the daemon")
+    cancel_p = sub.add_parser("cancel", help="cancel a queued/running job")
+    cancel_p.add_argument("job_id")
+    cancel_p.add_argument("--root", default=None,
+                          help="service state directory of the daemon")
+    shutdown_p = sub.add_parser(
+        "shutdown", help="stop the daemon gracefully (running jobs stay "
+                         "resumable)")
+    shutdown_p.add_argument("--root", default=None,
+                            help="service state directory of the daemon")
     run_p = sub.add_parser("run", help="run one experiment (or 'all')")
     run_p.add_argument("experiment", help="experiment id from 'list', or 'all'")
     run_p.add_argument("--scale", type=float, default=None,
@@ -300,6 +470,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "tune":
         return _run_tune(args, parser)
+
+    if args.command == "serve":
+        return _run_serve(args, parser)
+
+    if args.command in ("submit", "status", "jobs", "cancel", "shutdown"):
+        return _run_client(args, parser)
 
     registry = _registry()
     if args.command == "list":

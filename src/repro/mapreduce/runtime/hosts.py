@@ -47,10 +47,10 @@ import errno
 import json
 import os
 import time
-import zlib
 from dataclasses import dataclass, field
 
 from repro.util.backoff import backoff_delay
+from repro.util.placement import placement_index
 
 __all__ = [
     "HOST_STATES",
@@ -71,12 +71,13 @@ DISK_MARKER = "_QUARANTINED"
 def host_for(task_id: str, num_hosts: int) -> str:
     """The simulated host a task (or its output) lives on.
 
-    Same stable hash as ``ShuffleService.server_index``, so host k and
+    Same stable hash as ``ShuffleService.server_index`` -- both sides
+    call :func:`repro.util.placement.placement_index` -- so host k and
     segment server k are one failure domain when the counts match.
     """
     if num_hosts <= 0:
         raise ValueError(f"num_hosts must be >= 1, got {num_hosts}")
-    return f"host{zlib.crc32(task_id.encode('utf-8')) % num_hosts}"
+    return f"host{placement_index(task_id, num_hosts)}"
 
 
 @dataclass

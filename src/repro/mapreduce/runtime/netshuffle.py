@@ -83,6 +83,7 @@ from repro.mapreduce.runtime.shuffle import (
 )
 from repro.util.backoff import backoff_delay
 from repro.util.errors import CorruptRecordError
+from repro.util.placement import placement_index
 from repro.util.timing import Deadline
 
 __all__ = ["ShuffleService", "SegmentServer", "NetworkTransport"]
@@ -239,8 +240,13 @@ class ShuffleService:
     # ------------------------------------------------------------- registry
 
     def server_index(self, map_id: str) -> int:
-        """Which server hosts ``map_id``'s segments (stable hash)."""
-        return zlib.crc32(map_id.encode("utf-8")) % self.num_servers
+        """Which server hosts ``map_id``'s segments.
+
+        Same :func:`~repro.util.placement.placement_index` hash as task
+        homing (``hosts.host_for``): host k and server k are one failure
+        domain, structurally.
+        """
+        return placement_index(map_id, self.num_servers)
 
     def address_for(self, map_id: str) -> tuple[str, int]:
         """Current ``(host, port)`` serving ``map_id``'s segments."""

@@ -143,8 +143,22 @@ class CommitLog:
                 else:
                     with open(path, "rb") as fh:
                         record = pickle.loads(fh.read())
+                    if not isinstance(record, CommitRecord):
+                        # Bytes that unpickle to garbage are as torn as
+                        # bytes that do not unpickle at all.
+                        raise pickle.UnpicklingError(
+                            f"not a CommitRecord: {type(record).__name__}")
                     self._cache[name] = (sig, record)
-            except (OSError, pickle.UnpicklingError, EOFError):
+            except OSError:
+                continue
+            except Exception:
+                # A torn or partial record -- a writer that died
+                # mid-write without the atomic-replace discipline, a
+                # truncated tail after a host crash -- can fail
+                # unpickling with nearly any exception type
+                # (EOFError, UnpicklingError, AttributeError, ...).
+                # Skip it; nothing is cached for it, so the next poll
+                # re-reads and picks it up once a complete record lands.
                 continue
             out[record.map_id] = record
         return out

@@ -1,0 +1,199 @@
+"""Shared worker-process pool: the service owns the slots, schedulers
+borrow them.
+
+Before the job service existed, every :class:`~repro.mapreduce.runtime.
+scheduler.TaskScheduler` owned its worker processes outright: it forked
+attempts freely up to its private ``max_workers`` and nothing else on
+the machine had a say.  A long-lived daemon running many tenants' jobs
+concurrently needs the opposite ownership: **one** pool of worker slots
+for the whole process, with every scheduler *leasing* capacity from it.
+That inversion is this module.
+
+:class:`WorkerPool` tracks two budgets under one lock:
+
+* a **global slot count** (``max_workers``) -- the hard bound on live
+  worker processes across every concurrently running job; and
+* **per-tenant quotas** -- a tenant may be capped below the global
+  bound, so one tenant's wide job cannot starve the rest of the pool
+  even when slots are free (the service sets quotas from its config).
+
+A scheduler asks for a :class:`PoolLease` (tagged with its tenant) and
+then *spawns through the lease*: every successful spawn charges one
+global slot and one tenant slot; every release returns both.  The pool
+also keeps the multiprocessing context (fork server, start-method
+choice) alive across jobs -- the "warm" half of the warm pool: job N+1
+forks from the same parent image job N did, with no per-job runtime
+setup or teardown.
+
+A scheduler constructed *without* a pool builds a private single-tenant
+one, so standalone ``repro run`` behaves exactly as before -- the
+refactor changes ownership, not behavior.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from typing import Any
+
+__all__ = ["PoolSaturatedError", "WorkerPool", "PoolLease"]
+
+
+class PoolSaturatedError(RuntimeError):
+    """A spawn was attempted with no slot available.
+
+    Schedulers are expected to check :meth:`PoolLease.available` before
+    launching; this error firing means a bookkeeping bug, not overload
+    (overload is handled by *not launching*, never by crashing).
+    """
+
+
+class WorkerPool:
+    """Bounded, tenant-aware factory for worker processes.
+
+    Thread-safe: the service's concurrent job executors all spawn
+    through the same pool.  ``max_workers`` bounds live processes
+    globally; :meth:`set_quota` bounds one tenant's share.  The pool
+    never *queues* spawn requests -- capacity checks are the caller's
+    poll loop's job -- it only accounts and forks.
+    """
+
+    def __init__(self, max_workers: int | None = None,
+                 start_method: str | None = None) -> None:
+        self.max_workers = max(1, max_workers or os.cpu_count() or 1)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.context = multiprocessing.get_context(start_method)
+        self._lock = threading.Lock()
+        self._running = 0
+        #: live worker processes per tenant
+        self._tenant_running: dict[str, int] = {}
+        #: concurrent-task cap per tenant (absent = global bound only)
+        self._quotas: dict[str, int] = {}
+
+    # -------------------------------------------------------------- config
+
+    def set_quota(self, tenant: str, max_tasks: int) -> None:
+        """Cap ``tenant`` at ``max_tasks`` concurrent worker processes."""
+        if max_tasks < 1:
+            raise ValueError(f"quota must be >= 1, got {max_tasks}")
+        with self._lock:
+            self._quotas[tenant] = max_tasks
+
+    def lease(self, tenant: str = "default") -> "PoolLease":
+        """A spawn handle charged to ``tenant``'s quota."""
+        return PoolLease(self, tenant)
+
+    # ------------------------------------------------------------ accounting
+
+    def _available(self, tenant: str) -> int:
+        with self._lock:
+            free = self.max_workers - self._running
+            quota = self._quotas.get(tenant)
+            if quota is not None:
+                free = min(free, quota - self._tenant_running.get(tenant, 0))
+            return max(0, free)
+
+    def _acquire(self, tenant: str) -> bool:
+        with self._lock:
+            if self._running >= self.max_workers:
+                return False
+            quota = self._quotas.get(tenant)
+            if (quota is not None
+                    and self._tenant_running.get(tenant, 0) >= quota):
+                return False
+            self._running += 1
+            self._tenant_running[tenant] = (
+                self._tenant_running.get(tenant, 0) + 1)
+            return True
+
+    def _release(self, tenant: str) -> None:
+        with self._lock:
+            # Defensive floor: a double release must not open phantom
+            # capacity (the invariant the lease's bookkeeping protects).
+            self._running = max(0, self._running - 1)
+            held = self._tenant_running.get(tenant, 0)
+            if held <= 1:
+                self._tenant_running.pop(tenant, None)
+            else:
+                self._tenant_running[tenant] = held - 1
+
+    # --------------------------------------------------------------- queries
+
+    def running(self) -> int:
+        """Live worker processes across every lease."""
+        with self._lock:
+            return self._running
+
+    def running_for(self, tenant: str) -> int:
+        """Live worker processes charged to one tenant."""
+        with self._lock:
+            return self._tenant_running.get(tenant, 0)
+
+    def stats(self) -> dict[str, Any]:
+        """Snapshot for health endpoints and traces."""
+        with self._lock:
+            return {
+                "max_workers": self.max_workers,
+                "running": self._running,
+                "per_tenant": dict(sorted(self._tenant_running.items())),
+                "quotas": dict(sorted(self._quotas.items())),
+            }
+
+
+class PoolLease:
+    """One scheduler's borrowing handle on a shared :class:`WorkerPool`.
+
+    Every :meth:`spawn` charges a slot; the matching :meth:`release`
+    must follow when the process is reaped or killed.  The lease keeps
+    its own outstanding count so :meth:`close` can return slots leaked
+    by an error path -- a crashed scheduler must never permanently
+    shrink the daemon's pool.
+    """
+
+    def __init__(self, pool: WorkerPool, tenant: str) -> None:
+        self.pool = pool
+        self.tenant = tenant
+        self._lock = threading.Lock()
+        self._outstanding = 0
+
+    def available(self) -> int:
+        """Slots a spawn could take right now (global AND tenant caps)."""
+        return self.pool._available(self.tenant)
+
+    def spawn(self, target: Any, args: tuple, *,
+              daemon: bool = True) -> Any:
+        """Fork-and-start one worker process inside a charged slot."""
+        if not self.pool._acquire(self.tenant):
+            raise PoolSaturatedError(
+                f"no worker slot free for tenant {self.tenant!r} "
+                f"({self.pool.stats()})")
+        try:
+            process = self.pool.context.Process(
+                target=target, args=args, daemon=daemon)
+            process.start()
+        except BaseException:
+            self.pool._release(self.tenant)
+            raise
+        with self._lock:
+            self._outstanding += 1
+        return process
+
+    def release(self) -> None:
+        """Return one slot (the process was reaped or killed)."""
+        with self._lock:
+            if self._outstanding <= 0:
+                return  # already balanced; never double-credit the pool
+            self._outstanding -= 1
+        self.pool._release(self.tenant)
+
+    def close(self) -> None:
+        """Return every slot this lease still holds (error-path sweep)."""
+        while True:
+            with self._lock:
+                if self._outstanding <= 0:
+                    return
+                self._outstanding -= 1
+            self.pool._release(self.tenant)

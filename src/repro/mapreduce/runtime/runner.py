@@ -35,7 +35,9 @@ from __future__ import annotations
 
 import os
 import shutil
+import signal
 import tempfile
+import threading
 from typing import Any, Sequence
 
 from repro.mapreduce.engine import (
@@ -66,6 +68,7 @@ from repro.mapreduce.runtime.recovery import (
     file_crc32,
     job_fingerprint,
 )
+from repro.mapreduce.runtime.pool import WorkerPool
 from repro.mapreduce.runtime.scheduler import TaskScheduler, TaskSpec
 from repro.mapreduce.runtime.shuffle import SegmentRef, ShuffleConfig
 from repro.mapreduce.runtime.trace import RuntimeTrace
@@ -87,6 +90,16 @@ class ParallelJobRunner:
     additionally adopts any valid completed work a previous (killed)
     run left in that directory.  ``resume=True`` requires
     ``recovery_dir``.
+
+    ``pool``/``tenant`` borrow worker slots from a shared
+    :class:`~repro.mapreduce.runtime.pool.WorkerPool` (the job
+    service's warm pool) instead of owning a private one;
+    ``cancel_event`` aborts the run cooperatively -- every in-flight
+    worker is killed, segment servers stop, and a recovery-enabled
+    run leaves its manifest behind for a later ``resume=True``.
+    ``run()`` also wires SIGTERM/SIGINT to that event when called on
+    the main thread, so a terminated standalone run drains cleanly
+    instead of leaking children.
     """
 
     def __init__(
@@ -112,6 +125,9 @@ class ParallelJobRunner:
         recovery_dir: str | None = None,
         resume: bool = False,
         start_method: str | None = None,
+        pool: WorkerPool | None = None,
+        tenant: str = "default",
+        cancel_event: threading.Event | None = None,
         fault_injector: FaultInjector | None = None,
         num_hosts: int = 2,
         max_host_reexecs: int = 2,
@@ -132,6 +148,10 @@ class ParallelJobRunner:
         self.max_workers = max_workers
         self.recovery_dir = recovery_dir
         self.resume = resume
+        self.pool = pool
+        self.tenant = tenant
+        self.cancel_event = (cancel_event if cancel_event is not None
+                             else threading.Event())
         self._scheduler_kwargs = dict(
             max_workers=max_workers,
             max_retries=max_retries,
@@ -149,6 +169,8 @@ class ParallelJobRunner:
             heartbeat_timeout=heartbeat_timeout,
             wave_deadline=wave_deadline,
             start_method=start_method,
+            pool=pool,
+            tenant=tenant,
             fault_injector=fault_injector,
         )
         #: trace of the most recent run (also on ``JobResult.trace``)
@@ -170,6 +192,16 @@ class ParallelJobRunner:
         """Remove an owned workdir (no-op for caller-supplied dirs)."""
         if self._own_workdir and os.path.isdir(self.workdir):
             shutil.rmtree(self.workdir, ignore_errors=True)
+
+    def cancel(self) -> None:
+        """Abort the in-flight run cooperatively (thread-safe).
+
+        The scheduler's poll loop observes the event, kills every
+        worker, and raises :class:`~repro.mapreduce.runtime.scheduler.
+        JobCancelledError`; a recovery-enabled run keeps its manifest
+        so ``resume=True`` continues from the interrupt.
+        """
+        self.cancel_event.set()
 
     # ------------------------------------------------------------------ run
 
@@ -194,9 +226,25 @@ class ParallelJobRunner:
             max_host_reexecs=self.max_host_reexecs)
         self.last_hosts = monitor
         scheduler = TaskScheduler(trace=trace, hosts=monitor,
+                                  cancel_event=self.cancel_event,
                                   **self._scheduler_kwargs)
         self.last_adopted = 0
         self.last_map_reexecs = 0
+
+        # Graceful termination: SIGTERM/SIGINT set the cancel event so
+        # the scheduler drains (kills workers, stops segment servers via
+        # the wave's ``finally``) and the manifest survives for resume.
+        # Signal handlers only work on the main thread; service executor
+        # threads use per-job cancel events instead.
+        previous_handlers: dict[int, Any] = {}
+        if threading.current_thread() is threading.main_thread():
+            def _on_signal(signum: int, frame: Any) -> None:
+                self.cancel_event.set()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    previous_handlers[sig] = signal.signal(sig, _on_signal)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
 
         if self.recovery_dir is None:
             run_dir = tempfile.mkdtemp(prefix="run-", dir=self.workdir)
@@ -229,6 +277,11 @@ class ParallelJobRunner:
             if (self._own_workdir and os.path.isdir(self.workdir)
                     and not os.listdir(self.workdir)):
                 shutil.rmtree(self.workdir, ignore_errors=True)
+            for sig, handler in previous_handlers.items():
+                try:
+                    signal.signal(sig, handler)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
         self.last_trace = trace
         return result
 

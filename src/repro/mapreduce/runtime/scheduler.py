@@ -48,11 +48,11 @@ tests pin down against the serial runner.
 from __future__ import annotations
 
 import json
-import multiprocessing
 import multiprocessing.connection
 import os
 import shutil
 import statistics
+import threading
 import time
 from collections import defaultdict
 from dataclasses import dataclass
@@ -62,6 +62,7 @@ from repro.mapreduce.metrics import C
 from repro.mapreduce.runtime.fault import Fault, FaultInjector
 from repro.mapreduce.runtime.hosts import HostHealthMonitor
 from repro.mapreduce.runtime.pipeline import STARVED_NAME
+from repro.mapreduce.runtime.pool import PoolSaturatedError, WorkerPool
 from repro.mapreduce.runtime.trace import RuntimeTrace
 from repro.mapreduce.runtime.worker import (
     HEARTBEAT_NAME,
@@ -70,7 +71,8 @@ from repro.mapreduce.runtime.worker import (
 )
 from repro.util.backoff import backoff_delay
 
-__all__ = ["TaskSpec", "TaskFailedError", "WaveDeadlineError", "TaskScheduler"]
+__all__ = ["TaskSpec", "TaskFailedError", "WaveDeadlineError",
+           "JobCancelledError", "TaskScheduler"]
 
 
 @dataclass(frozen=True)
@@ -108,6 +110,28 @@ class WaveDeadlineError(TaskFailedError):
                   f"{len(self.unfinished)} unfinished task(s):\n{diagnosis}")
         super().__init__(self.unfinished[0] if self.unfinished else "<none>",
                          0, detail)
+
+
+class JobCancelledError(RuntimeError):
+    """The wave was interrupted through its cancel event.
+
+    Raised by the scheduler's poll loop when the runner's
+    ``cancel_event`` is set -- a SIGTERM/SIGINT on a standalone run, or
+    an explicit ``repro cancel`` / daemon shutdown on a service job.
+    Every in-flight worker has been killed (the ``finally`` sweep) and,
+    on a recovery-enabled run, the manifest holds every task completed
+    before the interrupt -- a later ``resume=True`` run picks up from
+    there instead of from scratch.
+    """
+
+    def __init__(self, unfinished: Sequence[str],
+                 reason: str = "cancelled") -> None:
+        self.unfinished = list(unfinished)
+        self.reason = reason
+        super().__init__(
+            f"job {reason} with {len(self.unfinished)} unfinished "
+            f"task(s): {', '.join(self.unfinished[:8])}"
+            f"{'...' if len(self.unfinished) > 8 else ''}")
 
 
 class _Attempt:
@@ -184,7 +208,22 @@ class TaskScheduler:
         disables.  Breach raises :class:`WaveDeadlineError`.
     start_method:
         ``multiprocessing`` start method; defaults to ``fork`` where
-        available (cheap, no pickling of job/dataset on launch).
+        available (cheap, no pickling of job/dataset on launch).  Only
+        consulted when the scheduler builds its own private pool --
+        a borrowed ``pool`` brings its own context.
+    pool / tenant:
+        The :class:`~repro.mapreduce.runtime.pool.WorkerPool` worker
+        slots are leased from, and the tenant the lease is charged to.
+        Without a pool the scheduler builds a private one sized
+        ``max_workers`` -- the pre-service ownership model, byte-for-
+        byte.  With a shared pool (the job service), every launch
+        also needs a free global slot *and* tenant-quota headroom, so
+        concurrent jobs split the machine instead of over-forking it.
+    cancel_event:
+        Optional :class:`threading.Event`; when set, the poll loop
+        stops the wave with :class:`JobCancelledError` after killing
+        every in-flight worker.  The runner wires SIGTERM/SIGINT and
+        service-side cancellation to this.
     fault_injector:
         Optional :class:`FaultInjector`, forwarded to workers.
     hosts:
@@ -220,10 +259,15 @@ class TaskScheduler:
         wave_deadline: float | None = None,
         poll_interval: float = 0.005,
         start_method: str | None = None,
+        pool: WorkerPool | None = None,
+        tenant: str = "default",
+        cancel_event: threading.Event | None = None,
         fault_injector: FaultInjector | None = None,
         hosts: HostHealthMonitor | None = None,
         trace: RuntimeTrace | None = None,
     ) -> None:
+        if max_workers is None and pool is not None:
+            max_workers = pool.max_workers
         self.max_workers = max(1, max_workers or os.cpu_count() or 1)
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -280,10 +324,15 @@ class TaskScheduler:
                 h: f for h, f in fault_injector.host_plan().items()
                 if f.mode == "disk_fault"}
         self.trace = trace if trace is not None else RuntimeTrace()
-        if start_method is None:
-            methods = multiprocessing.get_all_start_methods()
-            start_method = "fork" if "fork" in methods else methods[0]
-        self._ctx = multiprocessing.get_context(start_method)
+        if pool is None:
+            # Standalone mode: a private pool sized to this scheduler,
+            # exactly the pre-service ownership model.
+            pool = WorkerPool(max_workers=self.max_workers,
+                              start_method=start_method)
+        self.pool = pool
+        self.tenant = tenant
+        self.cancel_event = cancel_event
+        self._lease = pool.lease(tenant)
 
     # ------------------------------------------------------------------ wave
 
@@ -379,13 +428,12 @@ class TaskScheduler:
         for s, _ in pending:
             trace.record(s.task_id, 0, s.kind, "queued")
 
-        def launch(spec: TaskSpec, speculative: bool) -> None:
+        def launch(spec: TaskSpec, speculative: bool) -> bool:
             # Always launch the *current* spec for this task id: a map
             # re-execution may have re-pointed the payload since this
             # spec object was queued.
             spec = by_id[spec.task_id]
             number = next_attempt[spec.task_id]
-            next_attempt[spec.task_id] += 1
             attempt_dir = os.path.join(wave_dir, f"{spec.task_id}.{number}")
             os.makedirs(attempt_dir, exist_ok=True)
             result_path = os.path.join(attempt_dir, "_result.pkl")
@@ -405,17 +453,23 @@ class TaskScheduler:
                     # the stable hash decide who fails over).
                     disk_fault = self._disk_faults.get(
                         self.hosts.host_for(spec.task_id))
-            process = self._ctx.Process(
-                target=worker_entry,
-                args=(spec.task_id, spec.kind, number, attempt_dir,
-                      result_path, job,
-                      dataset if spec.kind == "map" else None,
-                      spec.payload, fault, self.heartbeat_interval,
-                      skip_mode, self.shuffle, fetch_faults,
-                      host, disk_fault),
-                daemon=True,
-            )
-            process.start()
+            try:
+                process = self._lease.spawn(
+                    worker_entry,
+                    (spec.task_id, spec.kind, number, attempt_dir,
+                     result_path, job,
+                     dataset if spec.kind == "map" else None,
+                     spec.payload, fault, self.heartbeat_interval,
+                     skip_mode, self.shuffle, fetch_faults,
+                     host, disk_fault),
+                )
+            except PoolSaturatedError:
+                # Lost the race for the last shared slot to a concurrent
+                # job between the availability check and the spawn; the
+                # attempt number stays unspent and the caller requeues.
+                shutil.rmtree(attempt_dir, ignore_errors=True)
+                return False
+            next_attempt[spec.task_id] += 1
             running.append(_Attempt(spec, number, process, attempt_dir,
                                     result_path, speculative, host))
             if disk_fault is not None:
@@ -429,12 +483,18 @@ class TaskScheduler:
                 trace.record(spec.task_id, number, spec.kind, "skipping",
                              "record-level skipping after eligible failure")
             trace.record(spec.task_id, number, spec.kind, "started")
+            return True
+
+        def retire(attempt: _Attempt) -> None:
+            """Drop a reaped/killed attempt and return its pool slot."""
+            running.remove(attempt)
+            self._lease.release()
 
         def kill_rivals(task_id: str, winner: _Attempt) -> None:
             for rival in [a for a in running
                           if a.spec.task_id == task_id and a is not winner]:
                 _kill_process(rival.process)
-                running.remove(rival)
+                retire(rival)
                 trace.record(task_id, rival.number, rival.spec.kind,
                              "killed", "rival attempt won")
                 trace.record(task_id, rival.number, rival.spec.kind,
@@ -495,7 +555,7 @@ class TaskScheduler:
                 stale = [a for a in running if a.spec.task_id == reduce_id]
                 for a in stale:
                     _kill_process(a.process)
-                    running.remove(a)
+                    retire(a)
                     trace.record(reduce_id, a.number, "reduce", "killed",
                                  f"segments of {map_id} invalidated by "
                                  f"re-execution")
@@ -630,7 +690,7 @@ class TaskScheduler:
                 if reason is None:
                     continue
                 _kill_process(attempt.process)
-                running.remove(attempt)
+                retire(attempt)
                 trace.record(attempt.spec.task_id, attempt.number,
                              attempt.spec.kind, "timeout", reason)
                 record_failure(attempt, reason)
@@ -655,7 +715,7 @@ class TaskScheduler:
             for host in self.hosts.take_newly_dead():
                 for a in [x for x in running if x.host == host]:
                     _kill_process(a.process)
-                    running.remove(a)
+                    retire(a)
                     trace.record(a.spec.task_id, a.number, a.spec.kind,
                                  "killed", f"{host} declared dead")
                     shutil.rmtree(a.dir, ignore_errors=True)
@@ -711,7 +771,8 @@ class TaskScheduler:
                 in_flight[a.spec.task_id] += 1
             queued = {s.task_id for s, _ in pending}
             for a in list(running):
-                if len(running) >= self.max_workers:
+                if (len(running) >= self.max_workers
+                        or self._lease.available() <= 0):
                     return
                 if pipeline and a.spec.kind == "reduce":
                     # A pipelined reducer's age is dominated by waiting
@@ -727,8 +788,8 @@ class TaskScheduler:
                         or a.spec.task_id in queued):
                     continue
                 if now - a.started > threshold:
-                    launch(a.spec, speculative=True)
-                    in_flight[a.spec.task_id] += 1
+                    if launch(a.spec, speculative=True):
+                        in_flight[a.spec.task_id] += 1
 
         def check_starvation(now: float) -> None:
             """Progress-triggered speculation for pipelined waves.
@@ -766,7 +827,8 @@ class TaskScheduler:
                     # straggling; let ordinary scheduling catch up.
                     continue
                 for map_id in missing:
-                    if len(running) >= self.max_workers:
+                    if (len(running) >= self.max_workers
+                            or self._lease.available() <= 0):
                         return
                     attempts = in_flight.get(map_id, [])
                     if (len(attempts) != 1 or attempts[0].speculative
@@ -778,8 +840,8 @@ class TaskScheduler:
                                  "pipeline_starved",
                                  f"{reducer.spec.task_id} starved on "
                                  f"{len(missing)} missing segment(s)")
-                    launch(by_id[map_id], speculative=True)
-                    in_flight[map_id].append(running[-1])
+                    if launch(by_id[map_id], speculative=True):
+                        in_flight[map_id].append(running[-1])
 
         def preempt_for_maps(now: float) -> None:
             """Combined-wave deadlock breaker: maps outrank reducers.
@@ -793,8 +855,11 @@ class TaskScheduler:
             (it did nothing wrong, and its restart is byte-identical by
             determinism).
             """
-            if not pipeline or len(running) < self.max_workers:
+            if not pipeline:
                 return
+            if (len(running) < self.max_workers
+                    and self._lease.available() > 0):
+                return  # a free slot exists; no need to evict anyone
             launchable_map = any(
                 s.kind == "map" and nb <= now and s.task_id not in results
                 for s, nb in pending)
@@ -805,7 +870,7 @@ class TaskScheduler:
                 return
             victim = max(victims, key=lambda a: a.started)
             _kill_process(victim.process)
-            running.remove(victim)
+            retire(victim)
             task_id = victim.spec.task_id
             trace.record(task_id, victim.number, "reduce", "killed",
                          "preempted for pending map work")
@@ -819,6 +884,13 @@ class TaskScheduler:
 
         try:
             while len(results) < len(by_id):
+                if (self.cancel_event is not None
+                        and self.cancel_event.is_set()):
+                    # The finally sweep kills in-flight workers; every
+                    # already-won task is in the manifest (on_complete
+                    # fired), so a resume continues from here.
+                    raise JobCancelledError(
+                        [t for t in by_id if t not in results])
                 now = time.monotonic()
                 if pipeline:
                     # Maps outrank reduces for free slots (a pipelined
@@ -826,9 +898,12 @@ class TaskScheduler:
                     # stable, so within-kind FIFO order is preserved.
                     pending.sort(key=lambda e: e[0].kind != "map")
                 preempt_for_maps(now)
-                # Launch work while slots are free.
+                # Launch work while slots are free (both this wave's own
+                # concurrency cap and the shared pool must have room).
                 i = 0
-                while i < len(pending) and len(running) < self.max_workers:
+                while (i < len(pending)
+                       and len(running) < self.max_workers
+                       and self._lease.available() > 0):
                     spec, not_before = pending[i]
                     if spec.task_id in results:
                         pending.pop(i)
@@ -837,7 +912,11 @@ class TaskScheduler:
                         i += 1
                         continue
                     pending.pop(i)
-                    launch(spec, speculative=False)
+                    if not launch(spec, speculative=False):
+                        # Spawn raced a concurrent job for the last
+                        # slot and lost; put the task back and wait.
+                        pending.insert(i, (spec, not_before))
+                        break
                 maybe_speculate(now)
                 check_starvation(now)
                 enforce_deadlines(now)
@@ -847,7 +926,7 @@ class TaskScheduler:
                     if attempt not in running or attempt.process.is_alive():
                         continue
                     attempt.process.join()
-                    running.remove(attempt)
+                    retire(attempt)
                     progressed = True
                     handle_exit(attempt)
                 drain_dead_hosts()
@@ -860,10 +939,16 @@ class TaskScheduler:
                             sentinels, timeout=self.poll_interval)
                     elif pending:
                         # Nothing in flight: sleep just long enough for
-                        # the earliest backoff gate to open.
+                        # the earliest backoff gate to open -- or, when
+                        # the shared pool has no slot for us, one poll
+                        # quantum (never hot-spin while other jobs hold
+                        # the machine).
                         gate = min(nb for _, nb in pending)
-                        time.sleep(min(max(gate - now, 0.0),
-                                       self.poll_interval))
+                        delay = min(max(gate - now, 0.0),
+                                    self.poll_interval)
+                        if delay <= 0 and self._lease.available() <= 0:
+                            delay = self.poll_interval
+                        time.sleep(delay)
                     else:  # pragma: no cover - defensive
                         time.sleep(self.poll_interval)
         finally:
@@ -875,4 +960,7 @@ class TaskScheduler:
                 if attempt.process.is_alive():
                     attempt.process.kill()
                     attempt.process.join(timeout=5)
+            # Return every slot still charged to this wave: a shared
+            # pool must come out whole no matter how the wave ended.
+            self._lease.close()
         return results

@@ -1,0 +1,54 @@
+"""Multi-tenant job service: a crash-safe daemon over the runtime.
+
+One long-lived process (``repro serve``) owns the machine's worker
+slots (:class:`~repro.mapreduce.runtime.pool.WorkerPool`), accepts job
+submissions from many tenants over a local REST endpoint, prices each
+submission with the fitted cost model before admitting it, schedules
+admitted jobs with weighted deficit round-robin fair sharing, and
+executes them on the shared pool with per-tenant concurrent-task
+quotas.  Every accepted job is durably registered (CRC-enveloped spec,
+state, and event records) *before* the submitter hears "accepted", so
+a SIGKILLed daemon restarts with zero accepted jobs lost: queued jobs
+re-queue, running jobs resume from their recovery manifests, and the
+resumed outputs and counters are byte-identical to an uninterrupted
+run (the R6 chaos soak pins this down).
+
+Overload is explicit, never silent: a full queue, an over-budget job,
+or an over-committed cluster rejects the submission with a structured
+429/413-style error the client can act on.
+"""
+
+from repro.mapreduce.runtime.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionRejected,
+)
+from repro.mapreduce.runtime.service.daemon import JobService, ServiceConfig
+from repro.mapreduce.runtime.service.fairshare import DeficitScheduler
+from repro.mapreduce.runtime.service.registry import (
+    JOB_STATES,
+    JobRecord,
+    JobRegistry,
+)
+from repro.mapreduce.runtime.service.workloads import (
+    JobSpec,
+    build_injector,
+    build_workload,
+    estimate_workload,
+)
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionRejected",
+    "DeficitScheduler",
+    "JOB_STATES",
+    "JobRecord",
+    "JobRegistry",
+    "JobService",
+    "JobSpec",
+    "ServiceConfig",
+    "build_injector",
+    "build_workload",
+    "estimate_workload",
+]

@@ -1,0 +1,230 @@
+"""Local REST endpoint + client for the job daemon.
+
+Stdlib-only (``http.server`` / ``urllib``), bound to 127.0.0.1 on an
+ephemeral port: this is a *local* service endpoint (the CLI talking to
+the daemon on the same machine), not a network server.  The bound
+address is published atomically to ``<root>/service.json`` together
+with the daemon pid, which is how ``repro submit/status/cancel`` find
+the daemon -- and how they detect a dead one (connection refused →
+"daemon not running; stale service.json").
+
+Routes::
+
+    POST /jobs            submit a JobSpec           -> 200 | 4xx/5xx
+    GET  /jobs            list all jobs
+    GET  /jobs/<id>       one job's status
+    POST /jobs/<id>/cancel
+    GET  /health          pool + queue + ledger stats
+    POST /shutdown        graceful stop (running jobs stay resumable)
+
+Admission rejections surface as their own HTTP status (429/413/503)
+with the structured JSON payload in the body -- the "explicit
+overload shedding" half of the service contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.mapreduce.runtime.service.admission import AdmissionRejected
+from repro.mapreduce.runtime.service.daemon import JobService
+from repro.mapreduce.runtime.service.workloads import JobSpec
+from repro.util.fsio import atomic_write_bytes
+
+__all__ = ["ServiceEndpoint", "ServiceClient", "ServiceUnavailableError",
+           "SERVICE_FILE"]
+
+SERVICE_FILE = "service.json"
+
+
+class ServiceUnavailableError(RuntimeError):
+    """No live daemon behind the advertised address."""
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: JobService  # injected by ServiceEndpoint
+
+    # ------------------------------------------------------------------ plumb
+
+    def log_message(self, fmt: str, *args: Any) -> None:  # noqa: A003
+        pass  # the registry's event log is the audit trail, not stderr
+
+    def _reply(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length", "0"))
+        raw = self.rfile.read(length) if length else b"{}"
+        return json.loads(raw.decode("utf-8"))
+
+    # ----------------------------------------------------------------- routes
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler convention
+        parts = [p for p in self.path.split("/") if p]
+        if parts == ["health"]:
+            self._reply(200, self.service.stats())
+        elif parts == ["jobs"]:
+            self._reply(200, {"jobs": self.service.jobs()})
+        elif len(parts) == 2 and parts[0] == "jobs":
+            summary = self.service.status(parts[1])
+            if summary is None:
+                self._reply(404, {"error": "NOT_FOUND",
+                                  "message": f"no job {parts[1]}"})
+            else:
+                self._reply(200, summary)
+        else:
+            self._reply(404, {"error": "NOT_FOUND",
+                              "message": f"no route {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler convention
+        parts = [p for p in self.path.split("/") if p]
+        try:
+            if parts == ["jobs"]:
+                try:
+                    spec = JobSpec.from_json(self._read_json())
+                except (ValueError, json.JSONDecodeError) as exc:
+                    self._reply(400, {"error": "BAD_REQUEST",
+                                      "http_status": 400,
+                                      "message": str(exc),
+                                      "retry_after": None})
+                    return
+                self._reply(200, self.service.submit(spec))
+            elif len(parts) == 3 and parts[0] == "jobs" \
+                    and parts[2] == "cancel":
+                summary = self.service.cancel(parts[1])
+                if summary is None:
+                    self._reply(404, {"error": "NOT_FOUND",
+                                      "message": f"no job {parts[1]}"})
+                else:
+                    self._reply(200, summary)
+            elif parts == ["shutdown"]:
+                self._reply(200, {"state": "stopping"})
+                # Stop after the reply is on the wire; the server loop
+                # is shut down from a helper thread to avoid deadlock
+                # (shutdown() joins the serve_forever thread's poll).
+                threading.Thread(target=self.server.initiate_shutdown,
+                                 daemon=True).start()
+            else:
+                self._reply(404, {"error": "NOT_FOUND",
+                                  "message": f"no route {self.path}"})
+        except AdmissionRejected as exc:
+            self._reply(exc.http_status, exc.payload)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    service: JobService
+    on_shutdown: Any = None
+
+    def initiate_shutdown(self) -> None:
+        if self.on_shutdown is not None:
+            self.on_shutdown()
+        self.shutdown()
+
+
+class ServiceEndpoint:
+    """Bind, publish, and serve the daemon's REST address."""
+
+    def __init__(self, service: JobService) -> None:
+        self.service = service
+        handler = type("BoundHandler", (_Handler,), {"service": service})
+        self.server = _Server(("127.0.0.1", 0), handler)
+        self.server.service = service
+        self.server.on_shutdown = service.shutdown
+        self.address = self.server.server_address[:2]
+
+    def publish(self) -> str:
+        """Atomically advertise ``{host, port, pid}`` in the root."""
+        path = os.path.join(self.service.config.root, SERVICE_FILE)
+        atomic_write_bytes(path, json.dumps({
+            "host": self.address[0],
+            "port": self.address[1],
+            "pid": os.getpid(),
+        }).encode("utf-8"))
+        return path
+
+    def serve_forever(self) -> None:
+        """Block until a ``/shutdown`` request (or KeyboardInterrupt)."""
+        try:
+            self.server.serve_forever(poll_interval=0.1)
+        except KeyboardInterrupt:
+            self.service.shutdown()
+        finally:
+            self.server.server_close()
+
+
+class ServiceClient:
+    """CLI-side client resolving the daemon through ``service.json``."""
+
+    def __init__(self, root: str, timeout: float = 10.0) -> None:
+        self.root = root
+        self.timeout = timeout
+
+    def _base_url(self) -> str:
+        path = os.path.join(self.root, SERVICE_FILE)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                info = json.load(fh)
+            host, port = info["host"], int(info["port"])
+        except (OSError, KeyError, TypeError, ValueError) as exc:
+            raise ServiceUnavailableError(
+                f"no daemon advertised under {self.root!r} "
+                f"(missing or damaged {SERVICE_FILE}): {exc}") from None
+        return f"http://{host}:{port}"
+
+    def request(self, method: str, route: str,
+                payload: dict[str, Any] | None = None) -> dict[str, Any]:
+        """One JSON round-trip; 4xx/5xx bodies are returned, not raised
+        (a structured rejection is an *answer*, not a transport error).
+        """
+        url = self._base_url() + route
+        data = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        req = urllib.request.Request(
+            url, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                return json.loads(exc.read().decode("utf-8"))
+            except (ValueError, OSError):
+                return {"error": "HTTP_ERROR", "http_status": exc.code,
+                        "message": str(exc)}
+        except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+            raise ServiceUnavailableError(
+                f"daemon unreachable at {url}: {exc} "
+                f"(crashed daemon? restart with `repro serve` to recover "
+                f"its jobs)") from None
+
+    # ------------------------------------------------------------ operations
+
+    def submit(self, spec: JobSpec) -> dict[str, Any]:
+        return self.request("POST", "/jobs", spec.to_json())
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> dict[str, Any]:
+        return self.request("GET", "/jobs")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self.request("POST", f"/jobs/{job_id}/cancel")
+
+    def health(self) -> dict[str, Any]:
+        return self.request("GET", "/health")
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request("POST", "/shutdown")

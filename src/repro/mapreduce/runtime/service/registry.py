@@ -1,0 +1,290 @@
+"""Crash-safe job registry: the daemon's durable source of truth.
+
+Every accepted job owns one directory under ``<root>/jobs/``:
+
+* ``spec.json`` -- the CRC-enveloped :class:`~repro.mapreduce.runtime.
+  service.workloads.JobSpec`.  Written atomically *before* the
+  submitter hears "accepted"; its presence **is** acceptance, so a
+  daemon SIGKILLed one instruction after replying has already promised
+  nothing it cannot keep.
+* ``state.json`` -- the CRC-enveloped current state
+  (``QUEUED``/``RUNNING``/``DONE``/``FAILED``/``CANCELLED`` plus a
+  detail string), re-committed atomically per transition.
+* ``events.jsonl`` -- an append-only event log, one CRC-enveloped JSON
+  line per event.  Appends are not atomic (that is the point: cheap),
+  so readers verify each line's CRC and stop at the first torn tail --
+  a half-appended line after a crash costs that one event, never the
+  log.
+* ``recovery/`` -- the runner's checkpoint manifest directory
+  (:mod:`~repro.mapreduce.runtime.recovery`); this is what lets a
+  RUNNING job resume mid-flight after a daemon crash.
+* ``result.pkl`` -- the durable output + counters, CRC-enveloped and
+  committed **before** the DONE transition: observing DONE implies the
+  result is readable.
+
+The same envelope discipline as the runner's manifest (store
+``crc32(body)`` beside the body; a mismatch means "damaged", distinct
+from "absent") -- reused rather than re-invented so one set of
+corruption tests covers both layers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import struct
+import threading
+import time
+import zlib
+from typing import Any
+
+from repro.mapreduce.runtime.service.workloads import JobSpec
+from repro.util.fsio import atomic_write_bytes, fsync_file
+
+__all__ = ["JOB_STATES", "JobRecord", "JobRegistry"]
+
+JOB_STATES = ("QUEUED", "RUNNING", "DONE", "FAILED", "CANCELLED")
+
+#: states the recovery scan must pick back up after a daemon crash
+RESUMABLE_STATES = ("QUEUED", "RUNNING")
+
+SPEC_NAME = "spec.json"
+STATE_NAME = "state.json"
+EVENTS_NAME = "events.jsonl"
+RESULT_NAME = "result.pkl"
+RECOVERY_DIRNAME = "recovery"
+
+#: result envelope: magic + crc32 + length, then the pickle body
+_RESULT_HEADER = struct.Struct(">4sII")
+_RESULT_MAGIC = b"RJR1"
+
+
+def _envelope(obj: Any) -> bytes:
+    body = json.dumps(obj, sort_keys=True).encode("utf-8")
+    return json.dumps({"crc": zlib.crc32(body),
+                       "body": body.decode("utf-8")}).encode("utf-8")
+
+
+def _open_envelope(raw: bytes) -> Any | None:
+    """Decode one CRC envelope; ``None`` for torn or damaged bytes."""
+    try:
+        outer = json.loads(raw.decode("utf-8"))
+        body = str(outer["body"]).encode("utf-8")
+        if zlib.crc32(body) != int(outer["crc"]):
+            return None
+        return json.loads(body.decode("utf-8"))
+    except (KeyError, TypeError, ValueError, UnicodeDecodeError):
+        return None
+
+
+class JobRecord:
+    """Handle on one job's durable directory."""
+
+    def __init__(self, job_id: str, directory: str) -> None:
+        self.job_id = job_id
+        self.dir = directory
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ paths
+
+    @property
+    def recovery_dir(self) -> str:
+        return os.path.join(self.dir, RECOVERY_DIRNAME)
+
+    @property
+    def result_path(self) -> str:
+        return os.path.join(self.dir, RESULT_NAME)
+
+    # ------------------------------------------------------------------- spec
+
+    def save_spec(self, spec: JobSpec) -> None:
+        atomic_write_bytes(os.path.join(self.dir, SPEC_NAME),
+                           _envelope(spec.to_json()))
+
+    def load_spec(self) -> JobSpec | None:
+        """The accepted spec; ``None`` if absent or damaged."""
+        try:
+            with open(os.path.join(self.dir, SPEC_NAME), "rb") as fh:
+                raw = fh.read()
+        except OSError:
+            return None
+        obj = _open_envelope(raw)
+        if obj is None:
+            return None
+        try:
+            return JobSpec.from_json(obj)
+        except ValueError:
+            return None
+
+    # ------------------------------------------------------------------ state
+
+    def set_state(self, state: str, detail: str = "") -> None:
+        if state not in JOB_STATES:
+            raise ValueError(f"unknown job state {state!r}")
+        with self._lock:
+            atomic_write_bytes(
+                os.path.join(self.dir, STATE_NAME),
+                _envelope({"state": state, "detail": detail,
+                           "updated": time.time()}))
+        self.append_event("state", f"{state}: {detail}" if detail else state)
+
+    def state(self) -> tuple[str, str]:
+        """Current ``(state, detail)``; a missing or damaged state file
+        reads as QUEUED (the spec alone is a valid accepted job)."""
+        try:
+            with open(os.path.join(self.dir, STATE_NAME), "rb") as fh:
+                raw = fh.read()
+        except OSError:
+            return "QUEUED", ""
+        obj = _open_envelope(raw)
+        if not isinstance(obj, dict) or obj.get("state") not in JOB_STATES:
+            return "QUEUED", "state file damaged; treated as queued"
+        return str(obj["state"]), str(obj.get("detail", ""))
+
+    # ----------------------------------------------------------------- events
+
+    def append_event(self, kind: str, detail: str = "") -> None:
+        """Append one CRC-enveloped event line (fsynced, not atomic)."""
+        body = json.dumps({"ts": time.time(), "kind": kind,
+                           "detail": detail}, sort_keys=True)
+        line = json.dumps({"crc": zlib.crc32(body.encode("utf-8")),
+                           "body": body}) + "\n"
+        with self._lock:
+            with open(os.path.join(self.dir, EVENTS_NAME), "a",
+                      encoding="utf-8") as fh:
+                fh.write(line)
+                fsync_file(fh)
+
+    def events(self) -> list[dict[str, Any]]:
+        """Every intact event, in append order.
+
+        Reading stops at the first torn line: a crash mid-append can
+        only damage the tail, so everything before it is trustworthy
+        and everything after it cannot exist.
+        """
+        out: list[dict[str, Any]] = []
+        try:
+            with open(os.path.join(self.dir, EVENTS_NAME), "r",
+                      encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return out
+        for line in lines:
+            obj = _open_envelope(line.strip().encode("utf-8"))
+            if not isinstance(obj, dict):
+                break
+            out.append(obj)
+        return out
+
+    # ----------------------------------------------------------------- result
+
+    def save_result(self, output: Any, counters: Any) -> None:
+        """Durably commit the job's deliverable before DONE is claimed."""
+        body = pickle.dumps({"output": output, "counters": counters})
+        blob = _RESULT_HEADER.pack(_RESULT_MAGIC, zlib.crc32(body),
+                                   len(body)) + body
+        atomic_write_bytes(self.result_path, blob)
+
+    def load_result(self) -> dict[str, Any] | None:
+        """The committed result; ``None`` if absent or damaged."""
+        try:
+            with open(self.result_path, "rb") as fh:
+                raw = fh.read()
+        except OSError:
+            return None
+        if len(raw) < _RESULT_HEADER.size:
+            return None
+        magic, crc, length = _RESULT_HEADER.unpack_from(raw)
+        body = raw[_RESULT_HEADER.size:]
+        if magic != _RESULT_MAGIC or len(body) != length \
+                or zlib.crc32(body) != crc:
+            return None
+        try:
+            return pickle.loads(body)
+        except Exception:
+            return None
+
+    def summary(self) -> dict[str, Any]:
+        """One status row for the CLI / REST listing."""
+        state, detail = self.state()
+        spec = self.load_spec()
+        return {
+            "job_id": self.job_id,
+            "tenant": spec.tenant if spec is not None else "?",
+            "query": spec.query if spec is not None else "?",
+            "state": state,
+            "detail": detail,
+            "events": len(self.events()),
+            "has_result": self.load_result() is not None,
+        }
+
+
+class JobRegistry:
+    """Allocate, persist, and recover job records under one root."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.jobs_dir = os.path.join(root, "jobs")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        self._lock = threading.Lock()
+        self._next = self._scan_next_id()
+
+    def _scan_next_id(self) -> int:
+        highest = -1
+        for name in os.listdir(self.jobs_dir):
+            if name.startswith("j") and name[1:].isdigit():
+                highest = max(highest, int(name[1:]))
+        return highest + 1
+
+    # --------------------------------------------------------------- creation
+
+    def create(self, spec: JobSpec) -> JobRecord:
+        """Durably accept one submission.
+
+        The spec commit is the acceptance point: once ``spec.json``
+        exists the job survives any daemon crash.  The id allocation
+        uses a directory-create as the lock-free uniqueness check, so
+        two submitter threads can never share an id.
+        """
+        with self._lock:
+            while True:
+                job_id = f"j{self._next:06d}"
+                self._next += 1
+                directory = os.path.join(self.jobs_dir, job_id)
+                try:
+                    os.makedirs(directory)
+                except FileExistsError:  # pragma: no cover - stale dir
+                    continue
+                break
+        record = JobRecord(job_id, directory)
+        record.save_spec(spec)
+        record.set_state("QUEUED", "accepted")
+        return record
+
+    # --------------------------------------------------------------- recovery
+
+    def get(self, job_id: str) -> JobRecord | None:
+        directory = os.path.join(self.jobs_dir, job_id)
+        if not os.path.isdir(directory):
+            return None
+        return JobRecord(job_id, directory)
+
+    def load_all(self) -> list[JobRecord]:
+        """Every accepted job (a readable spec), in id order.
+
+        A directory without an intact spec is a submission the daemon
+        died inside *before* acceptance -- the submitter never heard
+        yes, so it is skipped, not resurrected.
+        """
+        out = []
+        for name in sorted(os.listdir(self.jobs_dir)):
+            record = self.get(name)
+            if record is not None and record.load_spec() is not None:
+                out.append(record)
+        return out
+
+    def resumable(self) -> list[JobRecord]:
+        """Jobs a restarting daemon must pick back up (QUEUED/RUNNING)."""
+        return [r for r in self.load_all()
+                if r.state()[0] in RESUMABLE_STATES]

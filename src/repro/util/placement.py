@@ -1,0 +1,33 @@
+"""The one stable placement hash for the simulated cluster.
+
+Task homing (:func:`repro.mapreduce.runtime.hosts.host_for`) and
+segment-server spreading (``ShuffleService.server_index``) must agree on
+where an id lands: host *k* and segment server *k* are one failure
+domain precisely because both sides bucket with the same function.
+Keeping the hash here -- instead of two inlined ``crc32(id) % n``
+expressions -- makes that agreement structural: there is nothing left
+to silently diverge.
+
+The hash must be **stable across processes and Python versions**
+(``hash()`` is salted per process), cheap, and uniform enough to spread
+a handful of ids over a handful of buckets; CRC32 of the UTF-8 id is
+all of that.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["placement_index"]
+
+
+def placement_index(key: str, num_buckets: int) -> int:
+    """Bucket for ``key`` among ``num_buckets`` placement targets.
+
+    The single source of truth for both task->host homing and
+    map->segment-server spreading; with equal bucket counts the two
+    placements coincide by construction.
+    """
+    if num_buckets <= 0:
+        raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+    return zlib.crc32(key.encode("utf-8")) % num_buckets

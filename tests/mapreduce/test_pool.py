@@ -1,0 +1,156 @@
+"""WorkerPool/PoolLease: the slot accounting the job service trusts.
+
+The pool-ownership inversion only works if the accounting is airtight:
+slots charged on spawn, returned exactly once on release, per-tenant
+quotas enforced under the global bound, and error paths unable to leak
+or mint capacity.  These tests pin that ledger, plus the scheduler's
+standalone fallback (no pool given -> private pool, old behavior).
+"""
+
+import time
+
+import pytest
+
+from repro.mapreduce.runtime.pool import (
+    PoolLease,
+    PoolSaturatedError,
+    WorkerPool,
+)
+
+
+def _sleep_forever():
+    time.sleep(60)
+
+
+def _noop():
+    pass
+
+
+def test_available_respects_global_bound():
+    pool = WorkerPool(max_workers=2)
+    lease = pool.lease("a")
+    assert lease.available() == 2
+    p1 = lease.spawn(_sleep_forever, ())
+    p2 = lease.spawn(_sleep_forever, ())
+    try:
+        assert lease.available() == 0
+        assert pool.running() == 2
+        with pytest.raises(PoolSaturatedError):
+            lease.spawn(_sleep_forever, ())
+        # The failed spawn must not have charged anything.
+        assert pool.running() == 2
+    finally:
+        for p in (p1, p2):
+            p.terminate()
+            p.join()
+        lease.close()
+    assert pool.running() == 0
+
+
+def test_tenant_quota_caps_below_global():
+    pool = WorkerPool(max_workers=4)
+    pool.set_quota("small", 1)
+    small = pool.lease("small")
+    big = pool.lease("big")
+    p1 = small.spawn(_sleep_forever, ())
+    try:
+        assert small.available() == 0  # quota exhausted
+        assert big.available() == 3    # global capacity remains
+        with pytest.raises(PoolSaturatedError):
+            small.spawn(_sleep_forever, ())
+        assert pool.running_for("small") == 1
+    finally:
+        p1.terminate()
+        p1.join()
+        small.close()
+    assert pool.running_for("small") == 0
+
+
+def test_release_is_idempotent_per_spawn():
+    pool = WorkerPool(max_workers=2)
+    lease = pool.lease("t")
+    p = lease.spawn(_noop, ())
+    p.join()
+    lease.release()
+    # Extra releases must not mint phantom capacity.
+    lease.release()
+    lease.release()
+    assert pool.running() == 0
+    assert lease.available() == 2
+
+
+def test_close_sweeps_leaked_slots():
+    pool = WorkerPool(max_workers=3)
+    lease = pool.lease("t")
+    procs = [lease.spawn(_noop, ()) for _ in range(3)]
+    for p in procs:
+        p.join()
+    assert pool.running() == 3  # never released: simulated error path
+    lease.close()
+    assert pool.running() == 0
+    lease.close()  # second sweep is a no-op
+    assert pool.running() == 0
+
+
+def test_two_leases_share_the_global_budget():
+    pool = WorkerPool(max_workers=2)
+    a, b = pool.lease("a"), pool.lease("b")
+    pa = a.spawn(_sleep_forever, ())
+    pb = b.spawn(_sleep_forever, ())
+    try:
+        assert a.available() == 0 and b.available() == 0
+        with pytest.raises(PoolSaturatedError):
+            a.spawn(_sleep_forever, ())
+    finally:
+        for p in (pa, pb):
+            p.terminate()
+            p.join()
+        a.close()
+        b.close()
+    assert pool.running() == 0
+
+
+def test_quota_validation():
+    pool = WorkerPool(max_workers=2)
+    with pytest.raises(ValueError):
+        pool.set_quota("t", 0)
+
+
+def test_stats_snapshot():
+    pool = WorkerPool(max_workers=2)
+    pool.set_quota("t", 1)
+    lease = pool.lease("t")
+    p = lease.spawn(_sleep_forever, ())
+    try:
+        stats = pool.stats()
+        assert stats["max_workers"] == 2
+        assert stats["running"] == 1
+        assert stats["per_tenant"] == {"t": 1}
+        assert stats["quotas"] == {"t": 1}
+    finally:
+        p.terminate()
+        p.join()
+        lease.close()
+
+
+def test_scheduler_without_pool_builds_private_one():
+    """Standalone construction keeps the pre-service behavior."""
+    from repro.mapreduce.runtime.runner import ParallelJobRunner
+
+    runner = ParallelJobRunner(max_workers=2)
+    assert runner.pool is None  # private pool is created per scheduler
+
+
+def test_scheduler_with_pool_inherits_width():
+    from repro.mapreduce.runtime.runner import ParallelJobRunner
+
+    pool = WorkerPool(max_workers=3)
+    runner = ParallelJobRunner(pool=pool, tenant="t")
+    assert runner.pool is pool
+
+
+def test_lease_is_cheap_and_unbounded_to_create():
+    pool = WorkerPool(max_workers=1)
+    leases = [pool.lease(f"t{i}") for i in range(50)]
+    assert all(isinstance(x, PoolLease) for x in leases)
+    assert pool.running() == 0

@@ -1,0 +1,265 @@
+"""JobService integration: execute, cancel, recover, REST round-trip.
+
+In-process versions of the daemon's contract (the subprocess SIGKILL
+soak lives in the R6 harness): a submitted spec executes on the shared
+pool byte-identical to a solo serial run, cancellation hits both
+queued and running jobs, and a second service over the same root
+rebuilds queue + ledger from the registry alone.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.mapreduce.engine import LocalJobRunner
+from repro.mapreduce.runtime.service import (
+    AdmissionConfig,
+    AdmissionRejected,
+    JobService,
+    JobSpec,
+    ServiceConfig,
+    build_workload,
+)
+from repro.mapreduce.runtime.service.http import (
+    ServiceClient,
+    ServiceEndpoint,
+    ServiceUnavailableError,
+)
+
+
+def _spec(**overrides) -> JobSpec:
+    base = dict(tenant="alice", query="histogram", shape=(6, 6),
+                seed=3, num_maps=2, num_reducers=1)
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+def _config(root, **overrides) -> ServiceConfig:
+    base = dict(root=str(root), max_workers=2, executors=1)
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+def _wait_state(service, job_id, states, timeout=60.0) -> str:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        state = service.status(job_id)["state"]
+        if state in states:
+            return state
+        time.sleep(0.05)
+    return service.status(job_id)["state"]
+
+
+class TestExecution:
+    def test_submit_executes_byte_identical_to_serial(self, tmp_path):
+        service = JobService(_config(tmp_path))
+        service.start()
+        try:
+            spec = _spec()
+            reply = service.submit(spec)
+            assert reply["state"] == "QUEUED"
+            assert reply["predicted_seconds"] > 0
+            assert _wait_state(service, reply["job_id"], ("DONE",)) == "DONE"
+            stored = service.registry.get(reply["job_id"]).load_result()
+            base = LocalJobRunner().run(*build_workload(spec))
+            assert stored["output"] == base.output
+            assert stored["counters"] == base.counters
+        finally:
+            service.shutdown()
+
+    def test_failed_job_is_isolated(self, tmp_path):
+        service = JobService(_config(tmp_path))
+        service.start()
+        try:
+            # Poison with no skip budget fails the job; the daemon (and
+            # later jobs) must be unaffected.
+            bad = service.submit(_spec(query="subset", shape=(8, 8),
+                                       poison=(("m00000", 1),)))
+            good = service.submit(_spec(seed=9))
+            assert _wait_state(service, bad["job_id"],
+                               ("FAILED", "DONE")) == "FAILED"
+            assert _wait_state(service, good["job_id"],
+                               ("DONE", "FAILED")) == "DONE"
+            # The ledger was credited back for both.
+            assert service.admission.outstanding_seconds() == 0.0
+        finally:
+            service.shutdown()
+
+    def test_profiles_refit_after_completion(self, tmp_path):
+        service = JobService(_config(tmp_path))
+        service.start()
+        try:
+            reply = service.submit(_spec())
+            _wait_state(service, reply["job_id"], ("DONE",))
+            assert service._fit_profiles  # next price() refits from these
+            assert service.price(_spec(seed=11)) > 0
+        finally:
+            service.shutdown()
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, tmp_path):
+        service = JobService(_config(tmp_path))  # no executors started
+        reply = service.submit(_spec())
+        summary = service.cancel(reply["job_id"])
+        assert summary["state"] == "CANCELLED"
+        assert service.admission.outstanding_seconds() == 0.0
+        assert service.scheduler.queued_total() == 0
+
+    def test_cancel_running_job(self, tmp_path):
+        service = JobService(_config(tmp_path))
+        service.start()
+        try:
+            # Big enough to still be running when cancel lands.
+            reply = service.submit(_spec(query="sliding_mean",
+                                         shape=(40, 40), num_maps=4,
+                                         num_reducers=2))
+            job_id = reply["job_id"]
+            assert _wait_state(service, job_id,
+                               ("RUNNING", "DONE")) in ("RUNNING", "DONE")
+            service.cancel(job_id)
+            state = _wait_state(service, job_id, ("CANCELLED", "DONE"))
+            # A cancel that loses the race to completion is DONE; both
+            # end states must credit the ledger back.
+            assert state in ("CANCELLED", "DONE")
+            deadline = time.monotonic() + 10
+            while (service.admission.outstanding_seconds()
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+            assert service.admission.outstanding_seconds() == 0.0
+        finally:
+            service.shutdown()
+
+    def test_cancel_unknown_job(self, tmp_path):
+        service = JobService(_config(tmp_path))
+        assert service.cancel("j999999") is None
+
+
+class TestRecovery:
+    def test_queued_jobs_survive_daemon_loss(self, tmp_path):
+        first = JobService(_config(tmp_path))  # executors never started
+        specs = [_spec(seed=s) for s in (3, 5)]
+        ids = [first.submit(s)["job_id"] for s in specs]
+        del first  # simulated crash: nothing flushed, no shutdown
+
+        second = JobService(_config(tmp_path))
+        assert second.recover() == 2
+        # The ledger was rebuilt by re-pricing the specs.
+        assert second.admission.outstanding_seconds() > 0
+        second.start()  # re-scan is harmless: queue was already drained
+        try:
+            for job_id, spec in zip(ids, specs):
+                assert _wait_state(second, job_id, ("DONE",)) == "DONE"
+                stored = second.registry.get(job_id).load_result()
+                base = LocalJobRunner().run(*build_workload(spec))
+                assert stored["output"] == base.output
+                assert stored["counters"] == base.counters
+        finally:
+            second.shutdown()
+
+    def test_running_job_requeued_with_recovered_event(self, tmp_path):
+        first = JobService(_config(tmp_path))
+        job_id = first.submit(_spec())["job_id"]
+        # Simulate dying mid-execution: state committed as RUNNING.
+        first.registry.get(job_id).set_state("RUNNING", "executing")
+        del first
+
+        second = JobService(_config(tmp_path))
+        assert second.recover() == 1
+        record = second.registry.get(job_id)
+        assert record.state()[0] == "QUEUED"
+        assert any(e["kind"] == "recovered" for e in record.events())
+
+    def test_terminal_jobs_not_recovered(self, tmp_path):
+        first = JobService(_config(tmp_path))
+        done = first.submit(_spec())["job_id"]
+        cancelled = first.submit(_spec(seed=5))["job_id"]
+        first.registry.get(done).set_state("DONE")
+        first.cancel(cancelled)
+        del first
+        assert JobService(_config(tmp_path)).recover() == 0
+
+
+class TestShutdownSemantics:
+    def test_submit_after_shutdown_is_503(self, tmp_path):
+        service = JobService(_config(tmp_path))
+        service.start()
+        service.shutdown()
+        with pytest.raises(AdmissionRejected) as exc:
+            service.submit(_spec())
+        assert exc.value.payload["error"] == "SHUTTING_DOWN"
+        assert exc.value.http_status == 503
+
+
+class TestRest:
+    @pytest.fixture()
+    def served(self, tmp_path):
+        service = JobService(_config(tmp_path))
+        service.start()
+        endpoint = ServiceEndpoint(service)
+        endpoint.publish()
+        thread = threading.Thread(target=endpoint.serve_forever,
+                                  daemon=True)
+        thread.start()
+        yield service, ServiceClient(str(tmp_path))
+        if not service.stopping:
+            service.shutdown()
+        endpoint.server.shutdown()
+        thread.join(timeout=10)
+
+    def test_full_round_trip(self, served):
+        service, client = served
+        assert client.health()["pool"]["max_workers"] == 2
+        reply = client.submit(_spec())
+        job_id = reply["job_id"]
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if client.status(job_id)["state"] == "DONE":
+                break
+            time.sleep(0.05)
+        status = client.status(job_id)
+        assert status["state"] == "DONE"
+        assert status["has_result"] is True
+        assert any(j["job_id"] == job_id
+                   for j in client.jobs()["jobs"])
+
+    def test_bad_spec_is_400(self, served):
+        _, client = served
+        reply = client.request("POST", "/jobs", {"tenant": "a"})
+        assert reply["error"] == "BAD_REQUEST"
+        assert reply["http_status"] == 400
+
+    def test_unknown_job_is_404(self, served):
+        _, client = served
+        assert client.status("j424242")["error"] == "NOT_FOUND"
+
+    def test_unknown_route_is_404(self, served):
+        _, client = served
+        assert client.request("GET", "/nope")["error"] == "NOT_FOUND"
+
+    def test_rejection_surfaces_through_rest(self, tmp_path):
+        config = _config(
+            tmp_path,
+            admission=AdmissionConfig(max_queued=4,
+                                      max_queued_per_tenant=1))
+        service = JobService(config)  # executors off: queue can't drain
+        endpoint = ServiceEndpoint(service)
+        endpoint.publish()
+        thread = threading.Thread(target=endpoint.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(str(tmp_path))
+            assert "job_id" in client.submit(_spec())
+            reply = client.submit(_spec(seed=9))
+            assert reply["error"] == "TENANT_OVERLOADED"
+            assert reply["http_status"] == 429
+            assert reply["retry_after"] is not None
+        finally:
+            endpoint.server.shutdown()
+            thread.join(timeout=10)
+
+    def test_client_without_daemon(self, tmp_path):
+        with pytest.raises(ServiceUnavailableError):
+            ServiceClient(str(tmp_path)).health()

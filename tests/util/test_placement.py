@@ -1,0 +1,55 @@
+"""The shared placement hash: one definition, stable everywhere.
+
+Host pinning and network-shuffle server spreading both place ids by
+``crc32(id) % n``; these tests pin the shared helper's contract and
+that both call sites actually route through it (the R4/R5 fault
+matrices depend on placement never drifting between subsystems).
+"""
+
+import zlib
+
+import pytest
+
+from repro.mapreduce.runtime.hosts import host_for
+from repro.util.placement import placement_index
+
+
+def test_matches_crc32_mod():
+    for key in ("m00000", "r00001", "host3", "", "uñicode"):
+        for n in (1, 2, 3, 7, 64):
+            assert placement_index(key, n) == \
+                zlib.crc32(key.encode("utf-8")) % n
+
+
+def test_stable_across_calls():
+    assert placement_index("m00042", 5) == placement_index("m00042", 5)
+
+
+def test_range():
+    for i in range(200):
+        assert 0 <= placement_index(f"t{i:05d}", 7) < 7
+
+
+def test_rejects_nonpositive_buckets():
+    with pytest.raises(ValueError):
+        placement_index("x", 0)
+    with pytest.raises(ValueError):
+        placement_index("x", -3)
+
+
+def test_host_for_uses_shared_hash():
+    for task in ("m00000", "m00001", "r00000"):
+        for hosts in (1, 2, 3, 5):
+            assert host_for(task, hosts) == \
+                f"host{placement_index(task, hosts)}"
+
+
+def test_netshuffle_server_spread_uses_shared_hash():
+    from repro.mapreduce.runtime.netshuffle import ShuffleService
+
+    # server_index only consults num_servers, so a bare instance is
+    # enough to exercise the real placement path.
+    service = object.__new__(ShuffleService)
+    service.num_servers = 3
+    for map_id in ("m00000", "m00001", "m00002"):
+        assert service.server_index(map_id) == placement_index(map_id, 3)
