@@ -28,7 +28,7 @@ def _registry() -> dict[str, tuple[str, Callable]]:
         e1_motivation, fig2_stream, fig3_table, fig4_scaling, \
         fig8_aggregation, figures_5_6_7, key_splitting, levers, locality, \
         multivar, p2_columnar, p3_pipeline, parallel_speedup, r2_poison, \
-        r3_shuffle, r4_netshuffle, r5_hostchaos, r6_service
+        r3_shuffle, r4_netshuffle, r5_hostchaos, r6_service, r7_memchaos
 
     return {
         "E1": ("§I motivation: per-cell-key file sizes (paper-exact)",
@@ -101,6 +101,10 @@ def _registry() -> dict[str, tuple[str, Callable]]:
                "restart under concurrent tenants, admission shedding, "
                "fair-share dispatch, zero accepted jobs lost",
                lambda: r6_service.run()),
+        "R7": ("robustness: memory chaos -- OOM kills mid-map/mid-fetch/"
+               "mid-merge, real rlimit MemoryErrors, and byte-based "
+               "shuffle backpressure under a small budget, both runners",
+               lambda: r7_memchaos.run()),
     }
 
 
@@ -215,6 +219,10 @@ def _run_serve(args, parser) -> int:
         os.environ["REPRO_SERVICE_EXECUTORS"] = str(args.executors)
     if args.tenants is not None:
         os.environ["REPRO_SERVICE_TENANTS"] = args.tenants
+    if args.max_memory is not None:
+        if args.max_memory < 1:
+            parser.error("--max-memory must be >= 1")
+        os.environ["REPRO_SERVICE_MAX_MEMORY"] = str(args.max_memory)
     try:
         config = ServiceConfig.from_env(root)
     except ValueError as exc:
@@ -230,6 +238,45 @@ def _run_serve(args, parser) -> int:
     endpoint.serve_forever()
     print("service stopped")
     return 0
+
+
+#: registry states after which a followed event log can grow no further
+_TERMINAL_STATES = ("DONE", "FAILED", "CANCELLED")
+
+
+def _tail_events(client, args) -> int:
+    """``repro events [--follow]``: print (and optionally tail) a job's
+    durable event log.
+
+    The daemon's appends are fsynced but not atomic, so the registry's
+    ``events_since`` never consumes a torn tail line -- a poll that
+    races a mid-flight append simply rereads that line complete on the
+    next round.  With ``--follow``, polling stops once the job reports
+    a terminal state *and* a final drain returns nothing new (events
+    appended between the state check and the last poll still print).
+    """
+    import json as _json
+    import time as _time
+
+    offset = 0
+    while True:
+        reply = client.events(args.job_id, since=offset)
+        if reply.get("error"):
+            print(_json.dumps(reply, indent=2, sort_keys=True),
+                  file=sys.stderr)
+            return 1
+        for event in reply.get("events", ()):
+            print(f"{event.get('ts', 0):.3f}  {event.get('kind', '?'):<12}"
+                  f"  {event.get('detail', '')}", flush=True)
+        offset = int(reply.get("offset", offset))
+        state = reply.get("state")
+        if not args.follow:
+            return 0
+        if state in _TERMINAL_STATES and not reply.get("events"):
+            print(f"-- {args.job_id} {state}", flush=True)
+            return 0
+        if not reply.get("events"):
+            _time.sleep(max(0.05, args.interval))
 
 
 def _run_client(args, parser) -> int:
@@ -255,6 +302,8 @@ def _run_client(args, parser) -> int:
                     bins=args.bins,
                     num_maps=args.num_maps,
                     num_reducers=args.num_reducers,
+                    memory_budget=args.memory_budget,
+                    max_inflight_bytes=args.max_inflight_bytes,
                     skip_budget=args.skip_budget,
                     poison=tuple(
                         (t, int(r)) for t, r in
@@ -268,8 +317,23 @@ def _run_client(args, parser) -> int:
             reply = client.submit(spec)
         elif args.command == "status":
             reply = client.status(args.job_id)
+        elif args.command == "events":
+            return _tail_events(client, args)
         elif args.command == "jobs":
             reply = client.jobs()
+            if isinstance(reply, dict) and "jobs" in reply:
+                # Occupancy alongside the listing: leased slots,
+                # per-tenant usage, and memory-ledger headroom.
+                health = client.health()
+                reply["occupancy"] = {
+                    "pool": health.get("pool"),
+                    "queued": health.get("queued"),
+                    "outstanding_seconds":
+                        health.get("outstanding_seconds"),
+                    "outstanding_memory_bytes":
+                        health.get("outstanding_memory_bytes"),
+                    "memory_cap_bytes": health.get("memory_cap_bytes"),
+                }
         elif args.command == "cancel":
             reply = client.cancel(args.job_id)
         else:  # shutdown
@@ -325,9 +389,16 @@ def main(argv: list[str] | None = None) -> int:
                          help="concurrently executing jobs (default 2)")
     serve_p.add_argument("--tenants", default=None,
                          help="per-tenant weights and quotas as "
-                              "'name:weight:quota,...' (e.g. "
-                              "'alice:2:4,bob:1:2'); unlisted tenants "
-                              "get weight 1 and no quota")
+                              "'name:weight:quota[:membytes],...' (e.g. "
+                              "'alice:2:4,bob:1:2:1048576'); the optional "
+                              "fourth field caps the tenant's outstanding "
+                              "priced job memory; unlisted tenants get "
+                              "weight 1 and no quota")
+    serve_p.add_argument("--max-memory", type=int, default=None,
+                         help="global cap on outstanding priced job "
+                              "memory in bytes; beyond it submissions "
+                              "are shed with OVERCOMMITTED_MEMORY 429s "
+                              "(default: uncapped)")
     submit_p = sub.add_parser(
         "submit", help="submit a job to the daemon and print its id")
     submit_p.add_argument("--root", default=None,
@@ -351,6 +422,13 @@ def main(argv: list[str] | None = None) -> int:
                           help="map tasks (default 4)")
     submit_p.add_argument("--num-reducers", type=int, default=2,
                           help="reducers (default 2)")
+    submit_p.add_argument("--memory-budget", type=int, default=None,
+                          help="per-task memory ledger capacity in bytes "
+                               "for this job (>= 256; overruns degrade "
+                               "and retry with halved buffers)")
+    submit_p.add_argument("--max-inflight-bytes", type=int, default=None,
+                          help="reduce-side fetch byte window for this "
+                               "job (bytes of in-flight shuffle data)")
     submit_p.add_argument("--skip-budget", type=int, default=None,
                           help="enable record skipping with this "
                                "quarantine budget")
@@ -367,6 +445,19 @@ def main(argv: list[str] | None = None) -> int:
     status_p.add_argument("job_id")
     status_p.add_argument("--root", default=None,
                           help="service state directory of the daemon")
+    events_p = sub.add_parser(
+        "events", help="print one job's event log (optionally tailing it "
+                       "until the job reaches a terminal state)")
+    events_p.add_argument("job_id")
+    events_p.add_argument("--root", default=None,
+                          help="service state directory of the daemon")
+    events_p.add_argument("--follow", action="store_true",
+                          help="poll for new events until the job is "
+                               "DONE/FAILED/CANCELLED (torn tail lines "
+                               "are re-read once complete)")
+    events_p.add_argument("--interval", type=float, default=0.5,
+                          help="poll interval in seconds for --follow "
+                               "(default 0.5)")
     jobs_p = sub.add_parser("jobs", help="list the daemon's jobs")
     jobs_p.add_argument("--root", default=None,
                         help="service state directory of the daemon")
@@ -447,6 +538,26 @@ def main(argv: list[str] | None = None) -> int:
                             "pipelined reducer triggers speculative "
                             "re-execution of the late maps (default 2; "
                             "requires --pipeline)")
+    run_p.add_argument("--memory-budget", type=int, default=None,
+                       help="per-task memory ledger capacity in bytes "
+                            "(>= 256; an enforced overrun triggers the "
+                            "degrade-on-retry ladder -- the attempt is "
+                            "retried with halved sort buffer and fetch "
+                            "window; output stays byte-identical)")
+    run_p.add_argument("--max-inflight-bytes", type=int, default=None,
+                       help="byte-based fetch backpressure: cap on the "
+                            "summed priced size of in-flight shuffle "
+                            "fetches per reduce task (default: "
+                            "count-based concurrency only)")
+    run_p.add_argument("--max-memory-retries", type=int, default=None,
+                       help="OOM-dead attempts of one task the degrade "
+                            "ladder absorbs before the job fails "
+                            "(default 2)")
+    run_p.add_argument("--worker-rlimit", type=int, default=None,
+                       help="real RLIMIT_AS address-space cap in bytes "
+                            "applied to forked workers (--runner "
+                            "parallel, Linux; allocations beyond it "
+                            "raise genuine MemoryErrors)")
     run_p.add_argument("--num-hosts", type=int, default=None,
                        help="simulated hosts tasks and segment servers are "
                             "spread over (either runner; default 2)")
@@ -474,7 +585,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "serve":
         return _run_serve(args, parser)
 
-    if args.command in ("submit", "status", "jobs", "cancel", "shutdown"):
+    if args.command in ("submit", "status", "events", "jobs", "cancel",
+                        "shutdown"):
         return _run_client(args, parser)
 
     registry = _registry()
@@ -558,6 +670,25 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--starvation-threshold requires --pipeline")
         os.environ["REPRO_STARVATION_THRESHOLD"] = str(
             args.starvation_threshold)
+    if args.memory_budget is not None:
+        if args.memory_budget < 256:
+            parser.error("--memory-budget must be >= 256 (one IFile block)")
+        os.environ["REPRO_MEMORY_BUDGET"] = str(args.memory_budget)
+    if args.max_inflight_bytes is not None:
+        if args.max_inflight_bytes < 1:
+            parser.error("--max-inflight-bytes must be >= 1")
+        os.environ["REPRO_MAX_INFLIGHT_BYTES"] = str(args.max_inflight_bytes)
+    if args.max_memory_retries is not None:
+        if args.max_memory_retries < 1:
+            parser.error("--max-memory-retries must be >= 1")
+        os.environ["REPRO_MAX_MEMORY_RETRIES"] = str(args.max_memory_retries)
+    if args.worker_rlimit is not None:
+        if args.worker_rlimit < 1:
+            parser.error("--worker-rlimit must be >= 1")
+        runner = args.runner or os.environ.get("REPRO_RUNNER", "serial")
+        if runner.lower() != "parallel":
+            parser.error("--worker-rlimit requires --runner parallel")
+        os.environ["REPRO_WORKER_RLIMIT_BYTES"] = str(args.worker_rlimit)
     if args.num_hosts is not None:
         if args.num_hosts < 1:
             parser.error("--num-hosts must be >= 1")

@@ -49,9 +49,14 @@ def make_runner(**runner_kwargs):
     ``--transport`` / ``--fetch-retries`` / ``--fetch-timeout``), plus
     the host-failure-domain knobs ``REPRO_NUM_HOSTS`` /
     ``REPRO_MAX_HOST_REEXECS`` (the CLI's ``--num-hosts`` /
-    ``--max-host-reexecs``).  Both backends produce byte-identical
-    counters, so paper measurements are runner-independent -- only
-    wall-clock changes.
+    ``--max-host-reexecs``), and the memory knobs
+    ``REPRO_MEMORY_BUDGET`` / ``REPRO_MAX_INFLIGHT_BYTES`` /
+    ``REPRO_MAX_MEMORY_RETRIES`` (which travel inside the shuffle
+    config); the parallel runtime additionally honours
+    ``REPRO_WORKER_RLIMIT_BYTES`` (a real ``RLIMIT_AS`` cap applied to
+    forked workers).  Both backends produce byte-identical counters,
+    so paper measurements are runner-independent -- only wall-clock
+    changes.
     """
     from repro.mapreduce.runtime.shuffle import shuffle_config_from_env
 
@@ -93,6 +98,14 @@ def make_runner(**runner_kwargs):
                 raise ValueError(
                     f"REPRO_TASK_TIMEOUT must be > 0, got {timeout}")
             runner_kwargs.setdefault("task_timeout", timeout)
+        raw_rlimit = os.environ.get("REPRO_WORKER_RLIMIT_BYTES")
+        if raw_rlimit is not None:
+            rlimit_bytes = int(raw_rlimit)
+            if rlimit_bytes < 1:
+                raise ValueError(
+                    f"REPRO_WORKER_RLIMIT_BYTES must be >= 1, "
+                    f"got {rlimit_bytes}")
+            runner_kwargs.setdefault("worker_rlimit_bytes", rlimit_bytes)
         recovery_dir = os.environ.get("REPRO_RECOVERY_DIR")
         if recovery_dir:
             runner_kwargs.setdefault("recovery_dir", recovery_dir)

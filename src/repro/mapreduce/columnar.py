@@ -38,11 +38,17 @@ class PartitionBuffer:
     :meth:`to_records`.
     """
 
-    __slots__ = ("_segments", "records")
+    __slots__ = ("_segments", "records", "nbytes")
 
     def __init__(self) -> None:
         self._segments: list = []
         self.records = 0
+        #: payload bytes held (sum of key+value lengths, no per-record
+        #: overhead) -- identical between the scalar and columnar
+        #: representations of the same record sequence, so memory-ledger
+        #: charges sized from it never depend on which path filled the
+        #: buffer
+        self.nbytes = 0
 
     def append(self, key: bytes, value: bytes) -> None:
         """Append one serialized record (scalar path)."""
@@ -52,6 +58,7 @@ class PartitionBuffer:
         else:
             segments.append([(key, value)])
         self.records += 1
+        self.nbytes += len(key) + len(value)
 
     def append_chunk(self, keys: np.ndarray, values: np.ndarray) -> None:
         """Append an ``(n, kw)`` / ``(n, vw)`` uint8 chunk in emission order."""
@@ -62,6 +69,7 @@ class PartitionBuffer:
             return
         self._segments.append((keys, values))
         self.records += n
+        self.nbytes += n * (keys.shape[1] + values.shape[1])
 
     def columnar_view(self) -> tuple[np.ndarray, np.ndarray] | None:
         """One ``(keys, values)`` matrix pair for the whole buffer.
@@ -109,3 +117,4 @@ class PartitionBuffer:
     def clear(self) -> None:
         self._segments.clear()
         self.records = 0
+        self.nbytes = 0

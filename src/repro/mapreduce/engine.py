@@ -27,7 +27,8 @@ from __future__ import annotations
 import os
 import shutil
 import tempfile
-from dataclasses import dataclass, field
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Any, Sequence
 
 import numpy as np
@@ -87,6 +88,12 @@ class JobResult:
     #: was pipelined; deliberately outside ``counters`` so pipeline
     #: on/off compares byte-identical
     pipeline_stats: dict | None = None
+    #: aggregated memory-ledger telemetry (peak charged bytes, budget,
+    #: backpressure waits, OOM events absorbed) when any task ran with
+    #: a :class:`~repro.mapreduce.runtime.memory.MemoryBudget`; peaks
+    #: and waits are wall-clock-shaped, so this lives outside
+    #: ``counters`` like ``pipeline_stats``
+    memory_stats: dict | None = None
 
     @property
     def materialized_bytes(self) -> int:
@@ -241,7 +248,7 @@ def _combine_columnar(
 
 
 def run_map_task(job: Job, split: InputSplit, dataset: Dataset,
-                 workdir: str, *, driver=None) -> MapTaskOutput:
+                 workdir: str, *, driver=None, memory=None) -> MapTaskOutput:
     """Execute one map task (Fig 1 steps 2-3) into ``workdir``.
 
     Pure function of its arguments: reads the split's slab, runs the
@@ -254,6 +261,13 @@ def run_map_task(job: Job, split: InputSplit, dataset: Dataset,
     and owns cleanup -- the hook the skipping runtime uses to run the
     mapper over sub-ranges of the input.  ``None`` (the default) leaves
     the clean path byte-identical to before the hook existed.
+
+    ``memory`` (a :class:`~repro.mapreduce.runtime.memory.MemoryBudget`,
+    or ``None`` for unaccounted) rents the sort buffer's bytes under the
+    ``"sort"`` site around each spill: the charge equals the buffered
+    byte count the spill threshold tracks, so it is deterministic across
+    runners, and an enforced overrun raises ``MemoryError`` -- the
+    signal the degrade-on-retry ladder answers with a halved buffer.
     """
     task_id = f"m{split.split_id:05d}"
     counters = Counters()
@@ -273,10 +287,16 @@ def run_map_task(job: Job, split: InputSplit, dataset: Dataset,
         nonlocal buffered
         if buffered == 0:
             return
-        spills.append(
-            _spill(job, workdir, task_id, len(spills), buffer, codec,
-                   counters, profile, clock)
-        )
+        # The charge is the exact byte count the spill threshold tracks,
+        # so serial and parallel attempts charge identically; rent()
+        # releases on every path, including a MemoryError mid-spill.
+        rent = (memory.rent(buffered, site="sort") if memory is not None
+                else nullcontext())
+        with rent:
+            spills.append(
+                _spill(job, workdir, task_id, len(spills), buffer, codec,
+                       counters, profile, clock)
+            )
         for pbuf in buffer.values():
             pbuf.clear()
         buffered = 0
@@ -425,6 +445,7 @@ def run_reduce_task(
     group_driver=None,
     shuffle=None,
     fetch_faults=None,
+    memory=None,
 ) -> ReduceTaskResult:
     """Execute one reduce task (Fig 1 steps 4-7).
 
@@ -444,6 +465,14 @@ def run_reduce_task(
     ``prepare_filter(merged)`` filters undecodable records before the
     shuffle plugin sees them, and ``group_driver(reducer, merged, ctx)``
     replaces the group-and-reduce loop (per-group fault isolation).
+
+    ``memory`` is the task's :class:`~repro.mapreduce.runtime.memory.
+    MemoryBudget` (``None`` = unaccounted).  The fetcher charges each
+    in-flight transfer's priced bytes under the ``"fetch"`` site; the
+    decoded runs rent their payload bytes under ``"merge"`` for the
+    duration of the merge-group-reduce tail.  The merge rent is an
+    *enforced* charge sized from deterministic ``IFileStats``, so both
+    runners overrun (and degrade) identically.
     """
     # Lazy import: the runtime package imports this module's task
     # functions, so the engine cannot import runtime modules at the top.
@@ -466,7 +495,7 @@ def run_reduce_task(
     refs = [SegmentRef.from_pair(s) for s in segments]
     fetcher = ShuffleFetcher(
         shuffle if shuffle is not None else ShuffleConfig(),
-        counters, task_id, fetch_faults)
+        counters, task_id, fetch_faults, memory=memory)
     runs: list[list[Record]] = []
     run_sizes: list[int] = []
     with clock.measure("shuffle"):
@@ -487,10 +516,20 @@ def run_reduce_task(
         # the logical payload when present.
         profile.wire_bytes = counters.get(C.SHUFFLE_WIRE_BYTES)
 
-    return _merge_group_reduce(job, task_id, runs, run_sizes, workdir,
-                               codec, counters, clock, profile, keep_files,
-                               prepare_filter=prepare_filter,
-                               group_driver=group_driver)
+    if memory is not None:
+        memory.note_waits(fetcher.backpressure_waits)
+    # The decoded runs stay resident through the whole merge tail; rent
+    # their payload bytes (deterministic, from IFileStats) under the
+    # "merge" site so the ledger sees the reduce-side peak and an ``oom``
+    # fault aimed at the merge has a charge to fire on.
+    rent = (memory.rent(sum(run_sizes), site="merge")
+            if memory is not None else nullcontext())
+    with rent:
+        return _merge_group_reduce(job, task_id, runs, run_sizes, workdir,
+                                   codec, counters, clock, profile,
+                                   keep_files,
+                                   prepare_filter=prepare_filter,
+                                   group_driver=group_driver)
 
 
 def _merge_group_reduce(
@@ -661,6 +700,10 @@ class LocalJobRunner:
         self.max_host_reexecs = max_host_reexecs
         #: planned disk faults by home host (populated per run)
         self._disk_plan: dict[str, Any] = {}
+        #: ledger telemetry accumulated across tasks (reset per run)
+        self._memory_tally: dict[str, Any] = {
+            "oom_events": 0, "degraded_attempts": 0, "peak_bytes": 0,
+            "backpressure_waits": 0, "used_budget": False}
         os.makedirs(self.workdir, exist_ok=True)
 
     def __enter__(self) -> "LocalJobRunner":
@@ -705,6 +748,13 @@ class LocalJobRunner:
         counters = Counters()
         profiles: list[TaskProfile] = []
         map_stats = IFileStats()
+        self._memory_tally = {
+            "oom_events": 0,
+            "degraded_attempts": 0,
+            "peak_bytes": 0,
+            "backpressure_waits": 0,
+            "used_budget": False,
+        }
 
         host_plan = self._prepare_host_faults(job, splits)
 
@@ -788,6 +838,14 @@ class LocalJobRunner:
                            if host_for(t, self.num_hosts) in self._disk_plan)
             if affected:
                 counters.incr(C.DISK_FAILOVERS, affected)
+        if self._memory_tally["oom_events"]:
+            # Job-level, like MAPS_REEXECUTED: deterministic under an
+            # injected fault plan, so serial and parallel runs count
+            # identically; clean runs leave them zero (== absent).
+            counters.incr(C.MEMORY_OOM_EVENTS,
+                          self._memory_tally["oom_events"])
+            counters.incr(C.MEMORY_DEGRADED_ATTEMPTS,
+                          self._memory_tally["degraded_attempts"])
 
         if not self.keep_files:
             self._cleanup(map_outputs)
@@ -798,6 +856,18 @@ class LocalJobRunner:
                 aggregate_pipeline_stats,
             )
             pipeline_stats = aggregate_pipeline_stats(pipeline_per_task)
+        memory_stats = None
+        if self._memory_tally["used_budget"]:
+            memory_stats = {
+                "budget": (getattr(self.shuffle, "memory_budget", None)
+                           if self.shuffle is not None else None),
+                "peak_bytes": self._memory_tally["peak_bytes"],
+                "backpressure_waits":
+                    self._memory_tally["backpressure_waits"],
+                "oom_events": self._memory_tally["oom_events"],
+                "degraded_attempts":
+                    self._memory_tally["degraded_attempts"],
+            }
         return JobResult(
             output=output,
             counters=counters,
@@ -806,6 +876,7 @@ class LocalJobRunner:
             num_map_tasks=len(splits),
             num_reduce_tasks=job.num_reducers,
             pipeline_stats=pipeline_stats,
+            memory_stats=memory_stats,
         )
 
     # ------------------------------------------------------------- ladder
@@ -970,15 +1041,73 @@ class LocalJobRunner:
 
     def _serial_fault(self, task_id: str, attempt: int):
         """The injected fault for this attempt, if the serial runner can
-        apply it (only data-shaped faults: ``poison`` and ``corrupt``)."""
+        apply it (only data-shaped faults: ``poison``, ``corrupt``, and
+        ``oom`` -- an in-process ``MemoryError`` needs no worker)."""
         if self.fault_injector is None:
             return None
         fault = self.fault_injector.fault_for(task_id, attempt)
-        if fault is not None and fault.mode not in ("poison", "corrupt"):
+        if fault is not None and fault.mode not in ("poison", "corrupt",
+                                                    "oom"):
             raise ValueError(
                 f"fault mode {fault.mode!r} is not supported by the "
                 f"serial runner (no worker process to fail)")
         return fault
+
+    def _max_memory_retries(self) -> int:
+        """OOM-dead attempts of one task the degrade ladder absorbs."""
+        if self.shuffle is not None:
+            return getattr(self.shuffle, "max_memory_retries", 2)
+        return 2
+
+    def _memory_setup(self, job: Job, fault: Any, degrade: int):
+        """The (degraded) job, shuffle config, and armed task budget for
+        one serial attempt.
+
+        ``degrade`` is how many OOM deaths this task has already
+        suffered: each level deterministically halves the sort buffer
+        (floored at the Job minimum) and the fetch byte window -- the
+        identical formula the parallel scheduler applies, so injected
+        OOM runs stay counter-identical across runners.
+        """
+        shuffle = self.shuffle
+        if degrade:
+            job = dc_replace(job, sort_buffer_bytes=max(
+                1024, job.sort_buffer_bytes >> degrade))
+            mib = (getattr(shuffle, "max_inflight_bytes", None)
+                   if shuffle is not None else None)
+            if mib is not None:
+                shuffle = dc_replace(
+                    shuffle, max_inflight_bytes=max(1, mib >> degrade))
+        capacity = (getattr(shuffle, "memory_budget", None)
+                    if shuffle is not None else None)
+        oom = fault is not None and fault.mode == "oom"
+        if capacity is None and not oom:
+            return job, shuffle, None
+        from repro.mapreduce.runtime.memory import MemoryBudget
+        budget = MemoryBudget(capacity)
+        if oom:
+            if fault.op == "raise":
+                budget.fail_next(fault.where)
+            elif fault.op == "alloc":
+                budget.alloc_next(fault.where, fault.record)
+            else:  # "kill": no process to SIGKILL in-process, so the
+                # simulated OOM killer surfaces as a MemoryError and
+                # takes the same degrade ladder
+                def _killed(nbytes: int, _site: str = fault.where) -> None:
+                    raise MemoryError(
+                        f"simulated oom kill: {_site} charged {nbytes} "
+                        f"bytes over threshold")
+                budget.kill_above(fault.record, _killed, site=fault.where)
+        return job, shuffle, budget
+
+    def _note_budget(self, budget: Any) -> None:
+        """Fold one winning attempt's ledger telemetry into the run."""
+        if budget is None:
+            return
+        tally = self._memory_tally
+        tally["used_budget"] = True
+        tally["peak_bytes"] = max(tally["peak_bytes"], budget.peak)
+        tally["backpressure_waits"] += budget.backpressure_waits
 
     def _run_map(self, job: Job, split: InputSplit,
                  dataset: Dataset) -> MapTaskOutput:
@@ -992,16 +1121,30 @@ class LocalJobRunner:
         workdir = self._task_workdir(task_id)
         attempt = 0
         skip_mode = False
+        degrade = 0
         while True:
             fault = self._serial_fault(task_id, attempt)
             eff = (poisoned_job(job, fault, "map")
                    if fault is not None and fault.mode == "poison" else job)
+            eff, _, budget = self._memory_setup(eff, fault, degrade)
             try:
                 if skip_mode:
                     mo = run_map_task_skipping(eff, split, dataset,
                                                workdir)
                 else:
-                    mo = run_map_task(eff, split, dataset, workdir)
+                    mo = run_map_task(eff, split, dataset, workdir,
+                                      memory=budget)
+            except MemoryError:
+                # OOM (injected or budget overrun): retry with a
+                # deterministically halved sort buffer, bounded by the
+                # memory retry budget -- the degrade-on-retry ladder.
+                if degrade >= self._max_memory_retries():
+                    raise
+                self._memory_tally["oom_events"] += 1
+                self._memory_tally["degraded_attempts"] += 1
+                degrade += 1
+                attempt += 1
+                continue
             except Exception as exc:
                 if (skip_mode or job.skipping is None
                         or not is_skip_eligible(exc)):
@@ -1015,6 +1158,7 @@ class LocalJobRunner:
                           else min(mo.segments))
                 corrupt_file(mo.segments[target][0], fault.offset_frac,
                              fault.op)
+            self._note_budget(budget)
             return mo
 
     def _run_reduce(self, job: Job, part: int,
@@ -1055,16 +1199,18 @@ class LocalJobRunner:
         attempt = 0
         skip_mode = False
         repairs = 0
+        degrade = 0
         while True:
             fault = self._serial_fault(task_id, attempt)
             eff = (poisoned_job(job, fault, "reduce")
                    if fault is not None and fault.mode == "poison" else job)
+            eff, eff_shuffle, budget = self._memory_setup(eff, fault, degrade)
             try:
                 if skip_mode:
                     return run_reduce_task_skipping(
                         eff, part, segments, workdir,
                         keep_files=self.keep_files,
-                        shuffle=self.shuffle, fetch_faults=fetch_faults)
+                        shuffle=eff_shuffle, fetch_faults=fetch_faults)
                 if shuffle_state.get("commitlog") is not None:
                     # Pipelined body over the (complete) commit log:
                     # corrupt-at-rest decode errors and fetch failures
@@ -1076,14 +1222,29 @@ class LocalJobRunner:
                     plan = PipelinePlan(
                         commit_dir=shuffle_state["commit_dir"],
                         map_ids=tuple(mo.task_id for mo in map_outputs))
-                    return run_reduce_task_pipelined(
+                    rr = run_reduce_task_pipelined(
                         eff, part, plan, workdir,
                         keep_files=self.keep_files,
-                        shuffle=self.shuffle, fetch_faults=fetch_faults)
-                return run_reduce_task(eff, part, segments, workdir,
-                                       keep_files=self.keep_files,
-                                       shuffle=self.shuffle,
-                                       fetch_faults=fetch_faults)
+                        shuffle=eff_shuffle, fetch_faults=fetch_faults,
+                        memory=budget)
+                else:
+                    rr = run_reduce_task(eff, part, segments, workdir,
+                                         keep_files=self.keep_files,
+                                         shuffle=eff_shuffle,
+                                         fetch_faults=fetch_faults,
+                                         memory=budget)
+                self._note_budget(budget)
+                return rr
+            except MemoryError:
+                # OOM: degrade-on-retry, same halving as the map side
+                # (and as the parallel scheduler's requeue).
+                if degrade >= self._max_memory_retries():
+                    raise
+                self._memory_tally["oom_events"] += 1
+                self._memory_tally["degraded_attempts"] += 1
+                degrade += 1
+                attempt += 1
+                continue
             except Exception as exc:
                 if isinstance(exc, FetchFailedError):
                     # Charge the producing map a strike; at the

@@ -66,6 +66,14 @@ class C:
     HOSTS_LOST = "HOSTS_LOST"
     MAPS_REEXECUTED_HOST = "MAPS_REEXECUTED_HOST"
     DISK_FAILOVERS = "DISK_FAILOVERS"
+    # memory resilience: injected/real OOM deaths the runners absorbed
+    # and the degraded (halved-buffer) retries that absorbed them.
+    # Deterministic under an injected fault plan, so they live in job
+    # counters and stay serial/parallel-identical; clean runs leave
+    # them zero (== absent).  Backpressure waits and byte peaks are
+    # wall-clock-shaped and live in ``JobResult.memory_stats`` instead.
+    MEMORY_OOM_EVENTS = "MEMORY_OOM_EVENTS"
+    MEMORY_DEGRADED_ATTEMPTS = "MEMORY_DEGRADED_ATTEMPTS"
     # pipelined shuffle.  These are wall-clock-shaped measurements, so
     # they live in ``JobResult.pipeline_stats`` (keyed by these names),
     # NEVER in task/job ``Counters`` -- pipeline on/off must stay

@@ -47,6 +47,7 @@ __all__ = [
     "TunedKnobs",
     "WorkloadSummary",
     "autotune_from_result",
+    "estimate_peak_memory",
 ]
 
 #: per-block framing overhead an IFile charges (length prefix + CRC)
@@ -377,6 +378,40 @@ class CostModel:
             sort_buffer_bytes=sort_buffer, ifile_block_bytes=block,
             predicted_seconds=best[0],
             default_seconds=default.total_seconds)
+
+
+def estimate_peak_memory(workload: WorkloadSummary, *,
+                         num_workers: int,
+                         max_inflight_bytes: int | None = None) -> int:
+    """Priced peak resident bytes of one job: the cost model's memory
+    term, consumed by the service's admission controller.
+
+    An upper bound from the same byte-level ledger sites the runtime
+    charges:
+
+    * a **map** worker holds at most one sort buffer (``flush`` rents
+      exactly the buffered bytes, bounded by ``sort_buffer_bytes``);
+    * a **reduce** worker holds its in-flight fetch window (priced
+      materialized bytes; the whole per-reduce shuffle share when no
+      window bounds it) plus the decoded runs of the merge (raw
+      key+value bytes, approximated by the per-reduce share of the raw
+      map output).
+
+    Every worker slot is priced at the *worse* of the two roles -- the
+    admission controller cannot know the map/reduce mix of the moment,
+    and overcommit is the failure mode being priced out.
+    """
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    w = workload
+    map_peak = w.sort_buffer_bytes
+    shuffle_per_reduce = math.ceil(w.shuffle_bytes / max(1, w.num_reducers))
+    window = (min(max_inflight_bytes, shuffle_per_reduce)
+              if max_inflight_bytes is not None else shuffle_per_reduce)
+    decoded_per_reduce = math.ceil(w.raw_map_output_bytes
+                                   / max(1, w.num_reducers))
+    reduce_peak = window + decoded_per_reduce
+    return num_workers * max(map_peak, reduce_peak, 1)
 
 
 def autotune_from_result(result, job,

@@ -60,13 +60,24 @@ __all__ = [
     "FETCH_OPS",
     "HOST_MODES",
     "DISK_OPS",
+    "OOM_SITES",
+    "OOM_OPS",
     "host_fault_id",
 ]
 
 MODES = ("kill", "crash", "hang", "corrupt", "stall", "poison", "fetch",
-         "host_crash", "host_partition", "disk_fault")
+         "host_crash", "host_partition", "disk_fault", "oom")
 #: host-level failure domains (keyed by host name, not task id)
 HOST_MODES = ("host_crash", "host_partition", "disk_fault")
+#: memory-ledger sites an ``oom`` fault can target (``where``): the map
+#: sort buffer, the reduce fetch window, or the reduce-side merge
+OOM_SITES = ("sort", "fetch", "merge")
+#: how an ``oom`` fault fires: ``raise`` (simulated ``MemoryError`` at
+#: the site's next ledger charge), ``kill`` (SIGKILL-style worker death
+#: when the site's charged bytes cross ``record`` -- the kernel OOM
+#: killer), ``alloc`` (really allocate ``record`` bytes, for a genuine
+#: ``MemoryError`` under ``RLIMIT_AS``)
+OOM_OPS = ("raise", "kill", "alloc")
 #: which file a ``corrupt`` fault damages
 CORRUPT_WHERE = ("map-output", "reduce-input")
 #: how a ``corrupt`` fault damages it
@@ -131,13 +142,19 @@ class Fault:
             raise ValueError(f"seconds must be >= 0, got {self.seconds}")
         if self.record < 0:
             raise ValueError(f"record must be >= 0, got {self.record}")
-        if self.where not in CORRUPT_WHERE:
+        if self.mode == "oom":
+            if self.where not in OOM_SITES:
+                raise ValueError(
+                    f"unknown oom site {self.where!r}; have {OOM_SITES}")
+        elif self.where not in CORRUPT_WHERE:
             raise ValueError(
                 f"unknown corrupt target {self.where!r}; have {CORRUPT_WHERE}")
         if self.mode == "fetch":
             ops = FETCH_OPS
         elif self.mode == "disk_fault":
             ops = DISK_OPS
+        elif self.mode == "oom":
+            ops = OOM_OPS
         elif self.mode in ("host_crash", "host_partition"):
             ops = ("flip",)  # op unused for these modes; default passes
         else:
@@ -238,6 +255,24 @@ class FaultInjector:
         return self.add(host_fault_id(host),
                         Fault("host_partition", record=drops,
                               seconds=seconds))
+
+    def oom(self, task_id: str, *, site: str = "sort", op: str = "raise",
+            attempt: int = 0, nbytes: int = 0,
+            sticky: bool = False) -> "FaultInjector":
+        """Plan an out-of-memory failure at one ledger site.
+
+        ``op="raise"`` injects a simulated ``MemoryError`` at ``site``'s
+        next charge; ``op="kill"`` dies SIGKILL-style the moment the
+        site's charged bytes cross ``nbytes`` (sticky, this models a
+        kernel OOM killer that only backpressure can appease);
+        ``op="alloc"`` really allocates ``nbytes`` at the site, which
+        under ``RLIMIT_AS`` raises a *genuine* ``MemoryError``.  The
+        runners' degrade ladder answers all three by retrying with
+        halved memory knobs.
+        """
+        return self.add(task_id, Fault(
+            "oom", attempt, where=site, op=op, record=nbytes,
+            sticky=sticky))
 
     def disk_fault(self, host: str, *, op: str = "enospc") -> "FaultInjector":
         """Plan a workdir disk failure on ``host``: spill/commit writes

@@ -75,6 +75,7 @@ from typing import Callable, Mapping, Sequence
 from repro.mapreduce.codecs import get_codec
 from repro.mapreduce.metrics import C
 from repro.mapreduce.runtime.fault import Fault
+from repro.mapreduce.runtime.memory import MemoryBudget
 from repro.mapreduce.runtime.shuffle import (
     SegmentRef,
     ShuffleConfig,
@@ -187,6 +188,11 @@ class ShuffleService:
         self.chunk_bytes = chunk_bytes
         self.faults = dict(faults) if faults else {}
         self.trace = trace
+        #: unbounded accounting ledger for server-side transients (the
+        #: whole-segment compress working set); servers charge it with
+        #: ``force=True`` so serving never blocks on accounting, and
+        #: its peak makes server memory visible next to the tasks'
+        self.memory = MemoryBudget(None, name="netshuffle")
         self._lock = threading.Lock()
         self._registry: dict[str, _MapEntry] = {}
         #: path -> (size, mtime_ns, crc32) -- revalidated by stat on
@@ -540,15 +546,26 @@ class SegmentServer:
             fault is not None and fault.op in ("truncate", "flip"))
 
         comp = b""
+        rented = 0
         if framed:
             # Compress the segment *whole*: the stride transform needs
-            # the full key stream to detect its pattern.
+            # the full key stream to detect its pattern.  The raw copy
+            # is rented from the service ledger only for the compress
+            # call; the compressed copy stays charged until sent.
             try:
                 with open(path, "rb") as fh:
-                    comp = get_codec(codec_name).compress(fh.read())
+                    blob = fh.read()
             except OSError as exc:
                 self._error(conn, MISSING_FILE, f"segment missing: {exc}")
                 return True
+            service.memory.charge(len(blob), site="compress", force=True)
+            try:
+                comp = get_codec(codec_name).compress(blob)
+            finally:
+                service.memory.release(len(blob), site="compress")
+            del blob
+            rented = len(comp)
+            service.memory.charge(rented, site="compress", force=True)
         header = json.dumps({
             "codec": codec_name, "length": length, "crc": crc,
             "framed": framed, "wire_length": len(comp),
@@ -563,6 +580,9 @@ class SegmentServer:
                 ok = self._send_verbatim(conn, path, length, fault)
         except OSError:
             return False
+        finally:
+            if rented:
+                service.memory.release(rented, site="compress")
         if ok:
             service._record(map_id, attempt, "wire_served",
                             f"{os.path.basename(path)} -> {reduce_id}"
@@ -628,9 +648,11 @@ class NetworkTransport:
 
     def __init__(self, config: ShuffleConfig,
                  counter_sink: Callable[..., None] | None = None,
-                 reduce_id: str = "") -> None:
+                 reduce_id: str = "",
+                 memory: MemoryBudget | None = None) -> None:
         self.config = config
         self.reduce_id = reduce_id
+        self._memory = memory
         self._sink = counter_sink or (lambda name, amount=1: None)
         self._pool: dict[tuple[str, int], list[socket.socket]] = {}
         self._lock = threading.Lock()
@@ -801,11 +823,20 @@ class NetworkTransport:
             raise TransientFetchError(
                 f"framed stream ended at {len(comp)}/{wire_length} "
                 f"compressed bytes", bytes_received=received)
+        # The decompressed blob is already priced at the fetcher's
+        # "fetch" site; the compressed copy alive across decompress is
+        # the transport's own transient, rented under "wire" (forced:
+        # in-flight totals are timing-dependent and must never raise).
+        if self._memory is not None:
+            self._memory.charge(wire_length, site="wire", force=True)
         try:
             raw = codec.decompress(comp)
         except CorruptRecordError as exc:
             raise TransientFetchError(
                 f"wire codec failed to decode segment: {exc}",
                 bytes_received=received) from exc
+        finally:
+            if self._memory is not None:
+                self._memory.release(wire_length, site="wire")
         self._sink(C.SHUFFLE_WIRE_BYTES_UNCOMPRESSED, len(raw))
         return raw

@@ -45,6 +45,7 @@ import json
 import os
 import pickle
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -247,6 +248,7 @@ def run_reduce_task_pipelined(
     *,
     shuffle: Any = None,
     fetch_faults: Any = None,
+    memory: Any = None,
 ) -> ReduceTaskResult:
     """Execute one reduce task against a still-filling commit log.
 
@@ -263,6 +265,16 @@ def run_reduce_task_pipelined(
     clock; poll sleeps while waiting on late maps are recorded
     separately in the result's ``pipeline`` stats (they are overlap, not
     work, and must not skew fitted cost models).
+
+    Byte-based backpressure: when ``shuffle.max_inflight_bytes`` is set,
+    each producer's priced bytes are charged against the fetcher's byte
+    window *for as long as its decoded run is resident*.  The
+    next-in-fold-order fetch is always admitted (``force=True`` --
+    liveness), so only out-of-order prefetches gate on headroom: a
+    gated commit simply stays in the pending-set and is retried on the
+    next poll round.  Fold order is fixed by ``plan.map_ids``, so
+    deferral changes *when* a run is fetched but never what is merged --
+    output and counters stay byte-identical.
     """
     task_id = f"r{part:05d}"
     counters = Counters()
@@ -270,10 +282,14 @@ def run_reduce_task_pipelined(
     profile = TaskProfile(task_id=task_id, kind="reduce")
     codec = get_codec(job.codec, **job.codec_options)
     config = shuffle if shuffle is not None else ShuffleConfig()
-    fetcher = ShuffleFetcher(config, counters, task_id, fetch_faults)
+    fetcher = ShuffleFetcher(config, counters, task_id, fetch_faults,
+                             memory=memory)
     log = CommitLog(plan.commit_dir)
 
     pending = set(plan.map_ids)
+    #: map_id -> priced bytes charged while its decoded run is resident
+    held: dict[str, int] = {}
+    deferrals = 0
     #: map_id -> (epoch, decoded records, ref) for everything fetched;
     #: decoded records are retained even once folded so an epoch bump of
     #: an already-folded producer can rebuild the fold without refetching
@@ -334,13 +350,39 @@ def run_reduce_task_pipelined(
                 wait_seconds += plan.poll_interval
                 continue
             visible = sum(1 for mid in plan.map_ids if mid in records)
+            progressed = False
             for record in work:
                 ref = _ref_for(record, part)
                 stale = record.map_id not in pending
-                with clock.measure("shuffle"):
-                    blob = fetcher.fetch_one(ref)
-                    decoded = IFileReader(blob, codec,
-                                          path=ref.path).read_all()
+                if stale:
+                    # A refetch replaces an already-resident run: swap
+                    # the charge rather than stacking a second one.
+                    old = held.pop(record.map_id, None)
+                    if old is not None:
+                        fetcher.retire(old)
+                    price = fetcher.admit(ref, force=True)
+                elif record.map_id == next(
+                        (m for m in plan.map_ids if m in pending), None):
+                    # The next run in fold order must always proceed,
+                    # however full the window: liveness beats the cap.
+                    price = fetcher.admit(ref, force=True)
+                else:
+                    price = fetcher.admit(ref, block=False)
+                    if price is None:
+                        # No headroom for an out-of-order prefetch:
+                        # leave it pending for the next poll round.
+                        deferrals += 1
+                        continue
+                progressed = True
+                try:
+                    with clock.measure("shuffle"):
+                        blob = fetcher.fetch_one(ref)
+                        decoded = IFileReader(blob, codec,
+                                              path=ref.path).read_all()
+                except BaseException:
+                    fetcher.retire(price)
+                    raise
+                held[record.map_id] = price
                 if first_fetch_ms is None:
                     first_fetch_ms = (time.monotonic() - started) * 1000.0
                 if visible < len(plan.map_ids):
@@ -357,7 +399,17 @@ def run_reduce_task_pipelined(
                 pending.discard(record.map_id)
                 if fold_enabled:
                     advance_fold()
+            if work and not progressed:
+                # Every visible commit was an out-of-order prefetch the
+                # window deferred; wait for headroom or the next commit.
+                time.sleep(plan.poll_interval)
+                wait_seconds += plan.poll_interval
     finally:
+        # The drain is complete (or the attempt is dying): the fetch
+        # window's residency charges end here, before the merge rent.
+        for price in held.values():
+            fetcher.retire(price)
+        held.clear()
         fetcher.close()
 
     # Drain: the pending-set is empty and every run is at its final
@@ -386,13 +438,19 @@ def run_reduce_task_pipelined(
             run_sizes.append(fetched[mid][2].stats.key_bytes
                              + fetched[mid][2].stats.value_bytes)
 
-    result = _merge_group_reduce(
-        job, task_id, runs, run_sizes, workdir, codec, counters, clock,
-        profile, keep_files)
+    if memory is not None:
+        memory.note_waits(fetcher.backpressure_waits + deferrals)
+    rent = (memory.rent(sum(run_sizes), site="merge")
+            if memory is not None else nullcontext())
+    with rent:
+        result = _merge_group_reduce(
+            job, task_id, runs, run_sizes, workdir, codec, counters, clock,
+            profile, keep_files)
     result.pipeline = {
         "first_fetch_ms": first_fetch_ms,
         "overlapped_fetches": overlapped,
         "refetches": refetches,
         "wait_seconds": round(wait_seconds, 6),
+        "fetch_deferrals": deferrals,
     }
     return result

@@ -37,6 +37,8 @@ import os
 import threading
 from typing import Any
 
+from repro.mapreduce.runtime.memory import MemoryBudget
+
 __all__ = ["PoolSaturatedError", "WorkerPool", "PoolLease"]
 
 
@@ -60,7 +62,8 @@ class WorkerPool:
     """
 
     def __init__(self, max_workers: int | None = None,
-                 start_method: str | None = None) -> None:
+                 start_method: str | None = None,
+                 max_memory_bytes: int | None = None) -> None:
         self.max_workers = max(1, max_workers or os.cpu_count() or 1)
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
@@ -72,6 +75,11 @@ class WorkerPool:
         self._tenant_running: dict[str, int] = {}
         #: concurrent-task cap per tenant (absent = global bound only)
         self._quotas: dict[str, int] = {}
+        #: pool-global memory ledger: the admission controller charges
+        #: each admitted job's *priced* peak memory per tenant here, so
+        #: one tenant's memory-hungry jobs cannot overcommit the machine
+        #: even when worker slots are free
+        self.memory = MemoryBudget(max_memory_bytes, name="pool")
 
     # -------------------------------------------------------------- config
 
@@ -81,6 +89,10 @@ class WorkerPool:
             raise ValueError(f"quota must be >= 1, got {max_tasks}")
         with self._lock:
             self._quotas[tenant] = max_tasks
+
+    def set_memory_quota(self, tenant: str, nbytes: int | None) -> None:
+        """Cap ``tenant``'s outstanding priced job memory."""
+        self.memory.set_quota(tenant, nbytes)
 
     def lease(self, tenant: str = "default") -> "PoolLease":
         """A spawn handle charged to ``tenant``'s quota."""
@@ -135,12 +147,14 @@ class WorkerPool:
     def stats(self) -> dict[str, Any]:
         """Snapshot for health endpoints and traces."""
         with self._lock:
-            return {
+            out = {
                 "max_workers": self.max_workers,
                 "running": self._running,
                 "per_tenant": dict(sorted(self._tenant_running.items())),
                 "quotas": dict(sorted(self._quotas.items())),
             }
+        out["memory"] = self.memory.stats()
+        return out
 
 
 class PoolLease:

@@ -131,6 +131,7 @@ class ParallelJobRunner:
         fault_injector: FaultInjector | None = None,
         num_hosts: int = 2,
         max_host_reexecs: int = 2,
+        worker_rlimit_bytes: int | None = None,
     ) -> None:
         if resume and recovery_dir is None:
             raise ValueError("resume=True requires recovery_dir")
@@ -172,6 +173,7 @@ class ParallelJobRunner:
             pool=pool,
             tenant=tenant,
             fault_injector=fault_injector,
+            worker_rlimit_bytes=worker_rlimit_bytes,
         )
         #: trace of the most recent run (also on ``JobResult.trace``)
         self.last_trace: RuntimeTrace | None = None
@@ -230,6 +232,9 @@ class ParallelJobRunner:
                                   **self._scheduler_kwargs)
         self.last_adopted = 0
         self.last_map_reexecs = 0
+        # Same dict object the scheduler mutates: _assemble_result reads
+        # it after the waves without re-plumbing every call path.
+        self._memory_tally = scheduler.memory_tally
 
         # Graceful termination: SIGTERM/SIGINT set the cancel event so
         # the scheduler drains (kills workers, stops segment servers via
@@ -646,6 +651,25 @@ class ParallelJobRunner:
             if affected:
                 counters.incr(C.DISK_FAILOVERS, affected)
 
+        tally = getattr(self, "_memory_tally", None) or {}
+        if tally.get("oom_events"):
+            # Job-level, like MAPS_REEXECUTED: deterministic under an
+            # injected fault plan, so serial and parallel runs count
+            # identically; clean runs leave them zero (== absent).
+            counters.incr(C.MEMORY_OOM_EVENTS, tally["oom_events"])
+            counters.incr(C.MEMORY_DEGRADED_ATTEMPTS,
+                          tally["degraded_attempts"])
+        memory_stats = None
+        if tally.get("used_budget"):
+            shuffle_cfg = self._scheduler_kwargs.get("shuffle")
+            memory_stats = {
+                "budget": getattr(shuffle_cfg, "memory_budget", None),
+                "peak_bytes": tally["peak_bytes"],
+                "backpressure_waits": tally["backpressure_waits"],
+                "oom_events": tally["oom_events"],
+                "degraded_attempts": tally["degraded_attempts"],
+            }
+
         return JobResult(
             output=output,
             counters=counters,
@@ -656,6 +680,7 @@ class ParallelJobRunner:
             trace=trace,
             pipeline_stats=(aggregate_pipeline_stats(pipeline_per_task)
                             if pipeline_per_task is not None else None),
+            memory_stats=memory_stats,
         )
 
     # ------------------------------------------------------- pipelined wave

@@ -55,7 +55,7 @@ import statistics
 import threading
 import time
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.mapreduce.metrics import C
@@ -265,6 +265,7 @@ class TaskScheduler:
         fault_injector: FaultInjector | None = None,
         hosts: HostHealthMonitor | None = None,
         trace: RuntimeTrace | None = None,
+        worker_rlimit_bytes: int | None = None,
     ) -> None:
         if max_workers is None and pool is not None:
             max_workers = pool.max_workers
@@ -317,6 +318,12 @@ class TaskScheduler:
         self.poll_interval = poll_interval
         self.fault_injector = fault_injector
         self.hosts = hosts
+        self.worker_rlimit_bytes = worker_rlimit_bytes
+        #: ledger telemetry aggregated across waves -- consumed by the
+        #: runner for ``JobResult.memory_stats`` and the MEMORY_* counters
+        self.memory_tally: dict[str, Any] = {
+            "oom_events": 0, "degraded_attempts": 0, "peak_bytes": 0,
+            "backpressure_waits": 0, "used_budget": False}
         #: planned disk faults by home host, applied inside workers
         self._disk_faults: dict[str, Fault] = {}
         if fault_injector is not None:
@@ -415,6 +422,11 @@ class TaskScheduler:
         #: fetch-failure requeues per reduce -- paces the retry backoff
         #: without charging the reduce's ``max_retries`` budget
         fetch_requeues: dict[str, int] = defaultdict(int)
+        #: OOM deaths per task: the degrade level.  Each death halves
+        #: the task's sort buffer and fetch window on the next launch
+        #: (the serial runner's ``_memory_setup`` formula), uncharged
+        #: against ``max_retries`` but bounded by ``max_memory_retries``.
+        oom_requeues: dict[str, int] = defaultdict(int)
         #: tasks whose next attempts run in record-skipping mode; sticky
         #: for the rest of the wave once a skip-eligible failure is seen
         skip_tasks: set[str] = set()
@@ -453,15 +465,29 @@ class TaskScheduler:
                     # the stable hash decide who fails over).
                     disk_fault = self._disk_faults.get(
                         self.hosts.host_for(spec.task_id))
+            # Degrade-on-retry: after ``degrade`` OOM deaths this task
+            # launches with a deterministically halved sort buffer and
+            # fetch byte window -- the serial runner's exact formula, so
+            # injected OOM runs stay counter-identical across runners.
+            degrade = oom_requeues[spec.task_id]
+            eff_job, eff_shuffle = job, self.shuffle
+            if degrade:
+                eff_job = dc_replace(job, sort_buffer_bytes=max(
+                    1024, job.sort_buffer_bytes >> degrade))
+                mib = (getattr(eff_shuffle, "max_inflight_bytes", None)
+                       if eff_shuffle is not None else None)
+                if mib is not None:
+                    eff_shuffle = dc_replace(
+                        eff_shuffle, max_inflight_bytes=max(1, mib >> degrade))
             try:
                 process = self._lease.spawn(
                     worker_entry,
                     (spec.task_id, spec.kind, number, attempt_dir,
-                     result_path, job,
+                     result_path, eff_job,
                      dataset if spec.kind == "map" else None,
                      spec.payload, fault, self.heartbeat_interval,
-                     skip_mode, self.shuffle, fetch_faults,
-                     host, disk_fault),
+                     skip_mode, eff_shuffle, fetch_faults,
+                     host, disk_fault, self.worker_rlimit_bytes),
                 )
             except PoolSaturatedError:
                 # Lost the race for the last shared slot to a concurrent
@@ -606,6 +632,48 @@ class TaskScheduler:
                          f"fetch failure, backoff {delay:.3f}s "
                          f"(retry budget uncharged)")
 
+        def handle_oom(attempt: _Attempt, detail: str) -> None:
+            """An attempt died out of memory (injected, budget overrun,
+            simulated OOM kill, or a real rlimit ``MemoryError``).
+
+            Requeued *uncharged* against ``max_retries`` -- the memory
+            ladder has its own bound (``max_memory_retries``) -- with
+            the degrade level bumped so the next launch runs on halved
+            memory knobs.  Hosts are not charged either: the task's
+            footprint, not the host's disks, is at fault.
+            """
+            spec = attempt.spec
+            task_id = spec.task_id
+            trace.record(task_id, attempt.number, spec.kind, "failed", detail)
+            shutil.rmtree(attempt.dir, ignore_errors=True)
+            limit = (getattr(self.shuffle, "max_memory_retries", 2)
+                     if self.shuffle is not None else 2)
+            oom_requeues[task_id] += 1
+            if oom_requeues[task_id] > limit:
+                if any(a.spec.task_id == task_id for a in running):
+                    return  # a speculative rival may still win
+                raise TaskFailedError(
+                    task_id, oom_requeues[task_id],
+                    f"{detail} (exhausted {limit} memory retries)")
+            # Tallied only for deaths that earn a degraded retry -- the
+            # exhausting death raises untallied, exactly like the serial
+            # ladder, so the counters match whenever a job completes.
+            self.memory_tally["oom_events"] += 1
+            self.memory_tally["degraded_attempts"] += 1
+            trace.record(task_id, attempt.number, spec.kind, "oom_degraded",
+                         f"degrade level {oom_requeues[task_id]}: sort "
+                         f"buffer and fetch window halved")
+            if any(a.spec.task_id == task_id for a in running) \
+                    or any(s.task_id == task_id for s, _ in pending):
+                return  # a rival attempt or queued retry already covers it
+            delay = backoff_delay(self.retry_backoff, oom_requeues[task_id],
+                                  self.retry_backoff_max,
+                                  key=f"{task_id}:oom")
+            pending.append((by_id[task_id], time.monotonic() + delay))
+            trace.record(task_id, attempt.number, spec.kind, "retried",
+                         f"oom, backoff {delay:.3f}s "
+                         f"(retry budget uncharged)")
+
         def handle_exit(attempt: _Attempt) -> None:
             spec = attempt.spec
             task_id = spec.task_id
@@ -632,6 +700,17 @@ class TaskScheduler:
                     trace.record(
                         task_id, attempt.number, spec.kind, "quarantined",
                         f"{skipped} record(s) skipped into quarantine")
+                mem = result.get("memory")
+                if mem:
+                    tally = self.memory_tally
+                    tally["used_budget"] = True
+                    tally["peak_bytes"] = max(tally["peak_bytes"],
+                                              mem.get("peak", 0))
+                    tally["backpressure_waits"] += mem.get(
+                        "backpressure_waits", 0)
+                    trace.record(
+                        task_id, attempt.number, spec.kind, "memory_peak",
+                        f"{mem.get('peak', 0)}/{mem.get('capacity')}")
                 if on_complete is not None:
                     on_complete(spec, attempt.number, attempt.dir,
                                 attempt.result_path, result["value"])
@@ -655,6 +734,9 @@ class TaskScheduler:
                 failed_map = result.get("failed_map")
                 if failed_map is not None:
                     handle_fetch_failure(attempt, failed_map, detail)
+                    return
+                if result.get("oom"):
+                    handle_oom(attempt, detail)
                     return
             record_failure(attempt, detail, corrupt_path, skip_eligible)
 

@@ -43,12 +43,18 @@ class AdmissionConfig:
     max_job_seconds: float = 600.0
     #: predicted seconds of admitted-but-unfinished work
     max_outstanding_seconds: float = 3600.0
+    #: priced peak bytes of admitted-but-unfinished work; ``None``
+    #: disables the memory budget (pre-memory-model behavior)
+    max_outstanding_memory_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_queued < 1 or self.max_queued_per_tenant < 1:
             raise ValueError("queue bounds must be >= 1")
         if self.max_job_seconds <= 0 or self.max_outstanding_seconds <= 0:
             raise ValueError("cost caps must be > 0")
+        if self.max_outstanding_memory_bytes is not None \
+                and self.max_outstanding_memory_bytes < 1:
+            raise ValueError("memory cap must be >= 1 or None")
 
 
 class AdmissionRejected(RuntimeError):
@@ -83,11 +89,14 @@ class AdmissionController:
         self._lock = threading.Lock()
         #: predicted seconds per admitted-but-unfinished job
         self._outstanding: dict[str, float] = {}
+        #: priced peak bytes per admitted-but-unfinished job
+        self._outstanding_memory: dict[str, int] = {}
 
     # ------------------------------------------------------------------ gate
 
     def admit(self, tenant: str, predicted_seconds: float,
-              queued_total: int, queued_tenant: int) -> None:
+              queued_total: int, queued_tenant: int,
+              predicted_memory_bytes: int = 0) -> None:
         """Raise :class:`AdmissionRejected` unless every budget holds.
 
         ``queued_total``/``queued_tenant`` are the scheduler's current
@@ -124,21 +133,42 @@ class AdmissionController:
                     f"{outstanding + predicted_seconds:.1f}s "
                     f"(cap {cfg.max_outstanding_seconds:.1f}s)",
                     retry_after=self._retry_hint_locked())
+            cap = cfg.max_outstanding_memory_bytes
+            if cap is not None:
+                mem = sum(self._outstanding_memory.values())
+                if mem + predicted_memory_bytes > cap:
+                    raise AdmissionRejected(
+                        "OVERCOMMITTED_MEMORY", 429,
+                        f"admitting a job priced at "
+                        f"{predicted_memory_bytes} peak bytes would take "
+                        f"outstanding priced memory to "
+                        f"{mem + predicted_memory_bytes} bytes "
+                        f"(cap {cap}); the machine is memory-bound, not "
+                        f"slot-bound",
+                        retry_after=self._retry_hint_locked())
 
     # ---------------------------------------------------------------- ledger
 
-    def charge(self, job_id: str, predicted_seconds: float) -> None:
+    def charge(self, job_id: str, predicted_seconds: float,
+               predicted_memory_bytes: int = 0) -> None:
         with self._lock:
             self._outstanding[job_id] = max(0.0, predicted_seconds)
+            if predicted_memory_bytes > 0:
+                self._outstanding_memory[job_id] = predicted_memory_bytes
 
     def credit(self, job_id: str) -> None:
         """Finished, failed, or cancelled: its cost no longer counts."""
         with self._lock:
             self._outstanding.pop(job_id, None)
+            self._outstanding_memory.pop(job_id, None)
 
     def outstanding_seconds(self) -> float:
         with self._lock:
             return sum(self._outstanding.values())
+
+    def outstanding_memory_bytes(self) -> int:
+        with self._lock:
+            return sum(self._outstanding_memory.values())
 
     # ----------------------------------------------------------------- hints
 

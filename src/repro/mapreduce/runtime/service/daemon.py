@@ -32,10 +32,11 @@ from __future__ import annotations
 import os
 import threading
 from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
 from typing import Any
 
 from repro.mapreduce.metrics import TaskProfile
-from repro.mapreduce.runtime.costmodel import CostModel
+from repro.mapreduce.runtime.costmodel import CostModel, estimate_peak_memory
 from repro.mapreduce.runtime.pool import WorkerPool
 from repro.mapreduce.runtime.scheduler import JobCancelledError
 from repro.mapreduce.runtime.service.admission import (
@@ -74,19 +75,25 @@ def _env_float(name: str, default: float) -> float:
     return value
 
 
-def _parse_tenants(raw: str) -> dict[str, tuple[float, int]]:
-    """``name:weight:quota,...`` -> {name: (weight, quota)}."""
-    out: dict[str, tuple[float, int]] = {}
+def _parse_tenants(raw: str) -> dict[str, tuple[float, int, int | None]]:
+    """``name:weight:quota[:membytes],...`` -> {name: (weight, quota, mem)}.
+
+    The fourth field caps the tenant's outstanding *priced* job memory
+    (bytes); omitted means the tenant is bounded only by the global
+    memory cap (if any).
+    """
+    out: dict[str, tuple[float, int, int | None]] = {}
     for part in raw.split(","):
         part = part.strip()
         if not part:
             continue
         fields = part.split(":")
-        if len(fields) != 3:
+        if len(fields) not in (3, 4):
             raise ValueError(
-                f"tenant entry {part!r} is not name:weight:quota")
-        name, weight, quota = fields
-        out[name] = (float(weight), int(quota))
+                f"tenant entry {part!r} is not name:weight:quota[:membytes]")
+        name, weight, quota = fields[:3]
+        mem = int(fields[3]) if len(fields) == 4 else None
+        out[name] = (float(weight), int(quota), mem)
     return out
 
 
@@ -98,8 +105,9 @@ class ServiceConfig:
     max_workers: int | None = None
     #: concurrently *executing* jobs (each borrows pool slots)
     executors: int = 2
-    #: tenant -> (DRR weight, concurrent-task quota)
-    tenants: dict[str, tuple[float, int]] = field(default_factory=dict)
+    #: tenant -> (DRR weight, concurrent-task quota, memory quota|None)
+    tenants: dict[str, tuple[float, int, int | None]] = field(
+        default_factory=dict)
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
     quantum_seconds: float = 5.0
     #: extra ParallelJobRunner keywords applied to every job
@@ -116,6 +124,9 @@ class ServiceConfig:
                 "REPRO_SERVICE_MAX_JOB_SECONDS", 600.0),
             max_outstanding_seconds=_env_float(
                 "REPRO_SERVICE_MAX_OUTSTANDING_SECONDS", 3600.0),
+            max_outstanding_memory_bytes=(
+                _env_int("REPRO_SERVICE_MAX_MEMORY", 0, minimum=1)
+                if os.environ.get("REPRO_SERVICE_MAX_MEMORY") else None),
         )
         raw_workers = os.environ.get("REPRO_SERVICE_WORKERS")
         return cls(
@@ -140,10 +151,15 @@ class JobService:
         self.admission = AdmissionController(config.admission)
         self.scheduler = DeficitScheduler(
             quantum_seconds=config.quantum_seconds)
-        for tenant, (weight, quota) in config.tenants.items():
+        for tenant, (weight, quota, mem) in config.tenants.items():
             self.scheduler.set_weight(tenant, weight)
             self.pool.set_quota(tenant, quota)
+            if mem is not None:
+                self.pool.set_memory_quota(tenant, mem)
         self._cond = threading.Condition()
+        #: job_id -> (priced peak bytes, tenant) for the pool ledger
+        self._job_memory: dict[str, tuple[int, str]] = {}
+        self._memory_lock = threading.Lock()
         self._stopping = False
         self._threads: list[threading.Thread] = []
         #: per-job cooperative cancellation
@@ -184,7 +200,15 @@ class JobService:
                 continue
             state, _ = record.state()
             predicted = self.price(spec)
-            self.admission.charge(record.job_id, predicted)
+            mem = self.price_memory(spec)
+            self.admission.charge(record.job_id, predicted,
+                                  predicted_memory_bytes=mem)
+            # Forced: a durably accepted job must never be re-rejected
+            # by its own tenant quota on restart.
+            self.pool.memory.charge(mem, site="jobs", owner=spec.tenant,
+                                    force=True)
+            with self._memory_lock:
+                self._job_memory[record.job_id] = (mem, spec.tenant)
             if state == "RUNNING":
                 record.append_event(
                     "recovered", "daemon restarted mid-run; job re-queued "
@@ -228,6 +252,13 @@ class JobService:
         model = CostModel.fit(profiles, estimate_workload(spec))
         return model.predict().total_seconds
 
+    def price_memory(self, spec: JobSpec) -> int:
+        """Predicted peak resident bytes for a spec, pre-execution."""
+        return estimate_peak_memory(
+            estimate_workload(spec),
+            num_workers=self.pool.max_workers,
+            max_inflight_bytes=spec.max_inflight_bytes)
+
     def submit(self, spec: JobSpec) -> dict[str, Any]:
         """Price, admit, durably accept, and enqueue one submission.
 
@@ -243,17 +274,40 @@ class JobService:
                                     "service is shutting down",
                                     retry_after=5.0)
         predicted = self.price(spec)
+        mem = self.price_memory(spec)
         self.admission.admit(
             spec.tenant, predicted,
             queued_total=self.scheduler.queued_total(),
-            queued_tenant=self.scheduler.queued_for(spec.tenant))
-        record = self.registry.create(spec)
-        self.admission.charge(record.job_id, predicted)
+            queued_tenant=self.scheduler.queued_for(spec.tenant),
+            predicted_memory_bytes=mem)
+        # Tenant memory quota: charged before the durable accept so a
+        # rejection leaves no registry record behind.
+        if not self.pool.memory.try_charge(mem, site="jobs",
+                                           owner=spec.tenant):
+            from repro.mapreduce.runtime.service.admission import (
+                AdmissionRejected,
+            )
+            raise AdmissionRejected(
+                "OVERCOMMITTED_MEMORY", 429,
+                f"tenant {spec.tenant!r} memory quota cannot absorb a job "
+                f"priced at {mem} peak bytes "
+                f"({self.pool.memory.owner_used(spec.tenant)} outstanding)",
+                retry_after=5.0)
+        try:
+            record = self.registry.create(spec)
+        except BaseException:
+            self.pool.memory.release(mem, site="jobs", owner=spec.tenant)
+            raise
+        with self._memory_lock:
+            self._job_memory[record.job_id] = (mem, spec.tenant)
+        self.admission.charge(record.job_id, predicted,
+                              predicted_memory_bytes=mem)
         self.scheduler.push(spec.tenant, record.job_id, predicted)
         with self._cond:
             self._cond.notify()
         return {"job_id": record.job_id, "state": "QUEUED",
-                "predicted_seconds": predicted}
+                "predicted_seconds": predicted,
+                "predicted_memory_bytes": mem}
 
     def status(self, job_id: str) -> dict[str, Any] | None:
         record = self.registry.get(job_id)
@@ -270,7 +324,7 @@ class JobService:
         state, _ = record.state()
         if state == "QUEUED" and self.scheduler.remove(job_id):
             record.set_state("CANCELLED", "cancelled while queued")
-            self.admission.credit(job_id)
+            self._credit(job_id)
         elif state in ("QUEUED", "RUNNING"):
             # Queued-but-claimed (an executor popped it) or running:
             # the executor observes the event and finalizes the state.
@@ -282,10 +336,23 @@ class JobService:
             "pool": self.pool.stats(),
             "queued": self.scheduler.queued_total(),
             "outstanding_seconds": self.admission.outstanding_seconds(),
+            "outstanding_memory_bytes":
+                self.admission.outstanding_memory_bytes(),
+            "memory_cap_bytes":
+                self.config.admission.max_outstanding_memory_bytes,
             "stopping": self._stopping,
         }
 
     # -------------------------------------------------------------- execution
+
+    def _credit(self, job_id: str) -> None:
+        """Return a finished job's cost *and* priced memory."""
+        self.admission.credit(job_id)
+        with self._memory_lock:
+            entry = self._job_memory.pop(job_id, None)
+        if entry is not None:
+            mem, tenant = entry
+            self.pool.memory.release(mem, site="jobs", owner=tenant)
 
     def _cancel_event(self, job_id: str) -> threading.Event:
         with self._cancel_lock:
@@ -313,13 +380,26 @@ class JobService:
         cancel_event = self._cancel_event(job_id)
         if spec is None:  # pragma: no cover - accepted jobs have specs
             record.set_state("FAILED", "spec unreadable at execution time")
-            self.admission.credit(job_id)
+            self._credit(job_id)
             return
         if cancel_event.is_set():
             record.set_state("CANCELLED", "cancelled before start")
-            self.admission.credit(job_id)
+            self._credit(job_id)
             return
         record.set_state("RUNNING", f"executing for tenant {spec.tenant}")
+        runner_kwargs = dict(self.config.runner_kwargs)
+        if spec.memory_budget is not None or spec.max_inflight_bytes is not None:
+            # Per-spec memory knobs override the service-wide shuffle
+            # config (or a default one) for this job only.
+            from repro.mapreduce.runtime.shuffle import ShuffleConfig
+
+            base = runner_kwargs.get("shuffle") or ShuffleConfig()
+            overrides: dict[str, Any] = {}
+            if spec.memory_budget is not None:
+                overrides["memory_budget"] = spec.memory_budget
+            if spec.max_inflight_bytes is not None:
+                overrides["max_inflight_bytes"] = spec.max_inflight_bytes
+            runner_kwargs["shuffle"] = dc_replace(base, **overrides)
         try:
             job, dataset = build_workload(spec)
             runner = ParallelJobRunner(
@@ -330,7 +410,7 @@ class JobService:
                 tenant=spec.tenant,
                 cancel_event=cancel_event,
                 fault_injector=build_injector(spec),
-                **self.config.runner_kwargs,
+                **runner_kwargs,
             )
             result = runner.run(job, dataset)
         except JobCancelledError:
@@ -342,18 +422,18 @@ class JobService:
                     "daemon shutdown; resumable from manifest")
             else:
                 record.set_state("CANCELLED", "cancelled while running")
-                self.admission.credit(job_id)
+                self._credit(job_id)
             return
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             # One tenant's failure must never take the daemon down.
             record.set_state("FAILED", f"{type(exc).__name__}: {exc}")
-            self.admission.credit(job_id)
+            self._credit(job_id)
             return
         # Result durability precedes the DONE claim.
         record.save_result(result.output, result.counters)
         record.set_state("DONE",
                          f"{len(result.output)} output record(s)")
-        self.admission.credit(job_id)
+        self._credit(job_id)
         with self._fit_lock:
             self._fit_profiles = list(result.task_profiles)
         with self._cancel_lock:

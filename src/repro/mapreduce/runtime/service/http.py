@@ -13,6 +13,7 @@ Routes::
     POST /jobs            submit a JobSpec           -> 200 | 4xx/5xx
     GET  /jobs            list all jobs
     GET  /jobs/<id>       one job's status
+    GET  /jobs/<id>/events?since=N   intact events from byte offset N
     POST /jobs/<id>/cancel
     GET  /health          pool + queue + ledger stats
     POST /shutdown        graceful stop (running jobs stay resumable)
@@ -71,11 +72,27 @@ class _Handler(BaseHTTPRequestHandler):
     # ----------------------------------------------------------------- routes
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler convention
-        parts = [p for p in self.path.split("/") if p]
+        path, _, query = self.path.partition("?")
+        parts = [p for p in path.split("/") if p]
         if parts == ["health"]:
             self._reply(200, self.service.stats())
         elif parts == ["jobs"]:
             self._reply(200, {"jobs": self.service.jobs()})
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+            record = self.service.registry.get(parts[1])
+            if record is None:
+                self._reply(404, {"error": "NOT_FOUND",
+                                  "message": f"no job {parts[1]}"})
+                return
+            since = 0
+            for pair in query.split("&"):
+                key, _, value = pair.partition("=")
+                if key == "since" and value.isdigit():
+                    since = int(value)
+            events, offset = record.events_since(since)
+            state, _ = record.state()
+            self._reply(200, {"events": events, "offset": offset,
+                              "state": state})
         elif len(parts) == 2 and parts[0] == "jobs":
             summary = self.service.status(parts[1])
             if summary is None:
@@ -219,6 +236,9 @@ class ServiceClient:
 
     def jobs(self) -> dict[str, Any]:
         return self.request("GET", "/jobs")
+
+    def events(self, job_id: str, since: int = 0) -> dict[str, Any]:
+        return self.request("GET", f"/jobs/{job_id}/events?since={since}")
 
     def cancel(self, job_id: str) -> dict[str, Any]:
         return self.request("POST", f"/jobs/{job_id}/cancel")

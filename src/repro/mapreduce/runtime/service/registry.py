@@ -177,6 +177,33 @@ class JobRecord:
             out.append(obj)
         return out
 
+    def events_since(self, offset: int = 0) -> tuple[list[dict[str, Any]],
+                                                     int]:
+        """Intact events at/after byte ``offset``, plus the next offset.
+
+        Built for ``repro events --follow``: a torn tail -- a line the
+        daemon is mid-append on, or one damaged by a crash -- is *not*
+        consumed.  The returned offset stays just before it, so the
+        next poll rereads the line once it is complete; a permanently
+        damaged line simply pins the tail (everything before it was
+        already delivered).
+        """
+        out: list[dict[str, Any]] = []
+        try:
+            with open(os.path.join(self.dir, EVENTS_NAME), "rb") as fh:
+                fh.seek(offset)
+                while True:
+                    pos = fh.tell()
+                    line = fh.readline()
+                    if not line or not line.endswith(b"\n"):
+                        return out, pos
+                    obj = _open_envelope(line.strip())
+                    if not isinstance(obj, dict):
+                        return out, pos
+                    out.append(obj)
+        except OSError:
+            return out, offset
+
     # ----------------------------------------------------------------- result
 
     def save_result(self, output: Any, counters: Any) -> None:

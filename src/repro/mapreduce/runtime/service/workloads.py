@@ -55,6 +55,11 @@ class JobSpec:
     window: int = 3                  # sliding_mean only
     num_maps: int = 4
     num_reducers: int = 2
+    #: per-task memory ledger capacity (bytes); overruns take the
+    #: degrade-on-retry ladder instead of killing the job
+    memory_budget: int | None = None
+    #: reduce-side fetch byte window (bytes of in-flight shuffle data)
+    max_inflight_bytes: int | None = None
     skip_budget: int | None = None
     poison: tuple[tuple[str, int], ...] = field(default_factory=tuple)
     fetch_faults: tuple[tuple[str, str, str], ...] = field(
@@ -72,6 +77,15 @@ class JobSpec:
             raise ValueError("num_maps and num_reducers must be >= 1")
         if self.bins < 1:
             raise ValueError(f"bins must be >= 1, got {self.bins}")
+        if self.memory_budget is not None and self.memory_budget < 256:
+            raise ValueError(
+                f"memory_budget must be >= 256 (one IFile block), "
+                f"got {self.memory_budget}")
+        if self.max_inflight_bytes is not None \
+                and self.max_inflight_bytes < 1:
+            raise ValueError(
+                f"max_inflight_bytes must be >= 1, "
+                f"got {self.max_inflight_bytes}")
         if self.query == "subset" and any(int(s) < 3 for s in self.shape):
             raise ValueError(
                 f"subset selects the interior box, so every extent must "
@@ -97,6 +111,8 @@ class JobSpec:
             "window": self.window,
             "num_maps": self.num_maps,
             "num_reducers": self.num_reducers,
+            "memory_budget": self.memory_budget,
+            "max_inflight_bytes": self.max_inflight_bytes,
             "skip_budget": self.skip_budget,
             "poison": [list(p) for p in self.poison],
             "fetch_faults": [list(f) for f in self.fetch_faults],
@@ -114,6 +130,11 @@ class JobSpec:
                 window=int(obj.get("window", 3)),
                 num_maps=int(obj.get("num_maps", 4)),
                 num_reducers=int(obj.get("num_reducers", 2)),
+                memory_budget=(None if obj.get("memory_budget") is None
+                               else int(obj["memory_budget"])),
+                max_inflight_bytes=(
+                    None if obj.get("max_inflight_bytes") is None
+                    else int(obj["max_inflight_bytes"])),
                 skip_budget=(None if obj.get("skip_budget") is None
                              else int(obj["skip_budget"])),
                 poison=tuple((str(t), int(r))

@@ -46,6 +46,7 @@ from typing import Mapping, Sequence
 from repro.mapreduce.ifile import IFileStats, segment_digest
 from repro.mapreduce.metrics import C, Counters
 from repro.mapreduce.runtime.fault import Fault
+from repro.mapreduce.runtime.memory import MemoryBudget
 from repro.util.backoff import backoff_delay
 from repro.util.timing import Deadline
 
@@ -139,6 +140,18 @@ class ShuffleConfig:
     #: with pipelining on, a reducer starved on at most this many
     #: missing map outputs asks the scheduler to speculate them
     starvation_threshold: int = 2
+    #: byte-based fetch backpressure: cap on the summed priced size of
+    #: in-flight fetches per reduce task (None = count-based
+    #: ``concurrency`` only).  Admission of the next fetch waits on
+    #: budget headroom, priced from :class:`SegmentRef` stats.
+    max_inflight_bytes: int | None = None
+    #: per-task memory ledger capacity in bytes (None = accounting
+    #: only).  An enforced charge past this raises ``MemoryError`` and
+    #: triggers the runners' degrade-on-retry ladder.
+    memory_budget: int | None = None
+    #: how many OOM-dead attempts of one task the degrade ladder
+    #: absorbs (each retry halves the sort buffer / fetch window)
+    max_memory_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.transport not in TRANSPORTS:
@@ -174,6 +187,21 @@ class ShuffleConfig:
             raise ValueError(
                 f"starvation_threshold must be >= 1, "
                 f"got {self.starvation_threshold}")
+        if self.max_inflight_bytes is not None and self.max_inflight_bytes < 1:
+            raise ValueError(
+                f"max_inflight_bytes must be >= 1, "
+                f"got {self.max_inflight_bytes}")
+        # one IFile block (ifile.py floors block_bytes at 256) is the
+        # smallest allocation the data path makes; a budget below it
+        # could never admit anything
+        if self.memory_budget is not None and self.memory_budget < 256:
+            raise ValueError(
+                f"memory_budget must be >= 256 (one IFile block), "
+                f"got {self.memory_budget}")
+        if self.max_memory_retries < 1:
+            raise ValueError(
+                f"max_memory_retries must be >= 1, "
+                f"got {self.max_memory_retries}")
 
 
 def _env_value(kwargs: dict, key: str, var: str, parse) -> None:
@@ -210,8 +238,10 @@ def shuffle_config_from_env() -> ShuffleConfig | None:
     """A :class:`ShuffleConfig` from ``REPRO_TRANSPORT`` /
     ``REPRO_FETCH_RETRIES`` / ``REPRO_FETCH_TIMEOUT`` /
     ``REPRO_WIRE_CODEC`` / ``REPRO_SHUFFLE_PORT_BASE`` /
-    ``REPRO_PIPELINE`` / ``REPRO_STARVATION_THRESHOLD``, or ``None``
-    when none of them is set (runner default applies).
+    ``REPRO_PIPELINE`` / ``REPRO_STARVATION_THRESHOLD`` /
+    ``REPRO_MAX_INFLIGHT_BYTES`` / ``REPRO_MEMORY_BUDGET`` /
+    ``REPRO_MAX_MEMORY_RETRIES``, or ``None`` when none of them is set
+    (runner default applies).
 
     Malformed values -- a non-integer retry count, a negative timeout,
     an unknown transport or codec -- raise :class:`ConfigError` with the
@@ -233,6 +263,9 @@ def shuffle_config_from_env() -> ShuffleConfig | None:
     _env_value(kwargs, "pipeline", "REPRO_PIPELINE", _parse_bool)
     _env_value(kwargs, "starvation_threshold",
                "REPRO_STARVATION_THRESHOLD", int)
+    _env_value(kwargs, "max_inflight_bytes", "REPRO_MAX_INFLIGHT_BYTES", int)
+    _env_value(kwargs, "memory_budget", "REPRO_MEMORY_BUDGET", int)
+    _env_value(kwargs, "max_memory_retries", "REPRO_MAX_MEMORY_RETRIES", int)
     if not kwargs:
         return None
     try:
@@ -423,15 +456,18 @@ class ChannelTransport:
 
 def make_transport(config: ShuffleConfig,
                    fetch_faults: Mapping[str, Sequence[Fault]] | None = None,
-                   counter_sink=None, reduce_id: str = ""):
+                   counter_sink=None, reduce_id: str = "",
+                   memory: MemoryBudget | None = None):
     """Instantiate the transport ``config`` names.
 
     ``counter_sink(name, amount)`` receives wire-level byte counters
     from transports that measure them (the network transport); the
     in-process transports ignore it.  ``reduce_id`` identifies the
     fetching reduce task on the wire (servers key their fault plan by
-    the ``map->reduce`` pair).  The network transport ignores
-    ``fetch_faults``: wire faults are applied *server-side*, by the
+    the ``map->reduce`` pair).  ``memory`` (the task ledger) lets the
+    network transport account its decompress-time transient under the
+    ``"wire"`` site.  The network transport ignores ``fetch_faults``:
+    wire faults are applied *server-side*, by the
     :class:`~repro.mapreduce.runtime.netshuffle.ShuffleService`.
     """
     if config.transport == "direct":
@@ -440,7 +476,7 @@ def make_transport(config: ShuffleConfig,
         # Lazy import: netshuffle imports this module's ref/error types.
         from repro.mapreduce.runtime.netshuffle import NetworkTransport
         return NetworkTransport(config, counter_sink=counter_sink,
-                                reduce_id=reduce_id)
+                                reduce_id=reduce_id, memory=memory)
     return ChannelTransport(config.chunk_bytes, fetch_faults)
 
 
@@ -451,6 +487,16 @@ class ShuffleFetcher:
     completion order, so downstream merge behavior -- and therefore
     output bytes -- never depends on scheduling.  Counter totals are
     order-independent sums, guarded by a lock (fetches run on threads).
+
+    With ``config.max_inflight_bytes`` set, admission of the next fetch
+    additionally waits on *byte* headroom: each fetch is priced from its
+    ref's :class:`~repro.mapreduce.ifile.IFileStats` before being
+    issued and charged against a window budget until its blob is
+    yielded.  ``memory`` (the task's :class:`~repro.mapreduce.runtime.
+    memory.MemoryBudget`, if any) sees the same in-flight charges under
+    the ``"fetch"`` site -- where ``oom`` faults and threshold kills
+    are applied -- as *forced* charges, since in-flight totals are
+    timing-dependent and must never raise on their own.
     """
 
     def __init__(
@@ -459,18 +505,75 @@ class ShuffleFetcher:
         counters: Counters,
         reduce_id: str,
         fetch_faults: Mapping[str, Sequence[Fault]] | None = None,
+        memory: MemoryBudget | None = None,
     ) -> None:
         self.config = config
         self.counters = counters
         self.reduce_id = reduce_id
+        self.memory = memory
+        self._window = (MemoryBudget(config.max_inflight_bytes,
+                                     name=f"{reduce_id}:fetch-window")
+                        if config.max_inflight_bytes is not None else None)
         self._lock = Lock()
         self.transport = make_transport(config, fetch_faults,
                                         counter_sink=self._incr,
-                                        reduce_id=reduce_id)
+                                        reduce_id=reduce_id,
+                                        memory=memory)
 
     def _incr(self, name: str, amount: int = 1) -> None:
         with self._lock:
             self.counters.incr(name, amount)
+
+    @staticmethod
+    def price(ref: SegmentRef) -> int:
+        """What one fetch costs the byte window, priced *before* the
+        transfer from the segment's materialized size."""
+        return max(1, ref.stats.materialized_bytes)
+
+    def admit(self, ref: SegmentRef, *, block: bool = True,
+              force: bool = False) -> int | None:
+        """Charge one fetch against the byte window and the task ledger.
+
+        ``block=True`` waits for window headroom (the first in-flight
+        fetch is always admitted -- grant-when-alone); ``block=False``
+        returns ``None`` instead of waiting, for callers (the pipelined
+        reducer's out-of-order prefetches) that have something better to
+        do; ``force=True`` admits unconditionally -- the pipelined
+        reducer's *next-in-fold-order* fetch, which must proceed for
+        liveness no matter how full the window is.  Returns the price to
+        hand back to :meth:`retire`.
+        """
+        price = self.price(ref)
+        if self._window is not None:
+            if force:
+                self._window.charge(price, site="fetch", force=True)
+            elif block:
+                self._window.charge(price, site="fetch", wait=True)
+            elif not self._window.try_charge(price, site="fetch"):
+                return None
+        if self.memory is not None:
+            try:
+                self.memory.charge(price, site="fetch", force=True)
+            except MemoryError:
+                # the injected-fault path: give the window bytes back
+                # before propagating, or the next attempt starts starved
+                if self._window is not None:
+                    self._window.release(price, site="fetch")
+                raise
+        return price
+
+    def retire(self, price: int) -> None:
+        """Return one admitted fetch's bytes to the window and ledger."""
+        if self._window is not None:
+            self._window.release(price, site="fetch")
+        if self.memory is not None:
+            self.memory.release(price, site="fetch")
+
+    @property
+    def backpressure_waits(self) -> int:
+        """How many fetch admissions blocked on byte headroom."""
+        return (self._window.backpressure_waits
+                if self._window is not None else 0)
 
     def fetch_all(self, refs: Sequence[SegmentRef]) -> list[bytes]:
         """Fetch every segment; raises :class:`FetchFailedError` on the
@@ -508,23 +611,44 @@ class ShuffleFetcher:
         workers = min(self.config.concurrency, len(refs))
         if workers == 1:
             for index, ref in enumerate(refs):
-                yield index, self.fetch_one(ref)
+                price = self.admit(ref)
+                try:
+                    blob = self.fetch_one(ref)
+                finally:
+                    self.retire(price)
+                yield index, blob
             return
         from concurrent.futures import (FIRST_COMPLETED, ThreadPoolExecutor,
                                         wait)
         with ThreadPoolExecutor(max_workers=workers,
                                 thread_name_prefix="fetch") as pool:
-            in_flight = {pool.submit(self.fetch_one, ref): index
-                         for index, ref in enumerate(refs)}
+            in_flight: dict = {}
+            next_up = 0
             try:
-                while in_flight:
+                while next_up < len(refs) or in_flight:
+                    # submit while the byte window has headroom; with
+                    # nothing in flight the next fetch always goes out
+                    # (grant-when-alone), so the loop cannot starve
+                    while next_up < len(refs):
+                        ref = refs[next_up]
+                        price = self.admit(ref, block=not in_flight)
+                        if price is None:
+                            break  # wait for a completion to free bytes
+                        future = pool.submit(self.fetch_one, ref)
+                        in_flight[future] = (next_up, price)
+                        next_up += 1
                     done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
                     for future in done:
-                        index = in_flight.pop(future)
-                        yield index, future.result()
+                        index, price = in_flight.pop(future)
+                        try:
+                            blob = future.result()
+                        finally:
+                            self.retire(price)
+                        yield index, blob
             finally:
-                for future in in_flight:
+                for future, (_, price) in in_flight.items():
                     future.cancel()
+                    self.retire(price)
 
     def close(self) -> None:
         """Release pooled transport connections (idempotent)."""

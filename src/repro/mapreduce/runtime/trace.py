@@ -54,6 +54,10 @@ EVENT_KINDS = (
                         # the scheduler speculated the stragglers
     "pipeline_drain",   # a pipelined reducer's pending-set drained (its
                         # detail carries the overlap stats)
+    "oom_degraded",     # an attempt died by OOM and was requeued with
+                        # deterministically halved memory knobs
+    "memory_peak",      # a winning attempt's ledger peak (detail:
+                        # "<peak>/<budget>"), for budget assertions
 )
 
 

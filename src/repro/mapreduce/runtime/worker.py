@@ -56,6 +56,73 @@ __all__ = ["worker_entry", "load_result", "HEARTBEAT_NAME"]
 HEARTBEAT_NAME = "_heartbeat"
 
 
+def _apply_rlimit(rlimit_bytes: int | None) -> None:
+    """Cap this worker's address space with a *real* ``RLIMIT_AS``.
+
+    Opt-in (``REPRO_WORKER_RLIMIT_BYTES``), POSIX-only; anywhere the
+    ``resource`` module is missing or the kernel refuses, the cap is
+    silently skipped -- the simulated budget still governs.
+    """
+    if not rlimit_bytes:
+        return
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return
+    try:
+        _, hard = resource.getrlimit(resource.RLIMIT_AS)
+        limit = int(rlimit_bytes)
+        if hard != resource.RLIM_INFINITY:
+            limit = min(limit, hard)
+        resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+    except (ValueError, OSError):  # pragma: no cover - kernel said no
+        pass
+
+
+def _arm_budget(task_id: str, attempt: int, shuffle: Any,
+                fault: Fault | None, result_path: str) -> Any:
+    """Build this attempt's memory ledger, with any oom fault armed.
+
+    Mirrors the serial runner's ``_memory_setup``: a budget exists when
+    the job configured ``memory_budget`` *or* an oom fault targets this
+    attempt -- the clean, unbudgeted path stays allocation-free.  The
+    one divergence is the ``kill`` op: a worker has a process to kill,
+    so the callback durably writes an oom-tagged error result and dies
+    with ``os._exit(137)`` -- the SIGKILL exit the kernel OOM killer
+    would produce, except the scheduler gets a deterministic signal
+    instead of a missing result file.
+    """
+    capacity = getattr(shuffle, "memory_budget", None) \
+        if shuffle is not None else None
+    oom = fault is not None and fault.mode == "oom"
+    if capacity is None and not oom:
+        return None
+    from repro.mapreduce.runtime.memory import MemoryBudget
+    budget = MemoryBudget(capacity, name=f"{task_id}.{attempt}")
+    if oom:
+        site = fault.where
+        if fault.op == "raise":
+            budget.fail_next(site)
+        elif fault.op == "alloc":
+            budget.alloc_next(site, fault.record)
+        elif fault.op == "kill":
+            def _killed(nbytes: int) -> None:
+                _write_result(result_path, {
+                    "status": "error",
+                    "error_type": "MemoryError",
+                    "message": (f"simulated oom kill: {site} charged "
+                                f"{nbytes} bytes over threshold"),
+                    "traceback": "",
+                    "corrupt_path": None,
+                    "skip_eligible": False,
+                    "failed_map": None,
+                    "oom": True,
+                })
+                os._exit(137)
+            budget.kill_above(fault.record, _killed, site=site)
+    return budget
+
+
 def _start_heartbeat(attempt_dir: str, interval: float) -> None:
     """Touch the attempt's heartbeat file on a cadence, forever.
 
@@ -119,6 +186,7 @@ def worker_entry(
     fetch_faults: Any = None,
     host: str | None = None,
     disk_fault: Fault | None = None,
+    rlimit_bytes: int | None = None,
 ) -> None:
     """Process target: run one task attempt and persist its result.
 
@@ -136,6 +204,8 @@ def worker_entry(
     heartbeat and result file -- only spills and segments fail over).
     """
     _start_heartbeat(attempt_dir, heartbeat_interval)
+    _apply_rlimit(rlimit_bytes)
+    budget = _arm_budget(task_id, attempt, shuffle, fault, result_path)
     try:
         workdir = attempt_dir
         disk_failover = False
@@ -165,7 +235,8 @@ def worker_entry(
                 value: Any = run_map_task_skipping(
                     job, payload, dataset, workdir)
             else:
-                value = run_map_task(job, payload, dataset, workdir)
+                value = run_map_task(job, payload, dataset, workdir,
+                                     memory=budget)
             if fault is not None and fault.mode == "corrupt" \
                     and fault.where == "map-output":
                 # The task *believes* it succeeded; the damage is only
@@ -182,7 +253,8 @@ def worker_entry(
             if pipelined and not skip_mode and not corrupt_input:
                 value = run_reduce_task_pipelined(
                     job, part, segments, workdir,
-                    shuffle=shuffle, fetch_faults=fetch_faults)
+                    shuffle=shuffle, fetch_faults=fetch_faults,
+                    memory=budget)
             else:
                 if pipelined:
                     # Skipping mode and corrupt-input targeting need the
@@ -204,11 +276,13 @@ def worker_entry(
                 else:
                     value = run_reduce_task(job, part, segments, workdir,
                                             shuffle=shuffle,
-                                            fetch_faults=fetch_faults)
+                                            fetch_faults=fetch_faults,
+                                            memory=budget)
         else:
             raise ValueError(f"unknown task kind {kind!r}")
         result = {"status": "ok", "value": value,
-                  "disk_failover": disk_failover}
+                  "disk_failover": disk_failover,
+                  "memory": budget.stats() if budget is not None else None}
     except BaseException as exc:
         skippable = (isinstance(exc, Exception)
                      and getattr(job, "skipping", None) is not None
@@ -227,6 +301,10 @@ def worker_entry(
             # scheduler can charge the link and escalate to re-execution
             "failed_map": (exc.map_id if isinstance(exc, FetchFailedError)
                            else None),
+            # an out-of-memory death is the scheduler's cue to requeue
+            # with deterministically halved memory knobs, not to burn a
+            # regular failure budget
+            "oom": isinstance(exc, MemoryError),
         }
     try:
         _write_result(result_path, result)

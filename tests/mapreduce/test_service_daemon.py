@@ -263,3 +263,148 @@ class TestRest:
     def test_client_without_daemon(self, tmp_path):
         with pytest.raises(ServiceUnavailableError):
             ServiceClient(str(tmp_path)).health()
+
+
+class TestMemoryAdmission:
+    def test_submit_prices_memory(self, tmp_path):
+        service = JobService(_config(tmp_path))  # executors off
+        reply = service.submit(_spec())
+        assert reply["predicted_memory_bytes"] > 0
+        assert reply["predicted_memory_bytes"] \
+            == service.price_memory(_spec())
+        stats = service.stats()
+        assert stats["outstanding_memory_bytes"] \
+            == reply["predicted_memory_bytes"]
+
+    def test_global_memory_cap_sheds_with_429(self, tmp_path):
+        cap = JobService(_config(tmp_path)).price_memory(_spec())
+        config = _config(
+            tmp_path / "capped",
+            admission=AdmissionConfig(max_outstanding_memory_bytes=cap))
+        service = JobService(config)  # executors off: nothing credits
+        assert "job_id" in service.submit(_spec())
+        with pytest.raises(AdmissionRejected) as err:
+            service.submit(_spec(seed=9))
+        assert err.value.payload["error"] == "OVERCOMMITTED_MEMORY"
+        assert err.value.http_status == 429
+        assert err.value.payload["retry_after"] is not None
+        # shedding leaves no durable record of the rejected job
+        assert len(service.registry.load_all()) == 1
+
+    def test_tenant_memory_quota(self, tmp_path):
+        # Quota below one job's price: the tenant's *first* job is
+        # still admitted (grant-when-alone -- a lone overdraft is
+        # recorded, not refused), the second is shed, and another
+        # tenant is unaffected.
+        config = _config(tmp_path,
+                         tenants={"alice": (1.0, 8, 1024),
+                                  "bob": (1.0, 8, None)})
+        service = JobService(config)  # executors off
+        assert "job_id" in service.submit(_spec())
+        with pytest.raises(AdmissionRejected) as err:
+            service.submit(_spec(seed=9))
+        assert err.value.payload["error"] == "OVERCOMMITTED_MEMORY"
+        assert "job_id" in service.submit(_spec(tenant="bob"))
+
+    def test_memory_credited_on_completion(self, tmp_path):
+        service = JobService(_config(tmp_path))
+        service.start()
+        try:
+            reply = service.submit(_spec())
+            assert _wait_state(service, reply["job_id"], ("DONE",)) == "DONE"
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if service.stats()["outstanding_memory_bytes"] == 0:
+                    break
+                time.sleep(0.02)
+            stats = service.stats()
+            assert stats["outstanding_memory_bytes"] == 0
+            assert stats["pool"]["memory"]["used"] == 0
+        finally:
+            service.shutdown()
+
+    def test_cancel_queued_credits_memory(self, tmp_path):
+        service = JobService(_config(tmp_path))  # executors off
+        reply = service.submit(_spec())
+        assert service.stats()["outstanding_memory_bytes"] > 0
+        service.cancel(reply["job_id"])
+        assert service.stats()["outstanding_memory_bytes"] == 0
+        assert service.pool.memory.used == 0
+
+    def test_recover_restores_memory_ledger(self, tmp_path):
+        first = JobService(_config(tmp_path))  # executors never started
+        reply = first.submit(_spec())
+        second = JobService(_config(tmp_path))
+        assert second.recover() == 1
+        assert second.stats()["outstanding_memory_bytes"] \
+            == reply["predicted_memory_bytes"]
+
+    def test_spec_memory_knobs_round_trip(self):
+        spec = _spec(memory_budget=1 << 20, max_inflight_bytes=4096)
+        again = JobSpec.from_json(spec.to_json())
+        assert again.memory_budget == 1 << 20
+        assert again.max_inflight_bytes == 4096
+        with pytest.raises(ValueError):
+            _spec(memory_budget=255)
+        with pytest.raises(ValueError):
+            _spec(max_inflight_bytes=0)
+
+
+class TestEventsSince:
+    def test_incremental_read_and_torn_tail(self, tmp_path):
+        import os
+        service = JobService(_config(tmp_path))  # executors off
+        job_id = service.submit(_spec())["job_id"]
+        record = service.registry.get(job_id)
+        events, offset = record.events_since(0)
+        assert events  # acceptance already logged at least one event
+        assert offset > 0
+        # nothing new: same offset back, no events
+        again, offset2 = record.events_since(offset)
+        assert again == [] and offset2 == offset
+        # a torn tail (a line mid-append) is not consumed...
+        events_path = os.path.join(record.dir, "events.jsonl")
+        with open(events_path, "a", encoding="utf-8") as fh:
+            fh.write('{"crc": 1, "body": "tor')
+        torn, offset3 = record.events_since(offset)
+        assert torn == [] and offset3 == offset
+        # ...and a later intact append past it stays pinned behind the
+        # damaged line: everything before was already delivered.
+        record.append_event("late", "after the tear")
+        after, offset4 = record.events_since(offset)
+        assert after == [] and offset4 == offset
+
+    def test_follow_sees_terminal_state(self, tmp_path):
+        service = JobService(_config(tmp_path))
+        service.start()
+        try:
+            job_id = service.submit(_spec())["job_id"]
+            assert _wait_state(service, job_id, ("DONE",)) == "DONE"
+            record = service.registry.get(job_id)
+            events, _ = record.events_since(0)
+            kinds = [e["kind"] for e in events]
+            assert "state" in kinds
+            assert any("DONE" in e.get("detail", "") for e in events)
+        finally:
+            service.shutdown()
+
+    def test_events_route_with_since(self, tmp_path):
+        service = JobService(_config(tmp_path))
+        endpoint = ServiceEndpoint(service)
+        endpoint.publish()
+        thread = threading.Thread(target=endpoint.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(str(tmp_path))
+            job_id = service.submit(_spec())["job_id"]
+            reply = client.events(job_id)
+            assert reply["events"]
+            assert reply["state"] == "QUEUED"
+            resumed = client.events(job_id, since=reply["offset"])
+            assert resumed["events"] == []
+            assert resumed["offset"] == reply["offset"]
+            assert client.events("j424242")["error"] == "NOT_FOUND"
+        finally:
+            endpoint.server.shutdown()
+            thread.join(timeout=10)

@@ -174,7 +174,9 @@ class TestSegmentRef:
 _CONFIG_ENV_VARS = ("REPRO_TRANSPORT", "REPRO_FETCH_RETRIES",
                     "REPRO_FETCH_TIMEOUT", "REPRO_WIRE_CODEC",
                     "REPRO_SHUFFLE_PORT_BASE", "REPRO_PIPELINE",
-                    "REPRO_STARVATION_THRESHOLD")
+                    "REPRO_STARVATION_THRESHOLD",
+                    "REPRO_MAX_INFLIGHT_BYTES", "REPRO_MEMORY_BUDGET",
+                    "REPRO_MAX_MEMORY_RETRIES")
 
 
 class TestShuffleConfig:
@@ -213,6 +215,17 @@ class TestShuffleConfig:
         assert config.wire_codec == "fastpred+zlib"
         assert config.port_base == 28000
 
+    def test_from_env_memory_round_trip(self, monkeypatch):
+        for name in _CONFIG_ENV_VARS:
+            monkeypatch.delenv(name, raising=False)
+        monkeypatch.setenv("REPRO_MAX_INFLIGHT_BYTES", "65536")
+        monkeypatch.setenv("REPRO_MEMORY_BUDGET", "1048576")
+        monkeypatch.setenv("REPRO_MAX_MEMORY_RETRIES", "3")
+        config = shuffle_config_from_env()
+        assert config.max_inflight_bytes == 65536
+        assert config.memory_budget == 1048576
+        assert config.max_memory_retries == 3
+
     @pytest.mark.parametrize("var,value,needle", [
         ("REPRO_FETCH_RETRIES", "three", "REPRO_FETCH_RETRIES='three'"),
         ("REPRO_FETCH_RETRIES", "1.5", "REPRO_FETCH_RETRIES='1.5'"),
@@ -236,6 +249,10 @@ class TestShuffleConfig:
         ("REPRO_FETCH_RETRIES", "-2"),
         ("REPRO_FETCH_TIMEOUT", "0"),
         ("REPRO_SHUFFLE_PORT_BASE", "80"),   # below the unprivileged range
+        ("REPRO_MAX_INFLIGHT_BYTES", "0"),   # window must admit a byte
+        ("REPRO_MEMORY_BUDGET", "255"),      # below one IFile block
+        ("REPRO_MAX_MEMORY_RETRIES", "0"),   # ladder needs one rung
+        ("REPRO_MAX_MEMORY_RETRIES", "2.5"),
     ])
     def test_from_env_out_of_range_value(self, monkeypatch, var, value):
         """Well-formed but invalid values also surface as ConfigError."""
